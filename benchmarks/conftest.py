@@ -1,0 +1,21 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures (at reduced
+scale so the whole suite stays in the minutes range) and asserts the headline
+*shape* the paper reports -- who wins and by roughly what factor -- without
+expecting the paper's absolute numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def once(benchmark, func, *args, **kwargs):
+    """Run an expensive experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture()
+def run_once():
+    return once

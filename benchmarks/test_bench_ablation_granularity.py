@@ -1,0 +1,54 @@
+"""Ablation benchmark: intra- vs inter-procedural enumeration, and threshold sweep.
+
+DESIGN.md calls out two design choices for ablation: the enumeration
+granularity (paper Section 4.3) and the per-file variant threshold
+(Section 5.2.1).  This benchmark quantifies both on the built-in corpus.
+"""
+
+from repro.core.problem import Granularity
+from repro.core.spe import SkeletonEnumerator
+from repro.experiments.table1 import build_corpus
+from repro.minic.errors import MiniCError
+from repro.minic.skeleton import extract_skeleton
+
+
+def _skeletons(files: int = 40):
+    skeletons = []
+    for name, source in build_corpus(files=files).items():
+        try:
+            skeletons.append(extract_skeleton(source, name=name))
+        except MiniCError:
+            continue
+    return skeletons
+
+
+def test_granularity_ablation(benchmark, run_once):
+    def compare():
+        skeletons = _skeletons()
+        intra = [SkeletonEnumerator(s, granularity=Granularity.INTRA_PROCEDURAL).count() for s in skeletons]
+        inter = [SkeletonEnumerator(s, granularity=Granularity.INTER_PROCEDURAL).count() for s in skeletons]
+        return intra, inter
+
+    intra, inter = run_once(benchmark, compare)
+    # Paper Section 4.3: intra-procedural enumeration is the cheaper approximation.
+    assert sum(intra) <= sum(inter)
+    assert all(i <= j for i, j in zip(intra, inter))
+    print(f"\nintra-procedural total variants: {sum(intra)}")
+    print(f"inter-procedural total variants: {sum(inter)}")
+
+
+def test_threshold_sweep(benchmark, run_once):
+    def sweep():
+        skeletons = _skeletons()
+        counts = [SkeletonEnumerator(s).count() for s in skeletons]
+        kept = {}
+        for threshold in (100, 1_000, 10_000, 100_000):
+            kept[threshold] = sum(1 for c in counts if c <= threshold) / len(counts)
+        return kept
+
+    kept = run_once(benchmark, sweep)
+    # Retention must be monotone in the threshold and high at the paper's 10K.
+    thresholds = sorted(kept)
+    assert all(kept[a] <= kept[b] for a, b in zip(thresholds, thresholds[1:]))
+    assert kept[10_000] >= 0.3
+    print(f"\nfraction of files kept per threshold: {kept}")

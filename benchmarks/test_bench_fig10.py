@@ -1,0 +1,16 @@
+"""Benchmark: Figure 10 -- characteristics of the bugs found in the scc trunk."""
+
+from repro.experiments import fig10
+
+
+def test_fig10_bug_characteristics(benchmark, run_once):
+    result = run_once(benchmark, fig10.run, files=14, max_variants_per_file=16)
+    bugs = result.campaign.bugs
+    assert len(bugs) >= 1
+    # Shape: bugs spread across several components and affect -O3 at least as
+    # often as lower levels (every bug observed at level L affects all >= L).
+    assert len(result.components) >= 1
+    if result.opt_levels:
+        assert result.opt_levels.get("-O3", 0) == max(result.opt_levels.values())
+    print()
+    print(fig10.render(result))

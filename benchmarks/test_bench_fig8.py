@@ -1,0 +1,15 @@
+"""Benchmark: Figure 8 -- distribution of variant counts and reduction ratios."""
+
+from repro.experiments import fig8
+
+
+def test_fig8_variant_distributions(benchmark, run_once):
+    result = run_once(benchmark, fig8.run, files=60)
+    assert result.files > 0
+    # Shape: SPE shifts mass toward the small-count buckets -- the fraction of
+    # files with fewer than 100 variants grows under SPE.
+    naive_small = sum(result.naive_distribution[:2])
+    spe_small = sum(result.spe_distribution[:2])
+    assert spe_small >= naive_small
+    print()
+    print(fig8.render(result))

@@ -1,0 +1,16 @@
+"""Benchmark: Table 1 -- enumeration size reduction (naive vs SPE)."""
+
+from repro.experiments import table1
+
+
+def test_table1_size_reduction(benchmark, run_once):
+    result = run_once(benchmark, table1.run, files=60, threshold=10_000)
+    naive_total = result.original[0].total_size
+    spe_total = result.original[1].total_size
+    # Headline shape: SPE shrinks the search space by orders of magnitude and
+    # the 10K threshold retains most of the corpus (paper: ~90%).
+    assert naive_total > spe_total
+    assert result.reduction_orders_of_magnitude >= 0.2
+    assert result.thresholded[0].files >= 0.3 * result.original[0].files
+    print()
+    print(table1.render(result))

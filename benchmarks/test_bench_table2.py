@@ -1,0 +1,13 @@
+"""Benchmark: Table 2 -- corpus characteristics."""
+
+from repro.experiments import table2
+
+
+def test_table2_corpus_characteristics(benchmark, run_once):
+    result = run_once(benchmark, table2.run, files=60)
+    # The synthetic corpus is calibrated to the paper's per-file averages.
+    assert result.original.holes > 0
+    assert result.original.functions >= 1.0
+    assert result.thresholded.holes <= result.original.holes + 1e-9
+    print()
+    print(table2.render(result))

@@ -1,0 +1,13 @@
+"""Benchmark: Table 3 -- crash signatures on the stable simulated releases."""
+
+from repro.experiments import table3
+
+
+def test_table3_stable_release_crashes(benchmark, run_once):
+    result = run_once(benchmark, table3.run, files=14, max_variants_per_file=20)
+    # Shape: enumerating the compilers' own suite still finds crashes in the
+    # stable releases, and the signatures point at backend/optimizer passes.
+    assert result.campaign.variants_tested > 0
+    assert len(result.signatures) >= 1
+    print()
+    print(table3.render(result))

@@ -1,0 +1,15 @@
+"""Benchmark: Table 4 -- bugs found in the trunk compilers."""
+
+from repro.experiments import table4
+
+
+def test_table4_trunk_bug_summary(benchmark, run_once):
+    result = run_once(benchmark, table4.run, files=14, max_variants_per_file=16)
+    assert result.rows, "the trunk campaign must find at least one bug"
+    total = sum(row["reported"] for row in result.rows)
+    crashes = sum(row["crash"] for row in result.rows)
+    # Shape: most reported bugs are crashes, wrong-code bugs are fewer (Table 4).
+    assert total >= 2
+    assert crashes >= 1
+    print()
+    print(table4.render(result))

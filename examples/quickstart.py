@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Quickstart: extract a skeleton, count and enumerate its canonical variants.
+
+This reproduces the paper's Figure 6 walkthrough end to end: the C program is
+turned into a skeleton (every variable use becomes a hole), the naive and
+canonical (non-alpha-equivalent) solution-set sizes are compared, and a few
+enumerated variants are printed and executed with the reference interpreter
+to show how different variable-usage patterns change program behaviour.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro.core.naive import NaiveSkeletonEnumerator
+from repro.core.spe import SkeletonEnumerator
+from repro.minic.interp import run_source
+from repro.minic.skeleton import extract_skeleton
+
+FIG6 = """
+int main(void) {
+    int a = 1, b = 0;
+    if (a) {
+        int c = 3, d = 5;
+        b = c + d;
+    }
+    printf("%d", a);
+    printf("%d", b);
+    return 0;
+}
+"""
+
+
+def main() -> None:
+    skeleton = extract_skeleton(FIG6, name="fig6.c")
+    print(f"skeleton: {skeleton.name}")
+    print(f"  holes          : {skeleton.num_holes}")
+    print(f"  hole types     : {sorted(skeleton.hole_types())}")
+    print("  scope tree     :")
+    for line in skeleton.scope_tree.pretty().splitlines():
+        print(f"    {line}")
+
+    naive = NaiveSkeletonEnumerator(skeleton)
+    spe = SkeletonEnumerator(skeleton)
+    print(f"  naive variants : {naive.count()}")
+    print(f"  SPE variants   : {spe.count()} "
+          f"({naive.count() / spe.count():.1f}x smaller, no alpha-equivalent duplicates)")
+
+    print("\nFirst three canonical variants and their behaviour:")
+    for index, (vector, program) in enumerate(spe.programs(limit=3)):
+        result = run_source(program)
+        print(f"\n--- variant {index}: {vector} -> exit={result.exit_code} stdout={result.stdout!r}")
+        print(program)
+
+
+if __name__ == "__main__":
+    main()

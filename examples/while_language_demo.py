@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""WHILE-language demo: the paper's Figure 5 example and alpha-equivalence.
+
+Shows the formal core of the paper on the WHILE toy language: skeleton
+extraction, the difference between the naive 2^6 = 64 fillings and the 32
+canonical ones, and a concrete check that alpha-equivalent programs compute
+renamed-but-equal stores (Theorem 1 in the unscoped setting).
+
+Run with:  python examples/while_language_demo.py
+"""
+
+from repro.core.naive import NaiveSkeletonEnumerator
+from repro.core.spe import SkeletonEnumerator
+from repro.lang import extract_skeleton, run_program
+
+FIG5 = """
+a := 10 ;
+b := 1 ;
+while (a) do (
+  a := a - b
+)
+"""
+
+
+def main() -> None:
+    skeleton = extract_skeleton(FIG5, name="fig5.while")
+    spe = SkeletonEnumerator(skeleton)
+    naive = NaiveSkeletonEnumerator(skeleton)
+    print(f"Figure 5 program: {skeleton.num_holes} holes over variables {{a, b}}")
+    print(f"  naive fillings     : {naive.count()}")
+    print(f"  canonical fillings : {spe.count()}\n")
+
+    original_store = run_program(FIG5)
+    print(f"original store after execution: {original_store}")
+
+    swapped = skeleton.realize(["b", "a", "b", "b", "b", "a"])
+    print("\nalpha-renamed variant (a <-> b):")
+    print(swapped)
+    print(f"its store: {run_program(swapped)}  (the original store with names swapped)")
+
+    print("\nA non-equivalent variant changes the data dependences:")
+    p2 = skeleton.realize(["a", "b", "a", "a", "b", "b"])
+    print(p2)
+    print(f"its store: {run_program(p2)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""repro -- Skeletal Program Enumeration (SPE) for rigorous compiler testing.
+
+A from-scratch reproduction of *Skeletal Program Enumeration for Rigorous
+Compiler Testing* (Zhang, Sun, Su -- PLDI 2017).  The package contains:
+
+* :mod:`repro.core` -- the SPE combinatorial enumeration algorithm,
+  alpha-equivalence machinery and counting formulas;
+* :mod:`repro.lang` -- the paper's WHILE toy language (Figure 4);
+* :mod:`repro.minic` -- a C-subset frontend (lexer, parser, scopes, types,
+  pretty-printer, skeleton extraction, reference interpreter with
+  undefined-behaviour detection);
+* :mod:`repro.compiler` -- an optimizing compiler for the C subset used as
+  the compiler-under-test substrate, including seeded-bug "versions";
+* :mod:`repro.testing` -- the differential-testing campaign harness, bug
+  classification/deduplication, test-case reduction, coverage measurement and
+  the Orion-style mutation baseline;
+* :mod:`repro.corpus` -- the synthetic c-torture-like corpus generator;
+* :mod:`repro.experiments` -- drivers regenerating every table and figure of
+  the paper's evaluation.
+
+Quickstart::
+
+    from repro import minic
+    from repro.core.spe import SkeletonEnumerator
+
+    source = '''
+    int main() {
+        int a = 1, b = 0;
+        if (a) { int c = 3, d = 5; b = c + d; }
+        return a + b;
+    }
+    '''
+    skeleton = minic.extract_skeleton(source, name="example")
+    enumerator = SkeletonEnumerator(skeleton)
+    print(enumerator.count(), "canonical variants")
+    for vector, program in enumerator.programs(limit=3):
+        print(program)
+"""
+
+from repro.core import spe
+from repro.core.holes import CharacteristicVector, Hole, Skeleton
+from repro.core.problem import EnumerationProblem, Granularity
+from repro.core.spe import EnumerationBudget, SkeletonEnumerator, SPEEnumerator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CharacteristicVector",
+    "EnumerationBudget",
+    "EnumerationProblem",
+    "Granularity",
+    "Hole",
+    "SPEEnumerator",
+    "Skeleton",
+    "SkeletonEnumerator",
+    "__version__",
+    "spe",
+]

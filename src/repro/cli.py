@@ -1,0 +1,127 @@
+"""Command-line interface: ``spe`` (or ``python -m repro``).
+
+Subcommands:
+
+* ``count FILE``       -- naive vs SPE solution sizes for one C file;
+* ``enumerate FILE``   -- print (some of) the canonical variants of a file;
+* ``test FILE``        -- differential-test one file against the trunk compilers;
+* ``campaign``         -- run a small bug-hunting campaign over the built-in corpus;
+* ``experiment NAME``  -- regenerate a table/figure (table1, table2, table3,
+  table4, fig8, fig9, fig10, or ``all``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.core.spe import SkeletonEnumerator
+from repro.minic.skeleton import extract_skeleton
+
+
+def _cmd_count(args: argparse.Namespace) -> int:
+    source = Path(args.file).read_text()
+    skeleton = extract_skeleton(source, name=args.file)
+    enumerator = SkeletonEnumerator(skeleton)
+    print(f"file           : {args.file}")
+    print(f"holes          : {skeleton.num_holes}")
+    print(f"naive variants : {enumerator.naive_count()}")
+    print(f"SPE variants   : {enumerator.count()}")
+    return 0
+
+
+def _cmd_enumerate(args: argparse.Namespace) -> int:
+    source = Path(args.file).read_text()
+    skeleton = extract_skeleton(source, name=args.file)
+    enumerator = SkeletonEnumerator(skeleton)
+    for index, (vector, program) in enumerate(enumerator.programs(limit=args.limit)):
+        print(f"// variant {index}: {vector}")
+        print(program)
+    return 0
+
+
+def _cmd_test(args: argparse.Namespace) -> int:
+    from repro.testing.harness import test_program
+
+    source = Path(args.file).read_text()
+    observations = test_program(source, name=args.file)
+    failures = 0
+    for observation in observations:
+        status = observation.kind.value
+        line = f"{observation.compiler} {observation.opt_level}: {status}"
+        if observation.is_bug:
+            failures += 1
+            line += f" -- {observation.signature}"
+        print(line)
+    return 1 if failures else 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.experiments.table1 import build_corpus
+    from repro.testing.harness import Campaign, CampaignConfig
+
+    corpus = build_corpus(files=args.files, seed=args.seed)
+    config = CampaignConfig(max_variants_per_file=args.variants)
+    result = Campaign(config).run_sources(corpus)
+    print(result.summary())
+    print()
+    for report in result.bugs.reports:
+        print(report.summary_line())
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments import ALL_EXPERIMENTS
+
+    names = list(ALL_EXPERIMENTS) if args.name == "all" else [args.name]
+    for name in names:
+        module = ALL_EXPERIMENTS.get(name)
+        if module is None:
+            print(f"unknown experiment {name!r}; choose from {', '.join(ALL_EXPERIMENTS)} or 'all'")
+            return 2
+        print(f"=== {name} ===")
+        result = module.run()
+        print(module.render(result))
+        print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="spe", description=__doc__)
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    count = subparsers.add_parser("count", help="count naive vs SPE variants of a C file")
+    count.add_argument("file")
+    count.set_defaults(func=_cmd_count)
+
+    enumerate_cmd = subparsers.add_parser("enumerate", help="print canonical variants of a C file")
+    enumerate_cmd.add_argument("file")
+    enumerate_cmd.add_argument("--limit", type=int, default=10)
+    enumerate_cmd.set_defaults(func=_cmd_enumerate)
+
+    test = subparsers.add_parser("test", help="differential-test one C file")
+    test.add_argument("file")
+    test.set_defaults(func=_cmd_test)
+
+    campaign = subparsers.add_parser("campaign", help="run a small bug-hunting campaign")
+    campaign.add_argument("--files", type=int, default=25)
+    campaign.add_argument("--variants", type=int, default=40)
+    campaign.add_argument("--seed", type=int, default=2017)
+    campaign.set_defaults(func=_cmd_campaign)
+
+    experiment = subparsers.add_parser("experiment", help="regenerate a paper table/figure")
+    experiment.add_argument("name", help="table1|table2|table3|table4|fig8|fig9|fig10|all")
+    experiment.set_defaults(func=_cmd_experiment)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,346 @@
+"""A small generic dataflow framework plus the concrete analyses the passes use.
+
+The framework iterates transfer functions over the CFG to a fixed point; the
+concrete clients are:
+
+* :class:`ReachingConstants` -- forward "constant lattice" analysis over
+  scalar variable slots (drives global constant propagation);
+* :class:`LiveVariables` -- backward liveness of variable slots (drives dead
+  store elimination);
+* :class:`AvailableCopies` -- forward availability of ``var = var`` copies
+  (drives copy propagation across blocks).
+
+Temps are single-assignment in practice after lowering (each temp is defined
+once in one block), so the analyses focus on the named variable slots; the
+local (per-block) parts of the passes handle temps directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generic, Hashable, Iterable, TypeVar
+
+from repro.compiler.cfg import CFG
+from repro.compiler.ir import (
+    Call,
+    Const,
+    IRFunction,
+    Instr,
+    Load,
+    Store,
+    StorePtr,
+    StoreElem,
+    VarRef,
+)
+
+State = TypeVar("State")
+
+
+class ForwardAnalysis(Generic[State]):
+    """A forward dataflow analysis skeleton (meet over predecessors)."""
+
+    def __init__(self, function: IRFunction) -> None:
+        self.function = function
+        self.cfg = CFG(function)
+        self.block_in: dict[str, State] = {}
+        self.block_out: dict[str, State] = {}
+
+    # Subclasses implement these three.
+    def initial_state(self) -> State:
+        raise NotImplementedError
+
+    def boundary_state(self) -> State:
+        raise NotImplementedError
+
+    def meet(self, states: Iterable[State]) -> State:
+        raise NotImplementedError
+
+    def transfer(self, label: str, state: State) -> State:
+        raise NotImplementedError
+
+    def run(self) -> None:
+        """Iterate to a fixed point over the reachable blocks."""
+        order = self.cfg.reverse_postorder()
+        for label in order:
+            self.block_in[label] = self.initial_state()
+            self.block_out[label] = self.initial_state()
+        if not order:
+            return
+        self.block_in[order[0]] = self.boundary_state()
+        changed = True
+        iterations = 0
+        while changed:
+            changed = False
+            iterations += 1
+            if iterations > 200:  # pragma: no cover - safety net
+                break
+            for label in order:
+                preds = [p for p in self.cfg.predecessors.get(label, []) if p in self.block_out]
+                if label == self.function.entry:
+                    in_state = self.boundary_state()
+                elif preds:
+                    in_state = self.meet(self.block_out[p] for p in preds)
+                else:
+                    in_state = self.initial_state()
+                out_state = self.transfer(label, in_state)
+                if in_state != self.block_in[label] or out_state != self.block_out[label]:
+                    self.block_in[label] = in_state
+                    self.block_out[label] = out_state
+                    changed = True
+
+
+# -- reaching constants -------------------------------------------------------------
+
+UNKNOWN = object()  # lattice top/bottom marker: "not a single constant"
+
+
+@dataclass(frozen=True)
+class ConstantMap:
+    """An immutable mapping slot-name -> constant value (absent = unknown).
+
+    ``top=True`` marks the optimistic "not yet visited" lattice element: it is
+    ignored by the meet, which is what lets constants flow around loops whose
+    body does not modify them (standard optimistic constant propagation).
+    """
+
+    entries: tuple[tuple[str, int], ...] = ()
+    top: bool = False
+
+    @staticmethod
+    def from_dict(values: dict[str, int]) -> "ConstantMap":
+        return ConstantMap(tuple(sorted(values.items())))
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(self.entries)
+
+
+class ReachingConstants(ForwardAnalysis[ConstantMap]):
+    """Which scalar slots hold a known constant at each block entry.
+
+    Pointer stores and calls conservatively invalidate address-taken and
+    global variables respectively (the sound treatment our seeded alias bug
+    deliberately breaks).
+    """
+
+    def __init__(
+        self,
+        function: IRFunction,
+        globals_clobbered_by_calls: bool = True,
+        respect_pointer_stores: bool = True,
+    ) -> None:
+        super().__init__(function)
+        self.globals_clobbered_by_calls = globals_clobbered_by_calls
+        # When False, stores through pointers invalidate nothing -- this is
+        # the unsound behaviour behind the seeded "cprop-ignores-aliases"
+        # wrong-code fault (mirroring GCC PR69951).
+        self.respect_pointer_stores = respect_pointer_stores
+        self.address_taken = address_taken_slots(function)
+
+    def initial_state(self) -> ConstantMap:
+        return ConstantMap(top=True)
+
+    def boundary_state(self) -> ConstantMap:
+        return ConstantMap()
+
+    def meet(self, states: Iterable[ConstantMap]) -> ConstantMap:
+        concrete = [state for state in states if not state.top]
+        if not concrete:
+            return ConstantMap(top=True)
+        first = concrete[0].as_dict()
+        for state in concrete[1:]:
+            other = state.as_dict()
+            first = {
+                name: value
+                for name, value in first.items()
+                if name in other and other[name] == value
+            }
+        return ConstantMap.from_dict(first)
+
+    def transfer(self, label: str, state: ConstantMap) -> ConstantMap:
+        if state.top:
+            return ConstantMap(top=True)
+        values = state.as_dict()
+        for instr in self.function.blocks[label].instructions:
+            self.apply_instruction(instr, values)
+        return ConstantMap.from_dict(values)
+
+    def apply_instruction(self, instr: Instr, values: dict[str, int]) -> None:
+        if isinstance(instr, Store):
+            if isinstance(instr.src, Const):
+                values[instr.var.name] = instr.src.value
+            else:
+                values.pop(instr.var.name, None)
+            return
+        if isinstance(instr, (StorePtr, StoreElem)):
+            if not self.respect_pointer_stores:
+                return
+            # A store through a pointer may modify any address-taken slot or array.
+            for name in list(values):
+                if name in self.address_taken or self.function.slots.get(name, None) is None:
+                    values.pop(name, None)
+            for name in list(values):
+                slot = self.function.slots.get(name)
+                if slot is not None and slot.size > 1:
+                    values.pop(name, None)
+            return
+        if isinstance(instr, Call):
+            if self.globals_clobbered_by_calls:
+                for name in list(values):
+                    if name not in self.function.slots:
+                        values.pop(name, None)
+            # Calls may also write through any pointer they received.
+            for name in list(values):
+                if name in self.address_taken:
+                    values.pop(name, None)
+            return
+
+
+# -- live variables -----------------------------------------------------------------
+
+
+class LiveVariables:
+    """Backward liveness of named slots (globals treated as always live out)."""
+
+    def __init__(self, function: IRFunction) -> None:
+        self.function = function
+        self.cfg = CFG(function)
+        self.live_in: dict[str, frozenset[str]] = {}
+        self.live_out: dict[str, frozenset[str]] = {}
+        self.address_taken = address_taken_slots(function)
+
+    def run(self) -> None:
+        labels = list(self.function.blocks)
+        for label in labels:
+            self.live_in[label] = frozenset()
+            self.live_out[label] = frozenset()
+        changed = True
+        iterations = 0
+        while changed:
+            changed = False
+            iterations += 1
+            if iterations > 200:  # pragma: no cover - safety net
+                break
+            for label in reversed(labels):
+                out = frozenset().union(
+                    *[self.live_in.get(succ, frozenset()) for succ in self.cfg.successors.get(label, [])]
+                ) if self.cfg.successors.get(label) else frozenset()
+                use, define = self.block_use_def(label)
+                new_in = use | (out - define)
+                if new_in != self.live_in[label] or out != self.live_out[label]:
+                    self.live_in[label] = new_in
+                    self.live_out[label] = out
+                    changed = True
+
+    def block_use_def(self, label: str) -> tuple[frozenset[str], frozenset[str]]:
+        use: set[str] = set()
+        define: set[str] = set()
+        for instr in self.function.blocks[label].instructions:
+            for operand in instr.uses():
+                if isinstance(operand, VarRef) and operand.name not in define:
+                    use.add(operand.name)
+            if isinstance(instr, Load) and instr.var.name not in define:
+                use.add(instr.var.name)
+            if isinstance(instr, (StorePtr, StoreElem)):
+                # Conservatively treat indirect stores as uses of address-taken slots.
+                use.update(self.address_taken - define)
+            if isinstance(instr, Call):
+                use.update(self.address_taken - define)
+            if isinstance(instr, Store):
+                define.add(instr.var.name)
+        return frozenset(use), frozenset(define)
+
+    def live_out_of(self, label: str) -> frozenset[str]:
+        # Globals and address-taken slots are observable beyond the function.
+        extra = {name for name in self.address_taken}
+        extra.update(name for name in _used_globals(self.function))
+        return self.live_out.get(label, frozenset()) | frozenset(extra)
+
+
+# -- available copies -----------------------------------------------------------------
+
+
+class AvailableCopies(ForwardAnalysis[frozenset]):
+    """Pairs (dst, src) of scalar slots such that ``dst == src`` on every path."""
+
+    def initial_state(self) -> frozenset:
+        return frozenset({("__top__", "__top__")})
+
+    def boundary_state(self) -> frozenset:
+        return frozenset()
+
+    def meet(self, states: Iterable[frozenset]) -> frozenset:
+        result: frozenset | None = None
+        for state in states:
+            if ("__top__", "__top__") in state:
+                continue
+            result = state if result is None else (result & state)
+        return result if result is not None else frozenset()
+
+    def transfer(self, label: str, state: frozenset) -> frozenset:
+        pairs = {pair for pair in state if pair != ("__top__", "__top__")}
+        copies: dict[str, str] = dict(pairs)
+        block = self.function.blocks[label]
+        pending_load: dict[str, str] = {}  # temp name -> slot it was loaded from
+        for instr in block.instructions:
+            if isinstance(instr, Load):
+                pending_load[instr.dest.name] = instr.var.name
+            elif isinstance(instr, Store):
+                source_slot = None
+                from repro.compiler.ir import Temp as _Temp
+
+                if isinstance(instr.src, _Temp):
+                    source_slot = pending_load.get(instr.src.name)
+                # Kill copies involving the overwritten slot.
+                copies = {
+                    dst: src
+                    for dst, src in copies.items()
+                    if dst != instr.var.name and src != instr.var.name
+                }
+                if source_slot is not None and source_slot != instr.var.name:
+                    copies[instr.var.name] = source_slot
+            elif isinstance(instr, (StorePtr, StoreElem, Call)):
+                copies = {}
+        return frozenset(copies.items())
+
+
+# -- helpers --------------------------------------------------------------------------
+
+
+def address_taken_slots(function: IRFunction) -> set[str]:
+    """Names of slots whose address is taken (plus all array slots)."""
+    from repro.compiler.ir import AddrOf
+
+    taken: set[str] = set()
+    for instr in function.instructions():
+        if isinstance(instr, AddrOf):
+            taken.add(instr.var.name)
+    for name, slot in function.slots.items():
+        if slot.size > 1:
+            taken.add(name)
+    return taken
+
+
+def _used_globals(function: IRFunction) -> set[str]:
+    used: set[str] = set()
+    for instr in function.instructions():
+        for operand in instr.uses():
+            if isinstance(operand, VarRef) and operand.name not in function.slots:
+                used.add(operand.name)
+        if isinstance(instr, Load) and instr.var.name not in function.slots:
+            used.add(instr.var.name)
+        if isinstance(instr, Store) and instr.var.name not in function.slots:
+            used.add(instr.var.name)
+    return used
+
+
+Hashable  # re-export silence
+
+
+__all__ = [
+    "AvailableCopies",
+    "ConstantMap",
+    "ForwardAnalysis",
+    "LiveVariables",
+    "ReachingConstants",
+    "address_taken_slots",
+]

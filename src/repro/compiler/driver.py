@@ -1,0 +1,204 @@
+"""The compiler driver: source text in, compiled module (or crash) out.
+
+``Compiler`` glues the whole pipeline together the way the campaign harness
+uses a real compiler binary:
+
+1. parse + resolve (the mini-C frontend);
+2. frontend-level seeded fault checks (the "C/C++ frontend" bug components
+   of Figure 10);
+3. lowering to IR;
+4. the optimization pipeline of the requested ``-O`` level, with coverage
+   instrumentation and pass-level seeded faults;
+5. on request, execution of the optimized IR on the VM to observe the
+   produced "binary"'s behaviour.
+
+A crash anywhere surfaces as an :class:`InternalCompilerError` captured in
+the :class:`CompileOutcome`; wrong-code faults record themselves in
+``triggered_faults`` (the harness does not look at that field when deciding
+whether behaviour differs -- it only uses it to label known seeded bugs when
+reporting, mirroring how the paper's authors map crashes back to bugzilla
+entries).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.compiler.errors import CompilationError, InternalCompilerError
+from repro.compiler.faults import FaultSet
+from repro.compiler.ir import IRModule, instruction_count
+from repro.compiler.lowering import lower_module
+from repro.compiler.passes import CoverageRecorder, PassContext
+from repro.compiler.pipeline import OptimizationLevel, build_pass_pipeline
+from repro.compiler.versions import CompilerVersion, get_version
+from repro.compiler.vm import VirtualMachine
+from repro.minic import ast
+from repro.minic.errors import MiniCError
+from repro.minic.interp import ExecutionResult, ExecutionStatus
+from repro.minic.parser import parse
+from repro.minic.printer import expr_to_source
+from repro.minic.symbols import resolve
+
+
+@dataclass
+class CompileOutcome:
+    """Everything observable about one compilation."""
+
+    source_name: str
+    version: str
+    opt_level: OptimizationLevel
+    machine_bits: int = 64
+    success: bool = False
+    module: IRModule | None = None
+    crash: InternalCompilerError | None = None
+    rejected: str | None = None  # legitimate frontend rejection message
+    coverage: CoverageRecorder = field(default_factory=CoverageRecorder)
+    triggered_faults: list[str] = field(default_factory=list)
+    compile_effort: int = 0
+
+    @property
+    def crashed(self) -> bool:
+        return self.crash is not None
+
+    def crash_signature(self) -> str | None:
+        return self.crash.signature() if self.crash is not None else None
+
+
+class Compiler:
+    """A simulated compiler binary: one version at one optimization level."""
+
+    def __init__(
+        self,
+        version: str | CompilerVersion = "reference",
+        opt_level: OptimizationLevel | int = OptimizationLevel.O2,
+        machine_bits: int = 64,
+        vm_max_steps: int = 500_000,
+    ) -> None:
+        self.version = get_version(version) if isinstance(version, str) else version
+        self.opt_level = OptimizationLevel(int(opt_level))
+        self.machine_bits = machine_bits
+        self.vm_max_steps = vm_max_steps
+
+    # -- compilation -------------------------------------------------------------
+
+    def compile_source(self, source: str, name: str = "<source>") -> CompileOutcome:
+        """Compile C source text; never raises for crashes (they are captured)."""
+        outcome = CompileOutcome(
+            source_name=name,
+            version=self.version.name,
+            opt_level=self.opt_level,
+            machine_bits=self.machine_bits,
+        )
+        faults = FaultSet.of(list(self.version.faults), opt_level=int(self.opt_level))
+        try:
+            unit = parse(source)
+            resolve(unit)
+            self._frontend_checks(unit, faults)
+            module = lower_module(unit)
+            self._run_pipeline(module, faults, outcome)
+            outcome.module = module
+            outcome.success = True
+        except InternalCompilerError as crash:
+            outcome.crash = crash
+        except (MiniCError, CompilationError) as rejection:
+            outcome.rejected = str(rejection)
+        outcome.triggered_faults = list(dict.fromkeys(faults.triggered))
+        return outcome
+
+    def compile_unit(self, unit: ast.TranslationUnit, name: str = "<unit>") -> CompileOutcome:
+        """Compile an already-parsed (and resolved) translation unit."""
+        from repro.minic.printer import to_source
+
+        return self.compile_source(to_source(unit), name=name)
+
+    # -- execution ----------------------------------------------------------------
+
+    def run(self, outcome: CompileOutcome, entry: str = "main") -> ExecutionResult:
+        """Execute the compiled module on the VM."""
+        if not outcome.success or outcome.module is None:
+            return ExecutionResult(ExecutionStatus.ERROR, detail="compilation did not succeed")
+        return VirtualMachine(outcome.module, max_steps=self.vm_max_steps).run(entry)
+
+    def compile_and_run(
+        self, source: str, name: str = "<source>", entry: str = "main"
+    ) -> tuple[CompileOutcome, ExecutionResult | None]:
+        """Compile then execute; execution is skipped when compilation fails."""
+        outcome = self.compile_source(source, name=name)
+        if not outcome.success:
+            return outcome, None
+        return outcome, self.run(outcome, entry=entry)
+
+    # -- internals ------------------------------------------------------------------
+
+    def _run_pipeline(self, module: IRModule, faults: FaultSet, outcome: CompileOutcome) -> None:
+        context = PassContext(
+            module=module,
+            coverage=outcome.coverage,
+            faults=faults,
+            optimization_level=int(self.opt_level),
+        )
+        pipeline = build_pass_pipeline(self.opt_level)
+        for function in module.functions.values():
+            outcome.coverage.record("frontend.function_lowered")
+            for pass_instance in pipeline:
+                outcome.coverage.record(f"pipeline.{pass_instance.name}")
+                changed = pass_instance.run(function, context)
+                if changed:
+                    outcome.coverage.record(f"pipeline.{pass_instance.name}.changed")
+        outcome.compile_effort = sum(context.statistics.values()) + instruction_count(module)
+
+    # -- frontend seeded faults --------------------------------------------------------
+
+    def _frontend_checks(self, unit: ast.TranslationUnit, faults: FaultSet) -> None:
+        if faults.active("frontend-identical-arms"):
+            for node in unit.walk():
+                if isinstance(node, ast.Conditional):
+                    if expr_to_source(node.then_expr) == expr_to_source(node.else_expr):
+                        faults.crash(
+                            "frontend-identical-arms",
+                            detail=f"'{expr_to_source(node.then_expr)}'",
+                        )
+        if faults.active("frontend-nested-conditional-depth"):
+            if self._max_conditional_depth(unit) >= 3:
+                faults.crash("frontend-nested-conditional-depth")
+        if faults.active("frontend-goto-into-scope"):
+            self._check_goto_into_scope(unit, faults)
+
+    @staticmethod
+    def _max_conditional_depth(unit: ast.TranslationUnit) -> int:
+        def depth(node: ast.Node) -> int:
+            best = 0
+            for child in node.children():
+                best = max(best, depth(child))
+            if isinstance(node, ast.Conditional):
+                return best + 1
+            return best
+
+        return depth(unit)
+
+    @staticmethod
+    def _check_goto_into_scope(unit: ast.TranslationUnit, faults: FaultSet) -> None:
+        for function in unit.functions():
+            gotos = [node for node in function.walk() if isinstance(node, ast.Goto)]
+            if not gotos:
+                continue
+            for block in function.walk():
+                if not isinstance(block, ast.Block) or block is function.body:
+                    continue
+                has_decls = any(isinstance(item, ast.DeclStmt) for item in block.items)
+                if not has_decls:
+                    continue
+                labels = {
+                    node.name for node in block.walk() if isinstance(node, ast.Label)
+                }
+                gotos_inside = {
+                    id(node) for node in block.walk() if isinstance(node, ast.Goto)
+                }
+                for goto in gotos:
+                    if goto.label in labels and id(goto) not in gotos_inside:
+                        faults.crash(
+                            "frontend-goto-into-scope", detail=f"label {goto.label!r}"
+                        )
+
+
+__all__ = ["CompilationError", "CompileOutcome", "Compiler", "InternalCompilerError"]

@@ -1,0 +1,85 @@
+"""Seeded compiler faults.
+
+The paper's evaluation observes real latent bugs in GCC/Clang.  To reproduce
+the *shape* of that evaluation offline, our compiler versions carry seeded
+faults: precisely-triggered deviations inside specific passes (or the
+frontend) that either raise an :class:`~repro.compiler.errors.InternalCompilerError`
+(a crash bug), silently produce wrong IR (a wrong-code bug), or blow up
+compile time (a performance bug).
+
+Each fault carries the metadata Figure 10 aggregates: the affected component,
+a priority, the optimization levels at which it can fire and the version
+range in which it is present.  The catalogue itself lives in
+:mod:`repro.compiler.versions`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.compiler.errors import InternalCompilerError
+
+
+class FaultKind(enum.Enum):
+    """The observable class of a seeded bug (Table 4's classification)."""
+
+    CRASH = "crash"
+    WRONG_CODE = "wrong code"
+    PERFORMANCE = "performance"
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One seeded bug."""
+
+    id: str
+    component: str
+    kind: FaultKind
+    description: str
+    priority: str = "P3"
+    min_opt_level: int = 0
+    introduced_in: str = ""
+    fixed_in: str | None = None
+    crash_signature: str = ""
+
+    def active_at(self, opt_level: int) -> bool:
+        return opt_level >= self.min_opt_level
+
+
+@dataclass
+class FaultSet:
+    """The faults enabled for one compiler version at one optimization level."""
+
+    faults: dict[str, Fault] = field(default_factory=dict)
+    opt_level: int = 0
+    triggered: list[str] = field(default_factory=list)
+
+    @staticmethod
+    def of(faults: list[Fault], opt_level: int = 0) -> "FaultSet":
+        return FaultSet(faults={fault.id: fault for fault in faults}, opt_level=opt_level)
+
+    def active(self, fault_id: str) -> bool:
+        """Whether the fault is present and armed at the current opt level."""
+        fault = self.faults.get(fault_id)
+        return fault is not None and fault.active_at(self.opt_level)
+
+    def get(self, fault_id: str) -> Fault | None:
+        return self.faults.get(fault_id)
+
+    def trigger(self, fault_id: str) -> Fault:
+        """Mark a fault as triggered (for wrong-code/performance bugs) and return it."""
+        fault = self.faults[fault_id]
+        self.triggered.append(fault_id)
+        return fault
+
+    def crash(self, fault_id: str, detail: str = "") -> None:
+        """Raise the crash corresponding to ``fault_id`` (must be active)."""
+        fault = self.trigger(fault_id)
+        message = fault.crash_signature or fault.description
+        if detail:
+            message = f"{message} ({detail})"
+        raise InternalCompilerError(message, component=fault.component, fault_id=fault.id)
+
+
+__all__ = ["Fault", "FaultKind", "FaultSet"]

@@ -1,0 +1,571 @@
+"""Lowering: mini-C AST to three-address IR.
+
+The lowering is deliberately straightforward (every variable access is an
+explicit Load/Store, every sub-expression gets its own temp) so that the
+optimization passes have plenty of redundancy to remove -- just like the
+naive IR a real frontend produces before -O1.
+
+Control flow is fully structured into basic blocks: short-circuit ``&&``/``||``,
+the ternary operator, all loop forms, ``break``/``continue``, and
+``goto``/labels (labels become block boundaries, which is how irreducible
+control flow from the GCC-style seeds reaches the optimizer).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.minic import ast
+from repro.minic.ctypes import (
+    ArrayType,
+    CType,
+    INT,
+    IntType,
+    PointerType,
+    usual_arithmetic_conversion,
+)
+from repro.compiler.errors import CompilationError
+from repro.compiler.ir import (
+    AddrOf,
+    BasicBlock,
+    BinOp,
+    CJump,
+    Call,
+    Const,
+    Copy,
+    IRFunction,
+    IRModule,
+    Jump,
+    Load,
+    LoadElem,
+    LoadPtr,
+    Operand,
+    Return,
+    Store,
+    StoreElem,
+    StorePtr,
+    Temp,
+    UnOp,
+    VarRef,
+    VariableSlot,
+)
+
+
+@dataclass
+class _Scope:
+    """Maps source-level names to unique slot names for the current block."""
+
+    names: dict[str, str] = field(default_factory=dict)
+
+
+class _FunctionLowerer:
+    def __init__(self, module: IRModule, function: ast.FunctionDef) -> None:
+        self.module = module
+        self.source = function
+        self.ir = IRFunction(name=function.name, return_type=function.return_type)
+        self.temp_counter = 0
+        self.slot_counter = 0
+        self.scopes: list[_Scope] = [_Scope()]
+        self.block = self.ir.add_block("entry")
+        self.break_targets: list[str] = []
+        self.continue_targets: list[str] = []
+        self.label_blocks: dict[str, str] = {}
+
+    # -- small helpers -----------------------------------------------------------
+
+    def new_temp(self) -> Temp:
+        self.temp_counter += 1
+        return Temp(f"t{self.temp_counter}")
+
+    def reserve(self, hint: str) -> str:
+        """Reserve a fresh block label (and create its empty block) immediately.
+
+        Reserving eagerly prevents nested constructs from claiming the same
+        label between the time a label name is chosen and the time its block
+        is populated.
+        """
+        label = self.ir.new_label(hint)
+        self.ir.add_block(label)
+        return label
+
+    def emit(self, instr) -> None:
+        if self.block.terminator is not None:
+            # Dead code after a terminator: park it in a fresh unreachable block
+            # so the IR stays well formed (simplify-cfg removes it later).
+            self.block = self.ir.add_block(self.ir.new_label("dead"))
+        self.block.instructions.append(instr)
+
+    def start_block(self, label: str) -> BasicBlock:
+        if label in self.ir.blocks:
+            block = self.ir.blocks[label]
+        else:
+            block = self.ir.add_block(label)
+        if self.block.terminator is None:
+            self.block.instructions.append(Jump(label))
+        self.block = block
+        return block
+
+    def unique_slot(self, name: str, ctype: CType, size: int = 1, is_param: bool = False) -> str:
+        slot_name = name
+        while slot_name in self.ir.slots or slot_name in self.module.globals:
+            self.slot_counter += 1
+            slot_name = f"{name}.{self.slot_counter}"
+        self.ir.slots[slot_name] = VariableSlot(slot_name, ctype, size=size, is_param=is_param)
+        return slot_name
+
+    def bind(self, source_name: str, slot_name: str) -> None:
+        self.scopes[-1].names[source_name] = slot_name
+
+    def lookup(self, name: str) -> tuple[str, VariableSlot]:
+        for scope in reversed(self.scopes):
+            if name in scope.names:
+                slot_name = scope.names[name]
+                return slot_name, self.ir.slots[slot_name]
+        if name in self.module.globals:
+            return name, self.module.globals[name]
+        raise CompilationError(f"unknown variable {name!r} in function {self.source.name!r}")
+
+    def label_block_for(self, label: str) -> str:
+        if label not in self.label_blocks:
+            self.label_blocks[label] = self.ir.new_label(f"label.{label}")
+            self.ir.add_block(self.label_blocks[label])
+        return self.label_blocks[label]
+
+    # -- typing approximation -------------------------------------------------------
+
+    def type_of(self, expr: ast.Expr) -> CType:
+        if expr.ctype is not None:
+            return expr.ctype
+        if isinstance(expr, ast.IntLiteral):
+            return INT
+        if isinstance(expr, ast.CharLiteral):
+            return INT
+        if isinstance(expr, ast.Identifier) and expr.decl is not None:
+            return expr.decl.var_type
+        if isinstance(expr, ast.Unary):
+            if expr.op == "&":
+                return PointerType(self.type_of(expr.operand))
+            if expr.op == "*":
+                inner = self.type_of(expr.operand)
+                return inner.base if isinstance(inner, (PointerType, ArrayType)) else INT
+            if expr.op in ("!",):
+                return INT
+            return self.type_of(expr.operand)
+        if isinstance(expr, ast.Binary):
+            if expr.op in ("==", "!=", "<", "<=", ">", ">=", "&&", "||"):
+                return INT
+            left = self.type_of(expr.left)
+            right = self.type_of(expr.right)
+            if isinstance(left, (PointerType, ArrayType)):
+                return left
+            if isinstance(right, (PointerType, ArrayType)):
+                return right
+            return usual_arithmetic_conversion(left, right)
+        if isinstance(expr, ast.Assignment):
+            return self.type_of(expr.target)
+        if isinstance(expr, ast.Conditional):
+            return self.type_of(expr.then_expr)
+        if isinstance(expr, ast.Index):
+            base = self.type_of(expr.base)
+            return base.base if isinstance(base, (PointerType, ArrayType)) else INT
+        if isinstance(expr, ast.Cast):
+            return expr.target_type
+        if isinstance(expr, ast.Call):
+            function = self.module_function_return(expr.callee)
+            return function
+        return INT
+
+    def module_function_return(self, name: str) -> CType:
+        return INT
+
+    # -- function body -----------------------------------------------------------------
+
+    def lower(self) -> IRFunction:
+        for param in self.source.params:
+            slot_name = self.unique_slot(param.name, param.var_type, is_param=True)
+            self.bind(param.name, slot_name)
+            self.ir.params.append(slot_name)
+        for item in self.source.body.items:
+            self.lower_stmt(item)
+        if self.block.terminator is None:
+            self.block.instructions.append(Return(None))
+        return self.ir
+
+    # -- statements --------------------------------------------------------------------
+
+    def lower_stmt(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.Block):
+            self.scopes.append(_Scope())
+            for item in stmt.items:
+                self.lower_stmt(item)
+            self.scopes.pop()
+            return
+        if isinstance(stmt, ast.DeclStmt):
+            for decl in stmt.decls:
+                self.lower_decl(decl)
+            return
+        if isinstance(stmt, ast.ExprStmt):
+            self.lower_expr(stmt.expr)
+            return
+        if isinstance(stmt, ast.Empty):
+            return
+        if isinstance(stmt, ast.If):
+            condition = self.lower_condition(stmt.condition)
+            then_label = self.reserve("if.then")
+            else_label = self.reserve("if.else") if stmt.else_branch is not None else None
+            end_label = self.reserve("if.end")
+            self.emit(CJump(condition, then_label, else_label or end_label))
+            self.block = self.ir.blocks[then_label]
+            self.lower_stmt(stmt.then_branch)
+            if self.block.terminator is None:
+                self.emit(Jump(end_label))
+            if else_label is not None:
+                self.block = self.ir.blocks[else_label]
+                self.lower_stmt(stmt.else_branch)
+                if self.block.terminator is None:
+                    self.emit(Jump(end_label))
+            self.block = self.ir.blocks[end_label]
+            return
+        if isinstance(stmt, ast.While):
+            head = self.reserve("while.head")
+            body = self.reserve("while.body")
+            end = self.reserve("while.end")
+            self.start_block(head)
+            condition = self.lower_condition(stmt.condition)
+            self.emit(CJump(condition, body, end))
+            self.block = self.ir.blocks[body]
+            self.break_targets.append(end)
+            self.continue_targets.append(head)
+            self.lower_stmt(stmt.body)
+            self.break_targets.pop()
+            self.continue_targets.pop()
+            if self.block.terminator is None:
+                self.emit(Jump(head))
+            self.block = self.ir.blocks[end]
+            return
+        if isinstance(stmt, ast.DoWhile):
+            body = self.reserve("do.body")
+            cond = self.reserve("do.cond")
+            end = self.reserve("do.end")
+            self.start_block(body)
+            self.break_targets.append(end)
+            self.continue_targets.append(cond)
+            self.lower_stmt(stmt.body)
+            self.break_targets.pop()
+            self.continue_targets.pop()
+            self.start_block(cond)
+            condition = self.lower_condition(stmt.condition)
+            self.emit(CJump(condition, body, end))
+            self.block = self.ir.blocks[end]
+            return
+        if isinstance(stmt, ast.For):
+            self.scopes.append(_Scope())
+            if stmt.init is not None:
+                self.lower_stmt(stmt.init)
+            head = self.reserve("for.head")
+            body = self.reserve("for.body")
+            step = self.reserve("for.step")
+            end = self.reserve("for.end")
+            self.start_block(head)
+            if stmt.condition is not None:
+                condition = self.lower_condition(stmt.condition)
+                self.emit(CJump(condition, body, end))
+            else:
+                self.emit(Jump(body))
+            self.block = self.ir.blocks[body]
+            self.break_targets.append(end)
+            self.continue_targets.append(step)
+            self.lower_stmt(stmt.body)
+            self.break_targets.pop()
+            self.continue_targets.pop()
+            self.start_block(step)
+            if stmt.step is not None:
+                self.lower_expr(stmt.step)
+            self.emit(Jump(head))
+            self.block = self.ir.blocks[end]
+            self.scopes.pop()
+            return
+        if isinstance(stmt, ast.Return):
+            value = self.lower_expr(stmt.value) if stmt.value is not None else None
+            self.emit(Return(value))
+            return
+        if isinstance(stmt, ast.Break):
+            if not self.break_targets:
+                raise CompilationError("'break' outside a loop")
+            self.emit(Jump(self.break_targets[-1]))
+            return
+        if isinstance(stmt, ast.Continue):
+            if not self.continue_targets:
+                raise CompilationError("'continue' outside a loop")
+            self.emit(Jump(self.continue_targets[-1]))
+            return
+        if isinstance(stmt, ast.Goto):
+            self.emit(Jump(self.label_block_for(stmt.label)))
+            return
+        if isinstance(stmt, ast.Label):
+            label_block = self.label_block_for(stmt.name)
+            if self.block.terminator is None:
+                self.emit(Jump(label_block))
+            self.block = self.ir.blocks[label_block]
+            self.lower_stmt(stmt.statement)
+            return
+        raise CompilationError(f"cannot lower statement {stmt!r}")
+
+    def lower_decl(self, decl: ast.VarDecl) -> None:
+        var_type = decl.var_type
+        if isinstance(var_type, ArrayType):
+            slot_name = self.unique_slot(decl.name, var_type.base, size=var_type.size)
+            self.bind(decl.name, slot_name)
+            if decl.init_list is not None:
+                for index, item in enumerate(decl.init_list):
+                    value = self.lower_expr(item)
+                    self.emit(StoreElem(VarRef(slot_name), Const(index), value, ctype=var_type.base))
+                for index in range(len(decl.init_list), var_type.size):
+                    self.emit(StoreElem(VarRef(slot_name), Const(index), Const(0), ctype=var_type.base))
+            return
+        slot_name = self.unique_slot(decl.name, var_type)
+        self.bind(decl.name, slot_name)
+        if decl.init is not None:
+            value = self.lower_expr(decl.init)
+            self.emit(Store(VarRef(slot_name), value, ctype=var_type if isinstance(var_type, IntType) else INT))
+
+    # -- expressions ----------------------------------------------------------------------
+
+    def lower_condition(self, expr: ast.Expr) -> Operand:
+        """Lower an expression used as a branch condition to a 0/1 operand."""
+        value = self.lower_expr(expr)
+        return value
+
+    def lower_expr(self, expr: ast.Expr) -> Operand:
+        if isinstance(expr, ast.IntLiteral):
+            return Const(expr.value)
+        if isinstance(expr, ast.CharLiteral):
+            return Const(expr.value)
+        if isinstance(expr, ast.StringLiteral):
+            raise CompilationError("string literals are only supported as printf formats")
+        if isinstance(expr, ast.Identifier):
+            slot_name, slot = self.lookup(expr.name)
+            if slot.size > 1:
+                # Array decays to its address.
+                dest = self.new_temp()
+                self.emit(AddrOf(dest, VarRef(slot_name)))
+                return dest
+            dest = self.new_temp()
+            self.emit(Load(dest, VarRef(slot_name), ctype=slot.ctype if isinstance(slot.ctype, IntType) else INT))
+            return dest
+        if isinstance(expr, ast.Index):
+            base = self.lower_expr(expr.base)
+            index = self.lower_expr(expr.index)
+            dest = self.new_temp()
+            self.emit(LoadElem(dest, base, index, ctype=self._int_type_of(expr)))
+            return dest
+        if isinstance(expr, ast.Unary):
+            return self.lower_unary(expr)
+        if isinstance(expr, ast.Binary):
+            return self.lower_binary(expr)
+        if isinstance(expr, ast.Assignment):
+            return self.lower_assignment(expr)
+        if isinstance(expr, ast.Conditional):
+            return self.lower_conditional(expr)
+        if isinstance(expr, ast.Cast):
+            operand = self.lower_expr(expr.operand)
+            dest = self.new_temp()
+            self.emit(UnOp(dest, "cast", operand, ctype=expr.target_type if isinstance(expr.target_type, IntType) else INT))
+            return dest
+        if isinstance(expr, ast.Call):
+            return self.lower_call(expr)
+        raise CompilationError(f"cannot lower expression {expr!r}")
+
+    def _int_type_of(self, expr: ast.Expr) -> IntType:
+        inferred = self.type_of(expr)
+        return inferred if isinstance(inferred, IntType) else INT
+
+    def lower_unary(self, expr: ast.Unary) -> Operand:
+        if expr.op == "&":
+            return self.lower_address_of(expr.operand)
+        if expr.op == "*":
+            pointer = self.lower_expr(expr.operand)
+            dest = self.new_temp()
+            self.emit(LoadPtr(dest, pointer, ctype=self._int_type_of(expr)))
+            return dest
+        if expr.op in ("++", "--"):
+            return self.lower_increment(expr)
+        operand = self.lower_expr(expr.operand)
+        if expr.op == "+":
+            return operand
+        dest = self.new_temp()
+        self.emit(UnOp(dest, expr.op, operand, ctype=self._int_type_of(expr)))
+        return dest
+
+    def lower_increment(self, expr: ast.Unary) -> Operand:
+        target = expr.operand
+        old_value = self.lower_expr(target)
+        one = Const(1)
+        new_value = self.new_temp()
+        op = "+" if expr.op == "++" else "-"
+        self.emit(BinOp(new_value, op, old_value, one, ctype=self._int_type_of(target)))
+        self.lower_store_to(target, new_value)
+        return old_value if expr.postfix else new_value
+
+    def lower_address_of(self, expr: ast.Expr) -> Operand:
+        if isinstance(expr, ast.Identifier):
+            slot_name, _ = self.lookup(expr.name)
+            dest = self.new_temp()
+            self.emit(AddrOf(dest, VarRef(slot_name)))
+            return dest
+        if isinstance(expr, ast.Index):
+            base = self.lower_expr(expr.base)
+            index = self.lower_expr(expr.index)
+            dest = self.new_temp()
+            self.emit(BinOp(dest, "ptradd", base, index))
+            return dest
+        if isinstance(expr, ast.Unary) and expr.op == "*":
+            return self.lower_expr(expr.operand)
+        raise CompilationError(f"cannot take the address of {expr!r}")
+
+    def lower_binary(self, expr: ast.Binary) -> Operand:
+        if expr.op in ("&&", "||"):
+            return self.lower_short_circuit(expr)
+        if expr.op == ",":
+            self.lower_expr(expr.left)
+            return self.lower_expr(expr.right)
+        left = self.lower_expr(expr.left)
+        right = self.lower_expr(expr.right)
+        dest = self.new_temp()
+        self.emit(BinOp(dest, expr.op, left, right, ctype=self._int_type_of(expr)))
+        return dest
+
+    def lower_short_circuit(self, expr: ast.Binary) -> Operand:
+        result_slot = self.unique_slot(f"sc.{expr.op == '&&' and 'and' or 'or'}", INT)
+        right_label = self.reserve("sc.rhs")
+        end_label = self.reserve("sc.end")
+        left = self.lower_expr(expr.left)
+        left_bool = self.new_temp()
+        self.emit(BinOp(left_bool, "!=", left, Const(0)))
+        self.emit(Store(VarRef(result_slot), left_bool))
+        if expr.op == "&&":
+            self.emit(CJump(left_bool, right_label, end_label))
+        else:
+            self.emit(CJump(left_bool, end_label, right_label))
+        self.block = self.ir.blocks[right_label]
+        right = self.lower_expr(expr.right)
+        right_bool = self.new_temp()
+        self.emit(BinOp(right_bool, "!=", right, Const(0)))
+        self.emit(Store(VarRef(result_slot), right_bool))
+        self.emit(Jump(end_label))
+        self.block = self.ir.blocks[end_label]
+        dest = self.new_temp()
+        self.emit(Load(dest, VarRef(result_slot)))
+        return dest
+
+    def lower_conditional(self, expr: ast.Conditional) -> Operand:
+        result_slot = self.unique_slot("cond.value", self._int_type_of(expr))
+        then_label = self.reserve("cond.then")
+        else_label = self.reserve("cond.else")
+        end_label = self.reserve("cond.end")
+        condition = self.lower_expr(expr.condition)
+        self.emit(CJump(condition, then_label, else_label))
+        self.block = self.ir.blocks[then_label]
+        then_value = self.lower_expr(expr.then_expr)
+        self.emit(Store(VarRef(result_slot), then_value))
+        self.emit(Jump(end_label))
+        self.block = self.ir.blocks[else_label]
+        else_value = self.lower_expr(expr.else_expr)
+        self.emit(Store(VarRef(result_slot), else_value))
+        self.emit(Jump(end_label))
+        self.block = self.ir.blocks[end_label]
+        dest = self.new_temp()
+        self.emit(Load(dest, VarRef(result_slot)))
+        return dest
+
+    def lower_assignment(self, expr: ast.Assignment) -> Operand:
+        if expr.op == "=":
+            value = self.lower_expr(expr.value)
+            self.lower_store_to(expr.target, value)
+            return value
+        operator = expr.op[:-1]
+        current = self.lower_expr(expr.target)
+        value = self.lower_expr(expr.value)
+        dest = self.new_temp()
+        self.emit(BinOp(dest, operator, current, value, ctype=self._int_type_of(expr.target)))
+        self.lower_store_to(expr.target, dest)
+        return dest
+
+    def lower_store_to(self, target: ast.Expr, value: Operand) -> None:
+        if isinstance(target, ast.Identifier):
+            slot_name, slot = self.lookup(target.name)
+            self.emit(Store(VarRef(slot_name), value, ctype=slot.ctype if isinstance(slot.ctype, IntType) else INT))
+            return
+        if isinstance(target, ast.Index):
+            base = self.lower_expr(target.base)
+            index = self.lower_expr(target.index)
+            self.emit(StoreElem(base, index, value, ctype=self._int_type_of(target)))
+            return
+        if isinstance(target, ast.Unary) and target.op == "*":
+            pointer = self.lower_expr(target.operand)
+            self.emit(StorePtr(pointer, value, ctype=self._int_type_of(target)))
+            return
+        raise CompilationError(f"invalid assignment target {target!r}")
+
+    def lower_call(self, expr: ast.Call) -> Operand:
+        if expr.callee == "printf":
+            if not expr.args or not isinstance(expr.args[0], ast.StringLiteral):
+                raise CompilationError("printf requires a string-literal format")
+            args = [self.lower_expr(arg) for arg in expr.args[1:]]
+            dest = self.new_temp()
+            self.emit(Call(dest, "printf", args, format=expr.args[0].value))
+            return dest
+        args = [self.lower_expr(arg) for arg in expr.args]
+        dest = self.new_temp()
+        self.emit(Call(dest, expr.callee, args))
+        return dest
+
+
+def _constant_value(expr: ast.Expr | None) -> int:
+    """Evaluate a global initializer; non-constant initializers default to 0."""
+    if expr is None:
+        return 0
+    if isinstance(expr, ast.IntLiteral) or isinstance(expr, ast.CharLiteral):
+        return expr.value
+    if isinstance(expr, ast.Unary) and expr.op == "-":
+        return -_constant_value(expr.operand)
+    if isinstance(expr, ast.Binary):
+        left = _constant_value(expr.left)
+        right = _constant_value(expr.right)
+        try:
+            return {
+                "+": left + right,
+                "-": left - right,
+                "*": left * right,
+                "/": left // right if right else 0,
+            }.get(expr.op, 0)
+        except ZeroDivisionError:  # pragma: no cover - defensive
+            return 0
+    return 0
+
+
+def lower_module(unit: ast.TranslationUnit) -> IRModule:
+    """Lower a resolved translation unit to an IR module."""
+    module = IRModule()
+    for decl in unit.globals():
+        var_type = decl.var_type
+        if isinstance(var_type, ArrayType):
+            initial = [0] * var_type.size
+            if decl.init_list is not None:
+                for index, item in enumerate(decl.init_list[: var_type.size]):
+                    initial[index] = _constant_value(item)
+            module.globals[decl.name] = VariableSlot(
+                decl.name, var_type.base, size=var_type.size, initial=initial
+            )
+        else:
+            module.globals[decl.name] = VariableSlot(
+                decl.name, var_type, size=1, initial=[_constant_value(decl.init)]
+            )
+    for function in unit.functions():
+        if not function.body.items and function.body.loc.line == 0:
+            continue  # prototype
+        module.functions[function.name] = _FunctionLowerer(module, function).lower()
+    return module
+
+
+__all__ = ["lower_module"]

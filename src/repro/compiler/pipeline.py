@@ -1,0 +1,93 @@
+"""Optimization pipelines: which passes run at -O0 .. -O3.
+
+Mirrors the structure of a production compiler: -O0 runs nothing, -O1 runs
+the cheap scalar clean-ups, -O2 adds redundancy elimination, -O3 adds the
+loop optimizations.  The bug-finding experiments compile every program at
+-O0 and -O3 (plus 32/64-bit "machine modes" -- modelled as a flag that only
+affects the reported configuration, as the paper only uses them to diversify
+configurations).
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.compiler.passes import (
+    ALL_PASSES,
+    CommonSubexpressionElimination,
+    ConstantFolding,
+    ConstantPropagation,
+    CopyPropagation,
+    DeadCodeElimination,
+    FunctionPass,
+    LoopInvariantCodeMotion,
+    SimplifyCFG,
+)
+
+
+class OptimizationLevel(enum.IntEnum):
+    """-O0 .. -O3."""
+
+    O0 = 0
+    O1 = 1
+    O2 = 2
+    O3 = 3
+
+    def __str__(self) -> str:
+        return f"-O{int(self)}"
+
+
+_PIPELINES: dict[OptimizationLevel, list[str]] = {
+    OptimizationLevel.O0: [],
+    OptimizationLevel.O1: [
+        ConstantFolding.name,
+        ConstantPropagation.name,
+        ConstantFolding.name,
+        DeadCodeElimination.name,
+        SimplifyCFG.name,
+    ],
+    OptimizationLevel.O2: [
+        ConstantFolding.name,
+        ConstantPropagation.name,
+        ConstantFolding.name,
+        CopyPropagation.name,
+        CommonSubexpressionElimination.name,
+        ConstantFolding.name,
+        DeadCodeElimination.name,
+        SimplifyCFG.name,
+        ConstantPropagation.name,
+        ConstantFolding.name,
+        DeadCodeElimination.name,
+        SimplifyCFG.name,
+    ],
+    OptimizationLevel.O3: [
+        ConstantFolding.name,
+        ConstantPropagation.name,
+        ConstantFolding.name,
+        CopyPropagation.name,
+        CommonSubexpressionElimination.name,
+        ConstantFolding.name,
+        LoopInvariantCodeMotion.name,
+        DeadCodeElimination.name,
+        SimplifyCFG.name,
+        ConstantPropagation.name,
+        ConstantFolding.name,
+        CommonSubexpressionElimination.name,
+        ConstantFolding.name,
+        DeadCodeElimination.name,
+        SimplifyCFG.name,
+    ],
+}
+
+
+def pass_names(level: OptimizationLevel) -> list[str]:
+    """The pass schedule (by name) for an optimization level."""
+    return list(_PIPELINES[level])
+
+
+def build_pass_pipeline(level: OptimizationLevel) -> list[FunctionPass]:
+    """Instantiate the passes for an optimization level, in execution order."""
+    return [ALL_PASSES[name]() for name in pass_names(level)]
+
+
+__all__ = ["OptimizationLevel", "build_pass_pipeline", "pass_names"]

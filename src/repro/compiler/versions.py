@@ -1,0 +1,326 @@
+"""The catalogue of seeded bugs and the simulated compiler versions.
+
+Two compiler lineages are modelled, mirroring the paper's GCC and Clang
+targets:
+
+* ``scc`` ("simulated C compiler", the GCC stand-in) with versions 4.8, 5.4,
+  6.1 and trunk;
+* ``lcc`` ("lite C compiler", the Clang stand-in) with versions 3.6 and trunk.
+
+Every version is the same compiler code base plus a specific set of seeded
+faults (see :mod:`repro.compiler.faults`); a fault is present in a version if
+the version lies in the fault's ``introduced_in`` .. ``fixed_in`` range.  The
+fault metadata (component, priority, kind, minimum optimization level)
+drives the Figure 10 and Table 3/4 reproductions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.compiler.faults import Fault, FaultKind
+
+# Version ordering within each lineage (older first).
+_SCC_ORDER = ["scc-4.8", "scc-5.4", "scc-6.1", "scc-trunk"]
+_LCC_ORDER = ["lcc-3.6", "lcc-trunk"]
+
+
+BUG_CATALOGUE: list[Fault] = [
+    Fault(
+        id="fold-equal-operands",
+        component="middle-end",
+        kind=FaultKind.CRASH,
+        description="operand_equal_p asserts when both operands of -/==/!= are the same value",
+        priority="P1",
+        min_opt_level=0,
+        introduced_in="scc-4.8",
+        fixed_in=None,
+        crash_signature="in operand_equal_p, at fold-const.c:2817",
+    ),
+    Fault(
+        id="cprop-ignores-aliases",
+        component="rtl-optimization",
+        kind=FaultKind.WRONG_CODE,
+        description="constant propagation keeps stale constants across stores through pointers",
+        priority="P2",
+        min_opt_level=1,
+        introduced_in="scc-4.8",
+        fixed_in=None,
+        crash_signature="",
+    ),
+    Fault(
+        id="copyprop-self-assign",
+        component="target",
+        kind=FaultKind.CRASH,
+        description="register copy coalescing rejects self assignments 'a = a'",
+        priority="P3",
+        min_opt_level=2,
+        introduced_in="scc-5.4",
+        fixed_in="scc-trunk",
+        crash_signature="error in backend: Invalid register name for self copy",
+    ),
+    Fault(
+        id="cse-commutes-sub",
+        component="tree-optimization",
+        kind=FaultKind.WRONG_CODE,
+        description="local CSE canonicalises a-b and b-a to the same value number",
+        priority="P2",
+        min_opt_level=2,
+        introduced_in="scc-6.1",
+        fixed_in=None,
+        crash_signature="",
+    ),
+    Fault(
+        id="dce-addr-taken-store",
+        component="tree-optimization",
+        kind=FaultKind.WRONG_CODE,
+        description="dead store elimination removes stores to address-taken locals",
+        priority="P1",
+        min_opt_level=1,
+        introduced_in="scc-6.1",
+        fixed_in=None,
+        crash_signature="",
+    ),
+    Fault(
+        id="cfg-self-loop-collapse",
+        component="middle-end",
+        kind=FaultKind.CRASH,
+        description="jump threading loops forever on a block that forwards to itself",
+        priority="P1",
+        min_opt_level=1,
+        introduced_in="scc-4.8",
+        fixed_in="scc-6.1",
+        crash_signature="in verify_jump_thread, at tree-ssa-threadupdate.c:558",
+    ),
+    Fault(
+        id="licm-irreducible-assert",
+        component="rtl-optimization",
+        kind=FaultKind.CRASH,
+        description="loop optimizer asserts on irreducible control flow created by goto",
+        priority="P2",
+        min_opt_level=3,
+        introduced_in="scc-5.4",
+        fixed_in=None,
+        crash_signature="in verify_loop_structure, at cfgloop.c:1644",
+    ),
+    Fault(
+        id="loop-index-strength-reduce",
+        component="tree-optimization",
+        kind=FaultKind.WRONG_CODE,
+        description="loop vectorizer rewrites array indexes that use the same variable twice",
+        priority="P2",
+        min_opt_level=3,
+        introduced_in="scc-trunk",
+        fixed_in=None,
+        crash_signature="",
+    ),
+    Fault(
+        id="cprop-fixpoint-blowup",
+        component="middle-end",
+        kind=FaultKind.PERFORMANCE,
+        description="constant propagation re-runs quadratically on loops storing conflicting constants",
+        priority="P4",
+        min_opt_level=1,
+        introduced_in="scc-4.8",
+        fixed_in=None,
+        crash_signature="",
+    ),
+    Fault(
+        id="frontend-identical-arms",
+        component="c",
+        kind=FaultKind.CRASH,
+        description="frontend folding of ?: crashes when the two arms are structurally identical",
+        priority="P1",
+        min_opt_level=0,
+        introduced_in="scc-4.8",
+        fixed_in=None,
+        crash_signature="in c_fold_cond_expr, at c-fold.c:312",
+    ),
+    Fault(
+        id="frontend-goto-into-scope",
+        component="c",
+        kind=FaultKind.CRASH,
+        description="jump into a block with declarations confuses the lifetime checker",
+        priority="P3",
+        min_opt_level=0,
+        introduced_in="scc-5.4",
+        fixed_in=None,
+        crash_signature="in check_goto, at c-decl.c:3451",
+    ),
+    Fault(
+        id="frontend-nested-conditional-depth",
+        component="c++",
+        kind=FaultKind.CRASH,
+        description="deeply nested conditional expressions overflow the constexpr evaluator",
+        priority="P3",
+        min_opt_level=0,
+        introduced_in="scc-6.1",
+        fixed_in=None,
+        crash_signature="in cxx_eval_conditional_expression, at constexpr.c:1840",
+    ),
+]
+
+# Faults seeded into the lcc (Clang-like) lineage reuse the same mechanics but
+# have their own identities so the two compilers fail on different inputs.
+LCC_BUG_CATALOGUE: list[Fault] = [
+    Fault(
+        id="fold-equal-operands",
+        component="middle-end",
+        kind=FaultKind.CRASH,
+        description="instruction simplifier asserts when both operands of -/== are the same SSA value",
+        priority="P2",
+        min_opt_level=1,
+        introduced_in="lcc-3.6",
+        fixed_in=None,
+        crash_signature="Assertion `Num < NumOperands && \"Invalid child # of SDNode!\"' failed",
+    ),
+    Fault(
+        id="dce-addr-taken-store",
+        component="tree-optimization",
+        kind=FaultKind.WRONG_CODE,
+        description="lifetime markers end too early after a backward goto; the store is dropped",
+        priority="P1",
+        min_opt_level=1,
+        introduced_in="lcc-3.6",
+        fixed_in=None,
+        crash_signature="",
+    ),
+    Fault(
+        id="licm-irreducible-assert",
+        component="rtl-optimization",
+        kind=FaultKind.CRASH,
+        description="register allocator asserts 'Register use before def' on irreducible loops",
+        priority="P2",
+        min_opt_level=1,
+        introduced_in="lcc-3.6",
+        fixed_in="lcc-trunk",
+        crash_signature="Assertion `MRI->getVRegDef(reg) && \"Register use before def!\"' failed",
+    ),
+    Fault(
+        id="cfg-self-loop-collapse",
+        component="middle-end",
+        kind=FaultKind.CRASH,
+        description="SimplifyCFG spins on single-block infinite loops",
+        priority="P2",
+        min_opt_level=1,
+        introduced_in="lcc-trunk",
+        fixed_in=None,
+        crash_signature="error in backend: Access past stack top!",
+    ),
+    Fault(
+        id="cse-commutes-sub",
+        component="tree-optimization",
+        kind=FaultKind.WRONG_CODE,
+        description="GVN treats subtraction as commutative when reassociating",
+        priority="P2",
+        min_opt_level=2,
+        introduced_in="lcc-trunk",
+        fixed_in=None,
+        crash_signature="",
+    ),
+    Fault(
+        id="frontend-goto-into-scope",
+        component="c",
+        kind=FaultKind.CRASH,
+        description="jump into a block with declarations crashes the CFG builder",
+        priority="P3",
+        min_opt_level=0,
+        introduced_in="lcc-3.6",
+        fixed_in=None,
+        crash_signature="error in backend: Do not know how to split the result of this operator!",
+    ),
+]
+
+
+@dataclass(frozen=True)
+class CompilerVersion:
+    """One simulated compiler release: a name plus its seeded faults."""
+
+    name: str
+    lineage: str
+    faults: tuple[Fault, ...] = ()
+    is_trunk: bool = False
+
+    def fault_ids(self) -> list[str]:
+        return [fault.id for fault in self.faults]
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+def _version_index(name: str) -> int:
+    order = _SCC_ORDER if name.startswith("scc") else _LCC_ORDER
+    return order.index(name)
+
+
+def _faults_for(version: str, catalogue: list[Fault]) -> tuple[Fault, ...]:
+    present: list[Fault] = []
+    for fault in catalogue:
+        try:
+            introduced = _version_index(fault.introduced_in)
+        except ValueError:
+            continue
+        current = _version_index(version)
+        if current < introduced:
+            continue
+        if fault.fixed_in is not None and current >= _version_index(fault.fixed_in):
+            continue
+        present.append(fault)
+    return tuple(present)
+
+
+def _build_catalog() -> dict[str, CompilerVersion]:
+    versions: dict[str, CompilerVersion] = {}
+    for name in _SCC_ORDER:
+        versions[name] = CompilerVersion(
+            name=name,
+            lineage="scc",
+            faults=_faults_for(name, BUG_CATALOGUE),
+            is_trunk=name.endswith("trunk"),
+        )
+    for name in _LCC_ORDER:
+        versions[name] = CompilerVersion(
+            name=name,
+            lineage="lcc",
+            faults=_faults_for(name, LCC_BUG_CATALOGUE),
+            is_trunk=name.endswith("trunk"),
+        )
+    versions["reference"] = CompilerVersion(name="reference", lineage="reference", faults=())
+    return versions
+
+
+_CATALOG = _build_catalog()
+
+
+def available_versions() -> list[str]:
+    """Names of all simulated compiler versions (plus the fault-free 'reference')."""
+    return list(_CATALOG)
+
+
+def get_version(name: str) -> CompilerVersion:
+    """Look up a simulated compiler version by name."""
+    try:
+        return _CATALOG[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown compiler version {name!r}; available: {', '.join(_CATALOG)}"
+        ) from None
+
+
+def affected_versions(fault_id: str, lineage: str = "scc") -> list[str]:
+    """All versions of a lineage that carry the given fault."""
+    return [
+        name
+        for name, version in _CATALOG.items()
+        if version.lineage == lineage and fault_id in version.fault_ids()
+    ]
+
+
+__all__ = [
+    "BUG_CATALOGUE",
+    "CompilerVersion",
+    "LCC_BUG_CATALOGUE",
+    "affected_versions",
+    "available_versions",
+    "get_version",
+]

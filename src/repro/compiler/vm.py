@@ -1,0 +1,438 @@
+"""The IR virtual machine: "executes the binary" the compiler produced.
+
+The VM provides the second half of differential testing: the reference
+interpreter runs the source, the VM runs the optimized IR, and for UB-free
+programs the two observable behaviours (stdout, exit code) must agree.  The
+VM itself is intentionally forgiving about undefined behaviour (it wraps
+arithmetic, reads of uninitialized cells yield 0, out-of-range accesses trap
+as runtime errors) -- just like running a real miscompiled binary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.compiler.ir import (
+    AddrOf,
+    BinOp,
+    CJump,
+    Call,
+    Const,
+    Copy,
+    IRFunction,
+    IRModule,
+    Jump,
+    Load,
+    LoadElem,
+    LoadPtr,
+    Operand,
+    Return,
+    Store,
+    StoreElem,
+    StorePtr,
+    Temp,
+    UnOp,
+    VarRef,
+)
+from repro.minic.ctypes import INT, IntType
+from repro.minic.interp import ExecutionResult, ExecutionStatus
+
+
+@dataclass(frozen=True)
+class VMPointer:
+    """A pointer value inside the VM: a memory cell array plus an offset."""
+
+    block_id: int
+    offset: int
+
+    @property
+    def is_null(self) -> bool:
+        return self.block_id < 0
+
+
+@dataclass
+class _VMBlock:
+    id: int
+    cells: list
+
+
+@dataclass
+class VMResult:
+    """Raw VM outcome before conversion to an ExecutionResult."""
+
+    exit_code: int | None
+    stdout: str
+    trapped: bool = False
+    detail: str = ""
+    instructions_executed: int = 0
+
+
+class VMTrap(Exception):
+    """Raised when the produced code performs an operation the VM cannot honour."""
+
+
+class _Exit(Exception):
+    def __init__(self, code: int) -> None:
+        self.code = code
+
+
+@dataclass
+class VirtualMachine:
+    """Execute an :class:`~repro.compiler.ir.IRModule` starting from ``main``."""
+
+    module: IRModule
+    max_steps: int = 500_000
+    max_call_depth: int = 200
+    _blocks: dict[int, _VMBlock] = field(default_factory=dict, init=False)
+    _next_block: int = field(default=0, init=False)
+    _globals: dict[str, VMPointer] = field(default_factory=dict, init=False)
+    _stdout: list[str] = field(default_factory=list, init=False)
+    _steps: int = field(default=0, init=False)
+
+    # -- memory -----------------------------------------------------------------
+
+    def _alloc(self, size: int, fill) -> VMPointer:
+        block = _VMBlock(self._next_block, [fill] * size)
+        self._blocks[block.id] = block
+        self._next_block += 1
+        return VMPointer(block.id, 0)
+
+    def _cell(self, pointer: VMPointer):
+        block = self._blocks.get(pointer.block_id)
+        if block is None or not (0 <= pointer.offset < len(block.cells)):
+            raise VMTrap(f"invalid memory access at {pointer}")
+        return block, pointer.offset
+
+    # -- execution ------------------------------------------------------------------
+
+    def run(self, entry: str = "main") -> ExecutionResult:
+        """Execute the module and return an observable-behaviour result."""
+        for name, slot in self.module.globals.items():
+            initial = slot.initial if slot.initial is not None else [0] * slot.size
+            pointer = self._alloc(slot.size, 0)
+            block, _ = self._cell(pointer)
+            for index, value in enumerate(initial[: slot.size]):
+                block.cells[index] = value
+            self._globals[name] = pointer
+        if entry not in self.module.functions:
+            return ExecutionResult(ExecutionStatus.ERROR, detail=f"no function named {entry!r}")
+        try:
+            value = self._call(self.module.functions[entry], [], depth=0)
+            exit_code = int(value) & 0xFF if isinstance(value, int) else 0
+            return ExecutionResult(ExecutionStatus.OK, exit_code=exit_code, stdout=self.stdout)
+        except _Exit as stop:
+            return ExecutionResult(ExecutionStatus.OK, exit_code=stop.code & 0xFF, stdout=self.stdout)
+        except VMTrap as trap:
+            return ExecutionResult(ExecutionStatus.ERROR, stdout=self.stdout, detail=str(trap))
+        except _StepLimit:
+            return ExecutionResult(ExecutionStatus.TIMEOUT, stdout=self.stdout, detail="step budget exhausted")
+
+    @property
+    def stdout(self) -> str:
+        return "".join(self._stdout)
+
+    def _tick(self) -> None:
+        self._steps += 1
+        if self._steps > self.max_steps:
+            raise _StepLimit()
+
+    def _call(self, function: IRFunction, args: list, depth: int):
+        if depth > self.max_call_depth:
+            raise VMTrap("call depth limit exceeded")
+        slots: dict[str, VMPointer] = {}
+        for name, slot in function.slots.items():
+            slots[name] = self._alloc(slot.size, 0)
+        for name, value in zip(function.params, args):
+            block, offset = self._cell(slots[name])
+            block.cells[offset] = value
+
+        temps: dict[str, object] = {}
+        label = function.entry
+        while True:
+            block = function.blocks.get(label)
+            if block is None:
+                raise VMTrap(f"jump to unknown block {label!r}")
+            next_label: str | None = None
+            for instr in block.instructions:
+                self._tick()
+                outcome = self._execute(instr, function, slots, temps, depth)
+                if outcome is _FALLTHROUGH:
+                    continue
+                kind, payload = outcome
+                if kind == "jump":
+                    next_label = payload
+                    break
+                if kind == "return":
+                    return payload
+            if next_label is None:
+                # Fell off the end of a block without a terminator: implicit return 0.
+                return 0
+            label = next_label
+
+    # -- instruction dispatch ----------------------------------------------------------
+
+    def _execute(self, instr, function: IRFunction, slots, temps, depth):
+        if isinstance(instr, Copy):
+            temps[instr.dest.name] = self._value(instr.src, slots, temps)
+            return _FALLTHROUGH
+        if isinstance(instr, BinOp):
+            temps[instr.dest.name] = self._binop(instr, slots, temps)
+            return _FALLTHROUGH
+        if isinstance(instr, UnOp):
+            temps[instr.dest.name] = self._unop(instr, slots, temps)
+            return _FALLTHROUGH
+        if isinstance(instr, Load):
+            pointer = self._slot_pointer(instr.var.name, function, slots)
+            block, offset = self._cell(pointer)
+            value = block.cells[offset]
+            temps[instr.dest.name] = 0 if value is None else value
+            return _FALLTHROUGH
+        if isinstance(instr, Store):
+            pointer = self._slot_pointer(instr.var.name, function, slots)
+            block, offset = self._cell(pointer)
+            block.cells[offset] = self._wrapped(self._value(instr.src, slots, temps), instr.ctype)
+            return _FALLTHROUGH
+        if isinstance(instr, AddrOf):
+            temps[instr.dest.name] = self._slot_pointer(instr.var.name, function, slots)
+            return _FALLTHROUGH
+        if isinstance(instr, LoadElem):
+            base = self._base_pointer(instr.base, function, slots, temps)
+            index = self._as_int(self._value(instr.index, slots, temps))
+            pointer = self._offset_pointer(base, index)
+            block, offset = self._cell(pointer)
+            value = block.cells[offset]
+            temps[instr.dest.name] = 0 if value is None else value
+            return _FALLTHROUGH
+        if isinstance(instr, StoreElem):
+            base = self._base_pointer(instr.base, function, slots, temps)
+            index = self._as_int(self._value(instr.index, slots, temps))
+            pointer = self._offset_pointer(base, index)
+            block, offset = self._cell(pointer)
+            block.cells[offset] = self._wrapped(self._value(instr.src, slots, temps), instr.ctype)
+            return _FALLTHROUGH
+        if isinstance(instr, LoadPtr):
+            pointer = self._value(instr.ptr, slots, temps)
+            if not isinstance(pointer, VMPointer):
+                raise VMTrap("dereference of a non-pointer value")
+            block, offset = self._cell(pointer)
+            value = block.cells[offset]
+            temps[instr.dest.name] = 0 if value is None else value
+            return _FALLTHROUGH
+        if isinstance(instr, StorePtr):
+            pointer = self._value(instr.ptr, slots, temps)
+            if not isinstance(pointer, VMPointer):
+                raise VMTrap("store through a non-pointer value")
+            block, offset = self._cell(pointer)
+            block.cells[offset] = self._wrapped(self._value(instr.src, slots, temps), instr.ctype)
+            return _FALLTHROUGH
+        if isinstance(instr, Call):
+            temps_value = self._call_target(instr, function, slots, temps, depth)
+            if instr.dest is not None:
+                temps[instr.dest.name] = temps_value
+            return _FALLTHROUGH
+        if isinstance(instr, Jump):
+            return ("jump", instr.target)
+        if isinstance(instr, CJump):
+            condition = self._value(instr.cond, slots, temps)
+            truthy = (not condition.is_null) if isinstance(condition, VMPointer) else (self._as_int(condition) != 0)
+            return ("jump", instr.true_target if truthy else instr.false_target)
+        if isinstance(instr, Return):
+            if instr.value is None:
+                return ("return", 0)
+            return ("return", self._value(instr.value, slots, temps))
+        raise VMTrap(f"unknown instruction {instr!r}")
+
+    # -- helpers ------------------------------------------------------------------------
+
+    def _call_target(self, instr: Call, function, slots, temps, depth):
+        args = [self._value(arg, slots, temps) for arg in instr.args]
+        if instr.name == "printf":
+            self._stdout.append(_format_printf(instr.format or "", args))
+            return len(args)
+        if instr.name in ("abort", "__builtin_abort"):
+            raise _Exit(134)
+        if instr.name == "exit":
+            raise _Exit(self._as_int(args[0]) if args else 0)
+        if instr.name == "putchar":
+            value = self._as_int(args[0]) if args else 0
+            self._stdout.append(chr(value & 0xFF))
+            return value
+        callee = self.module.functions.get(instr.name)
+        if callee is None:
+            raise VMTrap(f"call of undefined function {instr.name!r}")
+        return self._call(callee, args, depth + 1)
+
+    def _base_pointer(self, operand: Operand, function: IRFunction, slots, temps):
+        """Resolve the base of an element access: a named array slot decays to its address."""
+        if isinstance(operand, VarRef):
+            return self._slot_pointer(operand.name, function, slots)
+        return self._value(operand, slots, temps)
+
+    def _slot_pointer(self, name: str, function: IRFunction, slots) -> VMPointer:
+        if name in slots:
+            return slots[name]
+        if name in self._globals:
+            return self._globals[name]
+        raise VMTrap(f"unknown variable {name!r}")
+
+    def _offset_pointer(self, base, index: int) -> VMPointer:
+        if not isinstance(base, VMPointer):
+            raise VMTrap("indexing a non-pointer value")
+        return VMPointer(base.block_id, base.offset + index)
+
+    def _value(self, operand: Operand, slots, temps):
+        if isinstance(operand, Const):
+            return operand.value
+        if isinstance(operand, Temp):
+            return temps.get(operand.name, 0)
+        if isinstance(operand, VarRef):
+            pointer = slots.get(operand.name) or self._globals.get(operand.name)
+            if pointer is None:
+                raise VMTrap(f"unknown variable {operand.name!r}")
+            block, offset = self._cell(pointer)
+            value = block.cells[offset]
+            return 0 if value is None else value
+        raise VMTrap(f"unknown operand {operand!r}")
+
+    @staticmethod
+    def _as_int(value) -> int:
+        if isinstance(value, VMPointer):
+            # Pointer-to-integer conversions happen only in already-UB programs.
+            return value.block_id * 4096 + value.offset
+        return int(value)
+
+    @staticmethod
+    def _wrapped(value, ctype) -> object:
+        if isinstance(value, VMPointer):
+            return value
+        int_type = ctype if isinstance(ctype, IntType) else INT
+        return int_type.wrap(int(value))
+
+    def _binop(self, instr: BinOp, slots, temps):
+        left = self._value(instr.left, slots, temps)
+        right = self._value(instr.right, slots, temps)
+        op = instr.op
+        if op == "ptradd":
+            if isinstance(left, VMPointer):
+                return VMPointer(left.block_id, left.offset + self._as_int(right))
+            raise VMTrap("ptradd on a non-pointer")
+        if isinstance(left, VMPointer) or isinstance(right, VMPointer):
+            return self._pointer_binop(op, left, right)
+        int_type = instr.ctype if isinstance(instr.ctype, IntType) else INT
+        left = int(left)
+        right = int(right)
+        if op in ("==", "!=", "<", "<=", ">", ">="):
+            return int({
+                "==": left == right, "!=": left != right, "<": left < right,
+                "<=": left <= right, ">": left > right, ">=": left >= right,
+            }[op])
+        if op in ("/", "%"):
+            if right == 0:
+                raise VMTrap("division by zero")
+            quotient = abs(left) // abs(right)
+            if (left < 0) != (right < 0):
+                quotient = -quotient
+            remainder = left - quotient * right
+            return int_type.wrap(quotient if op == "/" else remainder)
+        if op in ("<<", ">>"):
+            shift = right % max(1, int_type.bits)
+            return int_type.wrap(left << shift if op == "<<" else left >> shift)
+        if op in ("&", "|", "^"):
+            mask = (1 << int_type.bits) - 1
+            unsigned = {
+                "&": (left & mask) & (right & mask),
+                "|": (left & mask) | (right & mask),
+                "^": (left & mask) ^ (right & mask),
+            }[op]
+            return int_type.wrap(unsigned)
+        result = {"+": left + right, "-": left - right, "*": left * right}.get(op)
+        if result is None:
+            raise VMTrap(f"unknown binary operator {op!r}")
+        return int_type.wrap(result)
+
+    def _pointer_binop(self, op: str, left, right):
+        if op in ("==", "!="):
+            if isinstance(left, int) and left == 0:
+                left = VMPointer(-1, 0)
+            if isinstance(right, int) and right == 0:
+                right = VMPointer(-1, 0)
+            equal = left == right
+            return int(equal) if op == "==" else int(not equal)
+        if op == "+" and isinstance(left, VMPointer):
+            return VMPointer(left.block_id, left.offset + self._as_int(right))
+        if op == "+" and isinstance(right, VMPointer):
+            return VMPointer(right.block_id, right.offset + self._as_int(left))
+        if op == "-" and isinstance(left, VMPointer) and isinstance(right, VMPointer):
+            return left.offset - right.offset
+        if op == "-" and isinstance(left, VMPointer):
+            return VMPointer(left.block_id, left.offset - self._as_int(right))
+        if op in ("<", "<=", ">", ">=") and isinstance(left, VMPointer) and isinstance(right, VMPointer):
+            return int({
+                "<": left.offset < right.offset, "<=": left.offset <= right.offset,
+                ">": left.offset > right.offset, ">=": left.offset >= right.offset,
+            }[op])
+        raise VMTrap(f"unsupported pointer operation {op!r}")
+
+    def _unop(self, instr: UnOp, slots, temps):
+        value = self._value(instr.operand, slots, temps)
+        int_type = instr.ctype if isinstance(instr.ctype, IntType) else INT
+        if isinstance(value, VMPointer):
+            if instr.op == "!":
+                return int(value.is_null)
+            raise VMTrap(f"unary {instr.op!r} on a pointer")
+        value = int(value)
+        if instr.op == "-":
+            return int_type.wrap(-value)
+        if instr.op == "~":
+            return int_type.wrap(~value)
+        if instr.op == "!":
+            return int(value == 0)
+        if instr.op == "cast":
+            return int_type.wrap(value)
+        raise VMTrap(f"unknown unary operator {instr.op!r}")
+
+
+class _StepLimit(Exception):
+    pass
+
+
+_FALLTHROUGH = object()
+
+
+def _format_printf(format_string: str, args: list) -> str:
+    output: list[str] = []
+    position = 0
+    value_index = 0
+    while position < len(format_string):
+        char = format_string[position]
+        if char != "%":
+            output.append(char)
+            position += 1
+            continue
+        specifier = ""
+        position += 1
+        while position < len(format_string) and format_string[position] in "ldux%c":
+            specifier += format_string[position]
+            position += 1
+            if specifier[-1] in "duxc%":
+                break
+        if specifier == "%":
+            output.append("%")
+            continue
+        value = args[value_index] if value_index < len(args) else 0
+        value_index += 1
+        integer = value if isinstance(value, int) else 0
+        if specifier.endswith("u"):
+            width = 64 if "l" in specifier else 32
+            output.append(str(integer % (1 << width)))
+        elif specifier.endswith("x"):
+            width = 64 if "l" in specifier else 32
+            output.append(format(integer % (1 << width), "x"))
+        elif specifier.endswith("c"):
+            output.append(chr(integer & 0xFF))
+        else:
+            output.append(str(integer))
+    return "".join(output)
+
+
+__all__ = ["VMPointer", "VMTrap", "VirtualMachine"]

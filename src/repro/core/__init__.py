@@ -1,0 +1,93 @@
+"""Core SPE machinery: combinatorics, skeleton model, alpha-equivalence, enumeration.
+
+This package implements the paper's primary contribution (Sections 3 and 4):
+
+* :mod:`repro.core.partitions` -- set-partition enumeration via restricted
+  growth strings, Stirling and Bell numbers.
+* :mod:`repro.core.combinations` -- k-subset enumeration (the ``COMBINATIONS``
+  routine used by ``PartitionScope``).
+* :mod:`repro.core.counting` -- closed-form solution-set sizes for the naive
+  approach, the unscoped SPE formulation, and the scoped formulation.
+* :mod:`repro.core.holes` -- holes, skeletons and characteristic vectors.
+* :mod:`repro.core.scopes` -- scope trees and hole variable sets.
+* :mod:`repro.core.alpha` -- alpha-renamings and program canonicalisation.
+* :mod:`repro.core.spe` -- Algorithm 1 and the ``PartitionScope`` procedure.
+* :mod:`repro.core.naive` -- the naive (Cartesian product) baseline.
+"""
+
+from repro.core.alpha import (
+    AlphaRenaming,
+    alpha_equivalent,
+    canonical_filling,
+    canonicalize_assignment,
+)
+from repro.core.combinations import combinations, num_combinations
+from repro.core.counting import (
+    naive_count,
+    scoped_spe_count,
+    spe_count,
+    stirling_estimate,
+)
+from repro.core.holes import CharacteristicVector, Hole, Skeleton
+from repro.core.naive import NaiveEnumerator, NaiveSkeletonEnumerator
+from repro.core.partitions import (
+    bell_number,
+    partitions_at_most,
+    partitions_exact,
+    restricted_growth_strings,
+    stirling2,
+)
+from repro.core.problem import (
+    EnumerationProblem,
+    ProblemHole,
+    VariableClass,
+    flat_problem,
+    problems_from_skeleton,
+    unscoped_problem,
+)
+from repro.core.scopes import Scope, ScopeKind, ScopeTree, Variable
+from repro.core.spe import (
+    EnumerationBudget,
+    Granularity,
+    SkeletonEnumerator,
+    SPEEnumerator,
+    partition_scope_paper,
+)
+
+__all__ = [
+    "AlphaRenaming",
+    "CharacteristicVector",
+    "EnumerationBudget",
+    "EnumerationProblem",
+    "Granularity",
+    "Hole",
+    "NaiveEnumerator",
+    "NaiveSkeletonEnumerator",
+    "ProblemHole",
+    "SPEEnumerator",
+    "Scope",
+    "ScopeKind",
+    "ScopeTree",
+    "Skeleton",
+    "SkeletonEnumerator",
+    "Variable",
+    "VariableClass",
+    "alpha_equivalent",
+    "bell_number",
+    "canonical_filling",
+    "canonicalize_assignment",
+    "combinations",
+    "flat_problem",
+    "naive_count",
+    "num_combinations",
+    "partition_scope_paper",
+    "partitions_at_most",
+    "partitions_exact",
+    "problems_from_skeleton",
+    "restricted_growth_strings",
+    "scoped_spe_count",
+    "spe_count",
+    "stirling2",
+    "stirling_estimate",
+    "unscoped_problem",
+]

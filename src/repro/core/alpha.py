@@ -1,0 +1,187 @@
+"""Alpha-renamings and canonical forms of hole fillings.
+
+Two programs realizing the same skeleton are alpha-equivalent when a
+(compact) alpha-renaming maps one filling to the other (paper Definition 2
+and Section 3.2.2).  A *compact* renaming only permutes variables declared in
+the same scope and of the same type -- i.e. within one
+:class:`repro.core.problem.VariableClass`.
+
+The canonical form of a filling relabels, independently for every variable
+class, the variables used by the filling in order of first occurrence.  Two
+fillings are alpha-equivalent iff their canonical forms coincide, which is the
+invariant the SPE enumerator maintains and the property-based tests check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.core.holes import CharacteristicVector
+from repro.core.partitions import is_restricted_growth_string
+from repro.core.problem import EnumerationProblem
+
+
+@dataclass(frozen=True)
+class AlphaRenaming:
+    """A bijective renaming of variable names.
+
+    The mapping must be a permutation of its own key set (every value is also
+    a key); identity entries may be omitted when applying the renaming.
+    """
+
+    mapping: Mapping[str, str]
+
+    def __post_init__(self) -> None:
+        keys = set(self.mapping)
+        values = set(self.mapping.values())
+        if len(values) != len(self.mapping):
+            raise ValueError("alpha-renaming must be injective")
+        if not values <= keys:
+            raise ValueError("alpha-renaming must be a permutation of its key set")
+
+    def __call__(self, name: str) -> str:
+        return self.mapping.get(name, name)
+
+    def apply(self, vector: Sequence[str]) -> CharacteristicVector:
+        """Rename every entry of a characteristic vector."""
+        return CharacteristicVector(self(name) for name in vector)
+
+    def inverse(self) -> "AlphaRenaming":
+        return AlphaRenaming({value: key for key, value in self.mapping.items()})
+
+    def compose(self, other: "AlphaRenaming") -> "AlphaRenaming":
+        """Return the renaming equivalent to applying ``other`` then ``self``."""
+        names = set(self.mapping) | set(other.mapping)
+        return AlphaRenaming({name: self(other(name)) for name in names})
+
+    def is_compact_for(self, problem: EnumerationProblem) -> bool:
+        """True when the renaming only permutes names within each variable class."""
+        for cls in problem.classes:
+            members = set(cls.variables)
+            for name in cls.variables:
+                if self(name) not in members:
+                    return False
+        # Names not covered by any class must be mapped to themselves.
+        covered = {name for cls in problem.classes for name in cls.variables}
+        for key, value in self.mapping.items():
+            if key not in covered and key != value:
+                return False
+        return True
+
+
+def canonical_key(problem: EnumerationProblem, vector: Sequence[str]) -> tuple:
+    """Return a hashable canonical key identifying the alpha-equivalence class.
+
+    The key combines, per hole, the id of the class the filling variable was
+    drawn from, and, per class, the restricted-growth relabelling of the
+    variables used.  Fillings are alpha-equivalent under compact renaming iff
+    their keys are equal.
+    """
+    if len(vector) != problem.num_holes:
+        raise ValueError(
+            f"vector length {len(vector)} does not match hole count {problem.num_holes}"
+        )
+    class_of_name: dict[str, int] = {}
+    for cls in problem.classes:
+        for name in cls.variables:
+            class_of_name[name] = cls.id
+
+    hole_classes: list[int] = []
+    per_class_labels: dict[int, dict[str, int]] = {}
+    per_class_strings: dict[int, list[int]] = {}
+    for hole, name in zip(problem.holes, vector):
+        if name not in class_of_name:
+            raise ValueError(f"variable {name!r} does not belong to any class of {problem.name!r}")
+        class_id = class_of_name[name]
+        if class_id not in hole.class_ids:
+            raise ValueError(
+                f"variable {name!r} (class {class_id}) is not visible at hole {hole.index}"
+            )
+        hole_classes.append(class_id)
+        labels = per_class_labels.setdefault(class_id, {})
+        if name not in labels:
+            labels[name] = len(labels)
+        per_class_strings.setdefault(class_id, []).append(labels[name])
+
+    class_parts = tuple(
+        (class_id, tuple(per_class_strings[class_id])) for class_id in sorted(per_class_strings)
+    )
+    return (tuple(hole_classes), class_parts)
+
+
+def canonicalize_assignment(problem: EnumerationProblem, vector: Sequence[str]) -> CharacteristicVector:
+    """Return the canonical representative of ``vector``'s alpha-equivalence class.
+
+    Within each variable class, the i-th distinct variable (in order of first
+    occurrence along the hole order) is replaced by the class's i-th declared
+    variable.  The result is itself a valid filling and is the representative
+    that :class:`repro.core.spe.SPEEnumerator` produces.
+    """
+    class_of_name: dict[str, int] = {}
+    for cls in problem.classes:
+        for name in cls.variables:
+            class_of_name[name] = cls.id
+
+    per_class_next: dict[int, int] = {}
+    renamed: dict[tuple[int, str], str] = {}
+    result: list[str] = []
+    for hole, name in zip(problem.holes, vector):
+        class_id = class_of_name[name]
+        key = (class_id, name)
+        if key not in renamed:
+            position = per_class_next.get(class_id, 0)
+            per_class_next[class_id] = position + 1
+            renamed[key] = problem.class_by_id(class_id).variables[position]
+        result.append(renamed[key])
+    return CharacteristicVector(result)
+
+
+def alpha_equivalent(
+    problem: EnumerationProblem, left: Sequence[str], right: Sequence[str]
+) -> bool:
+    """Check compact alpha-equivalence of two fillings of the same problem."""
+    return canonical_key(problem, left) == canonical_key(problem, right)
+
+
+def canonical_filling(vector: Sequence[str]) -> tuple[int, ...]:
+    """Unscoped canonical form: the restricted growth string of a filling.
+
+    This is the encoding of Section 4.1.2: the i-th distinct name (by first
+    occurrence) becomes label ``i``.  Two unscoped fillings are
+    alpha-equivalent iff their strings are equal.
+    """
+    labels: dict[str, int] = {}
+    string: list[int] = []
+    for name in vector:
+        if name not in labels:
+            labels[name] = len(labels)
+        string.append(labels[name])
+    assert is_restricted_growth_string(string)
+    return tuple(string)
+
+
+def renaming_between(
+    problem: EnumerationProblem, source: Sequence[str], target: Sequence[str]
+) -> AlphaRenaming | None:
+    """Return a compact renaming mapping ``source`` to ``target`` if one exists.
+
+    Only the variables actually used are constrained; unused variables of each
+    class are matched up arbitrarily (but within their class) so that the
+    returned renaming is a true permutation.
+    """
+    if canonical_key(problem, source) != canonical_key(problem, target):
+        return None
+    mapping: dict[str, str] = {}
+    reverse: dict[str, str] = {}
+    for src, dst in zip(source, target):
+        if mapping.setdefault(src, dst) != dst or reverse.setdefault(dst, src) != src:
+            return None
+    # Complete each class to a permutation.
+    for cls in problem.classes:
+        unused_sources = [name for name in cls.variables if name not in mapping]
+        unused_targets = [name for name in cls.variables if name not in reverse]
+        for src, dst in zip(unused_sources, unused_targets):
+            mapping[src] = dst
+            reverse[dst] = src
+    return AlphaRenaming(mapping)

@@ -1,0 +1,67 @@
+"""k-subset enumeration: the ``COMBINATIONS`` routine of the paper.
+
+``PartitionScope`` (paper Section 4.2.2) chooses ``k`` local holes of a scope
+and *promotes* them to the global scope; the choices range over all
+``C(|Q|, k)`` subsets.  We implement the enumeration from scratch (the paper
+cites Knuth/Kreher-Stinson style combinatorial generation) so the core has no
+dependency on :mod:`itertools` behaviour for its correctness argument, and we
+expose counting alongside enumeration.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Iterator, Sequence
+
+
+@lru_cache(maxsize=None)
+def num_combinations(n: int, k: int) -> int:
+    """Return the binomial coefficient ``C(n, k)`` (0 when ``k > n``)."""
+    if n < 0 or k < 0:
+        raise ValueError(f"num_combinations requires non-negative arguments, got ({n}, {k})")
+    if k > n:
+        return 0
+    if k == 0 or k == n:
+        return 1
+    k = min(k, n - k)
+    result = 1
+    for i in range(k):
+        result = result * (n - i) // (i + 1)
+    return result
+
+
+def combinations(elements: Sequence, k: int) -> Iterator[tuple]:
+    """Enumerate all ``k``-element subsets of ``elements`` in lexicographic index order.
+
+    Equivalent to the paper's ``COMBINATIONS(Q, k)``.  Yields tuples of the
+    original elements.  Produces ``C(len(elements), k)`` subsets.
+    """
+    items = list(elements)
+    n = len(items)
+    if k < 0:
+        raise ValueError(f"k must be non-negative, got {k}")
+    if k > n:
+        return
+    if k == 0:
+        yield ()
+        return
+    # Classic revolving-door-free lexicographic index generation.
+    indices = list(range(k))
+    while True:
+        yield tuple(items[i] for i in indices)
+        # Find the rightmost index that can be advanced.
+        position = k - 1
+        while position >= 0 and indices[position] == position + n - k:
+            position -= 1
+        if position < 0:
+            return
+        indices[position] += 1
+        for i in range(position + 1, k):
+            indices[i] = indices[i - 1] + 1
+
+
+def all_subsets(elements: Sequence) -> Iterator[tuple]:
+    """Enumerate every subset of ``elements``, ordered by size then lexicographically."""
+    items = list(elements)
+    for size in range(len(items) + 1):
+        yield from combinations(items, size)

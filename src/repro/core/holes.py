@@ -1,0 +1,173 @@
+"""Holes, skeletons and characteristic vectors.
+
+A *skeleton* is a program with every variable occurrence replaced by a hole
+(paper Section 3.1).  Language frontends (:mod:`repro.lang`,
+:mod:`repro.minic`) produce :class:`Skeleton` values; the enumeration core
+consumes them through :class:`repro.core.problem.EnumerationProblem`.
+
+A *characteristic vector* is one concrete filling of the skeleton's holes
+with variable names; it uniquely identifies a realized program.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+from repro.core.scopes import ScopeTree, Variable
+
+
+@dataclass(frozen=True)
+class Hole:
+    """One variable occurrence in a skeleton.
+
+    Attributes:
+        index: position of the hole in the skeleton's hole order (0-based).
+        scope_id: the scope the occurrence appears in (determines visibility).
+        type: the type the filling variable must have.
+        original_name: the variable name in the seed program (if any).
+        function: name of the enclosing function, or ``None`` at file scope.
+        location: free-form source location string for diagnostics.
+    """
+
+    index: int
+    scope_id: int
+    type: str = "int"
+    original_name: str | None = None
+    function: str | None = None
+    location: str = ""
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        origin = f"<-{self.original_name}" if self.original_name else ""
+        return f"hole#{self.index}{origin}@scope{self.scope_id}:{self.type}"
+
+
+class CharacteristicVector(tuple):
+    """A filling of a skeleton's holes, as a tuple of variable names.
+
+    The paper writes this as ``s_P = <v_1, ..., v_n>``.  The class is a thin
+    tuple subclass so vectors hash/compare structurally but print nicely and
+    carry a couple of helpers.
+    """
+
+    __slots__ = ()
+
+    def __new__(cls, names: Iterable[str]) -> "CharacteristicVector":
+        return super().__new__(cls, tuple(names))
+
+    def __repr__(self) -> str:
+        return f"<{', '.join(self)}>"
+
+    def variables_used(self) -> set[str]:
+        """The distinct variable names appearing in the vector."""
+        return set(self)
+
+    def substitution_from(self, other: "CharacteristicVector | Sequence[str]") -> dict[str, set[str]]:
+        """Map each name in ``other`` to the set of names it becomes in ``self``.
+
+        Useful to inspect whether a plain (non-compact) renaming exists between
+        two fillings: a renaming exists iff every name maps to exactly one
+        name and the induced mapping is injective.
+        """
+        if len(other) != len(self):
+            raise ValueError("vectors must have the same length")
+        mapping: dict[str, set[str]] = {}
+        for source, target in zip(other, self):
+            mapping.setdefault(source, set()).add(target)
+        return mapping
+
+
+@dataclass
+class Skeleton:
+    """A syntactic skeleton: holes + scope tree + a way to realize fillings.
+
+    Frontends construct one of these per seed program.  ``realize`` is a
+    callback supplied by the frontend that renders a concrete program from a
+    characteristic vector; the core never needs to know the AST shape.
+    """
+
+    name: str
+    holes: list[Hole]
+    scope_tree: ScopeTree
+    original_vector: CharacteristicVector | None = None
+    realize_fn: Callable[[Sequence[str]], str] | None = None
+    metadata: dict = field(default_factory=dict)
+
+    # -- basic shape -------------------------------------------------------
+
+    @property
+    def num_holes(self) -> int:
+        return len(self.holes)
+
+    def functions(self) -> list[str]:
+        """Names of the functions that own at least one hole (in hole order)."""
+        names: list[str] = []
+        for hole in self.holes:
+            if hole.function is not None and hole.function not in names:
+                names.append(hole.function)
+        return names
+
+    def holes_of_function(self, function: str | None) -> list[Hole]:
+        return [hole for hole in self.holes if hole.function == function]
+
+    def hole_types(self) -> set[str]:
+        return {hole.type for hole in self.holes}
+
+    # -- candidate variables ----------------------------------------------
+
+    def candidate_variables(self, hole: Hole) -> list[Variable]:
+        """The variables that may legally fill ``hole`` (scope- and type-correct)."""
+        return self.scope_tree.visible_variables(hole.scope_id, type=hole.type)
+
+    def candidate_names(self, hole: Hole) -> list[str]:
+        return [variable.name for variable in self.candidate_variables(hole)]
+
+    def hole_variable_sets(self) -> list[list[str]]:
+        """The hole variable sets ``v_i`` for every hole, in hole order."""
+        return [self.candidate_names(hole) for hole in self.holes]
+
+    # -- realization -------------------------------------------------------
+
+    def realize(self, vector: Sequence[str]) -> str:
+        """Render the program obtained by filling the holes with ``vector``."""
+        if self.realize_fn is None:
+            raise ValueError(f"skeleton {self.name!r} has no realize function attached")
+        if len(vector) != self.num_holes:
+            raise ValueError(
+                f"vector length {len(vector)} does not match hole count {self.num_holes}"
+            )
+        self.validate_vector(vector)
+        return self.realize_fn(tuple(vector))
+
+    def validate_vector(self, vector: Sequence[str]) -> None:
+        """Raise ``ValueError`` unless every entry is visible at its hole."""
+        for hole, name in zip(self.holes, vector):
+            if name not in self.candidate_names(hole):
+                raise ValueError(
+                    f"variable {name!r} is not visible (or has the wrong type) at {hole}"
+                )
+
+    # -- statistics (Table 2 style) -----------------------------------------
+
+    def stats(self) -> dict[str, float]:
+        """Per-skeleton characteristics used by Table 2.
+
+        Returns a dict with hole count, scope count, function count, the
+        number of distinct variable types, total declared variables, and the
+        average number of candidate variables per hole.
+        """
+        candidate_sizes = [len(self.candidate_names(hole)) for hole in self.holes]
+        variables = self.scope_tree.all_variables()
+        return {
+            "holes": float(self.num_holes),
+            "scopes": float(len(self.scope_tree)),
+            "functions": float(len(self.scope_tree.function_scopes())),
+            "types": float(len({variable.type for variable in variables})) if variables else 0.0,
+            "variables": float(len(variables)),
+            "vars_per_hole": (
+                sum(candidate_sizes) / len(candidate_sizes) if candidate_sizes else 0.0
+            ),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Skeleton({self.name!r}, holes={self.num_holes}, scopes={len(self.scope_tree)})"

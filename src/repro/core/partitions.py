@@ -1,0 +1,224 @@
+"""Set-partition enumeration and counting.
+
+The paper (Section 4.1) reduces unscoped skeletal program enumeration to the
+classical problem of partitioning a set of ``n`` labelled elements (the holes)
+into at most ``k`` unlabelled blocks (the variables).  The canonical encoding
+of a partition is a *restricted growth string* ``a_1 a_2 ... a_n`` with
+
+    a_1 = 0   and   a_{i+1} <= 1 + max(a_1, ..., a_i)
+
+Every restricted growth string corresponds to exactly one set partition and
+vice versa, which is what makes the encoding the natural canonical form for
+non-alpha-equivalent hole fillings.
+
+This module provides:
+
+* :func:`stirling2` / :func:`bell_number` -- exact counting,
+* :func:`restricted_growth_strings` -- lexicographic enumeration of all
+  partitions with at most ``k`` blocks,
+* :func:`partitions_exact` / :func:`partitions_at_most` -- enumeration as
+  explicit block structures (the ``PARTITIONS'`` and ``PARTITIONS`` routines
+  of the paper),
+* :func:`rgs_to_blocks`, :func:`blocks_to_rgs`, :func:`is_restricted_growth_string`
+  -- conversions and validation helpers.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Iterator, Sequence
+
+
+@lru_cache(maxsize=None)
+def stirling2(n: int, k: int) -> int:
+    """Return the Stirling number of the second kind ``S(n, k)``.
+
+    ``S(n, k)`` counts the ways to partition a set of ``n`` labelled elements
+    into exactly ``k`` non-empty unlabelled blocks.  Follows the convention
+    ``S(0, 0) = 1`` and ``S(n, 0) = 0`` for ``n > 0``.
+
+    Raises:
+        ValueError: if ``n`` or ``k`` is negative.
+    """
+    if n < 0 or k < 0:
+        raise ValueError(f"stirling2 requires non-negative arguments, got ({n}, {k})")
+    if n == 0 and k == 0:
+        return 1
+    if n == 0 or k == 0:
+        return 0
+    if k > n:
+        return 0
+    if k == 1 or k == n:
+        return 1
+    return k * stirling2(n - 1, k) + stirling2(n - 1, k - 1)
+
+
+@lru_cache(maxsize=None)
+def bell_number(n: int) -> int:
+    """Return the Bell number ``B(n)``: the number of partitions of an n-set."""
+    if n < 0:
+        raise ValueError(f"bell_number requires n >= 0, got {n}")
+    return sum(stirling2(n, k) for k in range(n + 1))
+
+
+def partitions_at_most_count(n: int, k: int) -> int:
+    """Number of partitions of an ``n``-set into at most ``k`` blocks.
+
+    This is the paper's quantity ``S = sum_{i=1..k} S(n, i)`` (Equation 1),
+    with the paper's convention that for ``k > n`` the count saturates at the
+    Bell number ``B(n)``.
+    """
+    if n < 0 or k < 0:
+        raise ValueError(f"requires non-negative arguments, got ({n}, {k})")
+    if n == 0:
+        return 1
+    k = min(k, n)
+    return sum(stirling2(n, i) for i in range(1, k + 1))
+
+
+def is_restricted_growth_string(seq: Sequence[int]) -> bool:
+    """Return True iff ``seq`` is a valid restricted growth string."""
+    if len(seq) == 0:
+        return True
+    if seq[0] != 0:
+        return False
+    maximum = 0
+    for value in seq[1:]:
+        if value < 0 or value > maximum + 1:
+            return False
+        maximum = max(maximum, value)
+    return True
+
+
+def restricted_growth_strings(n: int, max_blocks: int | None = None) -> Iterator[tuple[int, ...]]:
+    """Yield all restricted growth strings of length ``n`` in lexicographic order.
+
+    Args:
+        n: number of elements being partitioned.
+        max_blocks: if given, only partitions with at most this many blocks
+            are produced (i.e. string values stay below ``max_blocks``).
+
+    Yields:
+        Tuples of ints of length ``n``; each tuple encodes one set partition.
+    """
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    if max_blocks is not None and max_blocks <= 0:
+        if n == 0:
+            yield ()
+        return
+    if n == 0:
+        yield ()
+        return
+
+    limit = n if max_blocks is None else min(max_blocks, n)
+    string = [0] * n
+
+    def max_prefix(index: int) -> int:
+        return max(string[:index]) if index > 0 else -1
+
+    while True:
+        yield tuple(string)
+        # Find the rightmost position that can be incremented.
+        position = n - 1
+        while position > 0:
+            cap = min(max_prefix(position) + 1, limit - 1)
+            if string[position] < cap:
+                break
+            position -= 1
+        if position == 0:
+            return
+        string[position] += 1
+        for i in range(position + 1, n):
+            string[i] = 0
+
+
+def rgs_to_blocks(rgs: Sequence[int]) -> list[list[int]]:
+    """Convert a restricted growth string into explicit blocks of element indices.
+
+    Element indices are 0-based positions in the string.  Blocks are ordered by
+    their smallest element, which is exactly the order induced by the string.
+    """
+    if not is_restricted_growth_string(rgs):
+        raise ValueError(f"not a restricted growth string: {rgs!r}")
+    blocks: list[list[int]] = []
+    for index, block_id in enumerate(rgs):
+        while block_id >= len(blocks):
+            blocks.append([])
+        blocks[block_id].append(index)
+    return blocks
+
+
+def blocks_to_rgs(blocks: Sequence[Sequence[int]], n: int | None = None) -> tuple[int, ...]:
+    """Convert explicit blocks (of 0-based element indices) into the canonical RGS.
+
+    The block labels are irrelevant; the canonical string is obtained by
+    numbering blocks in order of their smallest element.
+
+    Args:
+        blocks: disjoint sequences of indices covering ``0..n-1``.
+        n: total number of elements; inferred from the blocks if omitted.
+    """
+    flattened = [index for block in blocks for index in block]
+    if n is None:
+        n = len(flattened)
+    if sorted(flattened) != list(range(n)):
+        raise ValueError("blocks must be disjoint and cover 0..n-1 exactly once")
+    assignment = [0] * n
+    ordered = sorted((min(block), block) for block in blocks if block)
+    for block_id, (_, block) in enumerate(ordered):
+        for index in block:
+            assignment[index] = block_id
+    return tuple(assignment)
+
+
+def partitions_exact(elements: Sequence, k: int) -> Iterator[list[list]]:
+    """Enumerate partitions of ``elements`` into exactly ``k`` non-empty blocks.
+
+    This is the paper's ``PARTITIONS'(Q, k)`` routine; it produces
+    ``S(|Q|, k)`` partitions.  Blocks are lists of the original elements, in
+    canonical order (each block ordered by first appearance, blocks ordered by
+    their first element).
+    """
+    items = list(elements)
+    n = len(items)
+    if k < 0:
+        raise ValueError(f"k must be non-negative, got {k}")
+    if k == 0:
+        if n == 0:
+            yield []
+        return
+    if k > n:
+        return
+    for rgs in restricted_growth_strings(n, max_blocks=k):
+        if max(rgs) + 1 != k:
+            continue
+        blocks = rgs_to_blocks(rgs)
+        yield [[items[index] for index in block] for block in blocks]
+
+
+def partitions_at_most(elements: Sequence, k: int) -> Iterator[list[list]]:
+    """Enumerate partitions of ``elements`` into at most ``k`` non-empty blocks.
+
+    This is the paper's ``PARTITIONS(Q, k)`` routine; it produces
+    ``sum_{i=1..k} S(|Q|, i)`` partitions.
+    """
+    items = list(elements)
+    n = len(items)
+    if k < 0:
+        raise ValueError(f"k must be non-negative, got {k}")
+    if n == 0:
+        yield []
+        return
+    if k == 0:
+        return
+    for rgs in restricted_growth_strings(n, max_blocks=min(k, n)):
+        blocks = rgs_to_blocks(rgs)
+        yield [[items[index] for index in block] for block in blocks]
+
+
+def partition_count(n: int, k: int, *, exact: bool) -> int:
+    """Count partitions of an ``n``-set into ``k`` blocks (exactly or at most)."""
+    if exact:
+        return stirling2(n, k)
+    return partitions_at_most_count(n, k)

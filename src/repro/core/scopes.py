@@ -1,0 +1,188 @@
+"""Scope trees and variable declarations.
+
+The paper models a program's holes as being fillable with the variables that
+are *visible* at the hole's lexical scope (Section 3.2.2).  A scope tree
+captures the nesting of file / function / block scopes; each scope declares a
+set of typed variables.  The compact alpha-renaming only permutes variables
+declared in the same scope (and of the same type), so the (scope, type) pair
+acts as the "variable class" that drives the combinatorial structure of SPE.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+class ScopeKind(enum.Enum):
+    """The syntactic construct a scope belongs to."""
+
+    FILE = "file"
+    FUNCTION = "function"
+    BLOCK = "block"
+
+
+@dataclass(frozen=True)
+class Variable:
+    """A declared variable: a name, a type and the scope that declares it."""
+
+    name: str
+    type: str = "int"
+    scope_id: int = 0
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.type} {self.name}@scope{self.scope_id}"
+
+
+@dataclass
+class Scope:
+    """One lexical scope in the scope tree."""
+
+    id: int
+    parent_id: int | None
+    kind: ScopeKind = ScopeKind.BLOCK
+    name: str = ""
+    variables: list[Variable] = field(default_factory=list)
+
+    def declared_names(self) -> list[str]:
+        """Names declared directly in this scope, in declaration order."""
+        return [variable.name for variable in self.variables]
+
+    def declared_of_type(self, type_name: str) -> list[Variable]:
+        """Variables of the given type declared directly in this scope."""
+        return [variable for variable in self.variables if variable.type == type_name]
+
+
+class ScopeTree:
+    """A rooted tree of scopes with typed variable declarations.
+
+    The root scope (id 0) is created automatically and represents the file
+    scope.  Scopes are identified by dense integer ids, which keeps skeleton
+    serialisation and the enumeration problems simple.
+    """
+
+    def __init__(self, root_kind: ScopeKind = ScopeKind.FILE, root_name: str = "<file>") -> None:
+        self._scopes: dict[int, Scope] = {}
+        self._children: dict[int, list[int]] = {}
+        root = Scope(id=0, parent_id=None, kind=root_kind, name=root_name)
+        self._scopes[0] = root
+        self._children[0] = []
+
+    # -- construction -----------------------------------------------------
+
+    def add_scope(self, parent_id: int, kind: ScopeKind = ScopeKind.BLOCK, name: str = "") -> int:
+        """Create a new scope under ``parent_id`` and return its id."""
+        if parent_id not in self._scopes:
+            raise KeyError(f"unknown parent scope {parent_id}")
+        scope_id = len(self._scopes)
+        self._scopes[scope_id] = Scope(id=scope_id, parent_id=parent_id, kind=kind, name=name)
+        self._children[scope_id] = []
+        self._children[parent_id].append(scope_id)
+        return scope_id
+
+    def declare(self, scope_id: int, name: str, type: str = "int") -> Variable:
+        """Declare a variable in ``scope_id`` and return it.
+
+        Redeclaring the same name in the same scope raises ``ValueError``
+        (mirroring a C frontend's duplicate-declaration diagnostic); the same
+        name in a nested scope shadows the outer one, as in C.
+        """
+        scope = self.scope(scope_id)
+        if name in scope.declared_names():
+            raise ValueError(f"variable {name!r} already declared in scope {scope_id}")
+        variable = Variable(name=name, type=type, scope_id=scope_id)
+        scope.variables.append(variable)
+        return variable
+
+    # -- queries ----------------------------------------------------------
+
+    @property
+    def root_id(self) -> int:
+        return 0
+
+    def scope(self, scope_id: int) -> Scope:
+        try:
+            return self._scopes[scope_id]
+        except KeyError:
+            raise KeyError(f"unknown scope {scope_id}") from None
+
+    def scopes(self) -> Iterator[Scope]:
+        """Iterate over all scopes in creation order."""
+        return iter(self._scopes.values())
+
+    def children(self, scope_id: int) -> list[int]:
+        return list(self._children[scope_id])
+
+    def __len__(self) -> int:
+        return len(self._scopes)
+
+    def __contains__(self, scope_id: int) -> bool:
+        return scope_id in self._scopes
+
+    def ancestors(self, scope_id: int, include_self: bool = True) -> list[int]:
+        """Return scope ids from ``scope_id`` up to the root (innermost first)."""
+        chain: list[int] = []
+        current: int | None = scope_id
+        if not include_self:
+            current = self.scope(scope_id).parent_id
+        while current is not None:
+            chain.append(current)
+            current = self.scope(current).parent_id
+        return chain
+
+    def is_ancestor(self, ancestor_id: int, scope_id: int) -> bool:
+        """Return True if ``ancestor_id`` encloses (or equals) ``scope_id``."""
+        return ancestor_id in self.ancestors(scope_id)
+
+    def depth(self, scope_id: int) -> int:
+        """Return the depth of a scope (root has depth 0)."""
+        return len(self.ancestors(scope_id)) - 1
+
+    def visible_variables(self, scope_id: int, type: str | None = None) -> list[Variable]:
+        """All variables visible at ``scope_id`` (inner declarations first).
+
+        Shadowing is resolved: if an inner scope redeclares a name, the outer
+        variable of the same name is not visible.
+        """
+        seen: set[str] = set()
+        visible: list[Variable] = []
+        for ancestor in self.ancestors(scope_id):
+            for variable in self.scope(ancestor).variables:
+                if variable.name in seen:
+                    continue
+                seen.add(variable.name)
+                if type is None or variable.type == type:
+                    visible.append(variable)
+        return visible
+
+    def function_scopes(self) -> list[Scope]:
+        """All scopes of kind FUNCTION, in creation order."""
+        return [scope for scope in self.scopes() if scope.kind == ScopeKind.FUNCTION]
+
+    def enclosing_function(self, scope_id: int) -> Scope | None:
+        """Return the nearest enclosing FUNCTION scope, or None at file level."""
+        for ancestor in self.ancestors(scope_id):
+            scope = self.scope(ancestor)
+            if scope.kind == ScopeKind.FUNCTION:
+                return scope
+        return None
+
+    def all_variables(self) -> list[Variable]:
+        """Every declared variable in the tree, in scope-creation order."""
+        return [variable for scope in self.scopes() for variable in scope.variables]
+
+    def pretty(self) -> str:
+        """Render the tree as an indented listing (useful in error messages)."""
+        lines: list[str] = []
+
+        def render(scope_id: int, indent: int) -> None:
+            scope = self.scope(scope_id)
+            label = scope.name or scope.kind.value
+            declared = ", ".join(f"{v.type} {v.name}" for v in scope.variables) or "-"
+            lines.append("  " * indent + f"[{scope.id}] {label}: {declared}")
+            for child in self._children[scope_id]:
+                render(child, indent + 1)
+
+        render(self.root_id, 0)
+        return "\n".join(lines)

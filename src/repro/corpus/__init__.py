@@ -1,0 +1,22 @@
+"""Corpus: the c-torture-like seed programs SPE enumerates from.
+
+* :mod:`repro.corpus.seeds` -- hand-written seed programs mirroring the
+  shapes of the paper's motivating bugs (aliasing through pointers, nested
+  conditionals with repeated operands, gotos into scopes, loops over arrays);
+* :mod:`repro.corpus.generator` -- a deterministic synthetic generator
+  calibrated to the GCC-4.8.5 test-suite statistics of Table 2 (average
+  holes/scopes/functions/types per file);
+* :mod:`repro.corpus.stats` -- corpus-level statistics (the Table 2 columns).
+"""
+
+from repro.corpus.generator import CorpusGenerator, GeneratorConfig
+from repro.corpus.seeds import paper_seed_programs
+from repro.corpus.stats import SuiteStatistics, corpus_statistics
+
+__all__ = [
+    "CorpusGenerator",
+    "GeneratorConfig",
+    "SuiteStatistics",
+    "corpus_statistics",
+    "paper_seed_programs",
+]

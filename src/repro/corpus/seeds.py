@@ -1,0 +1,255 @@
+"""Hand-written seed programs.
+
+Each seed mirrors the *shape* of one of the paper's reported bug triggers
+(Figures 1-3, 11 and 12), restricted to the mini-C subset.  The seeds are
+deliberately correct and UB-free as written; the interesting behaviour only
+appears in SPE-enumerated variants -- exactly the paper's point that the GCC
+test-suite passes while its variable-usage variants expose latent bugs.
+"""
+
+from __future__ import annotations
+
+
+def paper_seed_programs() -> dict[str, str]:
+    """Named seed programs used by the bug-hunting experiments and examples."""
+    return dict(_SEEDS)
+
+
+_SEEDS: list[tuple[str, str]] = [
+    (
+        # Figure 1: straight-line arithmetic whose usage pattern decides which
+        # optimizations (constant propagation, DCE, uninitialised warnings) fire.
+        "fig1_deps.c",
+        """
+int main(void) {
+    int a = 2, b = 1;
+    b = b - a;
+    if (a) {
+        a = a - b;
+    }
+    return a + b + 10;
+}
+""",
+    ),
+    (
+        # Figure 2: aliasing through pointers; the enumerated variant that makes
+        # both pointers reference the same variable exposes the alias bug.
+        "fig2_alias.c",
+        """
+int a = 0;
+int b = 0;
+int main(void) {
+    int *p = &a;
+    int *q = &b;
+    a = 1;
+    *p = 1;
+    *q = 2;
+    return b;
+}
+""",
+    ),
+    (
+        # Figure 3: nested conditional expressions; making the second and third
+        # operands identical crashes the folder.
+        "fig3_cond.c",
+        """
+int d = 0;
+int e = 0;
+int main(void) {
+    int r;
+    r = e ? (d == 0 ? 1 : 2) : (e == 0 ? 1 : 2);
+    return r;
+}
+""",
+    ),
+    (
+        # Figure 11(b): a goto that can form an irreducible loop once the
+        # variables used in the two conditions coincide.
+        "fig11b_goto.c",
+        """
+int a = 0;
+int b = 3;
+int main(void) {
+    int c = 0;
+    if (a) goto l1;
+    c = 1;
+l1:
+    c = c + 1;
+    b = b - 1;
+    if (b) goto l1;
+    return c;
+}
+""",
+    ),
+    (
+        # Figure 11(c): nested loops over an array through a pointer.
+        "fig11c_loops.c",
+        """
+int a = 0;
+int u[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+int main(void) {
+    int p1 = 0;
+    int i = 0;
+    for (i = 4; i >= a; i--) {
+        p1 = p1 + u[i];
+    }
+    return p1;
+}
+""",
+    ),
+    (
+        # Figure 11(d): a pointer that becomes non-null after a backward goto.
+        "fig11d_lifetime.c",
+        """
+int main(void) {
+    int x = 0;
+    int y = 5;
+    int rounds = 0;
+    int *p = &y;
+trick:
+    if (rounds) {
+        return *p;
+    }
+    x = 7;
+    p = &x;
+    rounds = rounds + 1;
+    goto trick;
+    return 0;
+}
+""",
+    ),
+    (
+        # Figure 12(b): loop with an array index built from two variables.
+        "fig12b_index.c",
+        """
+int u[64];
+int a = 0;
+int b = 0;
+int main(void) {
+    int c = 0;
+    for (a = 0; a < 6; a++) {
+        b = 0;
+        for (b = 0; b < 6; b++) {
+            c = c + u[a + 6 * b];
+        }
+        u[7 * a] = 2;
+    }
+    return c;
+}
+""",
+    ),
+    (
+        # Address-taken local whose stores must survive DCE.
+        "addr_taken.c",
+        """
+int main(void) {
+    int x = 5;
+    int y = 1;
+    int *p = &x;
+    x = 9;
+    y = y + *p;
+    return y;
+}
+""",
+    ),
+    (
+        # Repeated subtraction shapes: CSE and folding territory.
+        "sub_pairs.c",
+        """
+int main(void) {
+    int a = 7, b = 3;
+    int x = 0, y = 0, z = 0;
+    x = a - b;
+    y = a - b;
+    z = a + b;
+    return x * 16 + y * 4 + z;
+}
+""",
+    ),
+    (
+        # A loop whose condition variable is decoupled from its body: variants
+        # where the two coincide become empty or constant-bound loops.
+        "loop_bounds.c",
+        """
+int main(void) {
+    int i = 0;
+    int stop = 1;
+    int total = 0;
+    while (i < 3) {
+        total = total + stop;
+        i = i + 1;
+    }
+    return total;
+}
+""",
+    ),
+    (
+        # Two functions sharing globals: intra- vs inter-procedural enumeration differ.
+        "two_functions.c",
+        """
+int g = 2;
+int h = 5;
+
+int helper(int x) {
+    int local = 0;
+    local = x + g;
+    return local * 2;
+}
+
+int main(void) {
+    int a = 0, b = 0;
+    a = helper(h);
+    b = helper(g);
+    return a + b;
+}
+""",
+    ),
+    (
+        # Block scopes: the Figure 6 shape used throughout Section 3.
+        "fig6_scopes.c",
+        """
+int main(void) {
+    int a = 1, b = 0;
+    if (a) {
+        int c = 3, d = 5;
+        b = c + d;
+    }
+    printf("%d", a);
+    printf("%d", b);
+    return 0;
+}
+""",
+    ),
+    (
+        # Ternary chain whose nesting depth grows in some variants.
+        "ternary_chain.c",
+        """
+int s = 1;
+int t = 2;
+int main(void) {
+    int r = 0, q = 0;
+    r = s ? (t ? 1 : 2) : 3;
+    q = t ? r : s;
+    return r * 10 + q;
+}
+""",
+    ),
+    (
+        # printf-observable arithmetic: wrong-code bugs show in stdout too.
+        "printf_obs.c",
+        """
+int main(void) {
+    int a = 4;
+    int b = 9;
+    int c = 0;
+    c = b - a;
+    printf("%d ", c);
+    printf("%d", a + b);
+    return 0;
+}
+""",
+    ),
+]
+
+
+__all__ = ["paper_seed_programs"]

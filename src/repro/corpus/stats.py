@@ -1,0 +1,56 @@
+"""Corpus statistics: the columns of the paper's Table 2.
+
+For a set of skeletons we report the average number of holes, scopes,
+functions and distinct variable types per file, plus the average number of
+candidate variables per hole (the paper's "#Vars" column).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.holes import Skeleton
+
+
+@dataclass(frozen=True)
+class SuiteStatistics:
+    """Average per-file characteristics of a corpus of skeletons."""
+
+    files: int
+    holes: float
+    scopes: float
+    functions: float
+    types: float
+    vars_per_hole: float
+
+    def as_row(self) -> dict[str, float]:
+        return {
+            "#Files": float(self.files),
+            "#Holes": round(self.holes, 2),
+            "#Scopes": round(self.scopes, 2),
+            "#Funcs": round(self.functions, 2),
+            "#Types": round(self.types, 2),
+            "#Vars": round(self.vars_per_hole, 2),
+        }
+
+
+def corpus_statistics(skeletons: list[Skeleton]) -> SuiteStatistics:
+    """Aggregate Table 2-style statistics over a list of skeletons."""
+    if not skeletons:
+        return SuiteStatistics(0, 0.0, 0.0, 0.0, 0.0, 0.0)
+    per_file = [skeleton.stats() for skeleton in skeletons]
+
+    def mean(key: str) -> float:
+        return sum(stats[key] for stats in per_file) / len(per_file)
+
+    return SuiteStatistics(
+        files=len(skeletons),
+        holes=mean("holes"),
+        scopes=mean("scopes"),
+        functions=mean("functions"),
+        types=mean("types"),
+        vars_per_hole=mean("vars_per_hole"),
+    )
+
+
+__all__ = ["SuiteStatistics", "corpus_statistics"]

@@ -1,0 +1,33 @@
+"""Experiment drivers: one module per table/figure of the paper's evaluation.
+
+Every module exposes ``run(...)`` returning a result dataclass and
+``render(result)`` returning the textual table/figure.  The benchmarks in
+``benchmarks/`` call ``run`` with small parameters; ``python -m repro
+experiments`` runs them all and prints the reports (the content recorded in
+EXPERIMENTS.md).
+
+| paper artifact | module |
+|----------------|--------|
+| Table 1 (size reduction)            | :mod:`repro.experiments.table1` |
+| Table 2 (test-suite characteristics)| :mod:`repro.experiments.table2` |
+| Table 3 (crash signatures, stable)  | :mod:`repro.experiments.table3` |
+| Table 4 (trunk bug summary)         | :mod:`repro.experiments.table4` |
+| Figure 8 (variant distributions)    | :mod:`repro.experiments.fig8`   |
+| Figure 9 (coverage improvements)    | :mod:`repro.experiments.fig9`   |
+| Figure 10 (bug characteristics)     | :mod:`repro.experiments.fig10`  |
+"""
+
+from repro.experiments import fig8, fig9, fig10, table1, table2, table3, table4
+from repro.experiments.reporting import format_table
+
+ALL_EXPERIMENTS = {
+    "table1": table1,
+    "table2": table2,
+    "table3": table3,
+    "table4": table4,
+    "fig8": fig8,
+    "fig9": fig9,
+    "fig10": fig10,
+}
+
+__all__ = ["ALL_EXPERIMENTS", "format_table"] + list(ALL_EXPERIMENTS)

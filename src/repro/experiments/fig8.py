@@ -1,0 +1,100 @@
+"""Figure 8 -- distribution of per-file variant counts and reduction ratios.
+
+Figure 8(a) plots, for both the naive and the SPE enumeration, the fraction
+of corpus files whose variant count falls in each decade bucket
+``[1,10), [10,100), ...``; Figure 8(b) plots the average fraction of variants
+that SPE eliminates within each bucket.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.spe import SkeletonEnumerator
+from repro.experiments.reporting import format_histogram
+from repro.experiments.table1 import build_corpus
+from repro.minic.errors import MiniCError
+from repro.minic.skeleton import extract_skeleton
+
+BUCKETS = 11  # [1,10) ... [1e9,1e10) and >= 1e10
+
+
+@dataclass
+class Fig8Result:
+    naive_distribution: list[float] = field(default_factory=list)
+    spe_distribution: list[float] = field(default_factory=list)
+    reduction_ratio: list[float] = field(default_factory=list)
+    labels: list[str] = field(default_factory=list)
+    files: int = 0
+
+
+def _bucket(count: int) -> int:
+    if count <= 0:
+        return 0
+    bucket = 0
+    while count >= 10 and bucket < BUCKETS - 1:
+        count //= 10
+        bucket += 1
+    return bucket
+
+
+def run(files: int = 120, seed: int = 2017) -> Fig8Result:
+    corpus = build_corpus(files=files, seed=seed)
+    naive_counts: list[int] = []
+    spe_counts: list[int] = []
+    for name, source in corpus.items():
+        try:
+            skeleton = extract_skeleton(source, name=name)
+        except MiniCError:
+            continue
+        enumerator = SkeletonEnumerator(skeleton)
+        naive_counts.append(enumerator.naive_count())
+        spe_counts.append(enumerator.count())
+
+    total = len(naive_counts)
+    naive_hist = [0] * BUCKETS
+    spe_hist = [0] * BUCKETS
+    ratio_sum = [0.0] * BUCKETS
+    ratio_n = [0] * BUCKETS
+    for naive, spe in zip(naive_counts, spe_counts):
+        naive_hist[_bucket(naive)] += 1
+        spe_hist[_bucket(spe)] += 1
+        bucket = _bucket(naive)
+        if naive > 0:
+            ratio_sum[bucket] += 1.0 - (spe / naive)
+            ratio_n[bucket] += 1
+
+    labels = [f"[1e{i},1e{i+1})" for i in range(BUCKETS - 1)] + [f">=1e{BUCKETS - 1}"]
+    return Fig8Result(
+        naive_distribution=[count / total if total else 0.0 for count in naive_hist],
+        spe_distribution=[count / total if total else 0.0 for count in spe_hist],
+        reduction_ratio=[
+            (ratio_sum[i] / ratio_n[i]) if ratio_n[i] else 0.0 for i in range(BUCKETS)
+        ],
+        labels=labels,
+        files=total,
+    )
+
+
+def render(result: Fig8Result) -> str:
+    parts = [
+        format_histogram(
+            result.labels,
+            [round(value, 3) for value in result.naive_distribution],
+            title="Figure 8(a): fraction of files per variant-count decade (naive)",
+        ),
+        format_histogram(
+            result.labels,
+            [round(value, 3) for value in result.spe_distribution],
+            title="Figure 8(a): fraction of files per variant-count decade (SPE)",
+        ),
+        format_histogram(
+            result.labels,
+            [round(value, 3) for value in result.reduction_ratio],
+            title="Figure 8(b): average fraction of variants eliminated by SPE",
+        ),
+    ]
+    return "\n\n".join(parts)
+
+
+__all__ = ["Fig8Result", "render", "run"]

@@ -1,0 +1,65 @@
+"""Small text-rendering helpers shared by the experiment drivers."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = "") -> str:
+    """Render an ASCII table with right-aligned numeric-ish columns."""
+    columns = [str(h) for h in headers]
+    string_rows = [[_cell(value) for value in row] for row in rows]
+    widths = [len(column) for column in columns]
+    for row in string_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return " | ".join(cell.rjust(width) for cell, width in zip(cells, widths))
+
+    parts = []
+    if title:
+        parts.append(title)
+    parts.append(line(columns))
+    parts.append("-+-".join("-" * width for width in widths))
+    parts.extend(line(row) for row in string_rows)
+    return "\n".join(parts)
+
+
+def format_histogram(labels: Sequence[str], values: Sequence[float], width: int = 40, title: str = "") -> str:
+    """Render a horizontal ASCII bar chart (used for the figure reproductions)."""
+    peak = max(values) if values else 1.0
+    peak = peak if peak > 0 else 1.0
+    lines = [title] if title else []
+    label_width = max((len(label) for label in labels), default=0)
+    for label, value in zip(labels, values):
+        bar = "#" * int(round(width * value / peak))
+        lines.append(f"{label.rjust(label_width)} | {bar} {value:g}")
+    return "\n".join(lines)
+
+
+def scientific(value: int | float) -> str:
+    """Format very large counts the way the paper does (e.g. 5.24e163).
+
+    Handles integers far beyond float range (naive enumeration counts reach
+    hundreds of digits).
+    """
+    if value == 0:
+        return "0"
+    if isinstance(value, int):
+        if value < 1_000_000:
+            return str(value)
+        digits = str(value)
+        exponent = len(digits) - 1
+        mantissa = float(f"{digits[0]}.{digits[1:4]}")
+        return f"{mantissa:.2f}e{exponent}"
+    return f"{float(value):.2e}"
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+__all__ = ["format_histogram", "format_table", "scientific"]

@@ -1,0 +1,70 @@
+"""Table 4 -- summary and classification of bugs found in the trunk compilers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.compiler.pipeline import OptimizationLevel
+from repro.core.spe import EnumerationBudget
+from repro.experiments.reporting import format_table
+from repro.experiments.table1 import build_corpus
+from repro.testing.bugs import BugKind
+from repro.testing.harness import Campaign, CampaignConfig, CampaignResult
+
+
+@dataclass
+class Table4Result:
+    campaign: CampaignResult
+    rows: list[dict] = field(default_factory=list)
+
+
+def run(
+    files: int = 24,
+    max_variants_per_file: int = 30,
+    seed: int = 2017,
+    versions: tuple[str, str] = ("scc-trunk", "lcc-trunk"),
+) -> Table4Result:
+    """Run the trunk campaign and classify the bugs per compiler lineage."""
+    corpus = build_corpus(files=files, seed=seed)
+    config = CampaignConfig(
+        versions=list(versions),
+        opt_levels=[OptimizationLevel.O0, OptimizationLevel.O1, OptimizationLevel.O2, OptimizationLevel.O3],
+        budget=EnumerationBudget(max_variants=10_000),
+        max_variants_per_file=max_variants_per_file,
+    )
+    campaign_result = Campaign(config).run_sources(corpus)
+
+    rows = []
+    for lineage, reports in sorted(campaign_result.bugs.by_lineage().items()):
+        duplicates = sum(report.duplicate_count for report in reports)
+        rows.append(
+            {
+                "compiler": lineage,
+                "reported": len(reports),
+                "duplicate_observations": duplicates,
+                "crash": sum(1 for report in reports if report.kind is BugKind.CRASH),
+                "wrong code": sum(1 for report in reports if report.kind is BugKind.WRONG_CODE),
+                "performance": sum(1 for report in reports if report.kind is BugKind.PERFORMANCE),
+            }
+        )
+    return Table4Result(campaign=campaign_result, rows=rows)
+
+
+def render(result: Table4Result) -> str:
+    headers = ["Compiler", "Reported", "Dup. obs.", "Crash", "Wrong code", "Performance"]
+    rows = [
+        [
+            row["compiler"],
+            row["reported"],
+            row["duplicate_observations"],
+            row["crash"],
+            row["wrong code"],
+            row["performance"],
+        ]
+        for row in result.rows
+    ]
+    table = format_table(headers, rows, title="Table 4: bugs found in trunk compilers")
+    return table + "\n\n" + result.campaign.summary()
+
+
+__all__ = ["Table4Result", "render", "run"]

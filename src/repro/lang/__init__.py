@@ -1,0 +1,57 @@
+"""The WHILE toy language of the paper (Figure 4).
+
+The WHILE language has no lexical scoping -- every variable is global -- which
+makes it the cleanest setting to explain skeletal program enumeration
+(Sections 3 and 4.1 of the paper).  The package provides a lexer, parser, AST,
+pretty-printer, interpreter and skeleton extractor, so the paper's Figure 5
+example can be reproduced end to end and SPE-generated WHILE variants can be
+executed to confirm that alpha-equivalent programs are semantically
+equivalent (Theorem 1 in the unscoped setting).
+"""
+
+from repro.lang.ast import (
+    Assign,
+    BinaryArith,
+    BoolBinary,
+    BoolLit,
+    Compare,
+    If,
+    Not,
+    Num,
+    Seq,
+    Skip,
+    Var,
+    While,
+    WhileNode,
+)
+from repro.lang.interp import ExecutionLimitExceeded, WhileInterpreter, run_program
+from repro.lang.lexer import LexerError, Token, tokenize
+from repro.lang.parser import ParseError, parse_program
+from repro.lang.printer import to_source
+from repro.lang.skeleton import extract_skeleton
+
+__all__ = [
+    "Assign",
+    "BinaryArith",
+    "BoolBinary",
+    "BoolLit",
+    "Compare",
+    "ExecutionLimitExceeded",
+    "If",
+    "LexerError",
+    "Not",
+    "Num",
+    "ParseError",
+    "Seq",
+    "Skip",
+    "Token",
+    "Var",
+    "While",
+    "WhileInterpreter",
+    "WhileNode",
+    "extract_skeleton",
+    "parse_program",
+    "run_program",
+    "to_source",
+    "tokenize",
+]

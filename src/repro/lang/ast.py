@@ -1,0 +1,263 @@
+"""AST node definitions for the WHILE language (paper Figure 4a).
+
+The grammar::
+
+    a ::= x | n | a1 opa a2
+    b ::= true | false | not b | b1 opb b2 | a1 opr a2
+    S ::= x := a | S1 ; S2 | while (b) do S | if (b) then S1 else S2 | skip
+
+Nodes are immutable dataclasses; program transformation (e.g. filling skeleton
+holes) rebuilds trees rather than mutating them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterator
+
+
+class WhileNode:
+    """Base class for every WHILE AST node."""
+
+    def children(self) -> Iterator["WhileNode"]:
+        """Yield child nodes in syntactic order."""
+        for name in getattr(self, "__dataclass_fields__", {}):
+            value = getattr(self, name)
+            if isinstance(value, WhileNode):
+                yield value
+
+    def walk(self) -> Iterator["WhileNode"]:
+        """Pre-order traversal of the subtree rooted at this node."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+
+# -- arithmetic expressions ----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Var(WhileNode):
+    """A variable occurrence ``x`` (a hole site for skeleton extraction)."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Num(WhileNode):
+    """An integer literal ``n``."""
+
+    value: int
+
+
+@dataclass(frozen=True)
+class BinaryArith(WhileNode):
+    """An arithmetic binary expression ``a1 opa a2`` with opa in + - * /."""
+
+    op: str
+    left: WhileNode
+    right: WhileNode
+
+    _VALID = ("+", "-", "*", "/")
+
+    def __post_init__(self) -> None:
+        if self.op not in self._VALID:
+            raise ValueError(f"unknown arithmetic operator {self.op!r}")
+
+
+# -- boolean expressions -------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BoolLit(WhileNode):
+    """``true`` or ``false``."""
+
+    value: bool
+
+
+@dataclass(frozen=True)
+class Not(WhileNode):
+    """``not b``."""
+
+    operand: WhileNode
+
+
+@dataclass(frozen=True)
+class BoolBinary(WhileNode):
+    """``b1 opb b2`` with opb in ``and`` / ``or``."""
+
+    op: str
+    left: WhileNode
+    right: WhileNode
+
+    _VALID = ("and", "or")
+
+    def __post_init__(self) -> None:
+        if self.op not in self._VALID:
+            raise ValueError(f"unknown boolean operator {self.op!r}")
+
+
+@dataclass(frozen=True)
+class Compare(WhileNode):
+    """``a1 opr a2`` with opr a relational operator."""
+
+    op: str
+    left: WhileNode
+    right: WhileNode
+
+    _VALID = ("==", "!=", "<", "<=", ">", ">=")
+
+    def __post_init__(self) -> None:
+        if self.op not in self._VALID:
+            raise ValueError(f"unknown relational operator {self.op!r}")
+
+
+# -- statements ----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Skip(WhileNode):
+    """The no-op statement."""
+
+
+@dataclass(frozen=True)
+class Assign(WhileNode):
+    """``x := a``.  ``target`` is a Var node so it participates in holes."""
+
+    target: Var
+    value: WhileNode
+
+
+@dataclass(frozen=True)
+class Seq(WhileNode):
+    """``S1 ; S2 ; ...`` -- a statement sequence."""
+
+    statements: tuple[WhileNode, ...] = field(default_factory=tuple)
+
+    def children(self) -> Iterator[WhileNode]:
+        yield from self.statements
+
+
+@dataclass(frozen=True)
+class While(WhileNode):
+    """``while (b) do S``."""
+
+    condition: WhileNode
+    body: WhileNode
+
+
+@dataclass(frozen=True)
+class If(WhileNode):
+    """``if (b) then S1 else S2``."""
+
+    condition: WhileNode
+    then_branch: WhileNode
+    else_branch: WhileNode
+
+
+def variables_of(node: WhileNode) -> list[str]:
+    """Collect the distinct variable names of a subtree, in first-use order."""
+    names: list[str] = []
+    for current in node.walk():
+        if isinstance(current, Var) and current.name not in names:
+            names.append(current.name)
+    return names
+
+
+def substitute_variables(node: WhileNode, names: list[str], counter: list[int] | None = None) -> WhileNode:
+    """Rebuild ``node`` replacing the i-th variable occurrence with ``names[i]``.
+
+    Occurrences are numbered in pre-order (the same order used by
+    :func:`repro.lang.skeleton.extract_skeleton`).
+    """
+    if counter is None:
+        counter = [0]
+
+    if isinstance(node, Var):
+        name = names[counter[0]]
+        counter[0] += 1
+        return Var(name)
+    if isinstance(node, Num) or isinstance(node, BoolLit) or isinstance(node, Skip):
+        return node
+    if isinstance(node, BinaryArith):
+        left = substitute_variables(node.left, names, counter)
+        right = substitute_variables(node.right, names, counter)
+        return BinaryArith(node.op, left, right)
+    if isinstance(node, BoolBinary):
+        left = substitute_variables(node.left, names, counter)
+        right = substitute_variables(node.right, names, counter)
+        return BoolBinary(node.op, left, right)
+    if isinstance(node, Compare):
+        left = substitute_variables(node.left, names, counter)
+        right = substitute_variables(node.right, names, counter)
+        return Compare(node.op, left, right)
+    if isinstance(node, Not):
+        return Not(substitute_variables(node.operand, names, counter))
+    if isinstance(node, Assign):
+        target = substitute_variables(node.target, names, counter)
+        value = substitute_variables(node.value, names, counter)
+        assert isinstance(target, Var)
+        return Assign(target, value)
+    if isinstance(node, Seq):
+        return Seq(tuple(substitute_variables(stmt, names, counter) for stmt in node.statements))
+    if isinstance(node, While):
+        condition = substitute_variables(node.condition, names, counter)
+        body = substitute_variables(node.body, names, counter)
+        return While(condition, body)
+    if isinstance(node, If):
+        condition = substitute_variables(node.condition, names, counter)
+        then_branch = substitute_variables(node.then_branch, names, counter)
+        else_branch = substitute_variables(node.else_branch, names, counter)
+        return If(condition, then_branch, else_branch)
+    raise TypeError(f"unknown WHILE node {node!r}")
+
+
+def rename_variables(node: WhileNode, mapping: dict[str, str]) -> WhileNode:
+    """Apply an alpha-renaming (name -> name) to a WHILE subtree."""
+    if isinstance(node, Var):
+        return Var(mapping.get(node.name, node.name))
+    if isinstance(node, (Num, BoolLit, Skip)):
+        return node
+    if isinstance(node, BinaryArith):
+        return BinaryArith(node.op, rename_variables(node.left, mapping), rename_variables(node.right, mapping))
+    if isinstance(node, BoolBinary):
+        return BoolBinary(node.op, rename_variables(node.left, mapping), rename_variables(node.right, mapping))
+    if isinstance(node, Compare):
+        return Compare(node.op, rename_variables(node.left, mapping), rename_variables(node.right, mapping))
+    if isinstance(node, Not):
+        return Not(rename_variables(node.operand, mapping))
+    if isinstance(node, Assign):
+        target = rename_variables(node.target, mapping)
+        assert isinstance(target, Var)
+        return Assign(target, rename_variables(node.value, mapping))
+    if isinstance(node, Seq):
+        return Seq(tuple(rename_variables(stmt, mapping) for stmt in node.statements))
+    if isinstance(node, While):
+        return While(rename_variables(node.condition, mapping), rename_variables(node.body, mapping))
+    if isinstance(node, If):
+        return If(
+            rename_variables(node.condition, mapping),
+            rename_variables(node.then_branch, mapping),
+            rename_variables(node.else_branch, mapping),
+        )
+    raise TypeError(f"unknown WHILE node {node!r}")
+
+
+__all__ = [
+    "Assign",
+    "BinaryArith",
+    "BoolBinary",
+    "BoolLit",
+    "Compare",
+    "If",
+    "Not",
+    "Num",
+    "Seq",
+    "Skip",
+    "Var",
+    "While",
+    "WhileNode",
+    "rename_variables",
+    "substitute_variables",
+    "variables_of",
+]

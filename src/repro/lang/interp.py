@@ -1,0 +1,145 @@
+"""A small-step-free, direct interpreter for the WHILE language.
+
+The interpreter is used by tests to validate Theorem 1 in the unscoped
+setting: alpha-equivalent WHILE programs compute alpha-related final stores.
+A fuel limit guards against non-terminating loops produced by enumeration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.lang.ast import (
+    Assign,
+    BinaryArith,
+    BoolBinary,
+    BoolLit,
+    Compare,
+    If,
+    Not,
+    Num,
+    Seq,
+    Skip,
+    Var,
+    While,
+    WhileNode,
+)
+
+
+class ExecutionLimitExceeded(RuntimeError):
+    """Raised when a WHILE program exceeds its step budget."""
+
+
+class WhileRuntimeError(RuntimeError):
+    """Raised on runtime errors such as division by zero."""
+
+
+@dataclass
+class WhileInterpreter:
+    """Evaluate WHILE programs over an integer store.
+
+    Attributes:
+        max_steps: statement-execution budget before
+            :class:`ExecutionLimitExceeded` is raised.
+        default_value: value of variables read before being assigned (the
+            WHILE language has no declarations; 0 keeps enumerated variants
+            executable, mirroring a zero-initialised store).
+    """
+
+    max_steps: int = 100_000
+    default_value: int = 0
+    _steps: int = field(default=0, init=False, repr=False)
+
+    def run(self, program: WhileNode, initial: dict[str, int] | None = None) -> dict[str, int]:
+        """Execute ``program`` and return the final store."""
+        store = dict(initial or {})
+        self._steps = 0
+        self._exec(program, store)
+        return store
+
+    # -- statements --------------------------------------------------------
+
+    def _tick(self) -> None:
+        self._steps += 1
+        if self._steps > self.max_steps:
+            raise ExecutionLimitExceeded(f"exceeded {self.max_steps} steps")
+
+    def _exec(self, node: WhileNode, store: dict[str, int]) -> None:
+        self._tick()
+        if isinstance(node, Skip):
+            return
+        if isinstance(node, Assign):
+            store[node.target.name] = self._eval_arith(node.value, store)
+            return
+        if isinstance(node, Seq):
+            for statement in node.statements:
+                self._exec(statement, store)
+            return
+        if isinstance(node, While):
+            while self._eval_bool(node.condition, store):
+                self._exec(node.body, store)
+                self._tick()
+            return
+        if isinstance(node, If):
+            if self._eval_bool(node.condition, store):
+                self._exec(node.then_branch, store)
+            else:
+                self._exec(node.else_branch, store)
+            return
+        raise TypeError(f"not a statement node: {node!r}")
+
+    # -- expressions --------------------------------------------------------
+
+    def _eval_arith(self, node: WhileNode, store: dict[str, int]) -> int:
+        if isinstance(node, Num):
+            return node.value
+        if isinstance(node, Var):
+            return store.get(node.name, self.default_value)
+        if isinstance(node, BinaryArith):
+            left = self._eval_arith(node.left, store)
+            right = self._eval_arith(node.right, store)
+            if node.op == "+":
+                return left + right
+            if node.op == "-":
+                return left - right
+            if node.op == "*":
+                return left * right
+            if node.op == "/":
+                if right == 0:
+                    raise WhileRuntimeError("division by zero")
+                return int(left / right)  # C-style truncation toward zero
+            raise TypeError(f"unknown arithmetic operator {node.op!r}")
+        raise TypeError(f"not an arithmetic node: {node!r}")
+
+    def _eval_bool(self, node: WhileNode, store: dict[str, int]) -> bool:
+        if isinstance(node, BoolLit):
+            return node.value
+        if isinstance(node, Not):
+            return not self._eval_bool(node.operand, store)
+        if isinstance(node, BoolBinary):
+            if node.op == "and":
+                return self._eval_bool(node.left, store) and self._eval_bool(node.right, store)
+            return self._eval_bool(node.left, store) or self._eval_bool(node.right, store)
+        if isinstance(node, Compare):
+            left = self._eval_arith(node.left, store)
+            right = self._eval_arith(node.right, store)
+            return {
+                "==": left == right,
+                "!=": left != right,
+                "<": left < right,
+                "<=": left <= right,
+                ">": left > right,
+                ">=": left >= right,
+            }[node.op]
+        raise TypeError(f"not a boolean node: {node!r}")
+
+
+def run_program(source_or_ast: str | WhileNode, initial: dict[str, int] | None = None, max_steps: int = 100_000) -> dict[str, int]:
+    """Convenience wrapper: parse (if needed) and execute a WHILE program."""
+    from repro.lang.parser import parse_program
+
+    program = parse_program(source_or_ast) if isinstance(source_or_ast, str) else source_or_ast
+    return WhileInterpreter(max_steps=max_steps).run(program, initial)
+
+
+__all__ = ["ExecutionLimitExceeded", "WhileInterpreter", "WhileRuntimeError", "run_program"]

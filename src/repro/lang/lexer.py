@@ -1,0 +1,112 @@
+"""Tokenizer for the WHILE language.
+
+Token kinds: identifiers, integer literals, keywords (``while do if then
+else not and or true false skip``), operators and punctuation.  Positions
+are tracked for error messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+KEYWORDS = {
+    "while",
+    "do",
+    "if",
+    "then",
+    "else",
+    "not",
+    "and",
+    "or",
+    "true",
+    "false",
+    "skip",
+}
+
+_TWO_CHAR_OPS = (":=", "==", "!=", "<=", ">=")
+_ONE_CHAR_OPS = "+-*/<>();"
+
+
+class LexerError(ValueError):
+    """Raised when the source contains a character the lexer cannot handle."""
+
+    def __init__(self, message: str, line: int, column: int) -> None:
+        super().__init__(f"{message} at line {line}, column {column}")
+        self.line = line
+        self.column = column
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token."""
+
+    kind: str  # 'ident', 'number', 'keyword', 'op', 'eof'
+    text: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Token({self.kind}, {self.text!r})"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize WHILE source code into a list of tokens ending with ``eof``."""
+    tokens: list[Token] = []
+    line = 1
+    column = 1
+    index = 0
+    length = len(source)
+
+    def error(message: str) -> LexerError:
+        return LexerError(message, line, column)
+
+    while index < length:
+        char = source[index]
+        if char == "\n":
+            line += 1
+            column = 1
+            index += 1
+            continue
+        if char in " \t\r":
+            index += 1
+            column += 1
+            continue
+        if char == "#":  # comment to end of line
+            while index < length and source[index] != "\n":
+                index += 1
+            continue
+        two = source[index : index + 2]
+        if two in _TWO_CHAR_OPS:
+            tokens.append(Token("op", two, line, column))
+            index += 2
+            column += 2
+            continue
+        if char.isdigit():
+            start = index
+            while index < length and source[index].isdigit():
+                index += 1
+            text = source[start:index]
+            tokens.append(Token("number", text, line, column))
+            column += len(text)
+            continue
+        if char.isalpha() or char == "_":
+            start = index
+            while index < length and (source[index].isalnum() or source[index] == "_"):
+                index += 1
+            text = source[start:index]
+            kind = "keyword" if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, line, column))
+            column += len(text)
+            continue
+        if char in _ONE_CHAR_OPS:
+            tokens.append(Token("op", char, line, column))
+            index += 1
+            column += 1
+            continue
+        raise error(f"unexpected character {char!r}")
+
+    tokens.append(Token("eof", "", line, column))
+    return tokens
+
+
+__all__ = ["KEYWORDS", "LexerError", "Token", "tokenize"]

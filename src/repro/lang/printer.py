@@ -1,0 +1,78 @@
+"""Pretty-printer for WHILE programs.
+
+``parse_program(to_source(ast))`` is the identity up to trivial formatting,
+which the round-trip property tests rely on.
+"""
+
+from __future__ import annotations
+
+from repro.lang.ast import (
+    Assign,
+    BinaryArith,
+    BoolBinary,
+    BoolLit,
+    Compare,
+    If,
+    Not,
+    Num,
+    Seq,
+    Skip,
+    Var,
+    While,
+    WhileNode,
+)
+
+
+def _expr(node: WhileNode) -> str:
+    if isinstance(node, Var):
+        return node.name
+    if isinstance(node, Num):
+        return str(node.value)
+    if isinstance(node, BoolLit):
+        return "true" if node.value else "false"
+    if isinstance(node, BinaryArith):
+        return f"({_expr(node.left)} {node.op} {_expr(node.right)})"
+    if isinstance(node, Compare):
+        return f"{_expr(node.left)} {node.op} {_expr(node.right)}"
+    if isinstance(node, BoolBinary):
+        return f"({_expr(node.left)} {node.op} {_expr(node.right)})"
+    if isinstance(node, Not):
+        return f"not ({_expr(node.operand)})"
+    raise TypeError(f"not an expression node: {node!r}")
+
+
+def _stmt(node: WhileNode, indent: int) -> list[str]:
+    pad = "  " * indent
+    if isinstance(node, Skip):
+        return [f"{pad}skip"]
+    if isinstance(node, Assign):
+        return [f"{pad}{node.target.name} := {_expr(node.value)}"]
+    if isinstance(node, Seq):
+        lines: list[str] = []
+        for index, statement in enumerate(node.statements):
+            body = _stmt(statement, indent)
+            if index < len(node.statements) - 1:
+                body[-1] = body[-1] + " ;"
+            lines.extend(body)
+        return lines
+    if isinstance(node, While):
+        lines = [f"{pad}while ({_expr(node.condition)}) do ("]
+        lines.extend(_stmt(node.body, indent + 1))
+        lines.append(f"{pad})")
+        return lines
+    if isinstance(node, If):
+        lines = [f"{pad}if ({_expr(node.condition)}) then ("]
+        lines.extend(_stmt(node.then_branch, indent + 1))
+        lines.append(f"{pad}) else (")
+        lines.extend(_stmt(node.else_branch, indent + 1))
+        lines.append(f"{pad})")
+        return lines
+    raise TypeError(f"not a statement node: {node!r}")
+
+
+def to_source(program: WhileNode) -> str:
+    """Render a WHILE AST back to concrete syntax."""
+    return "\n".join(_stmt(program, 0)) + "\n"
+
+
+__all__ = ["to_source"]

@@ -1,0 +1,57 @@
+"""A from-scratch C-subset frontend ("mini-C").
+
+The paper extracts skeletons from the C programs of GCC's regression
+test-suite.  This package provides everything SPE needs from a C frontend,
+implemented from scratch:
+
+* :mod:`repro.minic.lexer` / :mod:`repro.minic.parser` -- tokenizer and
+  recursive-descent parser for a practical C subset (functions, globals,
+  block scopes, ints/chars/longs/unsigned, pointers, arrays, full expression
+  and control-flow statements including ``goto``);
+* :mod:`repro.minic.ctypes` -- the type representation and checking helpers;
+* :mod:`repro.minic.symbols` -- symbol resolution and scope-tree construction;
+* :mod:`repro.minic.printer` -- a pretty-printer emitting compilable C;
+* :mod:`repro.minic.skeleton` -- hole/skeleton extraction for SPE;
+* :mod:`repro.minic.interp` -- a reference interpreter with
+  undefined-behaviour detection (the CompCert-reference-interpreter stand-in
+  used to vet wrong-code bug reports, Section 5.4).
+"""
+
+from repro.minic import ast
+from repro.minic.ctypes import (
+    ArrayType,
+    CType,
+    IntType,
+    PointerType,
+    type_from_name,
+)
+from repro.minic.errors import MiniCError, MiniCSyntaxError, MiniCTypeError
+from repro.minic.interp import ExecutionResult, ExecutionStatus, Interpreter, run_source
+from repro.minic.lexer import Token, tokenize
+from repro.minic.parser import parse
+from repro.minic.printer import to_source
+from repro.minic.skeleton import extract_skeleton
+from repro.minic.symbols import SymbolTable, resolve
+
+__all__ = [
+    "ArrayType",
+    "CType",
+    "ExecutionResult",
+    "ExecutionStatus",
+    "IntType",
+    "Interpreter",
+    "MiniCError",
+    "MiniCSyntaxError",
+    "MiniCTypeError",
+    "PointerType",
+    "SymbolTable",
+    "Token",
+    "ast",
+    "extract_skeleton",
+    "parse",
+    "resolve",
+    "run_source",
+    "to_source",
+    "tokenize",
+    "type_from_name",
+]

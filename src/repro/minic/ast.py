@@ -1,0 +1,364 @@
+"""AST node definitions for the mini-C subset.
+
+Nodes are mutable dataclasses: skeleton realization and mutation-based
+baselines clone the tree (``copy.deepcopy``) and patch identifier names or
+drop statements in place.  Every node carries an optional source location
+for diagnostics.
+
+Node overview::
+
+    TranslationUnit(decls)
+    VarDecl(name, type, init, is_global)          # also used for params
+    FunctionDef(name, return_type, params, body)
+    Block(items)                                   # '{' ... '}'
+    If/While/DoWhile/For/Return/Break/Continue/Goto/Label/ExprStmt/Empty
+    Identifier/IntLiteral/CharLiteral/StringLiteral
+    Unary/Binary/Assignment/Conditional/Call/Index/Cast
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.minic.ctypes import CType
+
+
+@dataclass
+class Location:
+    """Source position (1-based)."""
+
+    line: int = 0
+    column: int = 0
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.line}:{self.column}"
+
+
+class Node:
+    """Base class for all mini-C AST nodes."""
+
+    loc: Location
+
+    def children(self) -> Iterator["Node"]:
+        """Yield child nodes in syntactic order."""
+        for name in getattr(self, "__dataclass_fields__", {}):
+            value = getattr(self, name)
+            if isinstance(value, Node):
+                yield value
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Node):
+                        yield item
+
+    def walk(self) -> Iterator["Node"]:
+        """Pre-order traversal."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+
+# -- expressions ---------------------------------------------------------------
+
+
+@dataclass
+class Expr(Node):
+    """Base class for expressions (has an inferred type after resolution)."""
+
+    loc: Location = field(default_factory=Location, kw_only=True)
+    ctype: Optional[CType] = field(default=None, kw_only=True)
+
+
+@dataclass
+class Identifier(Expr):
+    """A variable or function name occurrence."""
+
+    name: str
+    # Filled in by symbol resolution: the declaration this use refers to.
+    decl: Optional["VarDecl"] = field(default=None, kw_only=True, repr=False, compare=False)
+
+    def children(self) -> Iterator["Node"]:
+        # The ``decl`` back-reference is metadata, not a syntactic child;
+        # excluding it keeps ``walk()`` a pure syntax-tree traversal.
+        return iter(())
+
+
+@dataclass
+class IntLiteral(Expr):
+    """An integer constant (decimal or hex in the source)."""
+
+    value: int
+    suffix: str = ""  # "", "u", "l", "ul"
+
+
+@dataclass
+class CharLiteral(Expr):
+    """A character constant such as ``'a'``; value is its integer code."""
+
+    value: int
+    text: str = ""
+
+
+@dataclass
+class StringLiteral(Expr):
+    """A string literal (only meaningful as a printf format argument)."""
+
+    value: str
+
+
+@dataclass
+class Unary(Expr):
+    """Unary operators: ``- + ! ~ * & ++x --x x++ x--``.
+
+    ``op`` is one of ``-``, ``+``, ``!``, ``~``, ``*``, ``&``, ``++``, ``--``;
+    ``postfix`` distinguishes ``x++`` from ``++x``.
+    """
+
+    op: str
+    operand: Expr
+    postfix: bool = False
+
+
+@dataclass
+class Binary(Expr):
+    """Binary operators (arithmetic, bitwise, shifts, comparisons, && and ||)."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+
+@dataclass
+class Assignment(Expr):
+    """Assignment expressions ``lhs op rhs`` where op is = += -= ... >>=."""
+
+    op: str
+    target: Expr
+    value: Expr
+
+
+@dataclass
+class Conditional(Expr):
+    """The ternary conditional ``cond ? then : other``."""
+
+    condition: Expr
+    then_expr: Expr
+    else_expr: Expr
+
+
+@dataclass
+class Call(Expr):
+    """A function call.  ``printf`` is the only builtin."""
+
+    callee: str
+    args: list[Expr] = field(default_factory=list)
+
+
+@dataclass
+class Index(Expr):
+    """Array subscript ``base[index]``."""
+
+    base: Expr
+    index: Expr
+
+
+@dataclass
+class Cast(Expr):
+    """An explicit cast ``(type) expr``."""
+
+    target_type: CType
+    operand: Expr
+
+
+# -- declarations and statements -------------------------------------------------
+
+
+@dataclass
+class Stmt(Node):
+    """Base class for statements."""
+
+    loc: Location = field(default_factory=Location, kw_only=True)
+
+
+@dataclass
+class VarDecl(Stmt):
+    """A variable declaration (global, local, or function parameter)."""
+
+    name: str
+    var_type: CType
+    init: Optional[Expr] = None
+    is_global: bool = False
+    is_param: bool = False
+    init_list: Optional[list[Expr]] = None  # array initializers {1, 2, 3}
+    # Filled by symbol resolution: id of the scope declaring this variable.
+    scope_id: int = field(default=-1, kw_only=True, compare=False)
+
+
+@dataclass
+class DeclStmt(Stmt):
+    """A declaration statement possibly declaring several variables."""
+
+    decls: list[VarDecl] = field(default_factory=list)
+
+
+@dataclass
+class ExprStmt(Stmt):
+    """An expression evaluated for its side effects."""
+
+    expr: Expr
+
+
+@dataclass
+class Empty(Stmt):
+    """The empty statement ``;``."""
+
+
+@dataclass
+class Block(Stmt):
+    """A compound statement ``{ ... }`` introducing a new scope."""
+
+    items: list[Stmt] = field(default_factory=list)
+    scope_id: int = field(default=-1, kw_only=True, compare=False)
+
+
+@dataclass
+class If(Stmt):
+    condition: Expr
+    then_branch: Stmt
+    else_branch: Optional[Stmt] = None
+
+
+@dataclass
+class While(Stmt):
+    condition: Expr
+    body: Stmt
+
+
+@dataclass
+class DoWhile(Stmt):
+    body: Stmt
+    condition: Expr
+
+
+@dataclass
+class For(Stmt):
+    """``for (init; cond; step) body``; any of the three headers may be None.
+
+    ``init`` is either an ExprStmt or a DeclStmt (C99-style declaration).
+    """
+
+    init: Optional[Stmt]
+    condition: Optional[Expr]
+    step: Optional[Expr]
+    body: Stmt
+    scope_id: int = field(default=-1, kw_only=True, compare=False)
+
+
+@dataclass
+class Return(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+@dataclass
+class Goto(Stmt):
+    label: str
+
+
+@dataclass
+class Label(Stmt):
+    """``name: stmt``."""
+
+    name: str
+    statement: Stmt
+
+
+@dataclass
+class FunctionDef(Node):
+    """A function definition."""
+
+    name: str
+    return_type: CType
+    params: list[VarDecl] = field(default_factory=list)
+    body: Block = field(default_factory=Block)
+    loc: Location = field(default_factory=Location, kw_only=True)
+    scope_id: int = field(default=-1, kw_only=True, compare=False)
+
+
+@dataclass
+class TranslationUnit(Node):
+    """A whole source file: global declarations and function definitions."""
+
+    decls: list[Node] = field(default_factory=list)  # DeclStmt | FunctionDef
+    loc: Location = field(default_factory=Location, kw_only=True)
+
+    def functions(self) -> list[FunctionDef]:
+        return [decl for decl in self.decls if isinstance(decl, FunctionDef)]
+
+    def globals(self) -> list[VarDecl]:
+        found: list[VarDecl] = []
+        for decl in self.decls:
+            if isinstance(decl, DeclStmt):
+                found.extend(decl.decls)
+        return found
+
+    def function(self, name: str) -> FunctionDef:
+        for fn in self.functions():
+            if fn.name == name:
+                return fn
+        raise KeyError(f"no function named {name!r}")
+
+
+ASSIGNMENT_OPS = ("=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>=")
+BINARY_OPS = (
+    "||", "&&", "|", "^", "&", "==", "!=", "<", "<=", ">", ">=", "<<", ">>",
+    "+", "-", "*", "/", "%",
+)
+UNARY_OPS = ("-", "+", "!", "~", "*", "&", "++", "--")
+
+
+__all__ = [
+    "ASSIGNMENT_OPS",
+    "Assignment",
+    "BINARY_OPS",
+    "Binary",
+    "Block",
+    "Break",
+    "Call",
+    "Cast",
+    "CharLiteral",
+    "Conditional",
+    "Continue",
+    "DeclStmt",
+    "DoWhile",
+    "Empty",
+    "Expr",
+    "ExprStmt",
+    "For",
+    "FunctionDef",
+    "Goto",
+    "Identifier",
+    "If",
+    "Index",
+    "IntLiteral",
+    "Label",
+    "Location",
+    "Node",
+    "Return",
+    "Stmt",
+    "StringLiteral",
+    "TranslationUnit",
+    "UNARY_OPS",
+    "Unary",
+    "VarDecl",
+    "While",
+]

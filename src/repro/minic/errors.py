@@ -1,0 +1,28 @@
+"""Exception hierarchy for the mini-C frontend."""
+
+from __future__ import annotations
+
+
+class MiniCError(Exception):
+    """Base class for every error raised by the mini-C frontend."""
+
+
+class MiniCSyntaxError(MiniCError):
+    """A lexical or syntactic error, with source position when available."""
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None) -> None:
+        location = f" at line {line}, column {column}" if line is not None else ""
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class MiniCTypeError(MiniCError):
+    """A semantic error: unknown identifiers, bad types, arity mismatches."""
+
+
+class MiniCRuntimeError(MiniCError):
+    """An error raised while interpreting a program (not undefined behaviour)."""
+
+
+__all__ = ["MiniCError", "MiniCRuntimeError", "MiniCSyntaxError", "MiniCTypeError"]

@@ -1,0 +1,226 @@
+"""Tokenizer for the mini-C subset.
+
+Handles identifiers, integer constants (decimal, hex, octal, with ``u``/``l``
+suffixes), character and string literals (with the common escapes), all the
+operators and punctuation the parser needs, plus ``//`` and ``/* */``
+comments and preprocessor-style lines (``#...``), which are skipped -- the
+GCC test-suite seeds we mirror occasionally carry ``#include`` lines that a
+skeleton extractor can safely ignore.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.minic.errors import MiniCSyntaxError
+
+KEYWORDS = {
+    "int",
+    "char",
+    "long",
+    "unsigned",
+    "signed",
+    "void",
+    "if",
+    "else",
+    "while",
+    "do",
+    "for",
+    "return",
+    "break",
+    "continue",
+    "goto",
+    "static",
+    "extern",
+    "const",
+    "volatile",
+    "sizeof",
+}
+
+# Longest-match-first operator table.
+_OPERATORS = (
+    "<<=", ">>=", "...",
+    "==", "!=", "<=", ">=", "&&", "||", "<<", ">>", "++", "--",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "->",
+    "+", "-", "*", "/", "%", "=", "<", ">", "!", "~", "&", "|", "^",
+    "?", ":", ";", ",", "(", ")", "{", "}", "[", "]", ".",
+)
+
+_ESCAPES = {
+    "n": "\n",
+    "t": "\t",
+    "r": "\r",
+    "0": "\0",
+    "\\": "\\",
+    "'": "'",
+    '"': '"',
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token."""
+
+    kind: str  # 'ident', 'number', 'char', 'string', 'keyword', 'op', 'eof'
+    text: str
+    line: int
+    column: int
+    value: int | str | None = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Token({self.kind}, {self.text!r})"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize mini-C source code; the result always ends with an ``eof`` token."""
+    tokens: list[Token] = []
+    index = 0
+    line = 1
+    column = 1
+    length = len(source)
+
+    def error(message: str) -> MiniCSyntaxError:
+        return MiniCSyntaxError(message, line, column)
+
+    def advance(count: int) -> None:
+        nonlocal index, column
+        index += count
+        column += count
+
+    while index < length:
+        char = source[index]
+
+        if char == "\n":
+            index += 1
+            line += 1
+            column = 1
+            continue
+        if char in " \t\r":
+            advance(1)
+            continue
+        # Preprocessor lines are skipped wholesale.
+        if char == "#" and column == 1:
+            while index < length and source[index] != "\n":
+                index += 1
+            continue
+        # Comments.
+        if source.startswith("//", index):
+            while index < length and source[index] != "\n":
+                index += 1
+            continue
+        if source.startswith("/*", index):
+            end = source.find("*/", index + 2)
+            if end < 0:
+                raise error("unterminated block comment")
+            skipped = source[index : end + 2]
+            line += skipped.count("\n")
+            if "\n" in skipped:
+                column = len(skipped) - skipped.rfind("\n")
+            else:
+                column += len(skipped)
+            index = end + 2
+            continue
+
+        # Numbers.
+        if char.isdigit():
+            start = index
+            if source.startswith(("0x", "0X"), index):
+                index += 2
+                while index < length and (source[index].isdigit() or source[index].lower() in "abcdef"):
+                    index += 1
+                value = int(source[start:index], 16)
+            else:
+                while index < length and source[index].isdigit():
+                    index += 1
+                text = source[start:index]
+                value = int(text, 8) if text.startswith("0") and len(text) > 1 else int(text)
+            suffix_start = index
+            while index < length and source[index] in "uUlL":
+                index += 1
+            text = source[start:index]
+            suffix = source[suffix_start:index].lower()
+            tokens.append(Token("number", text, line, column, value=value))
+            column += len(text)
+            # Record the suffix through the text; the parser re-derives it.
+            _ = suffix
+            continue
+
+        # Identifiers and keywords.
+        if char.isalpha() or char == "_":
+            start = index
+            while index < length and (source[index].isalnum() or source[index] == "_"):
+                index += 1
+            text = source[start:index]
+            kind = "keyword" if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, line, column))
+            column += len(text)
+            continue
+
+        # Character literals.
+        if char == "'":
+            start_column = column
+            index += 1
+            column += 1
+            if index < length and source[index] == "\\":
+                escape = source[index + 1]
+                if escape not in _ESCAPES:
+                    raise error(f"unsupported escape \\{escape}")
+                value = ord(_ESCAPES[escape])
+                text = f"'\\{escape}'"
+                index += 2
+                column += 2
+            else:
+                value = ord(source[index])
+                text = f"'{source[index]}'"
+                index += 1
+                column += 1
+            if index >= length or source[index] != "'":
+                raise error("unterminated character literal")
+            index += 1
+            column += 1
+            tokens.append(Token("char", text, line, start_column, value=value))
+            continue
+
+        # String literals.
+        if char == '"':
+            start_column = column
+            index += 1
+            column += 1
+            chars: list[str] = []
+            raw: list[str] = ['"']
+            while index < length and source[index] != '"':
+                if source[index] == "\\":
+                    escape = source[index + 1]
+                    if escape not in _ESCAPES:
+                        raise error(f"unsupported escape \\{escape}")
+                    chars.append(_ESCAPES[escape])
+                    raw.append(source[index : index + 2])
+                    index += 2
+                    column += 2
+                else:
+                    chars.append(source[index])
+                    raw.append(source[index])
+                    index += 1
+                    column += 1
+            if index >= length:
+                raise error("unterminated string literal")
+            raw.append('"')
+            index += 1
+            column += 1
+            tokens.append(Token("string", "".join(raw), line, start_column, value="".join(chars)))
+            continue
+
+        # Operators / punctuation.
+        for operator in _OPERATORS:
+            if source.startswith(operator, index):
+                tokens.append(Token("op", operator, line, column))
+                advance(len(operator))
+                break
+        else:
+            raise error(f"unexpected character {char!r}")
+
+    tokens.append(Token("eof", "", line, column))
+    return tokens
+
+
+__all__ = ["KEYWORDS", "Token", "tokenize"]

@@ -1,0 +1,523 @@
+"""Recursive-descent parser for the mini-C subset.
+
+The parser accepts the language described in :mod:`repro.minic.ast`:
+global variable declarations, function definitions (with parameters), block
+scopes, the full C statement repertoire used by small compiler test cases
+(``if``/``else``, ``while``, ``do``/``while``, ``for`` with C99 declarations,
+``return``, ``break``, ``continue``, ``goto``/labels) and C expressions with
+the standard precedence levels (assignment and compound assignment, the
+ternary conditional, logical/bitwise/shift/arithmetic operators, unary
+operators including pointer dereference and address-of, pre/post increment,
+array indexing, calls and casts).
+
+It deliberately rejects what the rest of the pipeline cannot handle
+(struct/union/typedef/varargs definitions) with a clear
+:class:`~repro.minic.errors.MiniCSyntaxError`.
+"""
+
+from __future__ import annotations
+
+from repro.minic import ast
+from repro.minic.ctypes import (
+    ArrayType,
+    CType,
+    IntType,
+    PointerType,
+    VOID,
+    type_from_name,
+)
+from repro.minic.errors import MiniCSyntaxError
+from repro.minic.lexer import Token, tokenize
+
+_TYPE_KEYWORDS = {"int", "char", "long", "unsigned", "signed", "void"}
+_QUALIFIERS = {"static", "extern", "const", "volatile"}
+_ASSIGN_OPS = set(ast.ASSIGNMENT_OPS)
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self.tokens = tokens
+        self.position = 0
+
+    # -- token plumbing ------------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Token:
+        return self.tokens[min(self.position + offset, len(self.tokens) - 1)]
+
+    def advance(self) -> Token:
+        token = self.peek()
+        if token.kind != "eof":
+            self.position += 1
+        return token
+
+    def check(self, kind: str, text: str | None = None) -> bool:
+        token = self.peek()
+        return token.kind == kind and (text is None or token.text == text)
+
+    def accept(self, kind: str, text: str | None = None) -> Token | None:
+        if self.check(kind, text):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, text: str | None = None) -> Token:
+        if not self.check(kind, text):
+            token = self.peek()
+            expected = text if text is not None else kind
+            raise MiniCSyntaxError(
+                f"expected {expected!r} but found {token.text!r}", token.line, token.column
+            )
+        return self.advance()
+
+    def loc(self) -> ast.Location:
+        token = self.peek()
+        return ast.Location(token.line, token.column)
+
+    # -- types -----------------------------------------------------------------
+
+    def at_type(self) -> bool:
+        token = self.peek()
+        if token.kind != "keyword":
+            return False
+        return token.text in _TYPE_KEYWORDS or token.text in _QUALIFIERS
+
+    def parse_base_type(self) -> CType:
+        """Parse qualifiers and a base type name (no pointer suffixes)."""
+        while self.peek().kind == "keyword" and self.peek().text in _QUALIFIERS:
+            self.advance()
+        words: list[str] = []
+        while self.peek().kind == "keyword" and self.peek().text in _TYPE_KEYWORDS:
+            words.append(self.advance().text)
+        if not words:
+            token = self.peek()
+            raise MiniCSyntaxError(f"expected a type but found {token.text!r}", token.line, token.column)
+        if words == ["void"]:
+            return VOID
+        normalized = " ".join(word for word in words if word != "signed") or "int"
+        try:
+            return type_from_name(normalized)
+        except ValueError as exc:
+            token = self.peek()
+            raise MiniCSyntaxError(str(exc), token.line, token.column) from None
+
+    def parse_pointer_suffix(self, base: CType) -> CType:
+        result = base
+        while self.accept("op", "*"):
+            result = PointerType(result)
+        return result
+
+    # -- top level ---------------------------------------------------------------
+
+    def parse_translation_unit(self) -> ast.TranslationUnit:
+        unit = ast.TranslationUnit(loc=self.loc())
+        while not self.check("eof"):
+            if self.check("op", ";"):
+                self.advance()
+                continue
+            unit.decls.append(self.parse_external_declaration())
+        return unit
+
+    def parse_external_declaration(self) -> ast.Node:
+        start = self.loc()
+        base = self.parse_base_type()
+        declared_type = self.parse_pointer_suffix(base)
+        name_token = self.expect("ident")
+
+        if self.check("op", "("):
+            return self.parse_function_rest(declared_type, name_token, start)
+
+        # A global declaration (possibly a comma-separated list).
+        decl_stmt = ast.DeclStmt(decls=[], loc=start)
+        decl_stmt.decls.append(self.parse_declarator_rest(base, declared_type, name_token, is_global=True))
+        while self.accept("op", ","):
+            pointer_type = self.parse_pointer_suffix(base)
+            next_name = self.expect("ident")
+            decl_stmt.decls.append(self.parse_declarator_rest(base, pointer_type, next_name, is_global=True))
+        self.expect("op", ";")
+        return decl_stmt
+
+    def parse_declarator_rest(
+        self, base: CType, declared_type: CType, name_token: Token, is_global: bool = False
+    ) -> ast.VarDecl:
+        """Parse array suffixes and an optional initializer for one declarator."""
+        var_type = declared_type
+        if self.accept("op", "["):
+            size_token = self.expect("number")
+            self.expect("op", "]")
+            var_type = ArrayType(declared_type, int(size_token.value))
+        decl = ast.VarDecl(
+            name=name_token.text,
+            var_type=var_type,
+            is_global=is_global,
+            loc=ast.Location(name_token.line, name_token.column),
+        )
+        if self.accept("op", "="):
+            if self.check("op", "{"):
+                self.advance()
+                items: list[ast.Expr] = []
+                if not self.check("op", "}"):
+                    items.append(self.parse_assignment())
+                    while self.accept("op", ","):
+                        if self.check("op", "}"):
+                            break
+                        items.append(self.parse_assignment())
+                self.expect("op", "}")
+                decl.init_list = items
+            else:
+                decl.init = self.parse_assignment()
+        return decl
+
+    def parse_function_rest(
+        self, return_type: CType, name_token: Token, start: ast.Location
+    ) -> ast.Node:
+        self.expect("op", "(")
+        params: list[ast.VarDecl] = []
+        if not self.check("op", ")"):
+            if self.check("keyword", "void") and self.peek(1).kind == "op" and self.peek(1).text == ")":
+                self.advance()
+            else:
+                params.append(self.parse_parameter())
+                while self.accept("op", ","):
+                    params.append(self.parse_parameter())
+        self.expect("op", ")")
+
+        if self.accept("op", ";"):
+            # A prototype: keep it as a function with an empty body marker so
+            # the printer can reproduce it; the interpreter/compiler ignore it.
+            return ast.FunctionDef(
+                name=name_token.text,
+                return_type=return_type,
+                params=params,
+                body=ast.Block(items=[]),
+                loc=start,
+            )
+
+        body = self.parse_block()
+        return ast.FunctionDef(
+            name=name_token.text,
+            return_type=return_type,
+            params=params,
+            body=body,
+            loc=start,
+        )
+
+    def parse_parameter(self) -> ast.VarDecl:
+        base = self.parse_base_type()
+        param_type = self.parse_pointer_suffix(base)
+        name_token = self.expect("ident")
+        if self.accept("op", "["):
+            # Array parameters decay to pointers.
+            if self.check("number"):
+                self.advance()
+            self.expect("op", "]")
+            param_type = PointerType(param_type)
+        return ast.VarDecl(
+            name=name_token.text,
+            var_type=param_type,
+            is_param=True,
+            loc=ast.Location(name_token.line, name_token.column),
+        )
+
+    # -- statements -----------------------------------------------------------------
+
+    def parse_block(self) -> ast.Block:
+        start = self.loc()
+        self.expect("op", "{")
+        block = ast.Block(items=[], loc=start)
+        while not self.check("op", "}"):
+            if self.check("eof"):
+                raise MiniCSyntaxError("unterminated block", start.line, start.column)
+            block.items.append(self.parse_statement())
+        self.expect("op", "}")
+        return block
+
+    def parse_declaration_statement(self) -> ast.DeclStmt:
+        start = self.loc()
+        base = self.parse_base_type()
+        decl_stmt = ast.DeclStmt(decls=[], loc=start)
+        pointer_type = self.parse_pointer_suffix(base)
+        name_token = self.expect("ident")
+        decl_stmt.decls.append(self.parse_declarator_rest(base, pointer_type, name_token))
+        while self.accept("op", ","):
+            pointer_type = self.parse_pointer_suffix(base)
+            name_token = self.expect("ident")
+            decl_stmt.decls.append(self.parse_declarator_rest(base, pointer_type, name_token))
+        self.expect("op", ";")
+        return decl_stmt
+
+    def parse_statement(self) -> ast.Stmt:
+        start = self.loc()
+
+        if self.check("op", "{"):
+            return self.parse_block()
+        if self.check("op", ";"):
+            self.advance()
+            return ast.Empty(loc=start)
+        if self.at_type():
+            return self.parse_declaration_statement()
+        if self.check("keyword", "if"):
+            self.advance()
+            self.expect("op", "(")
+            condition = self.parse_expression()
+            self.expect("op", ")")
+            then_branch = self.parse_statement()
+            else_branch = None
+            if self.accept("keyword", "else"):
+                else_branch = self.parse_statement()
+            return ast.If(condition, then_branch, else_branch, loc=start)
+        if self.check("keyword", "while"):
+            self.advance()
+            self.expect("op", "(")
+            condition = self.parse_expression()
+            self.expect("op", ")")
+            body = self.parse_statement()
+            return ast.While(condition, body, loc=start)
+        if self.check("keyword", "do"):
+            self.advance()
+            body = self.parse_statement()
+            self.expect("keyword", "while")
+            self.expect("op", "(")
+            condition = self.parse_expression()
+            self.expect("op", ")")
+            self.expect("op", ";")
+            return ast.DoWhile(body, condition, loc=start)
+        if self.check("keyword", "for"):
+            self.advance()
+            self.expect("op", "(")
+            init: ast.Stmt | None
+            if self.check("op", ";"):
+                self.advance()
+                init = None
+            elif self.at_type():
+                init = self.parse_declaration_statement()
+            else:
+                expr = self.parse_expression()
+                self.expect("op", ";")
+                init = ast.ExprStmt(expr, loc=start)
+            condition = None
+            if not self.check("op", ";"):
+                condition = self.parse_expression()
+            self.expect("op", ";")
+            step = None
+            if not self.check("op", ")"):
+                step = self.parse_expression()
+            self.expect("op", ")")
+            body = self.parse_statement()
+            return ast.For(init, condition, step, body, loc=start)
+        if self.check("keyword", "return"):
+            self.advance()
+            value = None
+            if not self.check("op", ";"):
+                value = self.parse_expression()
+            self.expect("op", ";")
+            return ast.Return(value, loc=start)
+        if self.check("keyword", "break"):
+            self.advance()
+            self.expect("op", ";")
+            return ast.Break(loc=start)
+        if self.check("keyword", "continue"):
+            self.advance()
+            self.expect("op", ";")
+            return ast.Continue(loc=start)
+        if self.check("keyword", "goto"):
+            self.advance()
+            label = self.expect("ident").text
+            self.expect("op", ";")
+            return ast.Goto(label, loc=start)
+        # Label: identifier ':' statement  (but not the ternary "a ? b : c").
+        if self.check("ident") and self.peek(1).kind == "op" and self.peek(1).text == ":":
+            name = self.advance().text
+            self.advance()  # ':'
+            if self.check("op", "}"):
+                # A label at the end of a block labels the empty statement.
+                return ast.Label(name, ast.Empty(loc=start), loc=start)
+            return ast.Label(name, self.parse_statement(), loc=start)
+
+        expr = self.parse_expression()
+        self.expect("op", ";")
+        return ast.ExprStmt(expr, loc=start)
+
+    # -- expressions -----------------------------------------------------------------
+
+    def parse_expression(self) -> ast.Expr:
+        """Top-level expression: assignment, optionally chained with commas."""
+        expr = self.parse_assignment()
+        while self.check("op", ",") and self._comma_is_operator():
+            self.advance()
+            right = self.parse_assignment()
+            expr = ast.Binary(",", expr, right, loc=expr.loc)
+        return expr
+
+    def _comma_is_operator(self) -> bool:
+        # Inside call argument lists parse_assignment is used directly, so any
+        # comma seen by parse_expression is the comma operator.
+        return True
+
+    def parse_assignment(self) -> ast.Expr:
+        start = self.loc()
+        left = self.parse_conditional()
+        token = self.peek()
+        if token.kind == "op" and token.text in _ASSIGN_OPS:
+            self.advance()
+            right = self.parse_assignment()
+            return ast.Assignment(token.text, left, right, loc=start)
+        return left
+
+    def parse_conditional(self) -> ast.Expr:
+        start = self.loc()
+        condition = self.parse_logical_or()
+        if self.accept("op", "?"):
+            then_expr = self.parse_expression()
+            self.expect("op", ":")
+            else_expr = self.parse_conditional()
+            return ast.Conditional(condition, then_expr, else_expr, loc=start)
+        return condition
+
+    def _binary_level(self, operators: tuple[str, ...], next_level) -> ast.Expr:
+        start = self.loc()
+        left = next_level()
+        while self.peek().kind == "op" and self.peek().text in operators:
+            op = self.advance().text
+            right = next_level()
+            left = ast.Binary(op, left, right, loc=start)
+        return left
+
+    def parse_logical_or(self) -> ast.Expr:
+        return self._binary_level(("||",), self.parse_logical_and)
+
+    def parse_logical_and(self) -> ast.Expr:
+        return self._binary_level(("&&",), self.parse_bit_or)
+
+    def parse_bit_or(self) -> ast.Expr:
+        return self._binary_level(("|",), self.parse_bit_xor)
+
+    def parse_bit_xor(self) -> ast.Expr:
+        return self._binary_level(("^",), self.parse_bit_and)
+
+    def parse_bit_and(self) -> ast.Expr:
+        return self._binary_level(("&",), self.parse_equality)
+
+    def parse_equality(self) -> ast.Expr:
+        return self._binary_level(("==", "!="), self.parse_relational)
+
+    def parse_relational(self) -> ast.Expr:
+        return self._binary_level(("<", "<=", ">", ">="), self.parse_shift)
+
+    def parse_shift(self) -> ast.Expr:
+        return self._binary_level(("<<", ">>"), self.parse_additive)
+
+    def parse_additive(self) -> ast.Expr:
+        return self._binary_level(("+", "-"), self.parse_multiplicative)
+
+    def parse_multiplicative(self) -> ast.Expr:
+        return self._binary_level(("*", "/", "%"), self.parse_unary)
+
+    def parse_unary(self) -> ast.Expr:
+        start = self.loc()
+        token = self.peek()
+        if token.kind == "op" and token.text in ("++", "--"):
+            self.advance()
+            operand = self.parse_unary()
+            return ast.Unary(token.text, operand, postfix=False, loc=start)
+        if token.kind == "op" and token.text in ("-", "+", "!", "~", "*", "&"):
+            self.advance()
+            operand = self.parse_unary()
+            return ast.Unary(token.text, operand, postfix=False, loc=start)
+        if token.kind == "keyword" and token.text == "sizeof":
+            self.advance()
+            self.expect("op", "(")
+            if self.at_type():
+                base = self.parse_base_type()
+                sized = self.parse_pointer_suffix(base)
+                self.expect("op", ")")
+                return ast.IntLiteral(_sizeof(sized), loc=start)
+            inner = self.parse_expression()
+            self.expect("op", ")")
+            # sizeof(expr): conservatively size as int; the operand is dropped.
+            _ = inner
+            return ast.IntLiteral(4, loc=start)
+        # Cast: '(' type ')' unary
+        if token.kind == "op" and token.text == "(" and self.peek(1).kind == "keyword" and self.peek(1).text in _TYPE_KEYWORDS | _QUALIFIERS:
+            self.advance()
+            base = self.parse_base_type()
+            target = self.parse_pointer_suffix(base)
+            self.expect("op", ")")
+            operand = self.parse_unary()
+            return ast.Cast(target, operand, loc=start)
+        return self.parse_postfix()
+
+    def parse_postfix(self) -> ast.Expr:
+        start = self.loc()
+        expr = self.parse_primary()
+        while True:
+            if self.check("op", "["):
+                self.advance()
+                index = self.parse_expression()
+                self.expect("op", "]")
+                expr = ast.Index(expr, index, loc=start)
+                continue
+            if self.check("op", "("):
+                if not isinstance(expr, ast.Identifier):
+                    token = self.peek()
+                    raise MiniCSyntaxError(
+                        "only direct calls of named functions are supported",
+                        token.line,
+                        token.column,
+                    )
+                self.advance()
+                args: list[ast.Expr] = []
+                if not self.check("op", ")"):
+                    args.append(self.parse_assignment())
+                    while self.accept("op", ","):
+                        args.append(self.parse_assignment())
+                self.expect("op", ")")
+                expr = ast.Call(expr.name, args, loc=start)
+                continue
+            if self.check("op", "++") or self.check("op", "--"):
+                op = self.advance().text
+                expr = ast.Unary(op, expr, postfix=True, loc=start)
+                continue
+            break
+        return expr
+
+    def parse_primary(self) -> ast.Expr:
+        token = self.peek()
+        start = self.loc()
+        if token.kind == "number":
+            self.advance()
+            suffix = "".join(ch for ch in token.text.lower() if ch in "ul")
+            return ast.IntLiteral(int(token.value), suffix=suffix, loc=start)
+        if token.kind == "char":
+            self.advance()
+            return ast.CharLiteral(int(token.value), text=token.text, loc=start)
+        if token.kind == "string":
+            self.advance()
+            return ast.StringLiteral(str(token.value), loc=start)
+        if token.kind == "ident":
+            self.advance()
+            return ast.Identifier(token.text, loc=start)
+        if token.kind == "op" and token.text == "(":
+            self.advance()
+            inner = self.parse_expression()
+            self.expect("op", ")")
+            return inner
+        raise MiniCSyntaxError(
+            f"unexpected token {token.text!r} in expression", token.line, token.column
+        )
+
+
+def _sizeof(ctype: CType) -> int:
+    if isinstance(ctype, IntType):
+        return ctype.bits // 8
+    if isinstance(ctype, PointerType):
+        return 8
+    if isinstance(ctype, ArrayType):
+        return ctype.size * _sizeof(ctype.base)
+    return 1
+
+
+def parse(source: str) -> ast.TranslationUnit:
+    """Parse mini-C source text into a :class:`~repro.minic.ast.TranslationUnit`."""
+    return _Parser(tokenize(source)).parse_translation_unit()
+
+
+__all__ = ["parse"]

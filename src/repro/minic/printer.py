@@ -1,0 +1,222 @@
+"""Pretty-printer: mini-C AST back to compilable C source.
+
+Used by skeleton realization (every enumerated variant is rendered to source
+before being handed to a compiler under test), by the mutation baseline, and
+by the bug reporter.  The output parses back to an equivalent AST, a property
+the round-trip tests check.
+"""
+
+from __future__ import annotations
+
+from repro.minic import ast
+from repro.minic.ctypes import ArrayType, CType, PointerType
+
+
+def _declaration_text(name: str, ctype: CType) -> str:
+    """Render ``ctype name`` handling pointer and array declarators."""
+    if isinstance(ctype, ArrayType):
+        return f"{_declaration_text(name, ctype.base)}[{ctype.size}]"
+    if isinstance(ctype, PointerType):
+        base = ctype.base
+        stars = "*"
+        while isinstance(base, PointerType):
+            stars += "*"
+            base = base.base
+        return f"{base.spelling()} {stars}{name}"
+    return f"{ctype.spelling()} {name}"
+
+
+_PRECEDENCE = {
+    ",": 1,
+    "||": 4,
+    "&&": 5,
+    "|": 6,
+    "^": 7,
+    "&": 8,
+    "==": 9,
+    "!=": 9,
+    "<": 10,
+    "<=": 10,
+    ">": 10,
+    ">=": 10,
+    "<<": 11,
+    ">>": 11,
+    "+": 12,
+    "-": 12,
+    "*": 13,
+    "/": 13,
+    "%": 13,
+}
+
+
+def expr_to_source(expr: ast.Expr) -> str:
+    """Render an expression; parenthesises conservatively for re-parseability."""
+    if isinstance(expr, ast.Identifier):
+        return expr.name
+    if isinstance(expr, ast.IntLiteral):
+        return f"{expr.value}{expr.suffix.upper()}"
+    if isinstance(expr, ast.CharLiteral):
+        return expr.text or str(expr.value)
+    if isinstance(expr, ast.StringLiteral):
+        escaped = expr.value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n").replace("\t", "\\t").replace("\0", "\\0")
+        return f'"{escaped}"'
+    if isinstance(expr, ast.Unary):
+        operand = expr_to_source(expr.operand)
+        if not isinstance(expr.operand, (ast.Identifier, ast.IntLiteral, ast.CharLiteral, ast.Index, ast.Call)):
+            operand = f"({operand})"
+        if expr.postfix:
+            return f"{operand}{expr.op}"
+        separator = " " if expr.op in ("-", "+", "&", "*") else ""
+        return f"{expr.op}{separator}{operand}"
+    if isinstance(expr, ast.Binary):
+        left = expr_to_source(expr.left)
+        right = expr_to_source(expr.right)
+        if isinstance(expr.left, (ast.Binary, ast.Assignment, ast.Conditional)):
+            left = f"({left})"
+        if isinstance(expr.right, (ast.Binary, ast.Assignment, ast.Conditional)):
+            right = f"({right})"
+        operator = ", " if expr.op == "," else f" {expr.op} "
+        return f"{left}{operator}{right}".replace(", ,", ",")
+    if isinstance(expr, ast.Assignment):
+        target = expr_to_source(expr.target)
+        value = expr_to_source(expr.value)
+        return f"{target} {expr.op} {value}"
+    if isinstance(expr, ast.Conditional):
+        condition = expr_to_source(expr.condition)
+        then_expr = expr_to_source(expr.then_expr)
+        else_expr = expr_to_source(expr.else_expr)
+        if isinstance(expr.condition, (ast.Assignment, ast.Conditional)):
+            condition = f"({condition})"
+        return f"{condition} ? {then_expr} : ({else_expr})"
+    if isinstance(expr, ast.Call):
+        args = ", ".join(expr_to_source(arg) for arg in expr.args)
+        return f"{expr.callee}({args})"
+    if isinstance(expr, ast.Index):
+        base = expr_to_source(expr.base)
+        if not isinstance(expr.base, (ast.Identifier, ast.Index, ast.Call)):
+            base = f"({base})"
+        return f"{base}[{expr_to_source(expr.index)}]"
+    if isinstance(expr, ast.Cast):
+        operand = expr_to_source(expr.operand)
+        if not isinstance(expr.operand, (ast.Identifier, ast.IntLiteral, ast.CharLiteral)):
+            operand = f"({operand})"
+        return f"({expr.target_type.spelling()}) {operand}"
+    raise TypeError(f"cannot print expression {expr!r}")
+
+
+def _var_decl_to_source(decl: ast.VarDecl) -> str:
+    text = _declaration_text(decl.name, decl.var_type)
+    if decl.init is not None:
+        text += f" = {expr_to_source(decl.init)}"
+    elif decl.init_list is not None:
+        items = ", ".join(expr_to_source(item) for item in decl.init_list)
+        text += f" = {{{items}}}"
+    return text
+
+
+def _decl_stmt_to_source(stmt: ast.DeclStmt) -> str:
+    if not stmt.decls:
+        return ";"
+    # Group declarators that share the same base type into one line when they
+    # were written that way; printing each separately is always correct and
+    # simpler, so we print one declaration per declarator.
+    return "; ".join(_var_decl_to_source(decl) for decl in stmt.decls) + ";"
+
+
+def _stmt_lines(stmt: ast.Stmt, indent: int) -> list[str]:
+    pad = "    " * indent
+    if isinstance(stmt, ast.Block):
+        lines = [f"{pad}{{"]
+        for item in stmt.items:
+            lines.extend(_stmt_lines(item, indent + 1))
+        lines.append(f"{pad}}}")
+        return lines
+    if isinstance(stmt, ast.DeclStmt):
+        return [f"{pad}{_var_decl_to_source(decl)};" for decl in stmt.decls]
+    if isinstance(stmt, ast.ExprStmt):
+        return [f"{pad}{expr_to_source(stmt.expr)};"]
+    if isinstance(stmt, ast.Empty):
+        return [f"{pad};"]
+    if isinstance(stmt, ast.If):
+        lines = [f"{pad}if ({expr_to_source(stmt.condition)})"]
+        lines.extend(_branch_lines(stmt.then_branch, indent))
+        if stmt.else_branch is not None:
+            lines.append(f"{pad}else")
+            lines.extend(_branch_lines(stmt.else_branch, indent))
+        return lines
+    if isinstance(stmt, ast.While):
+        lines = [f"{pad}while ({expr_to_source(stmt.condition)})"]
+        lines.extend(_branch_lines(stmt.body, indent))
+        return lines
+    if isinstance(stmt, ast.DoWhile):
+        lines = [f"{pad}do"]
+        lines.extend(_branch_lines(stmt.body, indent))
+        lines.append(f"{pad}while ({expr_to_source(stmt.condition)});")
+        return lines
+    if isinstance(stmt, ast.For):
+        if stmt.init is None:
+            init = ";"
+        elif isinstance(stmt.init, ast.DeclStmt):
+            init = _decl_stmt_to_source(stmt.init)
+        else:
+            init = f"{expr_to_source(stmt.init.expr)};"
+        condition = expr_to_source(stmt.condition) if stmt.condition is not None else ""
+        step = expr_to_source(stmt.step) if stmt.step is not None else ""
+        lines = [f"{pad}for ({init} {condition}; {step})"]
+        lines.extend(_branch_lines(stmt.body, indent))
+        return lines
+    if isinstance(stmt, ast.Return):
+        if stmt.value is None:
+            return [f"{pad}return;"]
+        return [f"{pad}return {expr_to_source(stmt.value)};"]
+    if isinstance(stmt, ast.Break):
+        return [f"{pad}break;"]
+    if isinstance(stmt, ast.Continue):
+        return [f"{pad}continue;"]
+    if isinstance(stmt, ast.Goto):
+        return [f"{pad}goto {stmt.label};"]
+    if isinstance(stmt, ast.Label):
+        lines = [f"{pad}{stmt.name}:"]
+        lines.extend(_stmt_lines(stmt.statement, indent))
+        return lines
+    raise TypeError(f"cannot print statement {stmt!r}")
+
+
+def _branch_lines(stmt: ast.Stmt, indent: int) -> list[str]:
+    """Print the body of an if/while/for; blocks stay at the same indent level."""
+    if isinstance(stmt, ast.Block):
+        return _stmt_lines(stmt, indent)
+    return _stmt_lines(stmt, indent + 1)
+
+
+def to_source(node: ast.Node) -> str:
+    """Render a translation unit (or any single statement) to C source."""
+    if isinstance(node, ast.TranslationUnit):
+        chunks: list[str] = []
+        for decl in node.decls:
+            if isinstance(decl, ast.DeclStmt):
+                chunks.extend(_stmt_lines(decl, 0))
+            elif isinstance(decl, ast.FunctionDef):
+                params = ", ".join(
+                    _declaration_text(param.name, param.var_type) for param in decl.params
+                )
+                if not params:
+                    params = "void"
+                header = f"{_declaration_text(decl.name, decl.return_type)}({params})"
+                if not decl.body.items and decl.body.loc.line == 0:
+                    chunks.append(f"{header};")
+                else:
+                    chunks.append(header)
+                    chunks.extend(_stmt_lines(decl.body, 0))
+                chunks.append("")
+            else:  # pragma: no cover - defensive
+                raise TypeError(f"cannot print top-level node {decl!r}")
+        return "\n".join(chunks).rstrip("\n") + "\n"
+    if isinstance(node, ast.Stmt):
+        return "\n".join(_stmt_lines(node, 0)) + "\n"
+    if isinstance(node, ast.Expr):
+        return expr_to_source(node)
+    raise TypeError(f"cannot print node {node!r}")
+
+
+__all__ = ["expr_to_source", "to_source"]

@@ -1,0 +1,122 @@
+"""Skeleton extraction for mini-C programs.
+
+Every resolved variable use becomes a hole (paper Section 3.1); the hole's
+candidate variable set is "variables of the same type visible at the use's
+scope", exactly the compact-alpha-renaming discipline of Section 3.2.2.
+
+Realization clones the AST, rewrites the identifier occurrences according to
+the characteristic vector and pretty-prints the result, so every enumerated
+variant is a complete, compilable C program.
+
+Precondition: within every scope, declarations of a (scope, type) variable
+group must precede any hole that can see the group (the usual
+"declaration before use" discipline of the GCC test-suite programs we
+mirror).  ``extract_skeleton`` verifies this and raises
+:class:`~repro.minic.errors.MiniCError` otherwise so that the campaign
+harness can skip such files, never emitting use-before-declaration C.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Sequence
+
+from repro.core.holes import CharacteristicVector, Hole, Skeleton
+from repro.minic import ast
+from repro.minic.errors import MiniCError
+from repro.minic.parser import parse
+from repro.minic.printer import to_source
+from repro.minic.symbols import SymbolTable, resolve
+
+
+def extract_skeleton(source_or_unit: str | ast.TranslationUnit, name: str = "<minic>") -> Skeleton:
+    """Build a :class:`~repro.core.holes.Skeleton` from mini-C source or AST.
+
+    Args:
+        source_or_unit: C source text or an already-parsed translation unit.
+        name: label for the skeleton (usually the file name).
+
+    Returns:
+        A skeleton whose ``realize`` renders complete C source for any
+        characteristic vector.
+
+    Raises:
+        MiniCError: on parse/resolution errors or when the
+            declaration-before-use precondition is violated.
+    """
+    if isinstance(source_or_unit, str):
+        unit = parse(source_or_unit)
+    else:
+        unit = copy.deepcopy(source_or_unit)
+    table = resolve(unit)
+    declaration_order_clean = _declaration_order_clean(table)
+
+    holes: list[Hole] = []
+    for index, use in enumerate(table.uses):
+        holes.append(
+            Hole(
+                index=index,
+                scope_id=use.scope_id,
+                type=use.decl.var_type.spelling(),
+                original_name=use.decl.name,
+                function=use.function,
+                location=f"{name}:{use.node.loc.line}:{use.node.loc.column}",
+            )
+        )
+
+    original_vector = CharacteristicVector(use.decl.name for use in table.uses)
+
+    def realize(vector: Sequence[str]) -> str:
+        clone = copy.deepcopy(unit)
+        identifiers = [node for node in clone.walk() if isinstance(node, ast.Identifier)]
+        if len(identifiers) != len(vector):
+            raise MiniCError(
+                f"internal error: {len(identifiers)} identifier occurrences but "
+                f"{len(vector)} vector entries for skeleton {name!r}"
+            )
+        for identifier, new_name in zip(identifiers, vector):
+            identifier.name = new_name
+        return to_source(clone)
+
+    skeleton = Skeleton(
+        name=name,
+        holes=holes,
+        scope_tree=table.scope_tree,
+        original_vector=original_vector,
+        realize_fn=realize,
+        metadata={
+            "language": "minic",
+            "functions": list(table.functions),
+            # False when some hole precedes a same-scope same-type declaration;
+            # such skeletons can realize use-before-declaration variants, which
+            # the testing oracle rejects and skips (see module docstring).
+            "declaration_order_clean": declaration_order_clean,
+        },
+    )
+    # Sanity: the original program must realize the skeleton (Definition 1).
+    skeleton.validate_vector(original_vector)
+    return skeleton
+
+
+def _declaration_order_clean(table: SymbolTable) -> bool:
+    """True when every hole follows all same-scope same-type declarations.
+
+    When False, some fillings use a variable before its declaration line;
+    those variants are still enumerated (the paper's model treats a scope's
+    variables as one symmetric group) but are rejected by the mini-C frontend
+    when realized, so the testing harness simply skips them.
+    """
+    tree = table.scope_tree
+    declarations_by_scope = table.declarations
+    for use in table.uses:
+        use_type = use.decl.var_type.spelling()
+        for scope_id in tree.ancestors(use.scope_id):
+            for decl in declarations_by_scope.get(scope_id, []):
+                if decl.var_type.spelling() != use_type:
+                    continue
+                if table.declaration_order[id(decl)] > use.order:
+                    return False
+    return True
+
+
+__all__ = ["extract_skeleton"]

@@ -1,0 +1,36 @@
+"""The compiler-testing harness: differential testing of enumerated programs.
+
+* :mod:`repro.testing.oracle` -- test one program against one compiler
+  configuration: crash detection, UB filtering via the reference interpreter,
+  wrong-code detection by comparing observable behaviour;
+* :mod:`repro.testing.bugs` -- bug records, deduplication by signature, and
+  the classification summaries Tables 3/4 and Figure 10 report;
+* :mod:`repro.testing.harness` -- the campaign driver: enumerate variants of
+  many skeletons (SPE or naive), test them against a matrix of compiler
+  configurations, aggregate bugs/coverage/statistics;
+* :mod:`repro.testing.coverage` -- pass-event coverage measurement
+  (the Figure 9 metric);
+* :mod:`repro.testing.mutation` -- the Orion-style statement-deletion
+  baseline (PM-X in Figure 9);
+* :mod:`repro.testing.reducer` -- delta-debugging reduction of bug-triggering
+  programs before "reporting" them.
+"""
+
+from repro.testing.bugs import BugDatabase, BugKind, BugReport
+from repro.testing.harness import Campaign, CampaignConfig, CampaignResult, test_program
+from repro.testing.oracle import DifferentialOracle, Observation, ObservationKind
+from repro.testing.reducer import reduce_program
+
+__all__ = [
+    "BugDatabase",
+    "BugKind",
+    "BugReport",
+    "Campaign",
+    "CampaignConfig",
+    "CampaignResult",
+    "DifferentialOracle",
+    "Observation",
+    "ObservationKind",
+    "reduce_program",
+    "test_program",
+]

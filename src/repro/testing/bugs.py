@@ -1,0 +1,187 @@
+"""Bug records, deduplication and classification.
+
+A :class:`BugReport` is what the campaign "files": the reduced trigger
+program plus the metadata the paper aggregates (compiler, component,
+priority, affected versions, optimization level, crash vs wrong-code vs
+performance).  :class:`BugDatabase` deduplicates reports by signature --
+mirroring the paper's practice of reporting each distinct symptom once -- and
+produces the summary dictionaries the Table 4 / Figure 10 experiments render.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.compiler.pipeline import OptimizationLevel
+from repro.compiler.versions import affected_versions, get_version
+from repro.testing.oracle import Observation, ObservationKind
+
+
+class BugKind(enum.Enum):
+    CRASH = "crash"
+    WRONG_CODE = "wrong code"
+    PERFORMANCE = "performance"
+
+    @staticmethod
+    def from_observation(kind: ObservationKind) -> "BugKind":
+        return {
+            ObservationKind.CRASH: BugKind.CRASH,
+            ObservationKind.WRONG_CODE: BugKind.WRONG_CODE,
+            ObservationKind.PERFORMANCE: BugKind.PERFORMANCE,
+        }[kind]
+
+
+@dataclass
+class BugReport:
+    """One deduplicated bug report."""
+
+    id: int
+    kind: BugKind
+    compiler: str
+    lineage: str
+    opt_level: OptimizationLevel
+    signature: str
+    test_program: str
+    source_name: str
+    component: str = "unknown"
+    priority: str = "P3"
+    fault_ids: list[str] = field(default_factory=list)
+    affected_versions: list[str] = field(default_factory=list)
+    duplicate_count: int = 0
+
+    def summary_line(self) -> str:
+        return (
+            f"[{self.id:03d}] {self.lineage} {self.kind.value:>11} {self.priority} "
+            f"{str(self.opt_level):>4} {self.component:<18} {self.signature[:70]}"
+        )
+
+
+@dataclass
+class BugDatabase:
+    """Deduplicated collection of bug reports found by a campaign."""
+
+    reports: list[BugReport] = field(default_factory=list)
+    _by_key: dict[tuple, BugReport] = field(default_factory=dict)
+
+    def record(self, observation: Observation) -> BugReport | None:
+        """Record an observation; returns the (new or existing) report, or None."""
+        if not observation.is_bug:
+            return None
+        kind = BugKind.from_observation(observation.kind)
+        lineage = get_version(observation.compiler).lineage
+        key = self._dedup_key(observation, kind, lineage)
+        if key in self._by_key:
+            self._by_key[key].duplicate_count += 1
+            return self._by_key[key]
+
+        component, priority, faults, affected = self._fault_metadata(observation, lineage)
+        report = BugReport(
+            id=len(self.reports) + 1,
+            kind=kind,
+            compiler=observation.compiler,
+            lineage=lineage,
+            opt_level=observation.opt_level,
+            signature=observation.signature,
+            test_program=observation.program,
+            source_name=observation.source_name,
+            component=component,
+            priority=priority,
+            fault_ids=faults,
+            affected_versions=affected,
+        )
+        self.reports.append(report)
+        self._by_key[key] = report
+        return report
+
+    # -- classification summaries -----------------------------------------------------
+
+    def by_kind(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for report in self.reports:
+            counts[report.kind.value] = counts.get(report.kind.value, 0) + 1
+        return counts
+
+    def by_lineage(self) -> dict[str, list[BugReport]]:
+        grouped: dict[str, list[BugReport]] = {}
+        for report in self.reports:
+            grouped.setdefault(report.lineage, []).append(report)
+        return grouped
+
+    def by_component(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for report in self.reports:
+            counts[report.component] = counts.get(report.component, 0) + 1
+        return counts
+
+    def by_priority(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for report in self.reports:
+            counts[report.priority] = counts.get(report.priority, 0) + 1
+        return counts
+
+    def by_opt_level(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for report in self.reports:
+            counts[str(report.opt_level)] = counts.get(str(report.opt_level), 0) + 1
+        return counts
+
+    def by_affected_version(self, lineage: str = "scc") -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for report in self.reports:
+            if report.lineage != lineage:
+                continue
+            for version in report.affected_versions:
+                counts[version] = counts.get(version, 0) + 1
+        return counts
+
+    def crash_signatures(self) -> list[str]:
+        return [report.signature for report in self.reports if report.kind is BugKind.CRASH]
+
+    def __len__(self) -> int:
+        return len(self.reports)
+
+    # -- internals ---------------------------------------------------------------------
+
+    @staticmethod
+    def _dedup_key(observation: Observation, kind: BugKind, lineage: str) -> tuple:
+        if kind is BugKind.CRASH:
+            # Crash signatures are stable; strip the per-program detail suffix.
+            base = observation.signature.split(" (")[0]
+            return (lineage, kind.value, base)
+        if observation.triggered_faults:
+            return (lineage, kind.value, tuple(sorted(observation.triggered_faults)))
+        return (lineage, kind.value, observation.source_name)
+
+    @staticmethod
+    def _fault_metadata(observation: Observation, lineage: str) -> tuple[str, str, list[str], list[str]]:
+        version = get_version(observation.compiler)
+        component = "unknown"
+        priority = "P3"
+        affected: list[str] = []
+        fault_ids = list(observation.triggered_faults)
+        # Prefer the fault whose kind matches the observation.
+        matching = [
+            fault
+            for fault in version.faults
+            if fault.id in fault_ids and fault.kind.value == BugKind.from_observation(observation.kind).value
+        ]
+        if not matching and observation.kind is ObservationKind.CRASH:
+            matching = [
+                fault
+                for fault in version.faults
+                if fault.crash_signature and fault.crash_signature in observation.signature
+            ]
+        if matching:
+            fault = matching[0]
+            component = fault.component
+            priority = fault.priority
+            affected = affected_versions(fault.id, lineage=lineage)
+            if fault.id not in fault_ids:
+                fault_ids.append(fault.id)
+        else:
+            affected = [observation.compiler]
+        return component, priority, fault_ids, affected
+
+
+__all__ = ["BugDatabase", "BugKind", "BugReport"]

@@ -1,0 +1,202 @@
+"""The campaign harness: SPE over a corpus against a matrix of compilers.
+
+``Campaign`` is the top-level driver the experiments use:
+
+1. for every seed program, extract the skeleton and count its canonical
+   variants; skip files above the enumeration threshold (paper Section 5.2.1);
+2. enumerate variants (SPE by default; the naive enumerator is available for
+   the ablation) and test each against every configured compiler
+   configuration through the :class:`~repro.testing.oracle.DifferentialOracle`;
+3. deduplicate bug observations into a :class:`~repro.testing.bugs.BugDatabase`
+   (optionally reducing the trigger program first) and accumulate statistics.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.compiler.pipeline import OptimizationLevel
+from repro.core.holes import Skeleton
+from repro.core.naive import NaiveSkeletonEnumerator
+from repro.core.spe import EnumerationBudget, SkeletonEnumerator
+from repro.core.problem import Granularity
+from repro.minic.errors import MiniCError
+from repro.minic.skeleton import extract_skeleton
+from repro.testing.bugs import BugDatabase, BugReport
+from repro.testing.oracle import DifferentialOracle, Observation, ObservationKind
+from repro.testing.reducer import reduce_program
+
+
+@dataclass
+class CampaignConfig:
+    """Configuration of one testing campaign."""
+
+    versions: list[str] = field(default_factory=lambda: ["scc-trunk", "lcc-trunk"])
+    opt_levels: list[OptimizationLevel] = field(
+        default_factory=lambda: [OptimizationLevel.O0, OptimizationLevel.O3]
+    )
+    machine_bits: list[int] = field(default_factory=lambda: [64])
+    budget: EnumerationBudget = field(default_factory=lambda: EnumerationBudget(max_variants=10_000))
+    granularity: Granularity = Granularity.INTRA_PROCEDURAL
+    use_naive_enumeration: bool = False
+    max_variants_per_file: int | None = 200
+    reduce_bugs: bool = False
+    stop_after_bugs: int | None = None
+
+    def oracles(self) -> list[DifferentialOracle]:
+        return [
+            DifferentialOracle(version=version, opt_level=level, machine_bits=bits)
+            for version in self.versions
+            for level in self.opt_levels
+            for bits in self.machine_bits
+        ]
+
+
+@dataclass
+class CampaignResult:
+    """Everything a campaign produced."""
+
+    bugs: BugDatabase = field(default_factory=BugDatabase)
+    files_processed: int = 0
+    files_skipped_budget: int = 0
+    files_skipped_error: int = 0
+    variants_tested: int = 0
+    observations: dict[str, int] = field(default_factory=dict)
+    wall_seconds: float = 0.0
+
+    def note_observation(self, observation: Observation) -> None:
+        key = observation.kind.value
+        self.observations[key] = self.observations.get(key, 0) + 1
+
+    def summary(self) -> str:
+        lines = [
+            f"files processed      : {self.files_processed}",
+            f"files over threshold : {self.files_skipped_budget}",
+            f"files skipped (error): {self.files_skipped_error}",
+            f"variants tested      : {self.variants_tested}",
+            f"distinct bugs        : {len(self.bugs)}",
+        ]
+        for kind, count in sorted(self.observations.items()):
+            lines.append(f"  observations[{kind}]: {count}")
+        return "\n".join(lines)
+
+
+class Campaign:
+    """Run SPE-based differential testing over a corpus of seed programs."""
+
+    def __init__(self, config: CampaignConfig | None = None) -> None:
+        self.config = config or CampaignConfig()
+        self._oracles = self.config.oracles()
+
+    # -- entry points ------------------------------------------------------------
+
+    def run_sources(self, sources: dict[str, str]) -> CampaignResult:
+        """Run the campaign over named seed programs (name -> C source)."""
+        result = CampaignResult()
+        started = time.perf_counter()
+        for name, source in sources.items():
+            try:
+                skeleton = extract_skeleton(source, name=name)
+            except MiniCError:
+                result.files_skipped_error += 1
+                continue
+            self._run_skeleton(skeleton, result)
+            if self._exhausted(result):
+                break
+        result.wall_seconds = time.perf_counter() - started
+        return result
+
+    def run_skeletons(self, skeletons: list[Skeleton]) -> CampaignResult:
+        """Run the campaign over already-extracted skeletons."""
+        result = CampaignResult()
+        started = time.perf_counter()
+        for skeleton in skeletons:
+            self._run_skeleton(skeleton, result)
+            if self._exhausted(result):
+                break
+        result.wall_seconds = time.perf_counter() - started
+        return result
+
+    # -- internals ------------------------------------------------------------------
+
+    def _exhausted(self, result: CampaignResult) -> bool:
+        limit = self.config.stop_after_bugs
+        return limit is not None and len(result.bugs) >= limit
+
+    def _run_skeleton(self, skeleton: Skeleton, result: CampaignResult) -> None:
+        enumerator = SkeletonEnumerator(
+            skeleton, granularity=self.config.granularity, budget=self.config.budget
+        )
+        if not enumerator.within_budget():
+            result.files_skipped_budget += 1
+            return
+        result.files_processed += 1
+
+        if self.config.use_naive_enumeration:
+            programs = NaiveSkeletonEnumerator(skeleton).programs(
+                limit=self.config.max_variants_per_file
+            )
+        else:
+            programs = enumerator.programs(limit=self.config.max_variants_per_file)
+
+        for index, (vector, source) in enumerate(programs):
+            result.variants_tested += 1
+            variant_name = f"{skeleton.name}#{index}"
+            reference_result = self._reference_result(source)
+            for oracle in self._oracles:
+                observation = oracle.observe(
+                    source, name=variant_name, reference_result=reference_result
+                )
+                result.note_observation(observation)
+                if observation.is_bug:
+                    self._file_bug(observation, oracle, result)
+            if self._exhausted(result):
+                return
+
+    @staticmethod
+    def _reference_result(source: str):
+        """Run the reference interpreter once per variant (shared by all oracles)."""
+        from repro.minic.errors import MiniCError
+        from repro.minic.interp import run_source
+
+        try:
+            return run_source(source)
+        except MiniCError:
+            return None
+
+    def _file_bug(
+        self, observation: Observation, oracle: DifferentialOracle, result: CampaignResult
+    ) -> BugReport | None:
+        if self.config.reduce_bugs and observation.kind is ObservationKind.CRASH:
+            signature = observation.signature.split(" (")[0]
+
+            def still_crashes(candidate: str) -> bool:
+                repeat = oracle.observe(candidate, name=observation.source_name)
+                return (
+                    repeat.kind is ObservationKind.CRASH
+                    and repeat.signature.split(" (")[0] == signature
+                )
+
+            observation.program = reduce_program(observation.program, still_crashes)
+        return result.bugs.record(observation)
+
+
+def test_program(
+    source: str,
+    name: str = "<program>",
+    versions: list[str] | None = None,
+    opt_levels: list[OptimizationLevel] | None = None,
+) -> list[Observation]:
+    """Convenience helper: test a single program against a configuration matrix."""
+    versions = versions or ["scc-trunk", "lcc-trunk"]
+    opt_levels = opt_levels or [OptimizationLevel.O0, OptimizationLevel.O3]
+    observations: list[Observation] = []
+    for version in versions:
+        for level in opt_levels:
+            oracle = DifferentialOracle(version=version, opt_level=level)
+            observations.append(oracle.observe(source, name=name))
+    return observations
+
+
+__all__ = ["Campaign", "CampaignConfig", "CampaignResult", "test_program"]

@@ -1,0 +1,224 @@
+"""The differential oracle.
+
+Given one C program and one compiler configuration it produces an
+:class:`Observation`:
+
+* ``CRASH`` -- the compiler raised an internal compiler error;
+* ``WRONG_CODE`` -- the program is UB-free according to the reference
+  interpreter, the compiler accepted it, and the produced code's observable
+  behaviour (exit code, stdout) differs from the interpreter's;
+* ``PERFORMANCE`` -- compilation "effort" exceeded the configured multiple of
+  the reference compiler's effort on the same program (the stand-in for the
+  paper's compile-time-hang reports);
+* ``OK`` -- nothing suspicious;
+* ``SKIPPED`` -- the program has undefined behaviour, does not terminate, or
+  was legitimately rejected, so no wrong-code judgement is possible
+  (compiler crashes are still reported for such programs, exactly as in the
+  paper where crash bugs do not require UB-freedom).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.compiler.driver import Compiler, CompileOutcome
+from repro.compiler.pipeline import OptimizationLevel
+from repro.minic.interp import ExecutionResult, ExecutionStatus, run_source
+
+
+class ObservationKind(enum.Enum):
+    OK = "ok"
+    CRASH = "crash"
+    WRONG_CODE = "wrong code"
+    PERFORMANCE = "performance"
+    SKIPPED = "skipped"
+
+
+@dataclass
+class Observation:
+    """The outcome of testing one program against one compiler configuration."""
+
+    kind: ObservationKind
+    program: str
+    source_name: str
+    compiler: str
+    opt_level: OptimizationLevel
+    signature: str = ""
+    detail: str = ""
+    reference_behaviour: tuple | None = None
+    compiled_behaviour: tuple | None = None
+    outcome: CompileOutcome | None = None
+    triggered_faults: list[str] = field(default_factory=list)
+
+    @property
+    def is_bug(self) -> bool:
+        return self.kind in (
+            ObservationKind.CRASH,
+            ObservationKind.WRONG_CODE,
+            ObservationKind.PERFORMANCE,
+        )
+
+
+@dataclass
+class DifferentialOracle:
+    """Tests programs against one compiler configuration.
+
+    Args:
+        version: simulated compiler version name (see
+            :func:`repro.compiler.versions.available_versions`).
+        opt_level: optimization level to compile at.
+        machine_bits: 32 or 64; only diversifies the configuration label.
+        interp_max_steps: reference-interpreter budget.
+        performance_ratio: a compilation whose effort exceeds
+            ``performance_ratio`` times the reference compiler's effort on the
+            same program is reported as a performance bug.
+    """
+
+    version: str = "scc-trunk"
+    opt_level: OptimizationLevel | int = OptimizationLevel.O2
+    machine_bits: int = 64
+    interp_max_steps: int = 200_000
+    performance_ratio: float = 10.0
+
+    def __post_init__(self) -> None:
+        self.opt_level = OptimizationLevel(int(self.opt_level))
+        self._compiler = Compiler(self.version, self.opt_level, machine_bits=self.machine_bits)
+        self._reference = Compiler("reference", self.opt_level, machine_bits=self.machine_bits)
+
+    # -- main entry point -----------------------------------------------------------
+
+    def observe(
+        self,
+        source: str,
+        name: str = "<program>",
+        reference_result: ExecutionResult | None = None,
+    ) -> Observation:
+        """Test one program; never raises.
+
+        Args:
+            source: the C program to test.
+            name: label used in observations and bug reports.
+            reference_result: a pre-computed reference-interpreter result for
+                ``source`` (the campaign harness computes it once per variant
+                and shares it across the compiler-configuration matrix).
+        """
+        outcome = self._compiler.compile_source(source, name=name)
+
+        if outcome.crashed:
+            return Observation(
+                kind=ObservationKind.CRASH,
+                program=source,
+                source_name=name,
+                compiler=self.version,
+                opt_level=self.opt_level,
+                signature=outcome.crash_signature() or "internal compiler error",
+                outcome=outcome,
+                triggered_faults=outcome.triggered_faults,
+            )
+
+        if outcome.rejected is not None:
+            return Observation(
+                kind=ObservationKind.SKIPPED,
+                program=source,
+                source_name=name,
+                compiler=self.version,
+                opt_level=self.opt_level,
+                detail=f"rejected: {outcome.rejected}",
+                outcome=outcome,
+            )
+
+        if reference_result is None:
+            reference_result = run_source(source, max_steps=self.interp_max_steps)
+        if reference_result.status is not ExecutionStatus.OK:
+            return Observation(
+                kind=ObservationKind.SKIPPED,
+                program=source,
+                source_name=name,
+                compiler=self.version,
+                opt_level=self.opt_level,
+                detail=f"{reference_result.status.value}: {reference_result.detail}",
+                outcome=outcome,
+                triggered_faults=outcome.triggered_faults,
+            )
+
+        performance = self._performance_check(source, name, outcome)
+        if performance is not None:
+            return performance
+
+        compiled_result = self._compiler.run(outcome)
+        if compiled_result.status is not ExecutionStatus.OK:
+            return Observation(
+                kind=ObservationKind.WRONG_CODE,
+                program=source,
+                source_name=name,
+                compiler=self.version,
+                opt_level=self.opt_level,
+                signature=f"produced code {compiled_result.status.value}: {compiled_result.detail}",
+                reference_behaviour=reference_result.observable(),
+                compiled_behaviour=None,
+                outcome=outcome,
+                triggered_faults=outcome.triggered_faults,
+            )
+
+        if compiled_result.observable() != reference_result.observable():
+            return Observation(
+                kind=ObservationKind.WRONG_CODE,
+                program=source,
+                source_name=name,
+                compiler=self.version,
+                opt_level=self.opt_level,
+                signature=self._wrong_code_signature(reference_result, compiled_result),
+                reference_behaviour=reference_result.observable(),
+                compiled_behaviour=compiled_result.observable(),
+                outcome=outcome,
+                triggered_faults=outcome.triggered_faults,
+            )
+
+        return Observation(
+            kind=ObservationKind.OK,
+            program=source,
+            source_name=name,
+            compiler=self.version,
+            opt_level=self.opt_level,
+            reference_behaviour=reference_result.observable(),
+            compiled_behaviour=compiled_result.observable(),
+            outcome=outcome,
+            triggered_faults=outcome.triggered_faults,
+        )
+
+    # -- helpers ----------------------------------------------------------------------
+
+    def _performance_check(self, source: str, name: str, outcome: CompileOutcome) -> Observation | None:
+        # Comparing against the reference compiler costs a second compilation;
+        # only bother when this compilation did enough work to plausibly be a
+        # compile-time blow-up (the seeded performance fault inflates effort
+        # by orders of magnitude, so the shortcut cannot miss it).
+        if outcome.compile_effort <= 500:
+            return None
+        reference_outcome = self._reference.compile_source(source, name=name)
+        if not reference_outcome.success or reference_outcome.compile_effort <= 0:
+            return None
+        ratio = outcome.compile_effort / reference_outcome.compile_effort
+        if ratio < self.performance_ratio:
+            return None
+        return Observation(
+            kind=ObservationKind.PERFORMANCE,
+            program=source,
+            source_name=name,
+            compiler=self.version,
+            opt_level=self.opt_level,
+            signature=f"compilation effort {ratio:.0f}x the reference compiler",
+            outcome=outcome,
+            triggered_faults=outcome.triggered_faults,
+        )
+
+    @staticmethod
+    def _wrong_code_signature(reference: ExecutionResult, compiled: ExecutionResult) -> str:
+        return (
+            f"wrong code: expected exit={reference.exit_code} stdout={reference.stdout!r}, "
+            f"got exit={compiled.exit_code} stdout={compiled.stdout!r}"
+        )
+
+
+__all__ = ["DifferentialOracle", "Observation", "ObservationKind"]

@@ -1,0 +1,115 @@
+"""Test-case reduction by statement-level delta debugging.
+
+Before "filing" a bug the campaign reduces the triggering program: it
+repeatedly deletes statements (and then unused declarations) while the given
+predicate -- "compiler X still crashes with this signature" or "still
+miscompiles" -- keeps holding.  This is a small, greedy cousin of C-Reduce /
+Berkeley Delta (paper Section 6), sufficient for the single-file programs SPE
+produces.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Callable
+
+from repro.minic import ast
+from repro.minic.errors import MiniCError
+from repro.minic.parser import parse
+from repro.minic.printer import to_source
+from repro.minic.symbols import resolve
+
+Predicate = Callable[[str], bool]
+
+
+def _candidate_deletions(unit: ast.TranslationUnit) -> list[tuple[ast.Block, int]]:
+    """All (block, index) positions whose statement could be deleted."""
+    positions: list[tuple[ast.Block, int]] = []
+    for node in unit.walk():
+        if isinstance(node, ast.Block):
+            for index in range(len(node.items)):
+                positions.append((node, index))
+    return positions
+
+
+def _try_render(unit: ast.TranslationUnit) -> str | None:
+    try:
+        rendered = to_source(unit)
+        check = parse(rendered)
+        resolve(check)
+        return rendered
+    except MiniCError:
+        return None
+
+
+def reduce_program(source: str, predicate: Predicate, max_rounds: int = 25) -> str:
+    """Greedily minimise ``source`` while ``predicate(source)`` stays true.
+
+    The input program is returned unchanged if it does not satisfy the
+    predicate (nothing to preserve) or cannot be parsed.
+    """
+    try:
+        current_unit = parse(source)
+        resolve(current_unit)
+    except MiniCError:
+        return source
+    if not predicate(source):
+        return source
+
+    current_source = source
+    for _ in range(max_rounds):
+        changed = False
+        unit = parse(current_source)
+        resolve(unit)
+        positions = _candidate_deletions(unit)
+        for position_index in range(len(positions)):
+            trial_unit = parse(current_source)
+            resolve(trial_unit)
+            trial_positions = _candidate_deletions(trial_unit)
+            if position_index >= len(trial_positions):
+                continue
+            block, index = trial_positions[position_index]
+            if index >= len(block.items):
+                continue
+            del block.items[index]
+            rendered = _try_render(trial_unit)
+            if rendered is None or rendered == current_source:
+                continue
+            if predicate(rendered):
+                current_source = rendered
+                changed = True
+                break  # restart from the smaller program
+        if not changed:
+            break
+
+    current_source = _drop_unused_globals(current_source, predicate)
+    return current_source
+
+
+def _drop_unused_globals(source: str, predicate: Predicate) -> str:
+    """Remove global declarations one at a time while the predicate holds."""
+    try:
+        unit = parse(source)
+        resolve(unit)
+    except MiniCError:
+        return source
+    current = source
+    for decl_index in range(len(unit.decls)):
+        trial = parse(current)
+        try:
+            resolve(trial)
+        except MiniCError:
+            return current
+        if decl_index >= len(trial.decls):
+            break
+        if not isinstance(trial.decls[decl_index], ast.DeclStmt):
+            continue
+        removed = trial.decls[decl_index]
+        trial.decls.remove(removed)
+        rendered = _try_render(trial)
+        if rendered is not None and predicate(rendered):
+            current = rendered
+    return current
+
+
+__all__ = ["reduce_program"]

@@ -1,0 +1,130 @@
+"""Tests for the seeded-fault framework and the simulated compiler versions."""
+
+import pytest
+
+from repro.compiler.driver import Compiler
+from repro.compiler.errors import InternalCompilerError
+from repro.compiler.faults import Fault, FaultKind, FaultSet
+from repro.compiler.versions import (
+    BUG_CATALOGUE,
+    affected_versions,
+    available_versions,
+    get_version,
+)
+from repro.minic.interp import run_source
+
+
+class TestFaultSet:
+    def test_activation_by_opt_level(self):
+        fault = Fault("x", "middle-end", FaultKind.CRASH, "boom", min_opt_level=2)
+        assert FaultSet.of([fault], opt_level=3).active("x")
+        assert not FaultSet.of([fault], opt_level=1).active("x")
+        assert not FaultSet.of([fault], opt_level=3).active("unknown")
+
+    def test_crash_raises_with_signature(self):
+        fault = Fault("x", "c", FaultKind.CRASH, "boom", crash_signature="in foo, at bar.c:1")
+        faults = FaultSet.of([fault], opt_level=0)
+        with pytest.raises(InternalCompilerError) as excinfo:
+            faults.crash("x", detail="ouch")
+        assert "in foo, at bar.c:1" in excinfo.value.signature()
+        assert faults.triggered == ["x"]
+
+
+class TestVersionCatalogue:
+    def test_versions_exist(self):
+        names = available_versions()
+        assert {"reference", "scc-4.8", "scc-trunk", "lcc-3.6", "lcc-trunk"} <= set(names)
+        with pytest.raises(KeyError):
+            get_version("gcc-99")
+
+    def test_reference_has_no_faults(self):
+        assert get_version("reference").faults == ()
+
+    def test_fault_version_ranges(self):
+        # A fault introduced in scc-5.4 and fixed in scc-trunk affects 5.4 and 6.1 only.
+        affected = affected_versions("copyprop-self-assign", lineage="scc")
+        assert affected == ["scc-5.4", "scc-6.1"]
+        # Never-fixed faults reach the trunk.
+        assert "scc-trunk" in affected_versions("fold-equal-operands", lineage="scc")
+
+    def test_catalogue_metadata_complete(self):
+        for fault in BUG_CATALOGUE:
+            assert fault.component
+            assert fault.priority.startswith("P")
+            assert fault.kind in (FaultKind.CRASH, FaultKind.WRONG_CODE, FaultKind.PERFORMANCE)
+            if fault.kind is FaultKind.CRASH:
+                assert fault.crash_signature
+
+
+class TestSeededBugBehaviours:
+    """Each seeded bug must fire on its trigger pattern and stay silent elsewhere."""
+
+    def test_fold_equal_operands_crash(self):
+        source = "int a, b = 1; int main() { b = b - a; if (a) a = a - a; return b; }"
+        crashed = Compiler("scc-trunk", 2).compile_source(source)
+        assert crashed.crashed and "operand_equal_p" in crashed.crash_signature()
+        clean = Compiler("reference", 2).compile_source(source)
+        assert clean.success
+
+    def test_alias_wrong_code(self):
+        source = "int a = 0; int main() { int *p = &a; a = 1; *p = 2; return a; }"
+        expected = run_source(source).exit_code
+        outcome, result = Compiler("scc-trunk", 2).compile_and_run(source)
+        assert outcome.success and result.exit_code != expected
+        assert "cprop-ignores-aliases" in outcome.triggered_faults
+        _, reference_result = Compiler("reference", 2).compile_and_run(source)
+        assert reference_result.exit_code == expected
+
+    def test_dce_addr_taken_wrong_code(self):
+        source = "int main() { int x = 5; int *p = &x; x = 9; return *p; }"
+        outcome, result = Compiler("scc-6.1", 2).compile_and_run(source)
+        assert result.exit_code != run_source(source).exit_code
+
+    def test_cse_commute_wrong_code_only_in_affected_versions(self):
+        source = "int main() { int a = 7, b = 3; int x = 0, y = 0; x = a - b; y = b - a; return x * 10 + y + 50; }"
+        expected = run_source(source).exit_code
+        _, buggy = Compiler("scc-trunk", 2).compile_and_run(source)
+        _, old = Compiler("scc-4.8", 2).compile_and_run(source)
+        assert buggy.exit_code != expected
+        assert old.exit_code == expected  # fault introduced only in 6.1
+
+    def test_self_loop_crash_in_old_scc_only(self):
+        source = "int main() { int x = 1; while (x) { } return 0; }"
+        assert Compiler("scc-4.8", 2).compile_source(source).crashed
+        assert not Compiler("scc-trunk", 2).compile_source(source).crashed  # fixed in 6.1
+
+    def test_frontend_identical_arms_crash_at_O0(self):
+        source = "int d, e; int main() { int r = 0; r = e ? (d == 0 ? 1 : 2) : (d == 0 ? 1 : 2); return r; }"
+        outcome = Compiler("scc-trunk", 0).compile_source(source)
+        assert outcome.crashed and outcome.crash.component == "c"
+
+    def test_goto_into_scope_crash(self):
+        source = """
+        int main() {
+            int a = 0;
+            if (a) goto inside;
+            { int local = 1; inside: a = a + 1; }
+            return a;
+        }
+        """
+        outcome = Compiler("scc-trunk", 0).compile_source(source)
+        assert outcome.crashed
+        assert not Compiler("scc-4.8", 0).compile_source(source).crashed  # introduced in 5.4
+
+    def test_performance_fault_inflates_effort(self):
+        source = """
+        int main() {
+            int flag = 0, x = 0, s = 0;
+            for (int i = 0; i < 6; i++) { if (flag) x = 1; else x = 2; s = s + x; flag = 1 - flag; }
+            return s;
+        }
+        """
+        buggy = Compiler("scc-trunk", 2).compile_source(source)
+        clean = Compiler("reference", 2).compile_source(source)
+        assert buggy.success and clean.success
+        assert buggy.compile_effort > clean.compile_effort
+
+    def test_crashes_do_not_leak_exceptions(self):
+        source = "int a, b = 1; int main() { if (a) a = a - a; return b; }"
+        outcome = Compiler("lcc-3.6", 3).compile_source(source)
+        assert outcome.crashed ^ outcome.success

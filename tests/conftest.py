@@ -1,0 +1,47 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.problem import flat_problem, unscoped_problem
+from repro.corpus.seeds import paper_seed_programs
+
+
+@pytest.fixture(scope="session")
+def seeds() -> dict[str, str]:
+    """The hand-written seed corpus."""
+    return paper_seed_programs()
+
+
+@pytest.fixture()
+def fig7_problem():
+    """The paper's Figure 7 / Example 6 problem: 3 global holes over {a, b}, one
+    local scope declaring {c, d} with 2 holes."""
+    return flat_problem("fig7", ["a", "b"], [(["c", "d"], 2)], 3)
+
+
+@pytest.fixture()
+def fig5_problem():
+    """The paper's Figure 5 problem: 6 unscoped holes over {a, b}."""
+    return unscoped_problem("fig5", 6, ["a", "b"])
+
+
+FIG6_SOURCE = """
+int main() {
+    int a = 1, b = 0;
+    if (a) {
+        int c = 3, d = 5;
+        b = c + d;
+    }
+    printf("%d", a);
+    printf("%d", b);
+    return 0;
+}
+"""
+
+
+@pytest.fixture()
+def fig6_source() -> str:
+    """The paper's Figure 6 C program."""
+    return FIG6_SOURCE

@@ -1,0 +1,89 @@
+"""Tests for alpha-renamings, canonical keys and canonical fillings."""
+
+import pytest
+
+from repro.core.alpha import (
+    AlphaRenaming,
+    alpha_equivalent,
+    canonical_filling,
+    canonical_key,
+    canonicalize_assignment,
+    renaming_between,
+)
+from repro.core.holes import CharacteristicVector
+from repro.core.problem import flat_problem, unscoped_problem
+
+
+class TestAlphaRenaming:
+    def test_identity_and_application(self):
+        renaming = AlphaRenaming({"a": "b", "b": "a"})
+        assert renaming("a") == "b"
+        assert renaming("z") == "z"
+        assert renaming.apply(["a", "b", "a"]) == CharacteristicVector(["b", "a", "b"])
+
+    def test_must_be_bijection(self):
+        with pytest.raises(ValueError):
+            AlphaRenaming({"a": "c", "b": "c"})
+        with pytest.raises(ValueError):
+            AlphaRenaming({"a": "z"})  # z is not a key -> not a permutation
+
+    def test_inverse_and_compose(self):
+        renaming = AlphaRenaming({"a": "b", "b": "c", "c": "a"})
+        inverse = renaming.inverse()
+        composed = renaming.compose(inverse)
+        for name in "abc":
+            assert composed(name) == name
+
+    def test_compactness(self, fig7_problem):
+        swap_globals = AlphaRenaming({"a": "b", "b": "a"})
+        assert swap_globals.is_compact_for(fig7_problem)
+        cross_scope = AlphaRenaming({"a": "c", "c": "a"})
+        assert not cross_scope.is_compact_for(fig7_problem)
+
+
+class TestCanonicalForms:
+    def test_unscoped_canonical_filling_is_rgs(self):
+        assert canonical_filling(["a", "b", "a", "a", "a", "b"]) == (0, 1, 0, 0, 0, 1)
+        assert canonical_filling(["b", "a", "b", "b", "b", "a"]) == (0, 1, 0, 0, 0, 1)
+        assert canonical_filling(["a", "b", "b", "b", "a", "b"]) == (0, 1, 1, 1, 0, 1)
+
+    def test_paper_figure5_equivalences(self, fig5_problem):
+        p = ["a", "b", "a", "a", "a", "b"]
+        p1 = ["b", "a", "b", "b", "b", "a"]
+        p2 = ["a", "b", "b", "b", "a", "b"]
+        assert alpha_equivalent(fig5_problem, p, p1)
+        assert not alpha_equivalent(fig5_problem, p, p2)
+
+    def test_canonicalize_assignment_idempotent(self, fig7_problem):
+        vector = ["b", "a", "a", "d", "c"]
+        canonical = canonicalize_assignment(fig7_problem, vector)
+        assert canonicalize_assignment(fig7_problem, canonical) == canonical
+
+    def test_canonical_key_rejects_invalid(self, fig7_problem):
+        with pytest.raises(ValueError):
+            canonical_key(fig7_problem, ["a", "a"])  # wrong length
+        with pytest.raises(ValueError):
+            canonical_key(fig7_problem, ["c", "a", "a", "a", "a"])  # c not visible at hole 0
+
+    def test_scope_preserved_by_key(self, fig7_problem):
+        # Filling a local hole with a global vs a local variable is never equivalent.
+        with_global = ["a", "a", "a", "a", "a"]
+        with_local = ["a", "a", "a", "c", "c"]
+        assert not alpha_equivalent(fig7_problem, with_global, with_local)
+
+    def test_renaming_between(self, fig7_problem):
+        source = ["a", "b", "a", "c", "d"]
+        target = ["b", "a", "b", "d", "c"]
+        renaming = renaming_between(fig7_problem, source, target)
+        assert renaming is not None
+        assert renaming.apply(source) == CharacteristicVector(target)
+        assert renaming.is_compact_for(fig7_problem)
+
+    def test_renaming_between_none_for_inequivalent(self, fig7_problem):
+        assert renaming_between(fig7_problem, ["a", "a", "a", "c", "c"], ["a", "b", "a", "c", "c"]) is None
+
+    def test_unscoped_problem_classes(self):
+        problem = unscoped_problem("u", 4, ["x", "y", "z"])
+        left = ["x", "y", "x", "z"]
+        right = ["z", "x", "z", "y"]
+        assert alpha_equivalent(problem, left, right)

@@ -1,0 +1,62 @@
+"""Tests for k-subset enumeration."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.combinations import all_subsets, combinations, num_combinations
+
+
+class TestNumCombinations:
+    def test_known_values(self):
+        assert num_combinations(5, 2) == 10
+        assert num_combinations(10, 5) == 252
+        assert num_combinations(4, 0) == 1
+        assert num_combinations(4, 4) == 1
+        assert num_combinations(3, 5) == 0
+
+    def test_negative(self):
+        with pytest.raises(ValueError):
+            num_combinations(-1, 1)
+
+    def test_pascal(self):
+        for n in range(1, 12):
+            for k in range(1, n):
+                assert num_combinations(n, k) == num_combinations(n - 1, k - 1) + num_combinations(n - 1, k)
+
+
+class TestCombinations:
+    def test_matches_itertools(self):
+        items = list("abcde")
+        for k in range(6):
+            assert list(combinations(items, k)) == list(itertools.combinations(items, k))
+
+    def test_k_larger_than_n(self):
+        assert list(combinations([1, 2], 5)) == []
+
+    def test_k_zero(self):
+        assert list(combinations([1, 2, 3], 0)) == [()]
+
+    def test_negative_k(self):
+        with pytest.raises(ValueError):
+            list(combinations([1], -1))
+
+    @given(st.integers(min_value=0, max_value=8), st.integers(min_value=0, max_value=8))
+    @settings(max_examples=40, deadline=None)
+    def test_count_property(self, n, k):
+        produced = list(combinations(range(n), k))
+        assert len(produced) == num_combinations(n, k)
+        assert len(set(produced)) == len(produced)
+        assert all(len(subset) == k for subset in produced)
+
+
+class TestAllSubsets:
+    def test_power_set_size(self):
+        assert len(list(all_subsets([1, 2, 3]))) == 8
+        assert len(list(all_subsets([]))) == 1
+
+    def test_ordered_by_size(self):
+        sizes = [len(subset) for subset in all_subsets("abcd")]
+        assert sizes == sorted(sizes)

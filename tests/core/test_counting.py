@@ -1,0 +1,88 @@
+"""Tests for the SPE counting formulas against the paper's worked numbers."""
+
+import pytest
+
+from repro.core.counting import (
+    naive_count,
+    paper_partition_scope_count,
+    reduction_factor,
+    scoped_spe_count,
+    spe_count,
+    stirling_estimate,
+)
+from repro.core.naive import NaiveEnumerator
+from repro.core.problem import flat_problem, unscoped_problem
+
+
+class TestUnscopedCounts:
+    def test_fig5(self, fig5_problem):
+        # Paper Figure 5: 2^6 = 64 naive, 32 canonical.
+        assert naive_count(fig5_problem) == 64
+        assert scoped_spe_count(fig5_problem) == 32
+        assert spe_count(6, 2) == 32
+
+    def test_spe_count_saturation(self):
+        # k > n saturates ("we consider at most n partitions").
+        assert spe_count(3, 10) == 5  # Bell(3)
+
+    def test_stirling_estimate_monotone(self):
+        assert stirling_estimate(10, 3) > stirling_estimate(10, 2)
+        assert stirling_estimate(0, 3) == pytest.approx(1 / 1 + 1 / 2 + 1 / 6)
+
+    def test_stirling_estimate_negative(self):
+        with pytest.raises(ValueError):
+            stirling_estimate(-1, 2)
+
+
+class TestScopedCounts:
+    def test_example6_exact_vs_paper(self, fig7_problem):
+        # The pseudocode as printed in the paper computes 36 (Example 6);
+        # the exact number of compact-alpha-equivalence classes is 40.
+        assert naive_count(fig7_problem) == 128
+        assert paper_partition_scope_count(fig7_problem) == 36
+        assert scoped_spe_count(fig7_problem) == 40
+
+    def test_scoped_count_matches_bruteforce(self, fig7_problem):
+        brute = len(NaiveEnumerator(fig7_problem).canonical_set())
+        assert scoped_spe_count(fig7_problem) == brute
+
+    def test_fig6_style_problem(self):
+        # 5 global holes over {a,b}, 5 local holes over {a,b,c,d}: naive = 2^5*4^5.
+        problem = flat_problem("fig6", ["a", "b"], [(["c", "d"], 5)], 5)
+        assert naive_count(problem) == 32 * 1024
+        assert scoped_spe_count(problem) == len(NaiveEnumerator(problem).canonical_set())
+
+    def test_no_holes(self):
+        problem = unscoped_problem("empty", 0, ["a"])
+        assert scoped_spe_count(problem) == 1
+        assert naive_count(problem) == 1
+
+    def test_single_variable(self):
+        problem = unscoped_problem("one", 5, ["a"])
+        assert scoped_spe_count(problem) == 1
+        assert naive_count(problem) == 1
+
+    def test_two_scopes(self):
+        problem = flat_problem("two", ["a"], [(["b"], 2), (["c", "d"], 2)], 1)
+        assert scoped_spe_count(problem) == len(NaiveEnumerator(problem).canonical_set())
+
+    def test_reduction_factor(self, fig7_problem):
+        assert reduction_factor(fig7_problem) == pytest.approx(128 / 40)
+
+    def test_paper_count_requires_normal_form(self):
+        problem = flat_problem("nested", ["a"], [(["b"], 1)], 1)
+        # Well-formed two-level problem works...
+        assert paper_partition_scope_count(problem) >= 1
+        # ...but a problem with no shared global class is rejected.
+        from repro.core.problem import EnumerationProblem, ProblemHole, VariableClass
+
+        odd = EnumerationProblem(
+            name="odd",
+            classes=[
+                VariableClass(0, 0, "int", ("a",)),
+                VariableClass(1, 1, "int", ("b",)),
+            ],
+            holes=[ProblemHole(0, (0,)), ProblemHole(1, (1,))],
+        )
+        with pytest.raises(ValueError):
+            paper_partition_scope_count(odd)

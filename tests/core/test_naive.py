@@ -1,0 +1,39 @@
+"""Tests for the naive enumeration baseline."""
+
+from repro.core.naive import NaiveEnumerator, NaiveSkeletonEnumerator
+from repro.core.problem import flat_problem, unscoped_problem
+from repro.minic.skeleton import extract_skeleton
+
+
+class TestNaiveEnumerator:
+    def test_counts_match_enumeration(self, fig7_problem):
+        enumerator = NaiveEnumerator(fig7_problem)
+        assert enumerator.count() == 128
+        assert len(list(enumerator.enumerate())) == 128
+
+    def test_every_filling_valid(self, fig7_problem):
+        for vector in NaiveEnumerator(fig7_problem).enumerate():
+            for hole, name in zip(fig7_problem.holes, vector):
+                assert name in fig7_problem.candidate_names(hole)
+
+    def test_limit(self, fig5_problem):
+        assert len(list(NaiveEnumerator(fig5_problem).enumerate(limit=7))) == 7
+
+    def test_empty_problem(self):
+        problem = unscoped_problem("empty", 0, ["a"])
+        assert list(NaiveEnumerator(problem).enumerate()) == [()]
+
+    def test_canonical_set_size(self):
+        problem = flat_problem("p", ["a", "b"], [(["c"], 1)], 2)
+        enumerator = NaiveEnumerator(problem)
+        assert len(enumerator.canonical_set()) <= enumerator.count()
+
+
+class TestNaiveSkeletonEnumerator:
+    def test_fig6(self, fig6_source):
+        skeleton = extract_skeleton(fig6_source, name="fig6")
+        enumerator = NaiveSkeletonEnumerator(skeleton)
+        assert enumerator.count() == 2**3 * 4**3
+        programs = list(enumerator.programs(limit=5))
+        assert len(programs) == 5
+        assert all(source.strip() for _, source in programs)

@@ -1,0 +1,157 @@
+"""Tests for set-partition enumeration and counting."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.partitions import (
+    bell_number,
+    blocks_to_rgs,
+    is_restricted_growth_string,
+    partition_count,
+    partitions_at_most,
+    partitions_at_most_count,
+    partitions_exact,
+    restricted_growth_strings,
+    rgs_to_blocks,
+    stirling2,
+)
+
+
+class TestStirling:
+    def test_base_cases(self):
+        assert stirling2(0, 0) == 1
+        assert stirling2(5, 0) == 0
+        assert stirling2(0, 3) == 0
+        assert stirling2(4, 5) == 0
+
+    def test_known_values(self):
+        # Classic table values.
+        assert stirling2(4, 2) == 7
+        assert stirling2(5, 2) == 15
+        assert stirling2(5, 3) == 25
+        assert stirling2(6, 2) == 31
+        assert stirling2(6, 3) == 90
+        assert stirling2(7, 7) == 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            stirling2(-1, 2)
+        with pytest.raises(ValueError):
+            stirling2(2, -1)
+
+    def test_recurrence(self):
+        for n in range(2, 9):
+            for k in range(1, n):
+                assert stirling2(n, k) == k * stirling2(n - 1, k) + stirling2(n - 1, k - 1)
+
+    def test_bell_numbers(self):
+        assert [bell_number(n) for n in range(8)] == [1, 1, 2, 5, 15, 52, 203, 877]
+
+    def test_bell_negative(self):
+        with pytest.raises(ValueError):
+            bell_number(-1)
+
+
+class TestPartitionCounts:
+    def test_paper_equation_1_fig5(self):
+        # Figure 5: 6 holes, 2 variables -> S(6,1)+S(6,2) = 32.
+        assert partitions_at_most_count(6, 2) == 32
+
+    def test_at_most_saturates_at_bell(self):
+        assert partitions_at_most_count(4, 10) == bell_number(4)
+
+    def test_zero_elements(self):
+        assert partitions_at_most_count(0, 3) == 1
+
+    def test_partition_count_dispatch(self):
+        assert partition_count(5, 2, exact=True) == 15
+        assert partition_count(5, 2, exact=False) == 16
+
+
+class TestRestrictedGrowthStrings:
+    def test_example_from_paper(self):
+        # "010001" is the RGS of Figure 5's original program <a,b,a,a,a,b>.
+        assert is_restricted_growth_string([0, 1, 0, 0, 0, 1])
+        # "011101" for P2 <a,b,b,b,a,b>.
+        assert is_restricted_growth_string([0, 1, 1, 1, 0, 1])
+
+    def test_invalid_strings(self):
+        assert not is_restricted_growth_string([1, 0])
+        assert not is_restricted_growth_string([0, 2])
+        assert not is_restricted_growth_string([0, -1])
+
+    def test_enumeration_counts(self):
+        assert len(list(restricted_growth_strings(4))) == bell_number(4)
+        assert len(list(restricted_growth_strings(6, max_blocks=2))) == 32
+        assert len(list(restricted_growth_strings(5, max_blocks=3))) == sum(
+            stirling2(5, k) for k in range(1, 4)
+        )
+
+    def test_lexicographic_and_unique(self):
+        strings = list(restricted_growth_strings(5, max_blocks=3))
+        assert strings == sorted(strings)
+        assert len(set(strings)) == len(strings)
+
+    def test_empty(self):
+        assert list(restricted_growth_strings(0)) == [()]
+
+    @given(st.integers(min_value=1, max_value=7), st.integers(min_value=1, max_value=7))
+    @settings(max_examples=30, deadline=None)
+    def test_all_strings_valid_and_counted(self, n, k):
+        strings = list(restricted_growth_strings(n, max_blocks=k))
+        assert all(is_restricted_growth_string(s) for s in strings)
+        assert all(max(s) < k for s in strings)
+        assert len(strings) == partitions_at_most_count(n, k)
+
+
+class TestBlockConversions:
+    def test_round_trip(self):
+        rgs = (0, 1, 0, 2, 1)
+        blocks = rgs_to_blocks(rgs)
+        assert blocks == [[0, 2], [1, 4], [3]]
+        assert blocks_to_rgs(blocks) == rgs
+
+    def test_blocks_to_rgs_canonicalises_labels(self):
+        # Order of the blocks does not matter.
+        assert blocks_to_rgs([[3], [1, 4], [0, 2]]) == (0, 1, 0, 2, 1)
+
+    def test_invalid_blocks(self):
+        with pytest.raises(ValueError):
+            blocks_to_rgs([[0, 1], [1, 2]])
+        with pytest.raises(ValueError):
+            rgs_to_blocks([0, 2])
+
+    @given(st.integers(min_value=1, max_value=7))
+    @settings(max_examples=20, deadline=None)
+    def test_round_trip_property(self, n):
+        for rgs in restricted_growth_strings(n, max_blocks=3):
+            assert blocks_to_rgs(rgs_to_blocks(rgs), n) == rgs
+
+
+class TestPartitionEnumeration:
+    def test_exact_partition_counts(self):
+        assert len(list(partitions_exact([1, 2, 3, 4], 2))) == stirling2(4, 2)
+        assert len(list(partitions_exact("abcde", 3))) == stirling2(5, 3)
+
+    def test_at_most_counts(self):
+        assert len(list(partitions_at_most([1, 2, 3, 4], 2))) == partitions_at_most_count(4, 2)
+
+    def test_blocks_cover_elements(self):
+        elements = ["w", "x", "y", "z"]
+        for blocks in partitions_at_most(elements, 3):
+            flat = [item for block in blocks for item in block]
+            assert sorted(flat) == sorted(elements)
+            assert all(block for block in blocks)
+
+    def test_exact_zero_and_empty(self):
+        assert list(partitions_exact([], 0)) == [[]]
+        assert list(partitions_exact([1], 0)) == []
+        assert list(partitions_at_most([], 4)) == [[]]
+
+    def test_partitions_unique(self):
+        seen = set()
+        for blocks in partitions_at_most(list(range(5)), 3):
+            key = tuple(tuple(block) for block in blocks)
+            assert key not in seen
+            seen.add(key)

@@ -1,0 +1,132 @@
+"""Tests for enumeration-problem construction from skeletons."""
+
+import pytest
+
+from repro.core.holes import Hole, Skeleton
+from repro.core.problem import (
+    EnumerationProblem,
+    Granularity,
+    ProblemHole,
+    VariableClass,
+    flat_problem,
+    problems_from_skeleton,
+    unscoped_problem,
+)
+from repro.core.scopes import ScopeKind, ScopeTree
+
+
+def make_fig6_skeleton() -> Skeleton:
+    """Hand-build the Figure 6 skeleton: main with a, b plus an if-block with c, d."""
+    tree = ScopeTree()
+    main = tree.add_scope(tree.root_id, ScopeKind.FUNCTION, "main")
+    block = tree.add_scope(main, ScopeKind.BLOCK, "if")
+    for name in ("a", "b"):
+        tree.declare(main, name, "int")
+    for name in ("c", "d"):
+        tree.declare(block, name, "int")
+    holes = [
+        Hole(0, main, "int", "a", "main"),
+        Hole(1, block, "int", "c", "main"),
+        Hole(2, block, "int", "d", "main"),
+        Hole(3, block, "int", "b", "main"),
+        Hole(4, main, "int", "a", "main"),
+        Hole(5, main, "int", "b", "main"),
+    ]
+    return Skeleton(name="fig6", holes=holes, scope_tree=tree)
+
+
+class TestProblemConstruction:
+    def test_flat_problem_shape(self):
+        problem = flat_problem("p", 2, [(2, 3)], 4)
+        assert problem.num_holes == 7
+        assert len(problem.classes) == 2
+        assert problem.naive_size() == 2**4 * 4**3
+
+    def test_unscoped_problem(self):
+        problem = unscoped_problem("u", 3, ["x", "y"])
+        assert problem.is_unscoped()
+        assert problem.candidate_names(problem.holes[0]) == ["x", "y"]
+
+    def test_problem_validation(self):
+        with pytest.raises(ValueError):
+            EnumerationProblem(
+                name="bad",
+                classes=[VariableClass(0, 0, "int", ("a",))],
+                holes=[ProblemHole(0, (5,))],
+            )
+        with pytest.raises(ValueError):
+            EnumerationProblem(
+                name="empty-hole",
+                classes=[VariableClass(0, 0, "int", ("a",))],
+                holes=[ProblemHole(0, ())],
+            )
+
+    def test_class_lookup(self):
+        problem = flat_problem("p", ["a"], [], 1)
+        assert problem.class_by_id(0).variables == ("a",)
+        with pytest.raises(KeyError):
+            problem.class_by_id(99)
+
+
+class TestFromSkeleton:
+    def test_intra_procedural_grouping(self):
+        skeleton = make_fig6_skeleton()
+        problems = problems_from_skeleton(skeleton, Granularity.INTRA_PROCEDURAL)
+        assert len(problems) == 1  # a single function
+        problem = problems[0]
+        assert problem.num_holes == 6
+        # Holes in the main scope see only {a, b}; block holes see both classes.
+        assert len(problem.holes[0].class_ids) == 1
+        assert len(problem.holes[1].class_ids) == 2
+
+    def test_inter_procedural_single_problem(self):
+        skeleton = make_fig6_skeleton()
+        problems = problems_from_skeleton(skeleton, Granularity.INTER_PROCEDURAL)
+        assert len(problems) == 1
+        assert problems[0].num_holes == 6
+
+    def test_candidate_names_follow_scope(self):
+        skeleton = make_fig6_skeleton()
+        assert skeleton.candidate_names(skeleton.holes[0]) == ["a", "b"]
+        assert set(skeleton.candidate_names(skeleton.holes[1])) == {"a", "b", "c", "d"}
+
+    def test_type_separation(self):
+        tree = ScopeTree()
+        fn = tree.add_scope(tree.root_id, ScopeKind.FUNCTION, "f")
+        tree.declare(fn, "i", "int")
+        tree.declare(fn, "j", "int")
+        tree.declare(fn, "p", "int *")
+        holes = [
+            Hole(0, fn, "int", "i", "f"),
+            Hole(1, fn, "int *", "p", "f"),
+        ]
+        skeleton = Skeleton("typed", holes, tree)
+        problems = problems_from_skeleton(skeleton)
+        problem = problems[0]
+        assert len(problem.classes) == 2
+        assert problem.candidate_names(problem.holes[0]) == ["i", "j"]
+        assert problem.candidate_names(problem.holes[1]) == ["p"]
+
+    def test_hole_without_candidates_rejected(self):
+        tree = ScopeTree()
+        fn = tree.add_scope(tree.root_id, ScopeKind.FUNCTION, "f")
+        tree.declare(fn, "i", "int")
+        holes = [Hole(0, fn, "double", None, "f")]
+        skeleton = Skeleton("broken", holes, tree)
+        with pytest.raises(ValueError):
+            problems_from_skeleton(skeleton)
+
+    def test_partial_shadowing_drops_outer_class(self):
+        tree = ScopeTree()
+        fn = tree.add_scope(tree.root_id, ScopeKind.FUNCTION, "f")
+        inner = tree.add_scope(fn, ScopeKind.BLOCK, "inner")
+        tree.declare(fn, "x", "int")
+        tree.declare(fn, "y", "int")
+        tree.declare(inner, "x", "long")  # shadows only one member of the group
+        tree.declare(inner, "z", "int")
+        holes = [Hole(0, inner, "int", "z", "f")]
+        skeleton = Skeleton("shadow", holes, tree)
+        problem = problems_from_skeleton(skeleton)[0]
+        # The outer int class {x, y} is partially shadowed at this hole, so it
+        # is conservatively dropped; only the inner {z} class remains.
+        assert problem.candidate_names(problem.holes[0]) == ["z"]

@@ -1,0 +1,87 @@
+"""Property-based tests of the core SPE invariants (hypothesis).
+
+The central invariant (paper Section 4.3): the SPE solution set contains
+exactly one representative of every compact-alpha-equivalence class of the
+naive solution set, and no two enumerated fillings are equivalent.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.alpha import AlphaRenaming, canonical_key, canonicalize_assignment
+from repro.core.counting import naive_count, scoped_spe_count
+from repro.core.naive import NaiveEnumerator
+from repro.core.problem import EnumerationProblem, flat_problem
+from repro.core.spe import SPEEnumerator
+
+
+@st.composite
+def small_problems(draw) -> EnumerationProblem:
+    """Random two-level problems small enough to brute force."""
+    num_global_vars = draw(st.integers(min_value=1, max_value=3))
+    num_global_holes = draw(st.integers(min_value=0, max_value=3))
+    num_scopes = draw(st.integers(min_value=0, max_value=2))
+    scopes = []
+    for _ in range(num_scopes):
+        scopes.append(
+            (
+                draw(st.integers(min_value=1, max_value=2)),
+                draw(st.integers(min_value=1, max_value=2)),
+            )
+        )
+    if num_global_holes == 0 and not scopes:
+        num_global_holes = 1
+    return flat_problem("random", num_global_vars, scopes, num_global_holes)
+
+
+@given(small_problems())
+@settings(max_examples=60, deadline=None)
+def test_spe_equals_bruteforce_canonicalisation(problem):
+    """SPE enumerates exactly the canonicalised naive set."""
+    spe = set(SPEEnumerator(problem).enumerate())
+    brute = NaiveEnumerator(problem).canonical_set()
+    assert spe == brute
+
+
+@given(small_problems())
+@settings(max_examples=60, deadline=None)
+def test_count_matches_enumeration(problem):
+    assert scoped_spe_count(problem) == len(list(SPEEnumerator(problem).enumerate()))
+
+
+@given(small_problems())
+@settings(max_examples=40, deadline=None)
+def test_no_two_enumerated_fillings_equivalent(problem):
+    keys = [canonical_key(problem, vector) for vector in SPEEnumerator(problem).enumerate()]
+    assert len(keys) == len(set(keys))
+
+
+@given(small_problems())
+@settings(max_examples=40, deadline=None)
+def test_spe_never_exceeds_naive(problem):
+    assert scoped_spe_count(problem) <= naive_count(problem)
+
+
+@given(small_problems(), st.randoms(use_true_random=False))
+@settings(max_examples=40, deadline=None)
+def test_compact_renaming_preserves_canonical_key(problem, rng):
+    """Applying a random compact renaming never changes the equivalence class."""
+    vectors = list(SPEEnumerator(problem).enumerate(limit=20))
+    mapping: dict[str, str] = {}
+    for cls in problem.classes:
+        shuffled = list(cls.variables)
+        rng.shuffle(shuffled)
+        mapping.update(dict(zip(cls.variables, shuffled)))
+    renaming = AlphaRenaming(mapping)
+    for vector in vectors:
+        renamed = renaming.apply(vector)
+        assert canonical_key(problem, renamed) == canonical_key(problem, vector)
+        assert canonicalize_assignment(problem, renamed) == vector
+
+
+@given(small_problems())
+@settings(max_examples=40, deadline=None)
+def test_canonicalisation_idempotent(problem):
+    for vector in NaiveEnumerator(problem).enumerate(limit=30):
+        canonical = canonicalize_assignment(problem, vector)
+        assert canonicalize_assignment(problem, canonical) == canonical

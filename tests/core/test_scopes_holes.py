@@ -1,0 +1,112 @@
+"""Tests for scope trees, holes and skeleton helpers."""
+
+import pytest
+
+from repro.core.holes import CharacteristicVector, Hole, Skeleton
+from repro.core.scopes import ScopeKind, ScopeTree
+
+
+class TestScopeTree:
+    def make_tree(self) -> ScopeTree:
+        tree = ScopeTree()
+        fn = tree.add_scope(tree.root_id, ScopeKind.FUNCTION, "main")
+        block = tree.add_scope(fn, ScopeKind.BLOCK)
+        tree.declare(tree.root_id, "g", "int")
+        tree.declare(fn, "a", "int")
+        tree.declare(fn, "p", "int *")
+        tree.declare(block, "b", "int")
+        return tree
+
+    def test_ancestors_and_depth(self):
+        tree = self.make_tree()
+        assert tree.ancestors(2) == [2, 1, 0]
+        assert tree.depth(2) == 2
+        assert tree.is_ancestor(0, 2)
+        assert not tree.is_ancestor(2, 1)
+
+    def test_visible_variables_and_types(self):
+        tree = self.make_tree()
+        names = [v.name for v in tree.visible_variables(2, type="int")]
+        assert names == ["b", "a", "g"]
+        pointer_names = [v.name for v in tree.visible_variables(2, type="int *")]
+        assert pointer_names == ["p"]
+
+    def test_shadowing(self):
+        tree = self.make_tree()
+        tree.declare(2, "a", "long")  # shadows the int 'a'
+        ints = [v.name for v in tree.visible_variables(2, type="int")]
+        assert "a" not in ints
+
+    def test_duplicate_declaration_rejected(self):
+        tree = self.make_tree()
+        with pytest.raises(ValueError):
+            tree.declare(1, "a", "int")
+
+    def test_unknown_scope(self):
+        tree = self.make_tree()
+        with pytest.raises(KeyError):
+            tree.scope(42)
+        with pytest.raises(KeyError):
+            tree.add_scope(42)
+
+    def test_function_scopes_and_enclosing(self):
+        tree = self.make_tree()
+        assert [s.name for s in tree.function_scopes()] == ["main"]
+        assert tree.enclosing_function(2).name == "main"
+        assert tree.enclosing_function(0) is None
+
+    def test_pretty_listing(self):
+        text = self.make_tree().pretty()
+        assert "main" in text and "int a" in text
+
+
+class TestCharacteristicVector:
+    def test_repr_and_sets(self):
+        vector = CharacteristicVector(["a", "b", "a"])
+        assert repr(vector) == "<a, b, a>"
+        assert vector.variables_used() == {"a", "b"}
+
+    def test_substitution_map(self):
+        left = CharacteristicVector(["a", "b", "a"])
+        right = CharacteristicVector(["b", "a", "b"])
+        assert right.substitution_from(left) == {"a": {"b"}, "b": {"a"}}
+        with pytest.raises(ValueError):
+            right.substitution_from(["a"])
+
+
+class TestSkeleton:
+    def make_skeleton(self) -> Skeleton:
+        tree = ScopeTree()
+        fn = tree.add_scope(tree.root_id, ScopeKind.FUNCTION, "f")
+        tree.declare(fn, "x", "int")
+        tree.declare(fn, "y", "int")
+        holes = [Hole(0, fn, "int", "x", "f"), Hole(1, fn, "int", "y", "f")]
+        return Skeleton("s", holes, tree, realize_fn=lambda v: " ".join(v))
+
+    def test_basic_queries(self):
+        skeleton = self.make_skeleton()
+        assert skeleton.num_holes == 2
+        assert skeleton.functions() == ["f"]
+        assert skeleton.hole_types() == {"int"}
+        assert skeleton.candidate_names(skeleton.holes[0]) == ["x", "y"]
+        assert skeleton.hole_variable_sets() == [["x", "y"], ["x", "y"]]
+
+    def test_realize_and_validation(self):
+        skeleton = self.make_skeleton()
+        assert skeleton.realize(["y", "x"]) == "y x"
+        with pytest.raises(ValueError):
+            skeleton.realize(["y"])
+        with pytest.raises(ValueError):
+            skeleton.realize(["z", "x"])
+
+    def test_realize_without_fn(self):
+        skeleton = self.make_skeleton()
+        skeleton.realize_fn = None
+        with pytest.raises(ValueError):
+            skeleton.realize(["x", "y"])
+
+    def test_stats(self):
+        stats = self.make_skeleton().stats()
+        assert stats["holes"] == 2.0
+        assert stats["functions"] == 1.0
+        assert stats["vars_per_hole"] == 2.0

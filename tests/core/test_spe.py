@@ -1,0 +1,119 @@
+"""Tests for the SPE enumerator, PartitionScope, and skeleton-level enumeration."""
+
+import pytest
+
+from repro.core.alpha import canonicalize_assignment
+from repro.core.counting import scoped_spe_count
+from repro.core.naive import NaiveEnumerator
+from repro.core.problem import Granularity, flat_problem, unscoped_problem
+from repro.core.spe import (
+    EnumerationBudget,
+    SkeletonEnumerator,
+    SPEEnumerator,
+    partition_scope_paper,
+)
+from repro.minic.skeleton import extract_skeleton
+
+
+class TestSPEEnumerator:
+    def test_fig5_count_and_uniqueness(self, fig5_problem):
+        vectors = list(SPEEnumerator(fig5_problem).enumerate())
+        assert len(vectors) == 32
+        assert len(set(vectors)) == 32
+
+    def test_fig7_matches_bruteforce(self, fig7_problem):
+        enumerator = SPEEnumerator(fig7_problem)
+        vectors = set(enumerator.enumerate())
+        assert len(vectors) == enumerator.count() == 40
+        assert vectors == NaiveEnumerator(fig7_problem).canonical_set()
+
+    def test_vectors_are_canonical_representatives(self, fig7_problem):
+        for vector in SPEEnumerator(fig7_problem).enumerate():
+            assert canonicalize_assignment(fig7_problem, vector) == vector
+
+    def test_limit(self, fig5_problem):
+        assert len(SPEEnumerator(fig5_problem).first(5)) == 5
+        assert len(list(SPEEnumerator(fig5_problem).enumerate(limit=1000))) == 32
+
+    def test_empty_problem(self):
+        problem = unscoped_problem("empty", 0, ["a"])
+        assert list(SPEEnumerator(problem).enumerate()) == [()]
+
+    def test_single_class_single_var(self):
+        problem = unscoped_problem("one", 4, ["only"])
+        vectors = list(SPEEnumerator(problem).enumerate())
+        assert vectors == [("only",) * 4]
+
+    def test_multi_scope_count_matches_bruteforce(self):
+        problem = flat_problem("multi", ["a", "b"], [(["c"], 2), (["d", "e"], 1)], 2)
+        enumerator = SPEEnumerator(problem)
+        assert set(enumerator.enumerate()) == NaiveEnumerator(problem).canonical_set()
+        assert enumerator.count() == scoped_spe_count(problem)
+
+
+class TestPartitionScopePaper:
+    def test_example6_strict_count(self, fig7_problem):
+        assert len(partition_scope_paper(fig7_problem, strict_global_blocks=True)) == 36
+
+    def test_example6_at_most_matches_general(self, fig7_problem):
+        loose = partition_scope_paper(fig7_problem, strict_global_blocks=False)
+        assert set(loose) == set(SPEEnumerator(fig7_problem).enumerate())
+
+    def test_unscoped_problem_is_fine(self, fig5_problem):
+        assert len(partition_scope_paper(fig5_problem)) == 32
+
+    def test_strict_subset_of_general(self, fig7_problem):
+        strict = set(partition_scope_paper(fig7_problem, strict_global_blocks=True))
+        general = set(SPEEnumerator(fig7_problem).enumerate())
+        assert strict <= general
+
+
+class TestEnumerationBudget:
+    def test_threshold(self):
+        budget = EnumerationBudget(max_variants=10)
+        assert budget.allows(10)
+        assert not budget.allows(11)
+        assert EnumerationBudget(max_variants=None).allows(10**12)
+
+    def test_truncation_mode(self):
+        budget = EnumerationBudget(max_variants=5, truncate=True)
+        assert budget.allows(10**6)
+        assert budget.limit() == 5
+
+
+class TestSkeletonEnumerator:
+    def test_fig6_counts(self, fig6_source):
+        skeleton = extract_skeleton(fig6_source, name="fig6")
+        enumerator = SkeletonEnumerator(skeleton)
+        assert enumerator.naive_count() == 2**3 * 4**3  # 3 main-scope holes, 3 block holes
+        assert enumerator.count() == len(list(enumerator.vectors()))
+
+    def test_realized_programs_parse_and_differ(self, fig6_source):
+        skeleton = extract_skeleton(fig6_source, name="fig6")
+        enumerator = SkeletonEnumerator(skeleton)
+        programs = [program for _, program in enumerator.programs(limit=10)]
+        assert len(set(programs)) == 10
+
+    def test_budget_skips_large_skeletons(self, fig6_source):
+        skeleton = extract_skeleton(fig6_source, name="fig6")
+        small_budget = SkeletonEnumerator(skeleton, budget=EnumerationBudget(max_variants=3))
+        assert not small_budget.within_budget()
+        big_budget = SkeletonEnumerator(skeleton, budget=EnumerationBudget(max_variants=10**6))
+        assert big_budget.within_budget()
+
+    def test_intra_vs_inter_granularity(self, seeds):
+        skeleton = extract_skeleton(seeds["two_functions.c"], name="two_functions")
+        intra = SkeletonEnumerator(skeleton, granularity=Granularity.INTRA_PROCEDURAL)
+        inter = SkeletonEnumerator(skeleton, granularity=Granularity.INTER_PROCEDURAL)
+        # Paper Section 4.3: intra-procedural enumeration is an approximation
+        # that enumerates fewer variants than the inter-procedural one.
+        assert intra.count() <= inter.count()
+        assert inter.count() == len(set(inter.vectors()))
+
+    def test_original_vector_is_enumerated_up_to_alpha(self, fig6_source):
+        skeleton = extract_skeleton(fig6_source, name="fig6")
+        enumerator = SkeletonEnumerator(skeleton)
+        problems = enumerator.problems
+        assert len(problems) == 1
+        canonical_original = canonicalize_assignment(problems[0], skeleton.original_vector)
+        assert canonical_original in set(enumerator.vectors())

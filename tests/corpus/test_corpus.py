@@ -1,0 +1,61 @@
+"""Tests for the corpus: seeds, the synthetic generator, and suite statistics."""
+
+from repro.corpus.generator import CorpusGenerator, GeneratorConfig
+from repro.corpus.seeds import paper_seed_programs
+from repro.corpus.stats import corpus_statistics
+from repro.minic.interp import ExecutionStatus, run_source
+from repro.minic.parser import parse
+from repro.minic.skeleton import extract_skeleton
+
+
+class TestSeeds:
+    def test_all_seeds_parse_and_run_cleanly(self, seeds):
+        for name, source in seeds.items():
+            parse(source)
+            result = run_source(source)
+            assert result.status is ExecutionStatus.OK, (name, result.detail)
+
+    def test_all_seeds_have_skeletons_with_holes(self, seeds):
+        for name, source in seeds.items():
+            skeleton = extract_skeleton(source, name=name)
+            assert skeleton.num_holes >= 2
+
+    def test_seed_names_unique_and_stable(self, seeds):
+        assert len(seeds) >= 12
+        assert "fig2_alias.c" in seeds and "fig3_cond.c" in seeds
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        first = CorpusGenerator(GeneratorConfig(seed=5)).generate(5)
+        second = CorpusGenerator(GeneratorConfig(seed=5)).generate(5)
+        assert first == second
+        different = CorpusGenerator(GeneratorConfig(seed=6)).generate(5)
+        assert different != first
+
+    def test_generated_programs_are_wellformed(self):
+        corpus = CorpusGenerator(GeneratorConfig(seed=11)).generate(25)
+        ok = 0
+        for name, source in corpus.items():
+            skeleton = extract_skeleton(source, name=name)
+            assert skeleton.num_holes > 0
+            result = run_source(source)
+            if result.status is ExecutionStatus.OK:
+                ok += 1
+        # The generator aims for UB-free seeds; allow a small tolerance.
+        assert ok >= int(0.85 * len(corpus))
+
+    def test_statistics_roughly_match_table2(self):
+        corpus = CorpusGenerator(GeneratorConfig(seed=2017)).generate(80)
+        skeletons = [extract_skeleton(src, name=name) for name, src in corpus.items()]
+        stats = corpus_statistics(skeletons)
+        # Calibration targets from the paper's Table 2 (generous tolerances).
+        assert 3.0 <= stats.holes <= 25.0
+        assert 1.5 <= stats.scopes <= 8.0
+        assert 1.0 <= stats.functions <= 3.0
+        assert 2.0 <= stats.vars_per_hole <= 7.0
+
+    def test_stats_empty(self):
+        empty = corpus_statistics([])
+        assert empty.files == 0
+        assert empty.as_row()["#Holes"] == 0.0

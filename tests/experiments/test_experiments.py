@@ -1,0 +1,91 @@
+"""Tests for the experiment drivers (small parameters, shape checks only)."""
+
+import math
+
+import pytest
+
+from repro.experiments import fig8, fig9, fig10, table1, table2, table3, table4
+from repro.experiments.reporting import format_histogram, format_table, scientific
+
+
+class TestReporting:
+    def test_format_table(self):
+        text = format_table(["a", "b"], [[1, 2.5], ["xy", 3]], title="T")
+        assert "T" in text and "xy" in text and "2.50" in text
+
+    def test_format_histogram(self):
+        text = format_histogram(["x", "y"], [1.0, 2.0], title="H")
+        assert text.startswith("H")
+        assert "#" in text
+
+    def test_scientific_large_ints(self):
+        assert scientific(0) == "0"
+        assert scientific(123) == "123"
+        assert scientific(10**163)[-3:] == "163"
+        assert "e" in scientific(2.5e7)
+
+
+class TestTable1:
+    def test_shape(self):
+        result = table1.run(files=18, threshold=10_000)
+        assert [row.approach for row in result.original] == ["Naive", "Our"]
+        naive_total = result.original[0].total_size
+        spe_total = result.original[1].total_size
+        assert naive_total >= spe_total >= 1
+        # Thresholding keeps most files (paper: ~90%).
+        assert result.thresholded[0].files >= 0.5 * result.original[0].files
+        assert result.reduction_orders_of_magnitude >= 0
+        assert "Total Size" in table1.render(result)
+
+
+class TestTable2:
+    def test_shape(self):
+        result = table2.run(files=18)
+        assert result.original.files >= result.thresholded.files
+        assert result.original.holes > 0
+        rendered = table2.render(result)
+        assert "#Holes" in rendered and "Paper reference" in rendered
+
+
+class TestFig8:
+    def test_distributions_sum_to_one(self):
+        result = fig8.run(files=18)
+        assert result.files > 0
+        assert math.isclose(sum(result.naive_distribution), 1.0, abs_tol=1e-6)
+        assert math.isclose(sum(result.spe_distribution), 1.0, abs_tol=1e-6)
+        assert all(0.0 <= r <= 1.0 for r in result.reduction_ratio)
+        assert "Figure 8" in fig8.render(result)
+
+
+class TestFig9:
+    def test_spe_beats_mutation(self):
+        result = fig9.run(files=8, variants_per_file=8, mutants_per_file=3)
+        assert "SPE" in result.improvements
+        spe_gain = result.improvements["SPE"]["function"]
+        pm_gains = [result.improvements[k]["function"] for k in result.improvements if k.startswith("PM-")]
+        assert spe_gain >= 0.0
+        # The paper's headline shape: SPE adds at least as much coverage as deletion mutants.
+        assert spe_gain >= max(pm_gains) - 1e-9
+        assert "coverage improvements" in fig9.render(result)
+
+
+@pytest.mark.slow
+class TestCampaignExperiments:
+    def test_table3_finds_stable_release_crashes(self):
+        result = table3.run(files=6, max_variants_per_file=15)
+        assert result.campaign.variants_tested > 0
+        assert "Table 3" in table3.render(result)
+
+    def test_table4_classification(self):
+        result = table4.run(files=6, max_variants_per_file=12)
+        rendered = table4.render(result)
+        assert "Table 4" in rendered
+        for row in result.rows:
+            assert row["reported"] == row["crash"] + row["wrong code"] + row["performance"]
+
+    def test_fig10_characteristics(self):
+        result = fig10.run(files=6, max_variants_per_file=12)
+        rendered = fig10.render(result)
+        assert "Figure 10(a)" in rendered and "Figure 10(d)" in rendered
+        if result.campaign.bugs.reports:
+            assert sum(result.priorities.values()) == len(result.campaign.bugs)

@@ -1,0 +1,157 @@
+"""Tests for the WHILE language: lexer, parser, printer, interpreter, skeletons."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.spe import SkeletonEnumerator
+from repro.lang import (
+    Assign,
+    BinaryArith,
+    Compare,
+    LexerError,
+    Num,
+    ParseError,
+    Seq,
+    Var,
+    While,
+    extract_skeleton,
+    parse_program,
+    run_program,
+    to_source,
+    tokenize,
+)
+from repro.lang.ast import rename_variables, substitute_variables, variables_of
+
+FIG5 = """
+a := 10 ;
+b := 1 ;
+while (a) do (
+  a := a - b
+)
+"""
+
+
+class TestLexer:
+    def test_tokens(self):
+        kinds = [t.kind for t in tokenize("x := 1 + y")]
+        assert kinds == ["ident", "op", "number", "op", "ident", "eof"]
+
+    def test_comments_and_keywords(self):
+        tokens = tokenize("# comment\nwhile (true) do skip")
+        assert tokens[0].kind == "keyword"
+
+    def test_error(self):
+        with pytest.raises(LexerError):
+            tokenize("x := $")
+
+
+class TestParserPrinter:
+    def test_fig5_structure(self):
+        program = parse_program(FIG5)
+        assert isinstance(program, Seq)
+        assert isinstance(program.statements[2], While)
+
+    def test_roundtrip(self):
+        program = parse_program(FIG5)
+        assert to_source(parse_program(to_source(program))) == to_source(program)
+
+    def test_if_else(self):
+        program = parse_program("if (x < 1) then x := 1 else x := 2")
+        rendered = to_source(program)
+        assert "if" in rendered and "else" in rendered
+
+    def test_parse_error(self):
+        with pytest.raises(ParseError):
+            parse_program("x := ")
+        with pytest.raises(ParseError):
+            parse_program("while x do skip")
+
+    def test_bare_condition_becomes_comparison(self):
+        program = parse_program("while (a) do skip")
+        assert isinstance(program.condition, Compare)
+
+    def test_operator_validation(self):
+        with pytest.raises(ValueError):
+            BinaryArith("**", Num(1), Num(2))
+        with pytest.raises(ValueError):
+            Compare("~", Num(1), Num(2))
+
+
+class TestInterpreter:
+    def test_fig5_semantics(self):
+        store = run_program(FIG5)
+        assert store == {"a": 0, "b": 1}
+
+    def test_division_truncation(self):
+        store = run_program("x := 7 / 2 ; y := 0 - 7 ; z := y / 2")
+        assert store["x"] == 3
+        assert store["z"] == -3
+
+    def test_if_branches(self):
+        assert run_program("x := 3 ; if (x > 2) then y := 1 else y := 2")["y"] == 1
+        assert run_program("x := 1 ; if (x > 2) then y := 1 else y := 2")["y"] == 2
+
+    def test_step_limit(self):
+        from repro.lang.interp import ExecutionLimitExceeded
+
+        with pytest.raises(ExecutionLimitExceeded):
+            run_program("x := 1 ; while (x) do x := 1", max_steps=100)
+
+    def test_uninitialised_defaults_to_zero(self):
+        assert run_program("x := y + 1")["x"] == 1
+
+
+class TestASTHelpers:
+    def test_variables_of(self):
+        program = parse_program(FIG5)
+        assert variables_of(program) == ["a", "b"]
+
+    def test_substitute_and_rename(self):
+        program = parse_program("x := x + y")
+        renamed = rename_variables(program, {"x": "y", "y": "x"})
+        assert to_source(renamed) == "y := (y + x)\n"
+        substituted = substitute_variables(program, ["a", "b", "c"])
+        assert to_source(substituted) == "a := (b + c)\n"
+
+
+class TestWhileSkeletons:
+    def test_fig5_skeleton_counts(self):
+        skeleton = extract_skeleton(FIG5, name="fig5")
+        assert skeleton.num_holes == 6
+        enumerator = SkeletonEnumerator(skeleton)
+        assert enumerator.naive_count() == 64
+        assert enumerator.count() == 32
+
+    def test_alpha_equivalent_variants_semantically_equivalent(self):
+        # Theorem 1 specialised to WHILE: the renamed program's final store is
+        # the renaming of the original store.
+        skeleton = extract_skeleton(FIG5, name="fig5")
+        original = run_program(FIG5)
+        swapped_source = skeleton.realize(["b", "a", "b", "b", "b", "a"])
+        swapped = run_program(swapped_source)
+        assert swapped == {"b": original["a"], "a": original["b"]}
+
+    def test_realized_variants_parse(self):
+        skeleton = extract_skeleton(FIG5, name="fig5")
+        for _, source in SkeletonEnumerator(skeleton).programs(limit=8):
+            parse_program(source)
+
+    def test_explicit_variable_set(self):
+        skeleton = extract_skeleton("x := x + 1", variables=["x", "y", "z"])
+        enumerator = SkeletonEnumerator(skeleton)
+        assert enumerator.naive_count() == 9
+
+    def test_no_variables_rejected(self):
+        with pytest.raises(ValueError):
+            extract_skeleton("skip")
+
+    @given(st.integers(min_value=0, max_value=30), st.integers(min_value=1, max_value=9))
+    @settings(max_examples=25, deadline=None)
+    def test_loop_computes_remainder_like_count(self, start, step):
+        source = f"a := {start} ; b := {step} ; while (a > 0) do a := a - b"
+        store = run_program(source)
+        expected = start
+        while expected > 0:
+            expected -= step
+        assert store["a"] == expected

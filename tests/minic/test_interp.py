@@ -1,0 +1,106 @@
+"""Tests for the mini-C reference interpreter and its UB detection."""
+
+import pytest
+
+from repro.minic.interp import ExecutionStatus, run_source
+
+
+def status_of(source: str, max_steps: int = 100_000):
+    return run_source(source, max_steps=max_steps)
+
+
+class TestBasicExecution:
+    def test_arithmetic_and_exit_code(self):
+        result = status_of("int main() { return 2 + 3 * 4; }")
+        assert result.ok and result.exit_code == 14
+
+    def test_printf_output(self):
+        result = status_of('int main() { printf("%d-%d", 3, 4); printf("!"); return 0; }')
+        assert result.stdout == "3-4!"
+
+    def test_globals_and_arrays(self):
+        source = "int a[4] = {1, 2, 3, 4}; int main() { return a[0] + a[3]; }"
+        assert status_of(source).exit_code == 5
+
+    def test_function_calls_and_recursion(self):
+        source = "int fact(int n) { if (n <= 1) return 1; return n * fact(n - 1); } int main() { return fact(5); }"
+        assert status_of(source).exit_code == 120
+
+    def test_pointers(self):
+        source = "int main() { int x = 1; int *p = &x; *p = 41; return x + 1; }"
+        assert status_of(source).exit_code == 42
+
+    def test_loops_and_control_flow(self):
+        source = """
+        int main() {
+            int total = 0;
+            for (int i = 0; i < 10; i++) { if (i == 3) continue; if (i == 7) break; total += i; }
+            do { total++; } while (total < 20);
+            while (total > 15) total -= 2;
+            return total;
+        }
+        """
+        assert status_of(source).ok
+
+    def test_goto_forward_and_backward(self):
+        source = """
+        int main() {
+            int count = 0;
+        again:
+            count = count + 1;
+            if (count < 3) goto again;
+            goto out;
+            count = 100;
+        out:
+            return count;
+        }
+        """
+        assert status_of(source).exit_code == 3
+
+    def test_exit_and_abort(self):
+        assert status_of("int main() { exit(7); return 1; }").exit_code == 7
+        assert status_of("int main() { abort(); return 0; }").exit_code == 134
+
+    def test_char_and_unsigned(self):
+        source = "int main() { char c = 'A'; unsigned u = 3; return c + u; }"
+        assert status_of(source).exit_code == 68
+
+    def test_exit_code_masked(self):
+        assert status_of("int main() { return 300; }").exit_code == 300 & 0xFF
+
+    def test_ternary_and_logical(self):
+        source = "int main() { int a = 0; int b = 5; return (a && b) + (a || b) * 2 + (a ? 9 : b); }"
+        assert status_of(source).exit_code == 7
+
+
+class TestUndefinedBehaviour:
+    CASES = {
+        "uninitialised": "int main() { int x; return x; }",
+        "div-by-zero": "int main() { int a = 1, b = 0; return a / b; }",
+        "mod-by-zero": "int main() { int a = 1, b = 0; return a % b; }",
+        "signed-overflow": "int main() { int a = 2147483647; return a + 1; }",
+        "shift-too-far": "int main() { int a = 1; return a << 40; }",
+        "negative-shift": "int main() { int a = 1; int s = -1; return a << s; }",
+        "oob-read": "int a[2]; int main() { return a[5]; }",
+        "oob-write": "int a[2]; int main() { a[3] = 1; return 0; }",
+        "null-deref": "int main() { int *p = 0; return *p; }",
+        "missing-return-use": "int f(int x) { if (x > 100) return 1; } int main() { return f(1) + 1; }",
+    }
+
+    @pytest.mark.parametrize("name", sorted(CASES))
+    def test_detected(self, name):
+        result = status_of(self.CASES[name])
+        assert result.status is ExecutionStatus.UNDEFINED, (name, result)
+
+    def test_timeout(self):
+        result = status_of("int main() { while (1) { } return 0; }", max_steps=2_000)
+        assert result.status is ExecutionStatus.TIMEOUT
+
+    def test_runtime_error_for_bad_call(self):
+        result = status_of("int main() { return undeclared_fn(1); }")
+        assert result.status is ExecutionStatus.ERROR
+
+    def test_defined_unsigned_wraparound_is_ok(self):
+        source = "int main() { unsigned u = 4294967295U; u = u + 1; return u == 0; }"
+        result = status_of(source)
+        assert result.ok and result.exit_code == 1

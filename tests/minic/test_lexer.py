@@ -1,0 +1,45 @@
+"""Tests for the mini-C lexer."""
+
+import pytest
+
+from repro.minic.errors import MiniCSyntaxError
+from repro.minic.lexer import tokenize
+
+
+class TestTokens:
+    def test_basic_kinds(self):
+        tokens = tokenize("int x = 42;")
+        assert [t.kind for t in tokens] == ["keyword", "ident", "op", "number", "op", "eof"]
+
+    def test_numbers(self):
+        tokens = tokenize("10 0x1f 017 5u 7L")
+        values = [t.value for t in tokens if t.kind == "number"]
+        assert values == [10, 31, 15, 5, 7]
+
+    def test_char_and_string_literals(self):
+        tokens = tokenize("'a' '\\n' \"hi\\t\"")
+        assert tokens[0].value == ord("a")
+        assert tokens[1].value == ord("\n")
+        assert tokens[2].value == "hi\t"
+
+    def test_operators_longest_match(self):
+        texts = [t.text for t in tokenize("a <<= b >>= c == d && e ++")]
+        assert "<<=" in texts and ">>=" in texts and "==" in texts and "&&" in texts and "++" in texts
+
+    def test_comments_and_preprocessor(self):
+        tokens = tokenize("#include <stdio.h>\n// line\n/* block\nstill */ int x;")
+        kinds = [t.kind for t in tokens]
+        assert kinds[0] == "keyword"
+
+    def test_positions(self):
+        tokens = tokenize("int\n  x;")
+        x = [t for t in tokens if t.text == "x"][0]
+        assert x.line == 2 and x.column == 3
+
+    def test_errors(self):
+        with pytest.raises(MiniCSyntaxError):
+            tokenize("int x = `;")
+        with pytest.raises(MiniCSyntaxError):
+            tokenize('"unterminated')
+        with pytest.raises(MiniCSyntaxError):
+            tokenize("/* unterminated")

@@ -1,0 +1,126 @@
+"""Tests for the mini-C parser and pretty-printer."""
+
+import pytest
+
+from repro.minic import ast, parse, to_source
+from repro.minic.ctypes import ArrayType, PointerType
+from repro.minic.errors import MiniCSyntaxError
+
+
+class TestDeclarations:
+    def test_globals_and_arrays(self):
+        unit = parse("int a = 1, b; int arr[3] = {1, 2, 3}; long big;")
+        names = [d.name for d in unit.globals()]
+        assert names == ["a", "b", "arr", "big"]
+        assert isinstance(unit.globals()[2].var_type, ArrayType)
+
+    def test_pointers(self):
+        unit = parse("int *p; int **pp;")
+        assert isinstance(unit.globals()[0].var_type, PointerType)
+        assert isinstance(unit.globals()[1].var_type.base, PointerType)
+
+    def test_function_with_params_and_prototype(self):
+        unit = parse("int add(int x, int y);\nint add(int x, int y) { return x + y; }")
+        functions = unit.functions()
+        assert len(functions) == 2
+        assert [p.name for p in functions[1].params] == ["x", "y"]
+
+    def test_void_params(self):
+        unit = parse("int main(void) { return 0; }")
+        assert unit.function("main").params == []
+
+
+class TestStatements:
+    def test_full_statement_repertoire(self):
+        source = """
+        int main() {
+            int i, total = 0;
+            for (i = 0; i < 10; i++) { total += i; }
+            while (total > 50) total--;
+            do { total = total - 1; } while (total > 40);
+            if (total == 40) total = 1; else total = 2;
+            switchless: ;
+            goto switchless2;
+            switchless2: total = total + 1;
+            { int shadow = 3; total += shadow; }
+            return total;
+        }
+        """
+        unit = parse(source)
+        kinds = {type(stmt).__name__ for stmt in unit.function("main").body.walk() if isinstance(stmt, ast.Stmt)}
+        assert {"For", "While", "DoWhile", "If", "Label", "Goto", "Block", "Return"} <= kinds
+
+    def test_break_continue(self):
+        unit = parse("int main() { while (1) { if (0) continue; break; } return 0; }")
+        assert unit.function("main") is not None
+
+    def test_errors(self):
+        with pytest.raises(MiniCSyntaxError):
+            parse("int main() { return 0 }")  # missing semicolon
+        with pytest.raises(MiniCSyntaxError):
+            parse("struct s { int x; };")  # unsupported construct
+        with pytest.raises(MiniCSyntaxError):
+            parse("int main() { (1)(2); }")  # calls only on named functions
+
+
+class TestExpressions:
+    def _main_expr(self, text: str) -> ast.Expr:
+        unit = parse(f"int a, b, c; int arr[4]; int main() {{ {text}; return 0; }}")
+        stmt = unit.function("main").body.items[0]
+        assert isinstance(stmt, ast.ExprStmt)
+        return stmt.expr
+
+    def test_precedence(self):
+        expr = self._main_expr("a = b + c * 2")
+        assert isinstance(expr, ast.Assignment)
+        assert isinstance(expr.value, ast.Binary) and expr.value.op == "+"
+        assert expr.value.right.op == "*"
+
+    def test_ternary_and_logical(self):
+        expr = self._main_expr("a = b && c ? 1 : 2")
+        assert isinstance(expr, ast.Assignment)
+        assert isinstance(expr.value, ast.Conditional)
+        assert isinstance(expr.value.condition, ast.Binary) and expr.value.condition.op == "&&"
+
+    def test_unary_and_postfix(self):
+        expr = self._main_expr("a = -b + !c + ~a + arr[2] + b++")
+        assert isinstance(expr, ast.Assignment)
+
+    def test_pointer_expressions(self):
+        expr = self._main_expr("*(&a) = 3")
+        assert isinstance(expr.target, ast.Unary) and expr.target.op == "*"
+
+    def test_casts_and_sizeof(self):
+        expr = self._main_expr("a = (long) b + sizeof(int)")
+        assert isinstance(expr.value.left, ast.Cast)
+        assert isinstance(expr.value.right, ast.IntLiteral) and expr.value.right.value == 4
+
+    def test_compound_assignment(self):
+        expr = self._main_expr("a *= b + 1")
+        assert expr.op == "*="
+
+    def test_call_arguments(self):
+        expr = self._main_expr('printf("%d %d", a, b)')
+        assert isinstance(expr, ast.Call) and len(expr.args) == 3
+
+
+class TestPrinterRoundTrip:
+    SOURCES = [
+        "int g = 3; int main(void) { return g; }",
+        "int main() { int a = 1; if (a) { a = a + 1; } else a = 2; return a; }",
+        "int arr[3] = {1, 2, 3}; int main() { int i; int s = 0; for (i = 0; i < 3; i++) s += arr[i]; return s; }",
+        "int main() { int x = 1; int *p = &x; *p = 2; return x; }",
+        "int f(int n) { if (n <= 1) return 1; return n * f(n - 1); } int main() { return f(5); }",
+        'int main() { printf("hi %d\\n", 3); return 0; }',
+        "int main() { int a = 1; a <<= 2; a |= 1; return a ? a : -a; }",
+    ]
+
+    @pytest.mark.parametrize("source", SOURCES)
+    def test_print_parse_fixpoint(self, source):
+        once = to_source(parse(source))
+        twice = to_source(parse(once))
+        assert once == twice
+
+    def test_prototype_printed_with_semicolon(self):
+        rendered = to_source(parse("int f(int x);"))
+        assert rendered.strip().endswith(";")

@@ -1,0 +1,54 @@
+"""Tests for symbol resolution and scope-tree construction."""
+
+import pytest
+
+from repro.core.scopes import ScopeKind
+from repro.minic import parse
+from repro.minic.errors import MiniCTypeError
+from repro.minic.symbols import resolve
+
+
+class TestResolution:
+    def test_scope_tree_shape(self, fig6_source):
+        table = resolve(parse(fig6_source))
+        kinds = [scope.kind for scope in table.scope_tree.scopes()]
+        assert kinds.count(ScopeKind.FUNCTION) == 1
+        assert kinds.count(ScopeKind.BLOCK) == 1
+        # a, b live in the function scope; c, d in the block scope.
+        function_scope = table.scope_tree.function_scopes()[0]
+        assert function_scope.declared_names() == ["a", "b"]
+
+    def test_uses_in_order(self, fig6_source):
+        table = resolve(parse(fig6_source))
+        assert [use.decl.name for use in table.uses] == ["a", "b", "c", "d", "a", "b"]
+        assert all(use.function == "main" for use in table.uses)
+
+    def test_params_and_globals(self):
+        table = resolve(parse("int g; int f(int x) { return x + g; } int main() { return f(1); }"))
+        uses = [use.decl.name for use in table.uses]
+        assert uses == ["x", "g"]
+        assert table.scope_tree.scope(0).declared_names() == ["g"]
+
+    def test_shadowing_resolves_to_inner(self):
+        source = "int x = 1; int main() { int x = 2; return x; }"
+        table = resolve(parse(source))
+        use = table.uses[0]
+        assert use.decl.is_global is False
+
+    def test_for_scope(self):
+        table = resolve(parse("int main() { for (int i = 0; i < 3; i++) { int j = i; } return 0; }"))
+        declared = {scope.name: scope.declared_names() for scope in table.scope_tree.scopes()}
+        assert ["i"] in declared.values()
+
+    def test_undeclared_identifier(self):
+        with pytest.raises(MiniCTypeError):
+            resolve(parse("int main() { return missing; }"))
+
+    def test_duplicate_declaration(self):
+        with pytest.raises(MiniCTypeError):
+            resolve(parse("int main() { int a; int a; return 0; }"))
+
+    def test_declaration_order_tracking(self):
+        table = resolve(parse("int main() { int a = 1; a = 2; int b = a; return b; }"))
+        a_decl = table.declarations[1][0]
+        assert table.declaration_order[id(a_decl)] < table.uses[0].order

@@ -1,0 +1,50 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture()
+def sample_file(tmp_path):
+    path = tmp_path / "sample.c"
+    path.write_text("int main() { int a = 1, b = 2; a = a + b; return a - b; }\n")
+    return str(path)
+
+
+class TestCLI:
+    def test_parser_subcommands(self):
+        parser = build_parser()
+        args = parser.parse_args(["count", "foo.c"])
+        assert args.command == "count"
+
+    def test_count(self, sample_file, capsys):
+        assert main(["count", sample_file]) == 0
+        out = capsys.readouterr().out
+        assert "SPE variants" in out and "naive variants" in out
+
+    def test_enumerate(self, sample_file, capsys):
+        assert main(["enumerate", sample_file, "--limit", "3"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("variant") == 3
+
+    def test_test_clean_file(self, sample_file, capsys):
+        exit_code = main(["test", sample_file])
+        out = capsys.readouterr().out
+        assert "scc-trunk" in out
+        assert exit_code in (0, 1)
+
+    def test_test_buggy_file(self, tmp_path, capsys):
+        path = tmp_path / "bug.c"
+        path.write_text("int a, b = 1; int main() { if (a) a = a - a; return b; }\n")
+        exit_code = main(["test", str(path)])
+        out = capsys.readouterr().out
+        assert exit_code == 1
+        assert "crash" in out
+
+    def test_experiment_unknown_name(self, capsys):
+        assert main(["experiment", "nonsense"]) == 2
+
+    def test_experiment_table2(self, capsys):
+        assert main(["experiment", "table2"]) == 0
+        assert "#Holes" in capsys.readouterr().out

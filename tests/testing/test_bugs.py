@@ -1,0 +1,82 @@
+"""Tests for bug records, deduplication and classification."""
+
+from repro.compiler.pipeline import OptimizationLevel
+from repro.testing.bugs import BugDatabase, BugKind
+from repro.testing.oracle import DifferentialOracle, Observation, ObservationKind
+
+
+def make_observation(kind=ObservationKind.CRASH, signature="internal compiler error: in foo", compiler="scc-trunk", name="t.c", faults=None):
+    return Observation(
+        kind=kind,
+        program="int main() { return 0; }",
+        source_name=name,
+        compiler=compiler,
+        opt_level=OptimizationLevel.O2,
+        signature=signature,
+        triggered_faults=faults or [],
+    )
+
+
+class TestBugDatabase:
+    def test_dedup_by_crash_signature(self):
+        db = BugDatabase()
+        first = db.record(make_observation(signature="internal compiler error: in foo (x)"))
+        second = db.record(make_observation(signature="internal compiler error: in foo (y)", name="u.c"))
+        assert first is second
+        assert len(db) == 1
+        assert first.duplicate_count == 1
+
+    def test_distinct_signatures_distinct_bugs(self):
+        db = BugDatabase()
+        db.record(make_observation(signature="internal compiler error: in foo"))
+        db.record(make_observation(signature="internal compiler error: in bar"))
+        assert len(db) == 2
+
+    def test_ok_observations_not_recorded(self):
+        db = BugDatabase()
+        assert db.record(make_observation(kind=ObservationKind.OK)) is None
+        assert len(db) == 0
+
+    def test_wrong_code_dedup_by_fault(self):
+        db = BugDatabase()
+        db.record(make_observation(kind=ObservationKind.WRONG_CODE, signature="wrong code: a", faults=["cprop-ignores-aliases"]))
+        db.record(make_observation(kind=ObservationKind.WRONG_CODE, signature="wrong code: b", faults=["cprop-ignores-aliases"], name="other.c"))
+        assert len(db) == 1
+
+    def test_metadata_lookup_from_fault_catalogue(self):
+        db = BugDatabase()
+        report = db.record(
+            make_observation(
+                kind=ObservationKind.WRONG_CODE,
+                signature="wrong code: x",
+                faults=["cprop-ignores-aliases"],
+            )
+        )
+        assert report.component == "rtl-optimization"
+        assert report.priority == "P2"
+        assert "scc-trunk" in report.affected_versions
+
+    def test_classification_summaries(self):
+        db = BugDatabase()
+        db.record(make_observation(signature="internal compiler error: in foo"))
+        db.record(make_observation(kind=ObservationKind.WRONG_CODE, signature="w", faults=["dce-addr-taken-store"]))
+        db.record(make_observation(signature="assert fail", compiler="lcc-trunk"))
+        assert db.by_kind()["crash"] == 2
+        assert set(db.by_lineage()) == {"scc", "lcc"}
+        assert sum(db.by_priority().values()) == 3
+        assert sum(db.by_opt_level().values()) == 3
+        assert db.crash_signatures()
+
+    def test_summary_line_contains_key_fields(self):
+        db = BugDatabase()
+        report = db.record(make_observation())
+        line = report.summary_line()
+        assert "scc" in line and "crash" in line
+
+    def test_end_to_end_with_real_oracle(self):
+        oracle = DifferentialOracle(version="scc-trunk", opt_level=2)
+        source = "int a, b = 1; int main() { if (a) a = a - a; return b; }"
+        db = BugDatabase()
+        report = db.record(oracle.observe(source, name="crash.c"))
+        assert report.kind is BugKind.CRASH
+        assert report.component == "middle-end"

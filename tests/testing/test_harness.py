@@ -1,0 +1,94 @@
+"""Tests for the campaign harness."""
+
+from repro.compiler.pipeline import OptimizationLevel
+from repro.core.spe import EnumerationBudget
+from repro.testing.harness import Campaign, CampaignConfig
+from repro.testing.harness import test_program as check_program
+from repro.testing.oracle import ObservationKind
+
+
+def small_config(**overrides) -> CampaignConfig:
+    defaults = dict(
+        versions=["scc-trunk"],
+        opt_levels=[OptimizationLevel.O2],
+        budget=EnumerationBudget(max_variants=10_000),
+        max_variants_per_file=12,
+    )
+    defaults.update(overrides)
+    return CampaignConfig(**defaults)
+
+
+SEEDS = {
+    "sub.c": "int main() { int a = 7, b = 3; int x = 0, y = 0; x = a - b; y = a - b; return x + y; }",
+    "alias.c": "int a = 0; int b = 0; int main() { int *p = &a; a = 1; *p = 2; return a + b; }",
+}
+
+
+class TestCampaign:
+    def test_campaign_finds_seeded_bugs(self):
+        result = Campaign(small_config()).run_sources(SEEDS)
+        assert result.files_processed == 2
+        assert result.variants_tested > 0
+        assert len(result.bugs) >= 1
+        assert "crash" in result.observations or "wrong code" in result.observations
+
+    def test_budget_skips_large_files(self):
+        config = small_config(budget=EnumerationBudget(max_variants=2))
+        result = Campaign(config).run_sources(SEEDS)
+        assert result.files_skipped_budget == 2
+        assert result.variants_tested == 0
+
+    def test_unparsable_files_counted(self):
+        result = Campaign(small_config()).run_sources({"bad.c": "int main( {"})
+        assert result.files_skipped_error == 1
+
+    def test_stop_after_bugs(self):
+        config = small_config(stop_after_bugs=1)
+        result = Campaign(config).run_sources(SEEDS)
+        assert len(result.bugs) >= 1
+
+    def test_naive_enumeration_mode(self):
+        config = small_config(use_naive_enumeration=True, max_variants_per_file=6)
+        result = Campaign(config).run_sources({"sub.c": SEEDS["sub.c"]})
+        assert result.variants_tested == 6
+
+    def test_reduction_shrinks_crash_programs(self):
+        # This seed has ~700K canonical variants, so lift the per-file budget
+        # and only look at the first few (the very first one already crashes).
+        config = small_config(
+            reduce_bugs=True,
+            max_variants_per_file=8,
+            budget=EnumerationBudget(max_variants=None),
+        )
+        result = Campaign(config).run_sources(
+            {
+                "crash.c": (
+                    "int a; int b = 1; int c = 2;\n"
+                    "int main() { int t = 3; t = t + c; b = b + t; if (a) a = a - a; return b; }"
+                )
+            }
+        )
+        crash_reports = [r for r in result.bugs.reports if r.kind.value == "crash"]
+        assert crash_reports
+        original_lines = len([l for l in SEEDS["sub.c"].splitlines() if l.strip()])
+        assert len(crash_reports[0].test_program.splitlines()) >= 1
+
+    def test_summary_text(self):
+        result = Campaign(small_config()).run_sources(SEEDS)
+        text = result.summary()
+        assert "variants tested" in text and "distinct bugs" in text
+
+
+class TestTestProgram:
+    def test_single_program_matrix(self):
+        observations = check_program("int main() { return 1; }", versions=["reference"], opt_levels=[OptimizationLevel.O0])
+        assert len(observations) == 1
+        assert observations[0].kind is ObservationKind.OK
+
+    def test_buggy_program_reports(self):
+        observations = check_program(
+            "int a, b = 1; int main() { if (a) a = a - a; return b; }",
+            versions=["scc-trunk"],
+            opt_levels=[OptimizationLevel.O2],
+        )
+        assert any(obs.is_bug for obs in observations)

@@ -1,0 +1,114 @@
+"""Tests for the Orion-style mutator, the reducer, and coverage measurement."""
+
+from repro.minic.interp import run_source
+from repro.minic.parser import parse
+from repro.testing.coverage import CoverageMeter, CoverageReport
+from repro.testing.mutation import OrionMutator
+from repro.testing.oracle import DifferentialOracle, ObservationKind
+from repro.testing.reducer import reduce_program
+
+SEED_WITH_DEAD_CODE = """
+int main(void) {
+    int a = 0;
+    int total = 1;
+    if (a) {
+        total = total + 10;
+        total = total + 20;
+        total = total * 2;
+    } else {
+        total = total + 1;
+    }
+    while (a > 5) {
+        total = 0;
+    }
+    return total;
+}
+"""
+
+
+class TestOrionMutator:
+    def test_mutants_preserve_behaviour(self):
+        mutator = OrionMutator(deletions=10, seed=3)
+        mutants = mutator.mutants(SEED_WITH_DEAD_CODE, count=5)
+        assert mutants, "seed has dead statements, mutants must exist"
+        original = run_source(SEED_WITH_DEAD_CODE).observable()
+        for mutant in mutants:
+            assert run_source(mutant).observable() == original
+
+    def test_mutants_are_distinct_and_parse(self):
+        mutants = OrionMutator(deletions=20, seed=1).mutants(SEED_WITH_DEAD_CODE, count=6)
+        assert len(set(mutants)) == len(mutants)
+        for mutant in mutants:
+            parse(mutant)
+
+    def test_no_dead_statements_means_no_mutants(self):
+        source = "int main() { int a = 1; a = a + 1; return a; }"
+        assert OrionMutator(seed=0).mutants(source, count=3) == []
+
+    def test_invalid_seed_gives_no_mutants(self):
+        assert OrionMutator().mutants("int main( {", count=3) == []
+
+    def test_dead_statement_profiling(self):
+        unit = parse(SEED_WITH_DEAD_CODE)
+        from repro.minic.symbols import resolve
+
+        resolve(unit)
+        dead = OrionMutator().dead_statements(unit)
+        assert len(dead) >= 3
+
+
+class TestReducer:
+    def test_reduces_crash_trigger(self):
+        source = """
+        int a;
+        int b = 1;
+        int unused_global = 7;
+        int main() {
+            int noise = 3;
+            noise = noise + 2;
+            b = b + noise;
+            if (a) a = a - a;
+            return b;
+        }
+        """
+        oracle = DifferentialOracle(version="scc-trunk", opt_level=2)
+        signature = oracle.observe(source).signature.split(" (")[0]
+
+        def still_crashes(candidate: str) -> bool:
+            observation = oracle.observe(candidate)
+            return observation.kind is ObservationKind.CRASH and observation.signature.split(" (")[0] == signature
+
+        reduced = reduce_program(source, still_crashes)
+        assert still_crashes(reduced)
+        assert len(reduced) < len(source)
+        assert "noise" not in reduced or "unused_global" not in reduced
+
+    def test_predicate_false_returns_original(self):
+        source = "int main() { return 0; }"
+        assert reduce_program(source, lambda s: False) == source
+
+    def test_unparsable_returns_original(self):
+        assert reduce_program("int main( {", lambda s: True) == "int main( {"
+
+
+class TestCoverage:
+    def test_coverage_accumulates(self):
+        meter = CoverageMeter(version="reference", opt_level=3)
+        simple = meter.measure(["int main() { return 1; }"])
+        richer = meter.measure(
+            [
+                "int main() { return 1; }",
+                "int main() { int s = 0; for (int i = 0; i < 4; i++) s += i * 2; return s; }",
+            ]
+        )
+        assert richer.function_coverage >= simple.function_coverage
+        assert richer.improvement_over(simple)["function"] >= 0.0
+
+    def test_crashing_programs_do_not_poison_coverage(self):
+        meter = CoverageMeter(version="scc-trunk", opt_level=2)
+        report = meter.measure(["int a, b; int main() { if (a) a = a - a; return b; }"])
+        assert isinstance(report, CoverageReport)
+
+    def test_improvement_over_empty_baseline(self):
+        report = CoverageReport(function_events={"a"}, line_events={("a", 1)})
+        assert report.improvement_over(CoverageReport()) == {"function": 0.0, "line": 0.0}

@@ -1,0 +1,71 @@
+"""Tests for the differential oracle."""
+
+from repro.compiler.pipeline import OptimizationLevel
+from repro.testing.oracle import DifferentialOracle, ObservationKind
+
+
+class TestOracle:
+    def test_ok_program(self):
+        oracle = DifferentialOracle(version="reference", opt_level=2)
+        observation = oracle.observe("int main() { return 5; }")
+        assert observation.kind is ObservationKind.OK
+        assert not observation.is_bug
+        assert observation.reference_behaviour == (5, "")
+
+    def test_crash_detection(self):
+        oracle = DifferentialOracle(version="scc-trunk", opt_level=OptimizationLevel.O2)
+        source = "int a, b = 1; int main() { if (a) a = a - a; return b; }"
+        observation = oracle.observe(source)
+        assert observation.kind is ObservationKind.CRASH
+        assert "operand_equal_p" in observation.signature
+
+    def test_wrong_code_detection(self):
+        oracle = DifferentialOracle(version="scc-trunk", opt_level=2)
+        source = "int a = 0; int main() { int *p = &a; a = 1; *p = 2; return a; }"
+        observation = oracle.observe(source)
+        assert observation.kind is ObservationKind.WRONG_CODE
+        assert observation.reference_behaviour != observation.compiled_behaviour
+
+    def test_ub_programs_are_skipped(self):
+        oracle = DifferentialOracle(version="scc-trunk", opt_level=2)
+        observation = oracle.observe("int main() { int x; return x; }")
+        assert observation.kind is ObservationKind.SKIPPED
+        assert "undefined" in observation.detail
+
+    def test_invalid_programs_are_skipped(self):
+        oracle = DifferentialOracle(version="scc-trunk", opt_level=0)
+        observation = oracle.observe("int main() { return missing_variable; }")
+        assert observation.kind is ObservationKind.SKIPPED
+
+    def test_non_terminating_programs_are_skipped(self):
+        oracle = DifferentialOracle(version="reference", opt_level=0, interp_max_steps=500)
+        observation = oracle.observe("int main() { while (1) { } return 0; }")
+        assert observation.kind is ObservationKind.SKIPPED
+
+    def test_crash_reported_even_for_ub_program(self):
+        # Crash bugs do not require UB-freedom (paper Section 5.2.3).
+        oracle = DifferentialOracle(version="scc-trunk", opt_level=2)
+        source = "int a, b; int main() { b = b / a; if (a) a = a - a; return b; }"
+        observation = oracle.observe(source)
+        assert observation.kind is ObservationKind.CRASH
+
+    def test_reference_result_shortcut(self):
+        from repro.minic.interp import run_source
+
+        oracle = DifferentialOracle(version="reference", opt_level=1)
+        source = "int main() { return 9; }"
+        reference = run_source(source)
+        observation = oracle.observe(source, reference_result=reference)
+        assert observation.kind is ObservationKind.OK
+
+    def test_performance_bug_detection(self):
+        source = """
+        int main() {
+            int flag = 0, x = 0, s = 0;
+            for (int i = 0; i < 6; i++) { if (flag) x = 1; else x = 2; s = s + x; flag = 1 - flag; }
+            return s;
+        }
+        """
+        buggy = DifferentialOracle(version="scc-trunk", opt_level=2, performance_ratio=3.0)
+        observation = buggy.observe(source)
+        assert observation.kind in (ObservationKind.PERFORMANCE, ObservationKind.OK)
