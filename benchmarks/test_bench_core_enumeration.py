@@ -1,12 +1,17 @@
 """Micro-benchmarks of the core enumeration machinery (not tied to one table).
 
 These keep the combinatorial core honest: enumeration throughput on the
-paper's normal-form problems and the cost of counting without enumerating.
+paper's normal-form problems, the cost of counting without enumerating, and
+the rank/unrank random-access layer the sharded campaign pipeline rides on.
 """
+
+import itertools
 
 from repro.core.counting import scoped_spe_count
 from repro.core.problem import flat_problem
-from repro.core.spe import SPEEnumerator
+from repro.core.ranking import ProblemRanking
+from repro.core.spe import SkeletonEnumerator, SPEEnumerator
+from repro.minic.skeleton import extract_skeleton
 
 
 def test_enumerate_normal_form_problem(benchmark):
@@ -23,3 +28,39 @@ def test_count_without_enumeration(benchmark):
     problem = flat_problem("bench-count", ["a", "b", "c", "d"], [(["e", "f"], 6), (["g", "h"], 5)], 8)
     result = benchmark(scoped_spe_count, problem)
     assert result > 0
+
+
+def test_unrank_random_access(benchmark):
+    """Random access must not pay for predecessors: unrank deep into the set."""
+    problem = flat_problem("bench-unrank", ["a", "b", "c", "d"], [(["e", "f"], 6), (["g", "h"], 5)], 8)
+    ranking = ProblemRanking(problem)
+    total = ranking.count()
+    probes = [0, total // 3, total // 2, (2 * total) // 3, total - 1]
+
+    def unrank_probes():
+        return [ranking.unrank(index) for index in probes]
+
+    vectors = benchmark(unrank_probes)
+    assert [ranking.rank(vector) for vector in vectors] == probes
+
+
+def _wide_skeleton_source(functions: int = 4, variables: int = 8) -> str:
+    parts = []
+    for f in range(functions):
+        decls = " ".join(f"int v{f}_{i} = {i};" for i in range(variables))
+        uses = " ".join(f"v{f}_0 = v{f}_0 + v{f}_{i};" for i in range(1, variables))
+        parts.append(f"int fn{f}() {{ {decls} {uses} return v{f}_0; }}")
+    parts.append("int main() { return fn0(); }")
+    return "\n".join(parts)
+
+
+def test_lazy_skeleton_product_first_vectors(benchmark):
+    """First vectors of a ~1e61-variant skeleton: impossible if anything materializes."""
+    skeleton = extract_skeleton(_wide_skeleton_source(), name="bench-wide.c")
+    enumerator = SkeletonEnumerator(skeleton)
+    assert enumerator.count() > 10**50
+
+    def first_hundred():
+        return sum(1 for _ in itertools.islice(enumerator.vectors(), 100))
+
+    assert benchmark(first_hundred) == 100

@@ -1,0 +1,30 @@
+"""Benchmark the sharded campaign pipeline against the serial reference.
+
+Times a process-pool campaign over a slice of the corpus and asserts the
+headline invariant: sharding never changes what the campaign finds.
+"""
+
+from repro.compiler.pipeline import OptimizationLevel
+from repro.core.spe import EnumerationBudget
+from repro.experiments.table1 import build_corpus
+from repro.testing.harness import Campaign, CampaignConfig
+
+
+def _config(jobs: int = 1) -> CampaignConfig:
+    return CampaignConfig(
+        versions=["scc-trunk"],
+        opt_levels=[OptimizationLevel.O0, OptimizationLevel.O3],
+        budget=EnumerationBudget(max_variants=10_000),
+        max_variants_per_file=16,
+        jobs=jobs,
+    )
+
+
+def test_process_pool_campaign(run_once, benchmark):
+    corpus = build_corpus(files=10, seed=2017)
+    serial = Campaign(_config()).run_sources(corpus)
+    parallel = run_once(benchmark, Campaign(_config(jobs=4)).run_sources, corpus)
+    assert parallel.summary() == serial.summary()
+    assert {r.dedup_key for r in parallel.bugs.reports} == {
+        r.dedup_key for r in serial.bugs.reports
+    }

@@ -3,9 +3,12 @@
 Subcommands:
 
 * ``count FILE``       -- naive vs SPE solution sizes for one C file;
-* ``enumerate FILE``   -- print (some of) the canonical variants of a file;
+* ``enumerate FILE``   -- print canonical variants of a file: a prefix, an
+  arbitrary ``--start`` slice (reached by unranking), or a uniform ``--sample``;
 * ``test FILE``        -- differential-test one file against the trunk compilers;
-* ``campaign``         -- run a small bug-hunting campaign over the built-in corpus;
+* ``campaign``         -- run a bug-hunting campaign over the built-in corpus;
+  supports ``--jobs N`` (process-parallel shards), ``--sample K`` (uniform
+  per-file sampling) and ``--shard I/N`` (distributed partial runs);
 * ``experiment NAME``  -- regenerate a table/figure (table1, table2, table3,
   table4, fig8, fig9, fig10, or ``all``).
 """
@@ -35,7 +38,19 @@ def _cmd_enumerate(args: argparse.Namespace) -> int:
     source = Path(args.file).read_text()
     skeleton = extract_skeleton(source, name=args.file)
     enumerator = SkeletonEnumerator(skeleton)
-    for index, (vector, program) in enumerate(enumerator.programs(limit=args.limit)):
+    if args.sample is not None:
+        if args.start is not None:
+            print("error: --sample and --start are mutually exclusive", file=sys.stderr)
+            return 2
+        indices = enumerator.sample_indices(args.sample, seed=args.seed)
+        for index, vector, program in enumerator.programs_at(indices):
+            print(f"// variant {index}: {vector}")
+            print(program)
+        return 0
+    start = args.start or 0
+    for index, vector, program in enumerator.indexed_programs(
+        start=start, stop=start + args.limit
+    ):
         print(f"// variant {index}: {vector}")
         print(program)
     return 0
@@ -57,13 +72,38 @@ def _cmd_test(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _parse_shard(spec: str) -> tuple[int, int]:
+    """Parse ``I/N`` (0-based shard I of N), e.g. ``--shard 2/4``."""
+    try:
+        index_text, count_text = spec.split("/", 1)
+        index, count = int(index_text), int(count_text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected I/N (e.g. 0/4), got {spec!r}")
+    if count <= 0 or not 0 <= index < count:
+        raise argparse.ArgumentTypeError(f"shard index {index} out of range for {count} shards")
+    return index, count
+
+
 def _cmd_campaign(args: argparse.Namespace) -> int:
     from repro.experiments.table1 import build_corpus
     from repro.testing.harness import Campaign, CampaignConfig
 
     corpus = build_corpus(files=args.files, seed=args.seed)
-    config = CampaignConfig(max_variants_per_file=args.variants)
-    result = Campaign(config).run_sources(corpus)
+    config = CampaignConfig(
+        max_variants_per_file=args.variants,
+        sample_per_file=args.sample,
+        sample_seed=args.seed,
+        jobs=args.jobs,
+    )
+    campaign = Campaign(config)
+    if args.shard is not None:
+        shard_index, shard_count = args.shard
+        result = campaign.run_sources(
+            corpus, shard_count=shard_count, shard_index=shard_index
+        )
+        print(f"# shard {shard_index}/{shard_count} (merge partial results with CampaignResult.merge)")
+    else:
+        result = campaign.run_sources(corpus)
     print(result.summary())
     print()
     for report in result.bugs.reports:
@@ -98,6 +138,15 @@ def build_parser() -> argparse.ArgumentParser:
     enumerate_cmd = subparsers.add_parser("enumerate", help="print canonical variants of a C file")
     enumerate_cmd.add_argument("file")
     enumerate_cmd.add_argument("--limit", type=int, default=10)
+    enumerate_cmd.add_argument(
+        "--start", type=int, default=None,
+        help="first variant index to print (reached by unranking, not enumeration)",
+    )
+    enumerate_cmd.add_argument(
+        "--sample", type=int, default=None, metavar="K",
+        help="print K uniformly sampled variants instead of a prefix",
+    )
+    enumerate_cmd.add_argument("--seed", type=int, default=2017, help="sampling seed")
     enumerate_cmd.set_defaults(func=_cmd_enumerate)
 
     test = subparsers.add_parser("test", help="differential-test one C file")
@@ -108,6 +157,18 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--files", type=int, default=25)
     campaign.add_argument("--variants", type=int, default=40)
     campaign.add_argument("--seed", type=int, default=2017)
+    campaign.add_argument(
+        "--sample", type=int, default=None, metavar="K",
+        help="test K uniformly sampled variants per file instead of the first K",
+    )
+    campaign.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="run the campaign across N worker processes",
+    )
+    campaign.add_argument(
+        "--shard", type=_parse_shard, default=None, metavar="I/N",
+        help="run only shard I of N (0-based) and print its mergeable partial summary",
+    )
     campaign.set_defaults(func=_cmd_campaign)
 
     experiment = subparsers.add_parser("experiment", help="regenerate a paper table/figure")

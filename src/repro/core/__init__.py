@@ -12,6 +12,8 @@ This package implements the paper's primary contribution (Sections 3 and 4):
 * :mod:`repro.core.scopes` -- scope trees and hole variable sets.
 * :mod:`repro.core.alpha` -- alpha-renamings and program canonicalisation.
 * :mod:`repro.core.spe` -- Algorithm 1 and the ``PartitionScope`` procedure.
+* :mod:`repro.core.ranking` -- rank/unrank random access into the canonical
+  solution set (the basis of sharded and sampled enumeration).
 * :mod:`repro.core.naive` -- the naive (Cartesian product) baseline.
 """
 
@@ -25,6 +27,7 @@ from repro.core.combinations import combinations, num_combinations
 from repro.core.counting import (
     naive_count,
     scoped_spe_count,
+    skeleton_spe_count,
     spe_count,
     stirling_estimate,
 )
@@ -45,6 +48,12 @@ from repro.core.problem import (
     problems_from_skeleton,
     unscoped_problem,
 )
+from repro.core.ranking import (
+    ProblemRanking,
+    mixed_radix_digits,
+    mixed_radix_rank,
+    shard_bounds,
+)
 from repro.core.scopes import Scope, ScopeKind, ScopeTree, Variable
 from repro.core.spe import (
     EnumerationBudget,
@@ -64,6 +73,7 @@ __all__ = [
     "NaiveEnumerator",
     "NaiveSkeletonEnumerator",
     "ProblemHole",
+    "ProblemRanking",
     "SPEEnumerator",
     "Scope",
     "ScopeKind",
@@ -78,6 +88,8 @@ __all__ = [
     "canonicalize_assignment",
     "combinations",
     "flat_problem",
+    "mixed_radix_digits",
+    "mixed_radix_rank",
     "naive_count",
     "num_combinations",
     "partition_scope_paper",
@@ -86,6 +98,8 @@ __all__ = [
     "problems_from_skeleton",
     "restricted_growth_strings",
     "scoped_spe_count",
+    "shard_bounds",
+    "skeleton_spe_count",
     "spe_count",
     "stirling2",
     "stirling_estimate",

@@ -25,7 +25,7 @@ from __future__ import annotations
 from functools import lru_cache
 
 from repro.core.partitions import partitions_at_most_count, stirling2
-from repro.core.problem import EnumerationProblem
+from repro.core.problem import EnumerationProblem, Granularity, problems_from_skeleton
 
 
 def naive_count(problem: EnumerationProblem) -> int:
@@ -131,6 +131,21 @@ def paper_partition_scope_count(problem: EnumerationProblem) -> int:
     return total
 
 
+def skeleton_spe_count(skeleton, granularity: Granularity = Granularity.INTRA_PROCEDURAL) -> int:
+    """Exact canonical variant count of a whole skeleton.
+
+    The skeleton's solution set is the Cartesian product of its per-problem
+    solution sets (one problem per function at intra-procedural granularity),
+    so the count is the product of the per-problem :func:`scoped_spe_count`s.
+    These products are the radices of the mixed-radix indexing used by
+    :mod:`repro.core.ranking` to give whole-skeleton random access.
+    """
+    total = 1
+    for problem in problems_from_skeleton(skeleton, granularity):
+        total *= scoped_spe_count(problem)
+    return total
+
+
 def reduction_factor(problem: EnumerationProblem) -> float:
     """Naive-to-SPE size ratio (>= 1); infinity is impossible since SPE >= 1."""
     canonical = scoped_spe_count(problem)
@@ -189,6 +204,7 @@ __all__ = [
     "paper_partition_scope_count",
     "reduction_factor",
     "scoped_spe_count",
+    "skeleton_spe_count",
     "spe_count",
     "stirling_estimate",
 ]

@@ -12,11 +12,12 @@ set must give exactly the SPE set).
 from __future__ import annotations
 
 import itertools
-from typing import Iterator
+from typing import Iterable, Iterator
 
 from repro.core.alpha import canonicalize_assignment
 from repro.core.holes import CharacteristicVector, Skeleton
 from repro.core.problem import EnumerationProblem
+from repro.core.ranking import mixed_radix_digits
 
 
 class NaiveEnumerator:
@@ -56,32 +57,113 @@ class NaiveEnumerator:
 
 
 class NaiveSkeletonEnumerator:
-    """Naive enumeration of all programs realizing a skeleton."""
+    """Naive enumeration of all programs realizing a skeleton.
+
+    The search space is a plain Cartesian product, so index-based random
+    access (``unrank`` and ``start``/``stop`` slicing, mirroring the SPE
+    enumerators) is direct mixed-radix arithmetic over the candidate lists.
+    """
 
     def __init__(self, skeleton: Skeleton) -> None:
         self.skeleton = skeleton
+        self._candidate_lists = [
+            self.skeleton.candidate_names(hole) for hole in self.skeleton.holes
+        ]
 
     def count(self) -> int:
+        """Search-space *size* in the Table 1 convention (zero-candidate holes
+        clamp to 1, matching :meth:`SkeletonEnumerator.naive_count`).  Use
+        :meth:`num_vectors` for the exact number of enumerable vectors."""
         total = 1
-        for hole in self.skeleton.holes:
-            total *= max(1, len(self.skeleton.candidate_names(hole)))
+        for names in self._candidate_lists:
+            total *= max(1, len(names))
         return total
 
-    def vectors(self, limit: int | None = None) -> Iterator[CharacteristicVector]:
-        candidate_lists = [self.skeleton.candidate_names(hole) for hole in self.skeleton.holes]
-        produced = 0
-        if not candidate_lists:
-            yield CharacteristicVector(())
-            return
-        for names in itertools.product(*candidate_lists):
-            yield CharacteristicVector(names)
-            produced += 1
-            if limit is not None and produced >= limit:
-                return
+    def num_vectors(self) -> int:
+        """Exact number of vectors :meth:`vectors` yields (0 radices kill the product)."""
+        total = 1
+        for names in self._candidate_lists:
+            total *= len(names)
+        return total
 
-    def programs(self, limit: int | None = None) -> Iterator[tuple[CharacteristicVector, str]]:
-        for vector in self.vectors(limit=limit):
+    def unrank(self, index: int) -> CharacteristicVector:
+        """Vector number ``index`` in the lexicographic (product) order."""
+        total = self.num_vectors()
+        if not 0 <= index < total:
+            raise IndexError(f"index {index} out of range for {total} naive variants")
+        digits = mixed_radix_digits(index, [len(names) for names in self._candidate_lists] or [1])
+        return CharacteristicVector(
+            names[digit] for names, digit in zip(self._candidate_lists, digits)
+        )
+
+    def vectors(
+        self,
+        limit: int | None = None,
+        *,
+        start: int = 0,
+        stop: int | None = None,
+    ) -> Iterator[CharacteristicVector]:
+        if start < 0:
+            raise ValueError(f"start must be non-negative, got {start}")
+        if not self._candidate_lists:
+            if start == 0 and (stop is None or stop > 0) and (limit is None or limit > 0):
+                yield CharacteristicVector(())
+            return
+        total = self.num_vectors()
+        effective_stop = total if stop is None else min(stop, total)
+        if limit is not None:
+            effective_stop = min(effective_stop, start + limit)
+        if start >= effective_stop:
+            return
+        if start == 0 and effective_stop == total:
+            for names in itertools.product(*self._candidate_lists):
+                yield CharacteristicVector(names)
+            return
+        # Seek once by unranking, then advance as a mixed-radix odometer
+        # (last digit fastest) -- O(1) amortized per vector.
+        radices = [len(names) for names in self._candidate_lists]
+        digits = mixed_radix_digits(start, radices)
+        current = [
+            names[digit] for names, digit in zip(self._candidate_lists, digits)
+        ]
+        index = start
+        while True:
+            yield CharacteristicVector(current)
+            index += 1
+            if index >= effective_stop:
+                return
+            position = len(digits) - 1
+            while True:
+                digits[position] += 1
+                if digits[position] < radices[position]:
+                    current[position] = self._candidate_lists[position][digits[position]]
+                    break
+                digits[position] = 0
+                current[position] = self._candidate_lists[position][0]
+                position -= 1
+
+    def programs(
+        self,
+        limit: int | None = None,
+        *,
+        start: int = 0,
+        stop: int | None = None,
+    ) -> Iterator[tuple[CharacteristicVector, str]]:
+        for vector in self.vectors(limit=limit, start=start, stop=stop):
             yield vector, self.skeleton.realize(vector)
+
+    def indexed_programs(
+        self, start: int = 0, stop: int | None = None
+    ) -> Iterator[tuple[int, CharacteristicVector, str]]:
+        """Like :meth:`programs` over ``[start, stop)`` with global variant indices."""
+        for offset, (vector, source) in enumerate(self.programs(start=start, stop=stop)):
+            yield start + offset, vector, source
+
+    def programs_at(self, indices: Iterable[int]) -> Iterator[tuple[int, CharacteristicVector, str]]:
+        """Realize the variants at explicit enumeration indices (e.g. a sample)."""
+        for index in indices:
+            vector = self.unrank(index)
+            yield index, vector, self.skeleton.realize(vector)
 
     def __iter__(self) -> Iterator[CharacteristicVector]:
         return self.vectors()

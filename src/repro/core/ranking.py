@@ -1,0 +1,322 @@
+"""Ranking and unranking of canonical SPE fillings (random access).
+
+:class:`repro.core.spe.SPEEnumerator` walks the canonical solution set with a
+recursive generator: reaching variant ``i`` requires producing its ``i``
+predecessors.  This module gives the same solution set *random access* by
+running a dynamic program over the counting recurrence of
+:func:`repro.core.counting.scoped_spe_count`:
+
+* the enumeration state after filling a hole prefix is fully described by the
+  number of blocks already opened in each variable class (the per-class
+  restricted-growth frontier);
+* ``completions(position, state)`` -- the number of canonical suffixes from
+  that state -- satisfies::
+
+      completions(n, s)        = 1
+      completions(p, s)        = sum over classes c available to hole p of
+                                   used_c * completions(p+1, s)
+                                 + [used_c < |c|] * completions(p+1, s + e_c)
+
+  because a hole may reuse any of the ``used_c`` open blocks (state
+  unchanged) or open a new block (state bumped), exactly mirroring
+  :meth:`SPEEnumerator.enumerate`'s choice loop.
+
+With the memoised table, :meth:`ProblemRanking.unrank` reaches any of the
+``N`` canonical variants in ``O(holes * classes)`` arithmetic operations
+without enumerating predecessors, :meth:`ProblemRanking.rank` inverts it, and
+:meth:`ProblemRanking.enumerate` streams an arbitrary ``[start, stop)`` slice
+in enumeration order.  That is what makes sharded and sampled campaigns
+possible: disjoint index ranges of one skeleton can be handed to different
+worker processes and their union provably equals the serial enumeration.
+"""
+
+from __future__ import annotations
+
+import random
+import sys
+from typing import Iterator, Sequence
+
+from repro.core.holes import CharacteristicVector
+from repro.core.problem import EnumerationProblem
+
+
+class ProblemRanking:
+    """Random access into the canonical solution set of one problem.
+
+    The ordering is exactly :meth:`SPEEnumerator.enumerate`'s order: holes are
+    filled left to right; at each hole the candidate classes are tried
+    innermost first, and within a class the open blocks are tried in opening
+    order before a new block is opened.
+    """
+
+    def __init__(self, problem: EnumerationProblem) -> None:
+        self.problem = problem
+        self._holes = tuple(problem.holes)
+        self._class_position = {cls.id: i for i, cls in enumerate(problem.classes)}
+        self._sizes = tuple(cls.size for cls in problem.classes)
+        self._variables = {cls.id: cls.variables for cls in problem.classes}
+        self._block_index = {
+            cls.id: {name: block for block, name in enumerate(cls.variables)}
+            for cls in problem.classes
+        }
+        self._memo: dict[tuple[int, tuple[int, ...]], int] = {}
+
+    # -- counting ----------------------------------------------------------
+
+    def count(self) -> int:
+        """Exact size of the canonical solution set (agrees with scoped_spe_count)."""
+        return self._completions(0, (0,) * len(self._sizes))
+
+    def _completions(self, position: int, state: tuple[int, ...]) -> int:
+        """Number of canonical suffixes from ``position`` given per-class open blocks."""
+        if position == len(self._holes):
+            return 1
+        key = (position, state)
+        cached = self._memo.get(key)
+        if cached is not None:
+            return cached
+        total = 0
+        for class_id in self._holes[position].class_ids:
+            ci = self._class_position[class_id]
+            used = state[ci]
+            if used:
+                total += used * self._completions(position + 1, state)
+            if used < self._sizes[ci]:
+                total += self._completions(position + 1, self._bump(state, ci))
+        self._memo[key] = total
+        return total
+
+    @staticmethod
+    def _bump(state: tuple[int, ...], ci: int) -> tuple[int, ...]:
+        return state[:ci] + (state[ci] + 1,) + state[ci + 1 :]
+
+    # -- rank / unrank -----------------------------------------------------
+
+    def unrank(self, index: int) -> CharacteristicVector:
+        """Return canonical vector number ``index`` (0-based, enumeration order)."""
+        total = self.count()
+        if not 0 <= index < total:
+            raise IndexError(f"index {index} out of range for {total} canonical variants")
+        state = (0,) * len(self._sizes)
+        names: list[str] = []
+        remaining = index
+        for position, hole in enumerate(self._holes):
+            chosen: tuple[int, int, tuple[int, ...]] | None = None
+            for class_id in hole.class_ids:
+                ci = self._class_position[class_id]
+                used = state[ci]
+                if used:
+                    same = self._completions(position + 1, state)
+                    if remaining < used * same:
+                        block = remaining // same
+                        remaining -= block * same
+                        chosen = (class_id, block, state)
+                        break
+                    remaining -= used * same
+                if used < self._sizes[ci]:
+                    bumped = self._bump(state, ci)
+                    fresh = self._completions(position + 1, bumped)
+                    if remaining < fresh:
+                        chosen = (class_id, used, bumped)
+                        break
+                    remaining -= fresh
+            if chosen is None:  # pragma: no cover - excluded by the bounds check
+                raise AssertionError("unrank descended past the counted subtrees")
+            class_id, block, state = chosen
+            names.append(self._variables[class_id][block])
+        return CharacteristicVector(names)
+
+    def rank(self, vector: Sequence[str]) -> int:
+        """Position of a *canonical* vector in enumeration order (inverse of unrank).
+
+        Raises:
+            ValueError: if the vector has the wrong length, uses a variable
+                not available at some hole, or is not the canonical
+                representative of its class (blocks not in first-use order).
+        """
+        if len(vector) != len(self._holes):
+            raise ValueError(
+                f"vector length {len(vector)} does not match hole count {len(self._holes)}"
+            )
+        state = (0,) * len(self._sizes)
+        rank = 0
+        for position, (hole, name) in enumerate(zip(self._holes, vector)):
+            chosen_class = None
+            for class_id in hole.class_ids:
+                block = self._block_index[class_id].get(name)
+                if block is not None:
+                    chosen_class = class_id
+                    break
+            if chosen_class is None:
+                raise ValueError(f"variable {name!r} is not available at hole {position}")
+            ci = self._class_position[chosen_class]
+            used = state[ci]
+            if block > used:
+                raise ValueError(
+                    f"vector is not canonical: {name!r} opens block {block} at hole "
+                    f"{position} but only {used} blocks of its class are in use"
+                )
+            # Subtrees of classes tried before the chosen one.
+            for class_id in hole.class_ids:
+                if class_id == chosen_class:
+                    break
+                oi = self._class_position[class_id]
+                other_used = state[oi]
+                if other_used:
+                    rank += other_used * self._completions(position + 1, state)
+                if other_used < self._sizes[oi]:
+                    rank += self._completions(position + 1, self._bump(state, oi))
+            # Earlier blocks of the chosen class (each leaves the state unchanged).
+            if block:
+                rank += block * self._completions(position + 1, state)
+            if block == used:
+                state = self._bump(state, ci)
+        return rank
+
+    # -- slicing and sampling ----------------------------------------------
+
+    def enumerate(self, start: int = 0, stop: int | None = None) -> Iterator[CharacteristicVector]:
+        """Stream the ``[start, stop)`` slice of the canonical enumeration.
+
+        The first vector is located by a count-guided descent (no predecessor
+        is materialised); from there the enumeration proceeds in order, so a
+        full slice costs the same as the plain recursive enumeration plus
+        ``O(holes)`` for the initial seek.
+        """
+        total = self.count()
+        if start < 0:
+            raise ValueError(f"start must be non-negative, got {start}")
+        stop = total if stop is None else min(stop, total)
+        if start >= stop:
+            return
+        needed = stop - start
+        num_holes = len(self._holes)
+        names: list[str] = [""] * num_holes
+
+        def walk(position: int, state: tuple[int, ...], skip: int) -> Iterator[CharacteristicVector]:
+            nonlocal needed
+            if position == num_holes:
+                needed -= 1
+                yield CharacteristicVector(names)
+                return
+            hole = self._holes[position]
+            for class_id in hole.class_ids:
+                ci = self._class_position[class_id]
+                used = state[ci]
+                variables = self._variables[class_id]
+                if used:
+                    same = self._completions(position + 1, state)
+                    if skip >= used * same:
+                        skip -= used * same
+                    else:
+                        inner_skip = skip % same
+                        for block in range(skip // same, used):
+                            names[position] = variables[block]
+                            yield from walk(position + 1, state, inner_skip)
+                            inner_skip = 0
+                            if needed <= 0:
+                                return
+                        skip = 0
+                if used < self._sizes[ci]:
+                    bumped = self._bump(state, ci)
+                    fresh = self._completions(position + 1, bumped)
+                    if skip >= fresh:
+                        skip -= fresh
+                    else:
+                        names[position] = variables[used]
+                        yield from walk(position + 1, bumped, skip)
+                        skip = 0
+                        if needed <= 0:
+                            return
+
+        yield from walk(0, (0,) * len(self._sizes), start)
+
+    def sample_indices(self, k: int, seed: int | str | None = None) -> list[int]:
+        """``min(k, count)`` distinct uniform indices into the canonical set, sorted."""
+        return sample_distinct_indices(random.Random(seed), self.count(), k)
+
+    def sample(self, k: int, seed: int | str | None = None) -> list[tuple[int, CharacteristicVector]]:
+        """Uniform sample without replacement: ``(index, vector)`` pairs, by index."""
+        return [(index, self.unrank(index)) for index in self.sample_indices(k, seed=seed)]
+
+
+def sample_distinct_indices(rng: random.Random, total: int, k: int) -> list[int]:
+    """``min(k, total)`` distinct uniform indices from ``range(total)``, sorted.
+
+    Canonical solution sets routinely exceed ``sys.maxsize``, where
+    ``random.sample(range(total), k)`` fails (it needs ``len(range(total))``
+    to fit a C ssize_t), so large domains are sampled by rejection --
+    practical sample sizes are vanishingly small next to such domains, so
+    collisions are negligible.
+    """
+    if k < 0:
+        raise ValueError(f"sample size must be non-negative, got {k}")
+    k = min(k, total)
+    if k == total:
+        return list(range(total))
+    if total <= sys.maxsize:
+        return sorted(rng.sample(range(total), k))
+    chosen: set[int] = set()
+    while len(chosen) < k:
+        chosen.add(rng.randrange(total))
+    return sorted(chosen)
+
+
+# -- mixed-radix lifting (whole skeletons) ------------------------------------
+
+
+def mixed_radix_digits(index: int, radices: Sequence[int]) -> list[int]:
+    """Decompose ``index`` into mixed-radix digits, last digit varying fastest.
+
+    This matches ``itertools.product`` order over per-problem solution sets,
+    which is the order :meth:`SkeletonEnumerator.vectors` has always used.
+    """
+    if index < 0:
+        raise IndexError(f"index must be non-negative, got {index}")
+    digits = [0] * len(radices)
+    for position in range(len(radices) - 1, -1, -1):
+        radix = radices[position]
+        if radix <= 0:
+            raise ValueError(f"radix at position {position} must be positive, got {radix}")
+        digits[position] = index % radix
+        index //= radix
+    if index:
+        raise IndexError("index out of range for the given radices")
+    return digits
+
+
+def mixed_radix_rank(digits: Sequence[int], radices: Sequence[int]) -> int:
+    """Inverse of :func:`mixed_radix_digits`."""
+    if len(digits) != len(radices):
+        raise ValueError("digits and radices must have the same length")
+    rank = 0
+    for digit, radix in zip(digits, radices):
+        if not 0 <= digit < radix:
+            raise ValueError(f"digit {digit} out of range for radix {radix}")
+        rank = rank * radix + digit
+    return rank
+
+
+def shard_bounds(start: int, stop: int, shard_index: int, shard_count: int) -> tuple[int, int]:
+    """Contiguous ``[lo, hi)`` bounds of shard ``shard_index`` of ``[start, stop)``.
+
+    The ``shard_count`` shards are disjoint, cover the range exactly, and
+    differ in size by at most one element.
+    """
+    if shard_count <= 0:
+        raise ValueError(f"shard_count must be positive, got {shard_count}")
+    if not 0 <= shard_index < shard_count:
+        raise ValueError(f"shard_index {shard_index} out of range for {shard_count} shards")
+    span = max(0, stop - start)
+    lo = start + (span * shard_index) // shard_count
+    hi = start + (span * (shard_index + 1)) // shard_count
+    return lo, hi
+
+
+__all__ = [
+    "ProblemRanking",
+    "mixed_radix_digits",
+    "mixed_radix_rank",
+    "sample_distinct_indices",
+    "shard_bounds",
+]

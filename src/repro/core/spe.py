@@ -25,8 +25,9 @@ budget/threshold policy used in the paper's evaluation.
 from __future__ import annotations
 
 import itertools
+import random
 from dataclasses import dataclass
-from typing import Iterator, Sequence
+from typing import Iterable, Iterator, Sequence
 
 from repro.core.combinations import combinations
 from repro.core.counting import naive_count, scoped_spe_count
@@ -36,6 +37,13 @@ from repro.core.problem import (
     EnumerationProblem,
     Granularity,
     problems_from_skeleton,
+)
+from repro.core.ranking import (
+    ProblemRanking,
+    mixed_radix_digits,
+    mixed_radix_rank,
+    sample_distinct_indices,
+    shard_bounds,
 )
 
 
@@ -68,23 +76,58 @@ class SPEEnumerator:
     def __init__(self, problem: EnumerationProblem) -> None:
         self.problem = problem
         self._class_by_id = {cls.id: cls for cls in problem.classes}
+        self._ranking: ProblemRanking | None = None
+        self._count: int | None = None
 
     # -- counting ----------------------------------------------------------
 
     def count(self) -> int:
         """Exact size of the canonical solution set (no enumeration needed)."""
-        return scoped_spe_count(self.problem)
+        if self._count is None:
+            self._count = scoped_spe_count(self.problem)
+        return self._count
 
     def naive_count(self) -> int:
         """Size of the naive scope-aware search space."""
         return naive_count(self.problem)
+
+    # -- random access ------------------------------------------------------
+
+    @property
+    def ranking(self) -> ProblemRanking:
+        """The memoised rank/unrank table (built on first use)."""
+        if self._ranking is None:
+            self._ranking = ProblemRanking(self.problem)
+        return self._ranking
+
+    def rank(self, vector) -> int:
+        """Position of a canonical vector in enumeration order."""
+        return self.ranking.rank(vector)
+
+    def unrank(self, index: int) -> CharacteristicVector:
+        """Canonical vector number ``index`` without enumerating predecessors."""
+        return self.ranking.unrank(index)
+
+    def sample_indices(self, k: int, seed: int | str | None = None) -> list[int]:
+        """``min(k, count)`` distinct uniform indices into the canonical set."""
+        return self.ranking.sample_indices(k, seed=seed)
+
+    def sample(self, k: int, seed: int | str | None = None) -> list[tuple[int, CharacteristicVector]]:
+        """Uniform sample without replacement as ``(index, vector)`` pairs."""
+        return self.ranking.sample(k, seed=seed)
 
     # -- enumeration ---------------------------------------------------------
 
     def __iter__(self) -> Iterator[CharacteristicVector]:
         return self.enumerate()
 
-    def enumerate(self, limit: int | None = None) -> Iterator[CharacteristicVector]:
+    def enumerate(
+        self,
+        limit: int | None = None,
+        *,
+        start: int = 0,
+        stop: int | None = None,
+    ) -> Iterator[CharacteristicVector]:
         """Yield one canonical characteristic vector per equivalence class.
 
         The representative uses, within each variable class, the class's
@@ -93,7 +136,15 @@ class SPEEnumerator:
 
         Args:
             limit: stop after this many vectors (None = no limit).
+            start: skip to this enumeration index first (count-guided seek,
+                no predecessor is materialised).
+            stop: stop before this enumeration index (exclusive).
         """
+        if start or stop is not None:
+            if limit is not None:
+                stop = start + limit if stop is None else min(stop, start + limit)
+            yield from self.ranking.enumerate(start=start, stop=stop)
+            return
         holes = self.problem.holes
         n = len(holes)
         if n == 0:
@@ -275,8 +326,51 @@ class SkeletonEnumerator:
         self.budget = budget or EnumerationBudget(max_variants=None)
         self.problems = problems_from_skeleton(skeleton, granularity)
         self._enumerators = [SPEEnumerator(problem) for problem in self.problems]
+        self._hole_slots = self._compute_hole_slots()
+        self._problem_counts: list[int] | None = None
+
+    def _compute_hole_slots(self) -> list[list[int]]:
+        """Per-problem skeleton-hole positions, validated to tile the skeleton.
+
+        Each problem hole carries the index of the skeleton hole it came from
+        (``skeleton_index``; ``index`` is the positional fallback for problems
+        built without a skeleton).  Merging per-problem vectors is only sound
+        when those positions cover every skeleton hole exactly once, so that
+        is asserted here instead of silently overwriting on collision.
+        """
+        slots = [
+            [
+                hole.skeleton_index if hole.skeleton_index >= 0 else hole.index
+                for hole in problem.holes
+            ]
+            for problem in self.problems
+        ]
+        covered = sorted(slot for problem_slots in slots for slot in problem_slots)
+        if covered != list(range(self.skeleton.num_holes)):
+            raise ValueError(
+                f"problems of skeleton {self.skeleton.name!r} do not cover its "
+                f"{self.skeleton.num_holes} holes exactly once (got positions {covered})"
+            )
+        return slots
+
+    def _merge(self, parts: Sequence[CharacteristicVector]) -> CharacteristicVector:
+        """Interleave per-problem vectors back into skeleton hole order."""
+        merged: list[str] = [""] * self.skeleton.num_holes
+        for slots, part in zip(self._hole_slots, parts):
+            for slot, name in zip(slots, part):
+                merged[slot] = name
+        return CharacteristicVector(merged)
 
     # -- counting ----------------------------------------------------------
+
+    def problem_counts(self) -> list[int]:
+        """Canonical solution-set size of every sub-problem (the product radices).
+
+        Computed once and cached: rank/unrank/sample call this per variant.
+        """
+        if self._problem_counts is None:
+            self._problem_counts = [enumerator.count() for enumerator in self._enumerators]
+        return list(self._problem_counts)
 
     def count(self) -> int:
         """Exact number of canonical programs realizing the skeleton."""
@@ -296,36 +390,146 @@ class SkeletonEnumerator:
         """Whether the skeleton passes the enumeration threshold."""
         return self.budget.allows(self.count())
 
+    # -- random access ------------------------------------------------------
+
+    def unrank(self, index: int) -> CharacteristicVector:
+        """Canonical skeleton vector number ``index`` (mixed-radix over problems).
+
+        The whole-skeleton index decomposes into one digit per sub-problem
+        (last problem varying fastest, matching the historical
+        ``itertools.product`` order of :meth:`vectors`); each digit is
+        unranked independently and the parts are merged by hole position.
+        """
+        digits = mixed_radix_digits(index, self.problem_counts() or [1])
+        if not self._enumerators:
+            return CharacteristicVector(())
+        parts = [
+            enumerator.unrank(digit)
+            for enumerator, digit in zip(self._enumerators, digits)
+        ]
+        return self._merge(parts)
+
+    def rank(self, vector) -> int:
+        """Position of a canonical skeleton vector in enumeration order."""
+        if len(vector) != self.skeleton.num_holes:
+            raise ValueError(
+                f"vector length {len(vector)} does not match hole count {self.skeleton.num_holes}"
+            )
+        if not self._enumerators:
+            return 0
+        parts = [
+            CharacteristicVector(vector[slot] for slot in slots)
+            for slots in self._hole_slots
+        ]
+        digits = [
+            enumerator.rank(part) for enumerator, part in zip(self._enumerators, parts)
+        ]
+        return mixed_radix_rank(digits, self.problem_counts())
+
+    def sample_indices(self, k: int, seed: int | str | None = None) -> list[int]:
+        """``min(k, count)`` distinct uniform whole-skeleton indices, sorted."""
+        return sample_distinct_indices(random.Random(seed), self.count(), k)
+
+    def sample(self, k: int, seed: int | str | None = None) -> list[tuple[int, CharacteristicVector]]:
+        """Uniform sample without replacement as ``(index, vector)`` pairs."""
+        return [(index, self.unrank(index)) for index in self.sample_indices(k, seed=seed)]
+
+    def sample_programs(self, k: int, seed: int | str | None = None) -> Iterator[tuple[CharacteristicVector, str]]:
+        """Like :meth:`programs` but over a uniform sample instead of a prefix."""
+        for _, vector in self.sample(k, seed=seed):
+            yield vector, self.skeleton.realize(vector)
+
+    def shard(self, shard_index: int, shard_count: int) -> Iterator[CharacteristicVector]:
+        """Stream shard ``shard_index`` of ``shard_count`` disjoint contiguous shards."""
+        lo, hi = shard_bounds(0, self.count(), shard_index, shard_count)
+        return self.vectors(start=lo, stop=hi)
+
     # -- enumeration ---------------------------------------------------------
 
-    def vectors(self, limit: int | None = None) -> Iterator[CharacteristicVector]:
-        """Yield canonical characteristic vectors in the skeleton's hole order."""
-        effective_limit = limit
-        if effective_limit is None and self.budget.truncate:
-            effective_limit = self.budget.limit()
+    def vectors(
+        self,
+        limit: int | None = None,
+        *,
+        start: int = 0,
+        stop: int | None = None,
+    ) -> Iterator[CharacteristicVector]:
+        """Yield canonical characteristic vectors in the skeleton's hole order.
 
-        if not self.problems:
+        The product over sub-problems is evaluated lazily as a mixed-radix
+        odometer: only the current vector of each sub-problem is held in
+        memory (``O(holes)`` total), never the per-problem solution lists.
+        ``start``/``stop`` select an index slice; the first vector is reached
+        by unranking, not by enumerating predecessors.
+        """
+        total = self.count()
+        if start < 0:
+            raise ValueError(f"start must be non-negative, got {start}")
+        effective_stop = total if stop is None else min(stop, total)
+        if limit is not None:
+            effective_stop = min(effective_stop, start + limit)
+        elif stop is None and self.budget.truncate and self.budget.limit() is not None:
+            # No explicit cap from the caller: apply the truncating budget.
+            effective_stop = min(effective_stop, start + self.budget.limit())
+        if start >= effective_stop:
+            return
+
+        if not self._enumerators:
             yield CharacteristicVector(())
             return
 
-        per_problem: list[list[CharacteristicVector]] = [
-            list(enumerator.enumerate()) for enumerator in self._enumerators
+        counts = self.problem_counts()
+        digits = mixed_radix_digits(start, counts)
+        last = len(counts) - 1
+
+        # One live iterator per prefix dimension; ``current`` holds its vector.
+        prefix_iters = [
+            self._enumerators[p].enumerate(start=digits[p]) for p in range(last)
         ]
-        produced = 0
-        for combo in itertools.product(*per_problem):
-            merged: list[str | None] = [None] * self.skeleton.num_holes
-            for problem, vector in zip(self.problems, combo):
-                for hole, name in zip(problem.holes, vector):
-                    merged[hole.skeleton_index if hole.skeleton_index >= 0 else hole.index] = name
-            yield CharacteristicVector(name for name in merged if name is not None)
-            produced += 1
-            if effective_limit is not None and produced >= effective_limit:
+        current = [next(it) for it in prefix_iters]
+
+        index = start
+        while True:
+            for tail in self._enumerators[last].enumerate(start=digits[last]):
+                yield self._merge((*current, tail))
+                index += 1
+                if index >= effective_stop:
+                    return
+            digits[last] = 0
+            position = last - 1
+            while position >= 0:
+                bumped = next(prefix_iters[position], None)
+                if bumped is not None:
+                    current[position] = bumped
+                    break
+                prefix_iters[position] = self._enumerators[position].enumerate()
+                current[position] = next(prefix_iters[position])
+                position -= 1
+            if position < 0:
                 return
 
-    def programs(self, limit: int | None = None) -> Iterator[tuple[CharacteristicVector, str]]:
+    def programs(
+        self,
+        limit: int | None = None,
+        *,
+        start: int = 0,
+        stop: int | None = None,
+    ) -> Iterator[tuple[CharacteristicVector, str]]:
         """Yield ``(vector, source)`` pairs for every canonical variant."""
-        for vector in self.vectors(limit=limit):
+        for vector in self.vectors(limit=limit, start=start, stop=stop):
             yield vector, self.skeleton.realize(vector)
+
+    def indexed_programs(
+        self, start: int = 0, stop: int | None = None
+    ) -> Iterator[tuple[int, CharacteristicVector, str]]:
+        """Like :meth:`programs` over ``[start, stop)`` with global variant indices."""
+        for offset, (vector, source) in enumerate(self.programs(start=start, stop=stop)):
+            yield start + offset, vector, source
+
+    def programs_at(self, indices: Iterable[int]) -> Iterator[tuple[int, CharacteristicVector, str]]:
+        """Realize the variants at explicit enumeration indices (e.g. a sample)."""
+        for index in indices:
+            vector = self.unrank(index)
+            yield index, vector, self.skeleton.realize(vector)
 
     def __iter__(self) -> Iterator[CharacteristicVector]:
         return self.vectors()

@@ -32,8 +32,15 @@ def run(
     max_variants_per_file: int = 30,
     seed: int = 2017,
     lineage: str = "scc",
+    sample_per_file: int | None = None,
+    jobs: int = 1,
 ) -> Fig10Result:
-    """Run the trunk campaign for one lineage and aggregate bug characteristics."""
+    """Run the trunk campaign for one lineage and aggregate bug characteristics.
+
+    ``sample_per_file`` switches from prefix truncation to a uniform sample
+    of each file's canonical variants; ``jobs`` shards the campaign over
+    worker processes (both via the sharded campaign pipeline).
+    """
     corpus = build_corpus(files=files, seed=seed)
     trunk = f"{lineage}-trunk"
     config = CampaignConfig(
@@ -46,6 +53,9 @@ def run(
         ],
         budget=EnumerationBudget(max_variants=10_000),
         max_variants_per_file=max_variants_per_file,
+        sample_per_file=sample_per_file,
+        sample_seed=seed,
+        jobs=jobs,
     )
     campaign_result = Campaign(config).run_sources(corpus)
     bugs = campaign_result.bugs

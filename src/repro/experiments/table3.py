@@ -30,14 +30,24 @@ def run(
     max_variants_per_file: int = 30,
     seed: int = 2017,
     versions: tuple[str, str] = ("scc-4.8", "lcc-3.6"),
+    sample_per_file: int | None = None,
+    jobs: int = 1,
 ) -> Table3Result:
-    """Run the stable-release campaign and collect crash signatures."""
+    """Run the stable-release campaign and collect crash signatures.
+
+    ``sample_per_file`` switches from prefix truncation to a uniform sample
+    of each file's canonical variants; ``jobs`` shards the campaign over
+    worker processes (both via the sharded campaign pipeline).
+    """
     corpus = build_corpus(files=files, seed=seed)
     config = CampaignConfig(
         versions=list(versions),
         opt_levels=[OptimizationLevel.O0, OptimizationLevel.O3],
         budget=EnumerationBudget(max_variants=10_000),
         max_variants_per_file=max_variants_per_file,
+        sample_per_file=sample_per_file,
+        sample_seed=seed,
+        jobs=jobs,
     )
     campaign_result = Campaign(config).run_sources(corpus)
     signatures = sorted(set(campaign_result.bugs.crash_signatures()))

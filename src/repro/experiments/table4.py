@@ -23,14 +23,24 @@ def run(
     max_variants_per_file: int = 30,
     seed: int = 2017,
     versions: tuple[str, str] = ("scc-trunk", "lcc-trunk"),
+    sample_per_file: int | None = None,
+    jobs: int = 1,
 ) -> Table4Result:
-    """Run the trunk campaign and classify the bugs per compiler lineage."""
+    """Run the trunk campaign and classify the bugs per compiler lineage.
+
+    ``sample_per_file`` switches from prefix truncation to a uniform sample
+    of each file's canonical variants; ``jobs`` shards the campaign over
+    worker processes (both via the sharded campaign pipeline).
+    """
     corpus = build_corpus(files=files, seed=seed)
     config = CampaignConfig(
         versions=list(versions),
         opt_levels=[OptimizationLevel.O0, OptimizationLevel.O1, OptimizationLevel.O2, OptimizationLevel.O3],
         budget=EnumerationBudget(max_variants=10_000),
         max_variants_per_file=max_variants_per_file,
+        sample_per_file=sample_per_file,
+        sample_seed=seed,
+        jobs=jobs,
     )
     campaign_result = Campaign(config).run_sources(corpus)
 

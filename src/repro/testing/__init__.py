@@ -5,9 +5,12 @@
   wrong-code detection by comparing observable behaviour;
 * :mod:`repro.testing.bugs` -- bug records, deduplication by signature, and
   the classification summaries Tables 3/4 and Figure 10 report;
-* :mod:`repro.testing.harness` -- the campaign driver: enumerate variants of
-  many skeletons (SPE or naive), test them against a matrix of compiler
-  configurations, aggregate bugs/coverage/statistics;
+* :mod:`repro.testing.harness` -- the campaign driver: plan index-range work
+  shards over many skeletons (SPE or naive, prefix or uniform sample), test
+  each variant against a matrix of compiler configurations, and merge the
+  shard results;
+* :mod:`repro.testing.executor` -- pluggable shard execution backends
+  (serial, process pool);
 * :mod:`repro.testing.coverage` -- pass-event coverage measurement
   (the Figure 9 metric);
 * :mod:`repro.testing.mutation` -- the Orion-style statement-deletion
@@ -17,7 +20,16 @@
 """
 
 from repro.testing.bugs import BugDatabase, BugKind, BugReport
-from repro.testing.harness import Campaign, CampaignConfig, CampaignResult, test_program
+from repro.testing.executor import ProcessPoolExecutor, SerialExecutor, default_executor
+from repro.testing.harness import (
+    Campaign,
+    CampaignConfig,
+    CampaignPlan,
+    CampaignResult,
+    CampaignShard,
+    ShardUnit,
+    test_program,
+)
 from repro.testing.oracle import DifferentialOracle, Observation, ObservationKind
 from repro.testing.reducer import reduce_program
 
@@ -27,10 +39,16 @@ __all__ = [
     "BugReport",
     "Campaign",
     "CampaignConfig",
+    "CampaignPlan",
     "CampaignResult",
+    "CampaignShard",
     "DifferentialOracle",
     "Observation",
     "ObservationKind",
+    "ProcessPoolExecutor",
+    "SerialExecutor",
+    "ShardUnit",
+    "default_executor",
     "reduce_program",
     "test_program",
 ]

@@ -11,7 +11,7 @@ produces the summary dictionaries the Table 4 / Figure 10 experiments render.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.compiler.pipeline import OptimizationLevel
 from repro.compiler.versions import affected_versions, get_version
@@ -49,6 +49,7 @@ class BugReport:
     fault_ids: list[str] = field(default_factory=list)
     affected_versions: list[str] = field(default_factory=list)
     duplicate_count: int = 0
+    dedup_key: tuple | None = field(default=None, repr=False, compare=False)
 
     def summary_line(self) -> str:
         return (
@@ -65,19 +66,35 @@ class BugDatabase:
     _by_key: dict[tuple, BugReport] = field(default_factory=dict)
 
     def record(self, observation: Observation) -> BugReport | None:
-        """Record an observation; returns the (new or existing) report, or None."""
+        """Record an observation; returns the (new or existing) report, or None.
+
+        Duplicates bump the existing report's count; the *representative*
+        observation (signature, trigger program, source) is the minimum under
+        :meth:`_representative_order`, not the first seen -- so the reported
+        metadata is identical however the campaign is sharded or parallelised.
+        """
         if not observation.is_bug:
             return None
         kind = BugKind.from_observation(observation.kind)
         lineage = get_version(observation.compiler).lineage
         key = self._dedup_key(observation, kind, lineage)
-        if key in self._by_key:
-            self._by_key[key].duplicate_count += 1
-            return self._by_key[key]
+        existing = self._by_key.get(key)
+        if existing is not None:
+            existing.duplicate_count += 1
+            self._adopt_if_smaller(existing, self._build_report(observation, kind, lineage, key, id=existing.id))
+            return existing
 
+        report = self._build_report(observation, kind, lineage, key, id=len(self.reports) + 1)
+        self.reports.append(report)
+        self._by_key[key] = report
+        return report
+
+    def _build_report(
+        self, observation: Observation, kind: BugKind, lineage: str, key: tuple, id: int
+    ) -> BugReport:
         component, priority, faults, affected = self._fault_metadata(observation, lineage)
-        report = BugReport(
-            id=len(self.reports) + 1,
+        return BugReport(
+            id=id,
             kind=kind,
             compiler=observation.compiler,
             lineage=lineage,
@@ -89,10 +106,71 @@ class BugDatabase:
             priority=priority,
             fault_ids=faults,
             affected_versions=affected,
+            dedup_key=key,
         )
-        self.reports.append(report)
-        self._by_key[key] = report
-        return report
+
+    @staticmethod
+    def _representative_order(report: BugReport) -> tuple:
+        """Total order choosing one deterministic representative per bug."""
+        return (report.source_name, str(report.opt_level), report.compiler, report.signature)
+
+    def _adopt_if_smaller(self, existing: BugReport, candidate: BugReport) -> None:
+        """Swap the representative metadata if ``candidate`` orders first."""
+        if self._representative_order(candidate) >= self._representative_order(existing):
+            return
+        for field_name in (
+            "kind",
+            "compiler",
+            "lineage",
+            "opt_level",
+            "signature",
+            "test_program",
+            "source_name",
+            "component",
+            "priority",
+            "fault_ids",
+            "affected_versions",
+        ):
+            value = getattr(candidate, field_name)
+            if isinstance(value, list):
+                value = list(value)
+            setattr(existing, field_name, value)
+
+    def merge(self, other: "BugDatabase") -> "BugDatabase":
+        """Union of two databases, deduplicated by signature.
+
+        Reports are absorbed in order (self first), re-numbered, and their
+        duplicate counts combined so that the total number of observations
+        behind each bug is preserved.  Because each bug's representative
+        metadata is the minimum under :meth:`_representative_order`, the
+        merged reports are independent of merge order and of how the
+        observations were sharded; only the report ids depend on it.
+        """
+        merged = BugDatabase()
+        for report in self.reports:
+            merged.absorb(report)
+        for report in other.reports:
+            merged.absorb(report)
+        return merged
+
+    def absorb(self, report: BugReport) -> BugReport:
+        """Fold one report (typically from another shard's database) into this one."""
+        key = report.dedup_key if report.dedup_key is not None else self._key_from_report(report)
+        existing = self._by_key.get(key)
+        if existing is not None:
+            existing.duplicate_count += report.duplicate_count + 1
+            self._adopt_if_smaller(existing, report)
+            return existing
+        copy = replace(
+            report,
+            id=len(self.reports) + 1,
+            fault_ids=list(report.fault_ids),
+            affected_versions=list(report.affected_versions),
+            dedup_key=key,
+        )
+        self.reports.append(copy)
+        self._by_key[key] = copy
+        return copy
 
     # -- classification summaries -----------------------------------------------------
 
@@ -152,6 +230,15 @@ class BugDatabase:
         if observation.triggered_faults:
             return (lineage, kind.value, tuple(sorted(observation.triggered_faults)))
         return (lineage, kind.value, observation.source_name)
+
+    @staticmethod
+    def _key_from_report(report: BugReport) -> tuple:
+        """Best-effort dedup key for reports that predate the stored key."""
+        if report.kind is BugKind.CRASH:
+            return (report.lineage, report.kind.value, report.signature.split(" (")[0])
+        if report.fault_ids:
+            return (report.lineage, report.kind.value, tuple(sorted(report.fault_ids)))
+        return (report.lineage, report.kind.value, report.source_name)
 
     @staticmethod
     def _fault_metadata(observation: Observation, lineage: str) -> tuple[str, str, list[str], list[str]]:

@@ -1,0 +1,65 @@
+"""Pluggable execution backends for sharded campaigns.
+
+The campaign harness (:mod:`repro.testing.harness`) splits a run into
+index-range work shards; an *executor* decides how those shards are
+evaluated:
+
+* :class:`SerialExecutor` runs them one after another in-process -- the
+  default, and the reference behaviour every parallel backend must match;
+* :class:`ProcessPoolExecutor` fans them out over worker processes.  Work
+  units carry plain source text (not skeletons, whose ``realize`` closures do
+  not pickle), so each worker re-extracts its skeletons; results come back as
+  :class:`~repro.testing.harness.CampaignResult` values and are merged with
+  :meth:`CampaignResult.merge`.
+
+Both backends expose the same ``map(fn, items)`` surface, so anything
+shaped like that (e.g. an MPI or job-queue adapter) can be plugged into
+``Campaign.run_sources(..., executor=...)``.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import os
+from typing import Callable, Iterable, Sequence, TypeVar
+
+_Item = TypeVar("_Item")
+_Result = TypeVar("_Result")
+
+
+class SerialExecutor:
+    """Evaluate work items sequentially in the calling process."""
+
+    def map(self, fn: Callable[[_Item], _Result], items: Iterable[_Item]) -> list[_Result]:
+        return [fn(item) for item in items]
+
+
+class ProcessPoolExecutor:
+    """Evaluate work items in a pool of worker processes.
+
+    Args:
+        jobs: number of worker processes (defaults to the CPU count).  Both
+            ``fn`` and the items must be picklable; the campaign's shard
+            worker is a module-level function for exactly this reason.
+    """
+
+    def __init__(self, jobs: int | None = None) -> None:
+        self.jobs = jobs if jobs and jobs > 0 else (os.cpu_count() or 1)
+
+    def map(self, fn: Callable[[_Item], _Result], items: Iterable[_Item]) -> list[_Result]:
+        items = list(items)
+        if self.jobs <= 1 or len(items) <= 1:
+            return [fn(item) for item in items]
+        workers = min(self.jobs, len(items))
+        with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(fn, items))
+
+
+def default_executor(jobs: int | None) -> SerialExecutor | ProcessPoolExecutor:
+    """The executor implied by a ``--jobs`` setting: serial for 1, a pool otherwise."""
+    if jobs is None or jobs <= 1:
+        return SerialExecutor()
+    return ProcessPoolExecutor(jobs)
+
+
+__all__ = ["ProcessPoolExecutor", "SerialExecutor", "default_executor"]

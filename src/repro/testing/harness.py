@@ -1,29 +1,52 @@
 """The campaign harness: SPE over a corpus against a matrix of compilers.
 
-``Campaign`` is the top-level driver the experiments use:
+``Campaign`` is the top-level driver the experiments use.  A run has three
+phases:
 
-1. for every seed program, extract the skeleton and count its canonical
-   variants; skip files above the enumeration threshold (paper Section 5.2.1);
-2. enumerate variants (SPE by default; the naive enumerator is available for
-   the ablation) and test each against every configured compiler
-   configuration through the :class:`~repro.testing.oracle.DifferentialOracle`;
-3. deduplicate bug observations into a :class:`~repro.testing.bugs.BugDatabase`
-   (optionally reducing the trigger program first) and accumulate statistics.
+1. **Plan** -- for every seed program, extract the skeleton and count its
+   canonical variants (a closed form, no enumeration); skip files above the
+   enumeration threshold (paper Section 5.2.1); decide which variant indices
+   to test (a prefix range, or a uniform sample with ``sample_per_file``);
+   and split the per-file index ranges into ``shard_count`` disjoint
+   :class:`CampaignShard`\\ s.
+2. **Execute** -- each shard re-extracts its skeletons, reaches its variants
+   directly by rank/unrank (no predecessor is enumerated), and tests each
+   against every configured compiler configuration through the
+   :class:`~repro.testing.oracle.DifferentialOracle`.  Shards carry plain
+   source text, so they can run in worker processes
+   (:class:`~repro.testing.executor.ProcessPoolExecutor`) or on another
+   machine entirely (``--shard i/n`` on the CLI).
+3. **Merge** -- shard results are combined with :meth:`CampaignResult.merge`:
+   counters sum, bug databases union by signature, wall-clock takes the max.
+   A serial run and any sharding of it produce the same summary and the same
+   distinct bug set -- except under ``stop_after_bugs``, which is enforced
+   per shard (shards cannot observe each other mid-flight), so a sharded run
+   may test more variants and report up to ``shards x stop_after_bugs`` bugs
+   before the merge sees the limit.
+
+Variant names embed the *global* enumeration index (``file.c#17``), so
+observations are stable across shardings and resumable: a crashed shard can
+be re-run in isolation and merged into the rest.
 """
 
 from __future__ import annotations
 
+import hashlib
+import random
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.compiler.pipeline import OptimizationLevel
 from repro.core.holes import Skeleton
 from repro.core.naive import NaiveSkeletonEnumerator
+from repro.core.ranking import sample_distinct_indices, shard_bounds
 from repro.core.spe import EnumerationBudget, SkeletonEnumerator
 from repro.core.problem import Granularity
 from repro.minic.errors import MiniCError
+from repro.minic.interp import ExecutionResult, run_source
 from repro.minic.skeleton import extract_skeleton
 from repro.testing.bugs import BugDatabase, BugReport
+from repro.testing.executor import SerialExecutor, default_executor
 from repro.testing.oracle import DifferentialOracle, Observation, ObservationKind
 from repro.testing.reducer import reduce_program
 
@@ -41,7 +64,19 @@ class CampaignConfig:
     granularity: Granularity = Granularity.INTRA_PROCEDURAL
     use_naive_enumeration: bool = False
     max_variants_per_file: int | None = 200
+    #: Test a uniform random sample of this many variants per file instead of
+    #: the first ``max_variants_per_file`` (which over-represents fillings
+    #: that reuse few variables).  The sample is drawn per file from a seed
+    #: derived from ``sample_seed`` and the file name, so it is stable across
+    #: shardings and file orderings.
+    sample_per_file: int | None = None
+    sample_seed: int = 2017
+    #: Worker processes for :meth:`Campaign.run_sources` (1 = in-process).
+    jobs: int = 1
     reduce_bugs: bool = False
+    #: Stop once this many distinct bugs are filed.  Enforced per shard, so a
+    #: parallel/sharded run may overshoot (each shard stops independently);
+    #: only a serial single-shard run stops exactly at the limit.
     stop_after_bugs: int | None = None
 
     def oracles(self) -> list[DifferentialOracle]:
@@ -55,7 +90,7 @@ class CampaignConfig:
 
 @dataclass
 class CampaignResult:
-    """Everything a campaign produced."""
+    """Everything a campaign (or one shard of it) produced."""
 
     bugs: BugDatabase = field(default_factory=BugDatabase)
     files_processed: int = 0
@@ -68,6 +103,27 @@ class CampaignResult:
     def note_observation(self, observation: Observation) -> None:
         key = observation.kind.value
         self.observations[key] = self.observations.get(key, 0) + 1
+
+    def merge(self, other: "CampaignResult") -> "CampaignResult":
+        """Combine two shard results into one (neither input is modified).
+
+        Counters sum, bug databases union by signature (duplicate counts are
+        preserved), and wall-clock takes the max -- shards run concurrently,
+        so the elapsed time of the whole campaign is the slowest shard's.
+        The summary is independent of merge order.
+        """
+        observations = dict(self.observations)
+        for key, count in other.observations.items():
+            observations[key] = observations.get(key, 0) + count
+        return CampaignResult(
+            bugs=self.bugs.merge(other.bugs),
+            files_processed=self.files_processed + other.files_processed,
+            files_skipped_budget=self.files_skipped_budget + other.files_skipped_budget,
+            files_skipped_error=self.files_skipped_error + other.files_skipped_error,
+            variants_tested=self.variants_tested + other.variants_tested,
+            observations=observations,
+            wall_seconds=max(self.wall_seconds, other.wall_seconds),
+        )
 
     def summary(self) -> str:
         lines = [
@@ -82,33 +138,229 @@ class CampaignResult:
         return "\n".join(lines)
 
 
+@dataclass(frozen=True)
+class ShardUnit:
+    """One file's contribution to one shard: a slice of its variant indices.
+
+    Carries the seed *source text* rather than the skeleton so the unit can
+    cross process boundaries; the worker re-extracts the skeleton.  Either a
+    contiguous ``[start, stop)`` range of the canonical enumeration or an
+    explicit tuple of sampled ``indices``.
+    """
+
+    name: str
+    source: str
+    start: int = 0
+    stop: int = 0
+    indices: tuple[int, ...] | None = None
+    #: Exactly one unit per file is primary; it accounts the file in
+    #: ``files_processed`` so that merged shard totals match a serial run.
+    primary: bool = False
+
+    def num_variants(self) -> int:
+        if self.indices is not None:
+            return len(self.indices)
+        return max(0, self.stop - self.start)
+
+
+@dataclass(frozen=True)
+class CampaignShard:
+    """An independently executable slice of a campaign."""
+
+    index: int
+    units: tuple[ShardUnit, ...]
+
+    def num_variants(self) -> int:
+        return sum(unit.num_variants() for unit in self.units)
+
+
+@dataclass
+class CampaignPlan:
+    """The sharded work layout plus plan-time bookkeeping.
+
+    ``base`` holds the counters decided during planning (files skipped for
+    budget or parse errors); it is merged into the final result so that the
+    sum over shards plus ``base`` reproduces a serial run's summary.
+    """
+
+    shards: list[CampaignShard]
+    base: CampaignResult
+
+    def num_variants(self) -> int:
+        return sum(shard.num_variants() for shard in self.shards)
+
+
 class Campaign:
     """Run SPE-based differential testing over a corpus of seed programs."""
 
     def __init__(self, config: CampaignConfig | None = None) -> None:
         self.config = config or CampaignConfig()
         self._oracles = self.config.oracles()
+        self._reference_cache: dict[str, ExecutionResult | None] = {}
+        # Skeletons parsed during planning, reused by in-process execution
+        # (worker processes re-extract from source; skeletons do not pickle).
+        self._skeleton_cache: dict[tuple[str, str], Skeleton] = {}
+
+    # -- planning ---------------------------------------------------------------
+
+    def plan(self, sources: dict[str, str], shard_count: int = 1) -> CampaignPlan:
+        """Lay out the campaign over ``shard_count`` disjoint shards.
+
+        Each file's tested variant indices are split into ``shard_count``
+        contiguous chunks (sizes differing by at most one), and chunk ``i``
+        of every file lands in shard ``i`` -- so every shard touches every
+        file and the load is balanced without knowing per-variant cost.
+        """
+        if shard_count <= 0:
+            raise ValueError(f"shard_count must be positive, got {shard_count}")
+        base = CampaignResult()
+        shard_units: list[list[ShardUnit]] = [[] for _ in range(shard_count)]
+        for name, source in sources.items():
+            try:
+                skeleton = self._extract_cached(name, source)
+            except MiniCError:
+                base.files_skipped_error += 1
+                continue
+            enumerator = SkeletonEnumerator(
+                skeleton, granularity=self.config.granularity, budget=self.config.budget
+            )
+            if not enumerator.within_budget():
+                base.files_skipped_budget += 1
+                continue
+            if self.config.use_naive_enumeration:
+                total = NaiveSkeletonEnumerator(skeleton).num_vectors()
+            else:
+                total = enumerator.count()
+
+            if self.config.sample_per_file is not None:
+                indices = self._sample_file_indices(name, total)
+                primary_emitted = False
+                for index in range(shard_count):
+                    lo, hi = shard_bounds(0, len(indices), index, shard_count)
+                    if lo >= hi and primary_emitted:
+                        continue
+                    shard_units[index].append(
+                        ShardUnit(
+                            name=name,
+                            source=source,
+                            indices=tuple(indices[lo:hi]),
+                            primary=not primary_emitted,
+                        )
+                    )
+                    primary_emitted = True
+            else:
+                stop = total
+                if self.config.max_variants_per_file is not None:
+                    stop = min(stop, self.config.max_variants_per_file)
+                elif self.config.budget.truncate and self.config.budget.limit() is not None:
+                    stop = min(stop, self.config.budget.limit())
+                primary_emitted = False
+                for index in range(shard_count):
+                    lo, hi = shard_bounds(0, stop, index, shard_count)
+                    if lo >= hi and primary_emitted:
+                        continue
+                    shard_units[index].append(
+                        ShardUnit(
+                            name=name,
+                            source=source,
+                            start=lo,
+                            stop=hi,
+                            primary=not primary_emitted,
+                        )
+                    )
+                    primary_emitted = True
+        shards = [
+            CampaignShard(index=index, units=tuple(units))
+            for index, units in enumerate(shard_units)
+        ]
+        return CampaignPlan(shards=shards, base=base)
+
+    def _sample_file_indices(self, name: str, total: int) -> list[int]:
+        """Per-file deterministic uniform sample of variant indices."""
+        rng = random.Random(f"{self.config.sample_seed}:{name}")
+        return sample_distinct_indices(rng, total, self.config.sample_per_file or 0)
 
     # -- entry points ------------------------------------------------------------
 
-    def run_sources(self, sources: dict[str, str]) -> CampaignResult:
-        """Run the campaign over named seed programs (name -> C source)."""
-        result = CampaignResult()
+    def run_sources(
+        self,
+        sources: dict[str, str],
+        *,
+        shard_count: int | None = None,
+        shard_index: int | None = None,
+        executor=None,
+    ) -> CampaignResult:
+        """Run the campaign over named seed programs (name -> C source).
+
+        Args:
+            sources: the corpus.
+            shard_count: split the work into this many shards (defaults to
+                ``config.jobs`` so parallel runs shard automatically).
+            shard_index: run *only* this shard and return its partial,
+                mergeable result (for distributed runs; plan-time skip
+                counters ride with shard 0 so merging all shards reproduces
+                the serial summary).
+            executor: a :mod:`repro.testing.executor` backend; defaults to a
+                process pool when ``config.jobs > 1``, serial otherwise.
+        """
+        count = shard_count if shard_count is not None else max(1, self.config.jobs)
+        plan = self.plan(sources, shard_count=count)
+        if shard_index is not None:
+            if not 0 <= shard_index < count:
+                raise ValueError(
+                    f"shard_index {shard_index} out of range for {count} shards"
+                )
+            return self._run_one_shard(plan, shard_index, executor)
         started = time.perf_counter()
-        for name, source in sources.items():
-            try:
-                skeleton = extract_skeleton(source, name=name)
-            except MiniCError:
-                result.files_skipped_error += 1
-                continue
-            self._run_skeleton(skeleton, result)
-            if self._exhausted(result):
-                break
-        result.wall_seconds = time.perf_counter() - started
+        if executor is None:
+            executor = default_executor(self.config.jobs)
+        if isinstance(executor, SerialExecutor):
+            # In-process: no pickling, reuse this campaign's oracles and
+            # reference-interpreter cache across all shards.
+            results = [self._run_shard(shard) for shard in plan.shards]
+        else:
+            payloads = [(self.config, shard) for shard in plan.shards]
+            results = executor.map(_run_shard_payload, payloads)
+        merged = plan.base
+        for result in results:
+            merged = merged.merge(result)
+        merged.wall_seconds = time.perf_counter() - started
+        return merged
+
+    def _run_one_shard(self, plan: CampaignPlan, shard_index: int, executor) -> CampaignResult:
+        """Run a single shard of the plan (distributed mode), honouring ``jobs``.
+
+        The shard is itself sub-sharded across the executor's workers, so
+        ``--shard i/n --jobs m`` uses ``m`` processes for machine ``i``'s
+        slice.  Sub-sharding and merging commute with serial execution, so
+        the partial result is identical either way.
+        """
+        shard = plan.shards[shard_index]
+        started = time.perf_counter()
+        if executor is None:
+            executor = default_executor(self.config.jobs)
+        if isinstance(executor, SerialExecutor):
+            result = self._run_shard(shard)
+        else:
+            jobs = max(1, getattr(executor, "jobs", self.config.jobs) or 1)
+            subshards = _split_shard(shard, jobs)
+            results = executor.map(
+                _run_shard_payload, [(self.config, subshard) for subshard in subshards]
+            )
+            result = CampaignResult()
+            for partial in results:
+                result = result.merge(partial)
+            result.wall_seconds = time.perf_counter() - started
+        if shard_index == 0:
+            result = plan.base.merge(result)
         return result
 
     def run_skeletons(self, skeletons: list[Skeleton]) -> CampaignResult:
-        """Run the campaign over already-extracted skeletons."""
+        """Run the campaign serially over already-extracted skeletons.
+
+        Skeletons carry frontend ``realize`` closures that do not cross
+        process boundaries, so this path is always in-process.
+        """
         result = CampaignResult()
         started = time.perf_counter()
         for skeleton in skeletons:
@@ -124,6 +376,44 @@ class Campaign:
         limit = self.config.stop_after_bugs
         return limit is not None and len(result.bugs) >= limit
 
+    def _run_shard(self, shard: CampaignShard) -> CampaignResult:
+        result = CampaignResult()
+        started = time.perf_counter()
+        for unit in shard.units:
+            self._run_unit(unit, result)
+            if self._exhausted(result):
+                break
+        result.wall_seconds = time.perf_counter() - started
+        return result
+
+    def _extract_cached(self, name: str, source: str) -> Skeleton:
+        key = (name, hashlib.sha256(source.encode()).hexdigest())
+        skeleton = self._skeleton_cache.get(key)
+        if skeleton is None:
+            skeleton = extract_skeleton(source, name=name)
+            self._skeleton_cache[key] = skeleton
+        return skeleton
+
+    def _run_unit(self, unit: ShardUnit, result: CampaignResult) -> None:
+        try:
+            skeleton = self._extract_cached(unit.name, unit.source)
+        except MiniCError:  # pragma: no cover - planning already filtered these
+            result.files_skipped_error += 1
+            return
+        if unit.primary:
+            result.files_processed += 1
+        if self.config.use_naive_enumeration:
+            enumerator = NaiveSkeletonEnumerator(skeleton)
+        else:
+            enumerator = SkeletonEnumerator(
+                skeleton, granularity=self.config.granularity, budget=self.config.budget
+            )
+        if unit.indices is not None:
+            programs = enumerator.programs_at(unit.indices)
+        else:
+            programs = enumerator.indexed_programs(start=unit.start, stop=unit.stop)
+        self._test_programs(skeleton, programs, result)
+
     def _run_skeleton(self, skeleton: Skeleton, result: CampaignResult) -> None:
         enumerator = SkeletonEnumerator(
             skeleton, granularity=self.config.granularity, budget=self.config.budget
@@ -132,15 +422,28 @@ class Campaign:
             result.files_skipped_budget += 1
             return
         result.files_processed += 1
-
         if self.config.use_naive_enumeration:
-            programs = NaiveSkeletonEnumerator(skeleton).programs(
-                limit=self.config.max_variants_per_file
+            enumerator = NaiveSkeletonEnumerator(skeleton)
+        if self.config.sample_per_file is not None:
+            total = (
+                enumerator.num_vectors()
+                if isinstance(enumerator, NaiveSkeletonEnumerator)
+                else enumerator.count()
             )
+            indices = self._sample_file_indices(skeleton.name, total)
+            programs = enumerator.programs_at(indices)
         else:
-            programs = enumerator.programs(limit=self.config.max_variants_per_file)
+            programs = enumerator.indexed_programs(
+                stop=self.config.max_variants_per_file
+            )
+        self._test_programs(skeleton, programs, result)
 
-        for index, (vector, source) in enumerate(programs):
+    def _test_programs(self, skeleton: Skeleton, programs, result: CampaignResult) -> None:
+        # The reference-interpreter cache dedups identical realized sources,
+        # which only pays off within one file's variants -- reset per file so
+        # memory stays bounded by the densest file, not the whole campaign.
+        self._reference_cache.clear()
+        for index, _vector, source in programs:
             result.variants_tested += 1
             variant_name = f"{skeleton.name}#{index}"
             reference_result = self._reference_result(source)
@@ -154,16 +457,22 @@ class Campaign:
             if self._exhausted(result):
                 return
 
-    @staticmethod
-    def _reference_result(source: str):
-        """Run the reference interpreter once per variant (shared by all oracles)."""
-        from repro.minic.errors import MiniCError
-        from repro.minic.interp import run_source
+    def _reference_result(self, source: str) -> ExecutionResult | None:
+        """Run the reference interpreter once per distinct variant source.
 
+        Shared by all oracles of the configuration matrix *and* across
+        variants that realize to identical programs (common when holes refill
+        with the original names), keyed by source hash.
+        """
+        key = hashlib.sha256(source.encode()).hexdigest()
+        if key in self._reference_cache:
+            return self._reference_cache[key]
         try:
-            return run_source(source)
+            value = run_source(source)
         except MiniCError:
-            return None
+            value = None
+        self._reference_cache[key] = value
+        return value
 
     def _file_bug(
         self, observation: Observation, oracle: DifferentialOracle, result: CampaignResult
@@ -180,6 +489,44 @@ class Campaign:
 
             observation.program = reduce_program(observation.program, still_crashes)
         return result.bugs.record(observation)
+
+
+def _split_shard(shard: CampaignShard, parts: int) -> list[CampaignShard]:
+    """Split one shard into ``parts`` disjoint sub-shards covering it exactly.
+
+    Each unit's index slice is divided contiguously; a unit's ``primary``
+    flag travels with exactly one (possibly empty) piece so file accounting
+    stays correct after the merge.
+    """
+    sub_units: list[list[ShardUnit]] = [[] for _ in range(parts)]
+    for unit in shard.units:
+        span = unit.num_variants()
+        primary_pending = unit.primary
+        for index in range(parts):
+            lo, hi = shard_bounds(0, span, index, parts)
+            if lo >= hi and not primary_pending:
+                continue
+            if unit.indices is not None:
+                piece = replace(unit, indices=unit.indices[lo:hi], primary=primary_pending)
+            else:
+                piece = replace(
+                    unit,
+                    start=unit.start + lo,
+                    stop=unit.start + hi,
+                    primary=primary_pending,
+                )
+            primary_pending = False
+            sub_units[index].append(piece)
+    return [
+        CampaignShard(index=index, units=tuple(units))
+        for index, units in enumerate(sub_units)
+    ]
+
+
+def _run_shard_payload(payload: tuple[CampaignConfig, CampaignShard]) -> CampaignResult:
+    """Module-level shard worker (must be picklable for the process pool)."""
+    config, shard = payload
+    return Campaign(config)._run_shard(shard)
 
 
 def test_program(
@@ -199,4 +546,12 @@ def test_program(
     return observations
 
 
-__all__ = ["Campaign", "CampaignConfig", "CampaignResult", "test_program"]
+__all__ = [
+    "Campaign",
+    "CampaignConfig",
+    "CampaignPlan",
+    "CampaignResult",
+    "CampaignShard",
+    "ShardUnit",
+    "test_program",
+]

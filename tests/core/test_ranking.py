@@ -1,0 +1,257 @@
+"""Tests for rank/unrank random access into the canonical solution set."""
+
+import itertools
+import tracemalloc
+
+import pytest
+
+from repro.core.counting import scoped_spe_count, skeleton_spe_count, spe_count
+from repro.core.naive import NaiveSkeletonEnumerator
+from repro.core.partitions import bell_number, stirling2
+from repro.core.problem import flat_problem, unscoped_problem
+from repro.core.ranking import (
+    ProblemRanking,
+    mixed_radix_digits,
+    mixed_radix_rank,
+    shard_bounds,
+)
+from repro.core.spe import SkeletonEnumerator, SPEEnumerator
+from repro.minic.errors import MiniCError
+from repro.minic.skeleton import extract_skeleton
+
+SMALL_PROBLEMS = [
+    unscoped_problem("u-6-2", 6, 2),
+    unscoped_problem("u-4-4", 4, 4),
+    flat_problem("fig7", ["a", "b"], [(["c", "d"], 2)], 3),
+    flat_problem("two-scopes", 3, [(2, 2), (1, 3)], 2),
+    flat_problem("no-global-holes", 2, [(2, 3)], 0),
+    unscoped_problem("empty", 0, 2),
+]
+
+
+@pytest.mark.parametrize("problem", SMALL_PROBLEMS, ids=lambda p: p.name)
+class TestProblemRanking:
+    def test_count_agrees_with_closed_form(self, problem):
+        assert ProblemRanking(problem).count() == scoped_spe_count(problem)
+
+    def test_rank_unrank_roundtrip_all(self, problem):
+        ranking = ProblemRanking(problem)
+        for index in range(ranking.count()):
+            assert ranking.rank(ranking.unrank(index)) == index
+
+    def test_unrank_sequence_equals_enumeration_order(self, problem):
+        ranking = ProblemRanking(problem)
+        enumerated = list(SPEEnumerator(problem).enumerate())
+        assert [ranking.unrank(i) for i in range(ranking.count())] == enumerated
+
+    def test_slices_match_full_enumeration(self, problem):
+        ranking = ProblemRanking(problem)
+        full = list(SPEEnumerator(problem).enumerate())
+        total = len(full)
+        for start in range(0, total + 1, max(1, total // 5)):
+            assert list(ranking.enumerate(start=start)) == full[start:]
+            assert list(ranking.enumerate(start=start, stop=start + 3)) == full[start : start + 3]
+        assert list(ranking.enumerate(start=total)) == []
+
+    def test_sampling_is_uniform_domain_and_deterministic(self, problem):
+        ranking = ProblemRanking(problem)
+        sample = ranking.sample(5, seed=42)
+        assert sample == ranking.sample(5, seed=42)
+        indices = [index for index, _ in sample]
+        assert len(set(indices)) == len(indices) == min(5, ranking.count())
+        assert indices == sorted(indices)
+        for index, vector in sample:
+            assert ranking.unrank(index) == vector
+
+
+class TestRankingTotals:
+    def test_unscoped_totals_match_stirling_sums(self):
+        for holes, variables in [(5, 2), (5, 3), (6, 6), (7, 3)]:
+            ranking = ProblemRanking(unscoped_problem("u", holes, variables))
+            expected = sum(stirling2(holes, blocks) for blocks in range(1, variables + 1))
+            assert ranking.count() == expected == spe_count(holes, variables)
+
+    def test_unscoped_totals_hit_bell_when_variables_cover_holes(self):
+        for holes in range(1, 8):
+            ranking = ProblemRanking(unscoped_problem("u", holes, holes))
+            assert ranking.count() == bell_number(holes)
+
+    def test_rank_rejects_non_canonical_vectors(self):
+        problem = unscoped_problem("u", 3, ["a", "b", "c"])
+        ranking = ProblemRanking(problem)
+        with pytest.raises(ValueError):
+            ranking.rank(("b", "a", "a"))  # "b" cannot open the first block
+        with pytest.raises(ValueError):
+            ranking.rank(("a", "a"))  # wrong length
+        with pytest.raises(ValueError):
+            ranking.rank(("a", "a", "z"))  # unknown variable
+
+    def test_unrank_bounds(self):
+        ranking = ProblemRanking(unscoped_problem("u", 3, 2))
+        with pytest.raises(IndexError):
+            ranking.unrank(-1)
+        with pytest.raises(IndexError):
+            ranking.unrank(ranking.count())
+
+
+class TestMixedRadixHelpers:
+    def test_digits_roundtrip(self):
+        radices = [3, 1, 4, 2]
+        total = 3 * 1 * 4 * 2
+        for index in range(total):
+            digits = mixed_radix_digits(index, radices)
+            assert mixed_radix_rank(digits, radices) == index
+        with pytest.raises(IndexError):
+            mixed_radix_digits(total, radices)
+
+    def test_matches_product_order(self):
+        pools = [["a", "b"], ["x", "y", "z"]]
+        radices = [len(pool) for pool in pools]
+        combos = list(itertools.product(*pools))
+        for index, combo in enumerate(combos):
+            digits = mixed_radix_digits(index, radices)
+            assert tuple(pool[d] for pool, d in zip(pools, digits)) == combo
+
+    def test_shard_bounds_partition_the_range(self):
+        for total in (0, 1, 7, 40):
+            for shards in (1, 3, 4, 7):
+                bounds = [shard_bounds(0, total, i, shards) for i in range(shards)]
+                covered = [x for lo, hi in bounds for x in range(lo, hi)]
+                assert covered == list(range(total))
+                assert max(hi - lo for lo, hi in bounds) - min(hi - lo for lo, hi in bounds) <= 1
+
+
+class TestSkeletonRandomAccess:
+    def test_fig6_roundtrip_and_order(self, fig6_source):
+        enumerator = SkeletonEnumerator(extract_skeleton(fig6_source, name="fig6"))
+        full = list(enumerator.vectors())
+        for index, vector in enumerate(full):
+            assert enumerator.unrank(index) == vector
+            assert enumerator.rank(vector) == index
+
+    def test_slices_and_limits_compose(self, fig6_source):
+        enumerator = SkeletonEnumerator(extract_skeleton(fig6_source, name="fig6"))
+        full = list(enumerator.vectors())
+        assert list(enumerator.vectors(start=5, stop=11)) == full[5:11]
+        assert list(enumerator.vectors(limit=4, start=3)) == full[3:7]
+        assert list(enumerator.vectors(stop=len(full) + 99)) == full
+
+    def test_shards_tile_the_enumeration(self, fig6_source):
+        enumerator = SkeletonEnumerator(extract_skeleton(fig6_source, name="fig6"))
+        full = list(enumerator.vectors())
+        shards = [list(enumerator.shard(i, 4)) for i in range(4)]
+        assert sum(shards, []) == full  # disjoint union, order preserved
+
+    def test_corpus_shards_equal_serial_enumeration(self, seeds):
+        """Acceptance check: 4 disjoint shards == serial enumerate() on the corpus."""
+        checked = 0
+        for name, source in seeds.items():
+            try:
+                skeleton = extract_skeleton(source, name=name)
+            except MiniCError:
+                continue
+            enumerator = SkeletonEnumerator(skeleton)
+            if enumerator.count() > 10_000:
+                continue
+            full = list(enumerator.vectors())
+            assert len(full) == enumerator.count()
+            shards = [list(enumerator.shard(i, 4)) for i in range(4)]
+            assert sum(shards, []) == full
+            mid = len(full) // 2
+            assert enumerator.unrank(mid) == full[mid]
+            assert enumerator.rank(full[mid]) == mid
+            checked += 1
+        assert checked >= 3  # the corpus must actually exercise this
+
+    def test_skeleton_count_helper_agrees(self, seeds):
+        for name, source in list(seeds.items())[:6]:
+            try:
+                skeleton = extract_skeleton(source, name=name)
+            except MiniCError:
+                continue
+            assert skeleton_spe_count(skeleton) == SkeletonEnumerator(skeleton).count()
+
+    def test_sampled_programs_are_valid_variants(self, fig6_source):
+        enumerator = SkeletonEnumerator(extract_skeleton(fig6_source, name="fig6"))
+        sample = enumerator.sample(6, seed=7)
+        assert sample == enumerator.sample(6, seed=7)
+        full = list(enumerator.vectors())
+        for index, vector in sample:
+            assert full[index] == vector
+
+    def test_naive_slicing_matches_product_order(self, fig6_source):
+        skeleton = extract_skeleton(fig6_source, name="fig6")
+        enumerator = NaiveSkeletonEnumerator(skeleton)
+        full = list(enumerator.vectors())
+        product_order = [
+            tuple(names)
+            for names in itertools.product(
+                *(skeleton.candidate_names(hole) for hole in skeleton.holes)
+            )
+        ]
+        assert [tuple(vector) for vector in full] == product_order
+        assert len(full) == enumerator.num_vectors()
+        assert list(enumerator.vectors(start=7, stop=19)) == full[7:19]
+        for index in (0, 11, len(full) - 1):
+            assert enumerator.unrank(index) == full[index]
+
+
+def _wide_multi_function_source(functions: int = 4, variables: int = 8) -> str:
+    """A skeleton whose per-function solution sets multiply into ~1e61 variants."""
+    parts = []
+    for f in range(functions):
+        decls = " ".join(f"int v{f}_{i} = {i};" for i in range(variables))
+        uses = " ".join(f"v{f}_0 = v{f}_0 + v{f}_{i};" for i in range(1, variables))
+        parts.append(f"int fn{f}() {{ {decls} {uses} return v{f}_0; }}")
+    parts.append("int main() { return fn0(); }")
+    return "\n".join(parts)
+
+
+class TestLazyProduct:
+    def test_vectors_do_not_materialize_per_problem_solutions(self):
+        """Peak memory must not scale with the per-problem solution-set sizes.
+
+        The skeleton below has ~1e61 canonical variants and per-function
+        solution sets of ~1e15 vectors each: materializing even one of them
+        (let alone their product) is impossible, so pulling variants out
+        lazily is the only way this test can pass -- and the allocation
+        tracker bounds the footprint to prove it.
+        """
+        skeleton = extract_skeleton(_wide_multi_function_source(), name="wide.c")
+        enumerator = SkeletonEnumerator(skeleton)
+        assert enumerator.count() > 10**50
+        tracemalloc.start()
+        first = list(itertools.islice(enumerator.vectors(), 50))
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        assert len(first) == len(set(first)) == 50
+        assert peak < 8 * 1024 * 1024  # bytes; far below any materialized pool
+
+    def test_random_access_deep_into_the_space(self):
+        skeleton = extract_skeleton(_wide_multi_function_source(), name="wide.c")
+        enumerator = SkeletonEnumerator(skeleton)
+        deep = enumerator.count() // 3
+        vector = enumerator.unrank(deep)
+        assert enumerator.rank(vector) == deep
+        window = list(enumerator.vectors(start=deep, stop=deep + 3))
+        assert window[0] == vector
+        assert len(window) == 3
+
+    def test_sampling_beyond_maxsize_domains(self):
+        """Domains above sys.maxsize break random.sample(range(n), k); ours must not."""
+        skeleton = extract_skeleton(_wide_multi_function_source(), name="wide.c")
+        enumerator = SkeletonEnumerator(skeleton)
+        total = enumerator.count()
+        assert total > 10**50
+        sample = enumerator.sample(5, seed=3)
+        assert sample == enumerator.sample(5, seed=3)
+        indices = [index for index, _ in sample]
+        assert len(set(indices)) == 5
+        assert all(0 <= index < total for index in indices)
+        for index, vector in sample:
+            assert enumerator.rank(vector) == index
+
+    def test_hole_slot_coverage_is_validated(self, fig6_source):
+        enumerator = SkeletonEnumerator(extract_skeleton(fig6_source, name="fig6"))
+        flattened = sorted(slot for slots in enumerator._hole_slots for slot in slots)
+        assert flattened == list(range(enumerator.skeleton.num_holes))

@@ -1,0 +1,191 @@
+"""Tests for the sharded campaign pipeline and its execution backends."""
+
+import pytest
+
+from repro.compiler.pipeline import OptimizationLevel
+from repro.core.spe import EnumerationBudget
+from repro.testing.executor import ProcessPoolExecutor, SerialExecutor, default_executor
+from repro.testing.harness import Campaign, CampaignConfig, CampaignResult
+
+SEEDS = {
+    "sub.c": "int main() { int a = 7, b = 3; int x = 0, y = 0; x = a - b; y = a - b; return x + y; }",
+    "alias.c": "int a = 0; int b = 0; int main() { int *p = &a; a = 1; *p = 2; return a + b; }",
+}
+
+
+def small_config(**overrides) -> CampaignConfig:
+    defaults = dict(
+        versions=["scc-trunk"],
+        opt_levels=[OptimizationLevel.O2],
+        budget=EnumerationBudget(max_variants=10_000),
+        max_variants_per_file=12,
+    )
+    defaults.update(overrides)
+    return CampaignConfig(**defaults)
+
+
+def bug_keys(result: CampaignResult) -> set:
+    return {report.dedup_key for report in result.bugs.reports}
+
+
+class TestExecutors:
+    def test_serial_executor_maps_in_order(self):
+        assert SerialExecutor().map(lambda x: x * 2, [1, 2, 3]) == [2, 4, 6]
+
+    def test_default_executor_selection(self):
+        assert isinstance(default_executor(None), SerialExecutor)
+        assert isinstance(default_executor(1), SerialExecutor)
+        pool = default_executor(3)
+        assert isinstance(pool, ProcessPoolExecutor)
+        assert pool.jobs == 3
+
+    def test_process_pool_falls_back_to_serial_for_single_item(self):
+        assert ProcessPoolExecutor(jobs=4).map(abs, [-3]) == [3]
+
+
+class TestCampaignResultMerge:
+    def test_merge_sums_counters_and_takes_max_wall_clock(self):
+        a = CampaignResult(files_processed=1, variants_tested=5, wall_seconds=2.0,
+                           observations={"ok": 3, "crash": 1})
+        b = CampaignResult(files_processed=2, variants_tested=7, wall_seconds=9.0,
+                           observations={"ok": 4})
+        merged = a.merge(b)
+        assert merged.files_processed == 3
+        assert merged.variants_tested == 12
+        assert merged.observations == {"ok": 7, "crash": 1}
+        assert merged.wall_seconds == 9.0
+        # merge is pure: inputs untouched
+        assert a.variants_tested == 5 and b.variants_tested == 7
+
+    def test_merge_is_order_independent(self):
+        campaign = Campaign(small_config())
+        parts = [
+            campaign.run_sources(SEEDS, shard_count=4, shard_index=i) for i in range(4)
+        ]
+        forward = parts[0]
+        for part in parts[1:]:
+            forward = forward.merge(part)
+        backward = parts[3]
+        for part in (parts[2], parts[1], parts[0]):
+            backward = backward.merge(part)
+        assert forward.summary() == backward.summary()
+        assert bug_keys(forward) == bug_keys(backward)
+
+    def test_serial_vs_four_shards_identical_summaries(self):
+        serial = Campaign(small_config()).run_sources(SEEDS)
+        sharded = Campaign(small_config()).run_sources(
+            SEEDS, shard_count=4, executor=SerialExecutor()
+        )
+        assert serial.summary() == sharded.summary()
+        assert bug_keys(serial) == bug_keys(sharded)
+        assert sorted(r.duplicate_count for r in serial.bugs.reports) == sorted(
+            r.duplicate_count for r in sharded.bugs.reports
+        )
+
+
+class TestShardedCampaign:
+    def test_plan_tiles_every_files_variants(self):
+        campaign = Campaign(small_config())
+        plan = campaign.plan(SEEDS, shard_count=3)
+        per_file: dict[str, list[int]] = {}
+        primaries: dict[str, int] = {}
+        for shard in plan.shards:
+            for unit in shard.units:
+                indices = (
+                    list(unit.indices)
+                    if unit.indices is not None
+                    else list(range(unit.start, unit.stop))
+                )
+                per_file.setdefault(unit.name, []).extend(indices)
+                primaries[unit.name] = primaries.get(unit.name, 0) + bool(unit.primary)
+        serial_plan = campaign.plan(SEEDS, shard_count=1)
+        serial_indices = {
+            unit.name: list(range(unit.start, unit.stop))
+            for shard in serial_plan.shards
+            for unit in shard.units
+        }
+        assert {name: sorted(ix) for name, ix in per_file.items()} == serial_indices
+        assert all(count == 1 for count in primaries.values())
+
+    def test_shard_index_runs_are_partial_and_merge_to_serial(self):
+        serial = Campaign(small_config()).run_sources(SEEDS)
+        parts = [
+            Campaign(small_config()).run_sources(SEEDS, shard_count=4, shard_index=i)
+            for i in range(4)
+        ]
+        assert sum(part.variants_tested for part in parts) == serial.variants_tested
+        merged = parts[0]
+        for part in parts[1:]:
+            merged = merged.merge(part)
+        assert merged.summary() == serial.summary()
+
+    def test_process_pool_campaign_finds_the_same_bugs(self):
+        serial = Campaign(small_config()).run_sources(SEEDS)
+        parallel = Campaign(small_config(jobs=4)).run_sources(SEEDS)
+        assert parallel.summary() == serial.summary()
+        assert bug_keys(parallel) == bug_keys(serial)
+
+    def test_sampled_campaign_is_shard_invariant(self):
+        config = dict(sample_per_file=6, max_variants_per_file=None)
+        serial = Campaign(small_config(**config)).run_sources(SEEDS)
+        assert serial.variants_tested == 12  # 6 per file
+        sharded = Campaign(small_config(**config)).run_sources(
+            SEEDS, shard_count=4, executor=SerialExecutor()
+        )
+        assert serial.summary() == sharded.summary()
+
+    def test_bug_representatives_are_shard_invariant(self):
+        """Not just the bug *set*: the reported metadata must match too."""
+        serial = Campaign(small_config()).run_sources(SEEDS)
+        sharded = Campaign(small_config()).run_sources(
+            SEEDS, shard_count=4, executor=SerialExecutor()
+        )
+
+        def lines(result):
+            # summary_line minus the id prefix (ids depend on merge order)
+            return sorted(report.summary_line()[5:] for report in result.bugs.reports)
+
+        assert lines(serial) == lines(sharded)
+        assert sorted(r.signature for r in serial.bugs.reports) == sorted(
+            r.signature for r in sharded.bugs.reports
+        )
+        assert sorted(r.test_program for r in serial.bugs.reports) == sorted(
+            r.test_program for r in sharded.bugs.reports
+        )
+
+    def test_naive_mode_shards_too(self):
+        config = dict(use_naive_enumeration=True, max_variants_per_file=6)
+        serial = Campaign(small_config(**config)).run_sources(SEEDS)
+        sharded = Campaign(small_config(**config)).run_sources(
+            SEEDS, shard_count=3, executor=SerialExecutor()
+        )
+        assert serial.summary() == sharded.summary()
+
+    def test_skipped_files_counted_once_across_shards(self):
+        config = small_config(budget=EnumerationBudget(max_variants=2))
+        sharded = Campaign(config).run_sources(SEEDS, shard_count=4, executor=SerialExecutor())
+        assert sharded.files_skipped_budget == 2
+        assert sharded.variants_tested == 0
+
+    def test_invalid_shard_parameters(self):
+        campaign = Campaign(small_config())
+        with pytest.raises(ValueError):
+            campaign.plan(SEEDS, shard_count=0)
+        with pytest.raises(ValueError):
+            campaign.run_sources(SEEDS, shard_count=2, shard_index=5)
+
+    def test_shard_index_run_honours_jobs(self):
+        """--shard i/n --jobs m: the shard is sub-sharded over m workers."""
+        serial_parts = [
+            Campaign(small_config()).run_sources(SEEDS, shard_count=2, shard_index=i)
+            for i in range(2)
+        ]
+        parallel_parts = [
+            Campaign(small_config(jobs=3)).run_sources(SEEDS, shard_count=2, shard_index=i)
+            for i in range(2)
+        ]
+        for serial, parallel in zip(serial_parts, parallel_parts):
+            assert serial.variants_tested == parallel.variants_tested
+            assert serial.files_processed == parallel.files_processed
+            assert serial.observations == parallel.observations
+            assert bug_keys(serial) == bug_keys(parallel)
