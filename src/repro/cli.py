@@ -43,16 +43,14 @@ def _cmd_enumerate(args: argparse.Namespace) -> int:
             print("error: --sample and --start are mutually exclusive", file=sys.stderr)
             return 2
         indices = enumerator.sample_indices(args.sample, seed=args.seed)
-        for index, vector, program in enumerator.programs_at(indices):
-            print(f"// variant {index}: {vector}")
-            print(program)
+        for variant in enumerator.programs_at(indices):
+            print(f"// variant {variant.index}: {variant.vector}")
+            print(variant.source)
         return 0
     start = args.start or 0
-    for index, vector, program in enumerator.indexed_programs(
-        start=start, stop=start + args.limit
-    ):
-        print(f"// variant {index}: {vector}")
-        print(program)
+    for variant in enumerator.indexed_programs(start=start, stop=start + args.limit):
+        print(f"// variant {variant.index}: {variant.vector}")
+        print(variant.source)
     return 0
 
 

@@ -26,8 +26,9 @@ from dataclasses import dataclass, field
 
 from repro.compiler.errors import CompilationError, InternalCompilerError
 from repro.compiler.faults import FaultSet
-from repro.compiler.ir import IRModule, instruction_count
+from repro.compiler.ir import IRModule, clone_module, instruction_count
 from repro.compiler.lowering import lower_module
+from repro.core.holes import BoundVariant
 from repro.compiler.passes import CoverageRecorder, PassContext
 from repro.compiler.pipeline import OptimizationLevel, build_pass_pipeline
 from repro.compiler.versions import CompilerVersion, get_version
@@ -78,23 +79,74 @@ class Compiler:
         self.opt_level = OptimizationLevel(int(opt_level))
         self.machine_bits = machine_bits
         self.vm_max_steps = vm_max_steps
+        # Shared across compilations: passes are stateless (all per-run state
+        # lives in the PassContext) and Fault objects are immutable -- only
+        # the FaultSet's ``triggered`` list is per-compilation.
+        self._pipeline = build_pass_pipeline(self.opt_level)
+        self._fault_dict = {fault.id: fault for fault in self.version.faults}
+
+    def _fresh_faults(self) -> FaultSet:
+        return FaultSet(faults=self._fault_dict, opt_level=int(self.opt_level))
 
     # -- compilation -------------------------------------------------------------
 
     def compile_source(self, source: str, name: str = "<source>") -> CompileOutcome:
         """Compile C source text; never raises for crashes (they are captured)."""
+
+        def build(faults: FaultSet) -> IRModule:
+            unit = parse(source)
+            resolve(unit)
+            self._frontend_checks(unit, faults)
+            return lower_module(unit)
+
+        return self._compile(name, build)
+
+    def compile_unit(self, unit: ast.TranslationUnit, name: str = "<unit>") -> CompileOutcome:
+        """Compile an already-parsed *and resolved* translation unit.
+
+        Skips the textual frontend entirely: no render, no re-lex, no
+        re-parse, no re-resolve.  The unit's identifier ``decl``/``ctype``
+        links must be up to date (fresh from :func:`repro.minic.symbols.
+        resolve` or maintained by ``Skeleton.bind``).
+        """
+
+        def build(faults: FaultSet) -> IRModule:
+            self._frontend_checks(unit, faults)
+            return lower_module(unit)
+
+        return self._compile(name, build)
+
+    def compile_variant(self, variant: BoundVariant, name: str = "<variant>") -> CompileOutcome:
+        """Compile a bound variant, sharing one lowering across the oracle matrix.
+
+        The variant's AST is rebound in O(holes); the lowered IR is computed
+        once per variant (memoised on ``variant.cache``) and *cloned* per
+        configuration so each pass pipeline mutates a private copy.  The
+        per-configuration order of effects matches :meth:`compile_source`:
+        frontend fault checks run before lowering is consulted, so a
+        frontend crash masks a lowering rejection exactly as in the textual
+        path.
+        """
+
+        def build(faults: FaultSet) -> IRModule:
+            unit = variant.program
+            self._frontend_checks(unit, faults)
+            return self._lowered_clone(variant, unit)
+
+        return self._compile(name, build)
+
+    def _compile(self, name: str, build_module) -> CompileOutcome:
+        """Shared scaffolding: run ``build_module`` + the pass pipeline,
+        capturing crashes and rejections into the outcome."""
         outcome = CompileOutcome(
             source_name=name,
             version=self.version.name,
             opt_level=self.opt_level,
             machine_bits=self.machine_bits,
         )
-        faults = FaultSet.of(list(self.version.faults), opt_level=int(self.opt_level))
+        faults = self._fresh_faults()
         try:
-            unit = parse(source)
-            resolve(unit)
-            self._frontend_checks(unit, faults)
-            module = lower_module(unit)
+            module = build_module(faults)
             self._run_pipeline(module, faults, outcome)
             outcome.module = module
             outcome.success = True
@@ -105,11 +157,23 @@ class Compiler:
         outcome.triggered_faults = list(dict.fromkeys(faults.triggered))
         return outcome
 
-    def compile_unit(self, unit: ast.TranslationUnit, name: str = "<unit>") -> CompileOutcome:
-        """Compile an already-parsed (and resolved) translation unit."""
-        from repro.minic.printer import to_source
+    @staticmethod
+    def _lowered_clone(variant: BoundVariant, unit: ast.TranslationUnit) -> IRModule:
+        """The variant's lowered IR: computed once, cloned per configuration.
 
-        return self.compile_source(to_source(unit), name=name)
+        A lowering rejection is memoised too (as the exception) so every
+        configuration reports the identical rejection string.
+        """
+        cached = variant.cache.get("lowered_ir")
+        if cached is None:
+            try:
+                cached = lower_module(unit)
+            except CompilationError as error:
+                cached = error
+            variant.cache["lowered_ir"] = cached
+        if isinstance(cached, CompilationError):
+            raise cached
+        return clone_module(cached)
 
     # -- execution ----------------------------------------------------------------
 
@@ -137,7 +201,7 @@ class Compiler:
             faults=faults,
             optimization_level=int(self.opt_level),
         )
-        pipeline = build_pass_pipeline(self.opt_level)
+        pipeline = self._pipeline
         for function in module.functions.values():
             outcome.coverage.record("frontend.function_lowered")
             for pass_instance in pipeline:

@@ -456,6 +456,74 @@ def instruction_count(module: IRModule) -> int:
     return sum(len(block.instructions) for function in module.functions.values() for block in function.blocks.values())
 
 
+# -- structural cloning ------------------------------------------------------------------
+
+# Per-type instruction cloners (a dispatch table, like the interpreter's).
+# Operands (Temp/Const/VarRef) and CTypes are frozen/immutable and therefore
+# shared between the original and the clone; everything mutable -- the
+# instruction objects themselves, argument lists, block instruction lists,
+# slot dicts -- is fresh.  This is what makes one lowering shareable across a
+# whole compiler-configuration matrix: each configuration's pass pipeline
+# mutates its own clone.
+_INSTR_CLONERS = {
+    BinOp: lambda i: BinOp(i.dest, i.op, i.left, i.right, i.ctype),
+    UnOp: lambda i: UnOp(i.dest, i.op, i.operand, i.ctype),
+    Copy: lambda i: Copy(i.dest, i.src),
+    Load: lambda i: Load(i.dest, i.var, i.ctype),
+    Store: lambda i: Store(i.var, i.src, i.ctype),
+    AddrOf: lambda i: AddrOf(i.dest, i.var),
+    LoadElem: lambda i: LoadElem(i.dest, i.base, i.index, i.ctype),
+    StoreElem: lambda i: StoreElem(i.base, i.index, i.src, i.ctype),
+    LoadPtr: lambda i: LoadPtr(i.dest, i.ptr, i.ctype),
+    StorePtr: lambda i: StorePtr(i.ptr, i.src, i.ctype),
+    Call: lambda i: Call(i.dest, i.name, list(i.args), i.format),
+    Jump: lambda i: Jump(i.target),
+    CJump: lambda i: CJump(i.cond, i.true_target, i.false_target),
+    Return: lambda i: Return(i.value),
+}
+
+
+def clone_instr(instr: Instr) -> Instr:
+    """A fresh instruction object with the same (shared, immutable) operands."""
+    return _INSTR_CLONERS[instr.__class__](instr)
+
+
+def clone_slot(slot: VariableSlot) -> VariableSlot:
+    return VariableSlot(
+        slot.name,
+        slot.ctype,
+        size=slot.size,
+        initial=list(slot.initial) if slot.initial is not None else None,
+        is_param=slot.is_param,
+    )
+
+
+def clone_function(function: IRFunction) -> IRFunction:
+    return IRFunction(
+        name=function.name,
+        params=list(function.params),
+        slots={name: clone_slot(slot) for name, slot in function.slots.items()},
+        blocks={
+            label: BasicBlock(label, [clone_instr(instr) for instr in block.instructions])
+            for label, block in function.blocks.items()
+        },
+        entry=function.entry,
+        return_type=function.return_type,
+    )
+
+
+def clone_module(module: IRModule) -> IRModule:
+    """Deep-enough copy of a module for an independent optimization pipeline.
+
+    Much faster than ``copy.deepcopy``: immutable leaves (operands, types)
+    are shared, and no memo bookkeeping is needed.
+    """
+    return IRModule(
+        globals={name: clone_slot(slot) for name, slot in module.globals.items()},
+        functions={name: clone_function(fn) for name, fn in module.functions.items()},
+    )
+
+
 __all__ = [
     "AddrOf",
     "BasicBlock",
@@ -481,5 +549,9 @@ __all__ = [
     "UnOp",
     "VarRef",
     "VariableSlot",
+    "clone_function",
+    "clone_instr",
+    "clone_module",
+    "clone_slot",
     "instruction_count",
 ]

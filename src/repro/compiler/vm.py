@@ -6,6 +6,13 @@ programs the two observable behaviours (stdout, exit code) must agree.  The
 VM itself is intentionally forgiving about undefined behaviour (it wraps
 arithmetic, reads of uninitialized cells yield 0, out-of-range accesses trap
 as runtime errors) -- just like running a real miscompiled binary.
+
+Execution translates each basic block to closures on first entry: every
+instruction becomes one closure with its operand accessors, destination
+name, operator and integer type resolved at translation time, so the hot
+loop is "tick, call closure" with no per-step dispatch or attribute
+traversal.  A closure returns ``None`` to fall through, a label string to
+jump, or a ``("return", value)`` pair.
 """
 
 from __future__ import annotations
@@ -38,7 +45,7 @@ from repro.minic.ctypes import INT, IntType
 from repro.minic.interp import ExecutionResult, ExecutionStatus
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class VMPointer:
     """A pointer value inside the VM: a memory cell array plus an offset."""
 
@@ -50,7 +57,7 @@ class VMPointer:
         return self.block_id < 0
 
 
-@dataclass
+@dataclass(slots=True)
 class _VMBlock:
     id: int
     cells: list
@@ -88,6 +95,9 @@ class VirtualMachine:
     _globals: dict[str, VMPointer] = field(default_factory=dict, init=False)
     _stdout: list[str] = field(default_factory=list, init=False)
     _steps: int = field(default=0, init=False)
+    # Per-function, per-label lists of instruction closures, translated on
+    # first entry into a block (see _call and _translate_instr).
+    _prepared: dict[int, dict[str, list]] = field(default_factory=dict, init=False)
 
     # -- memory -----------------------------------------------------------------
 
@@ -131,11 +141,6 @@ class VirtualMachine:
     def stdout(self) -> str:
         return "".join(self._stdout)
 
-    def _tick(self) -> None:
-        self._steps += 1
-        if self._steps > self.max_steps:
-            raise _StepLimit()
-
     def _call(self, function: IRFunction, args: list, depth: int):
         if depth > self.max_call_depth:
             raise VMTrap("call depth limit exceeded")
@@ -148,151 +153,50 @@ class VirtualMachine:
 
         temps: dict[str, object] = {}
         label = function.entry
+        prepared_blocks = self._prepared.get(id(function))
+        if prepared_blocks is None:
+            prepared_blocks = self._prepared[id(function)] = {}
+        max_steps = self.max_steps
         while True:
-            block = function.blocks.get(label)
-            if block is None:
-                raise VMTrap(f"jump to unknown block {label!r}")
+            prepared = prepared_blocks.get(label)
+            if prepared is None:
+                block = function.blocks.get(label)
+                if block is None:
+                    raise VMTrap(f"jump to unknown block {label!r}")
+                prepared = prepared_blocks[label] = [
+                    _translate_instr(instr) for instr in block.instructions
+                ]
             next_label: str | None = None
-            for instr in block.instructions:
-                self._tick()
-                outcome = self._execute(instr, function, slots, temps, depth)
-                if outcome is _FALLTHROUGH:
+            for thunk in prepared:
+                # _tick() inlined: the hottest loop of the produced-code path.
+                self._steps += 1
+                if self._steps > max_steps:
+                    raise _StepLimit()
+                outcome = thunk(self, slots, temps, depth)
+                if outcome is None:
                     continue
-                kind, payload = outcome
-                if kind == "jump":
-                    next_label = payload
+                if outcome.__class__ is str:
+                    next_label = outcome
                     break
-                if kind == "return":
-                    return payload
+                return outcome[1]
             if next_label is None:
                 # Fell off the end of a block without a terminator: implicit return 0.
                 return 0
             label = next_label
 
-    # -- instruction dispatch ----------------------------------------------------------
-
-    def _execute(self, instr, function: IRFunction, slots, temps, depth):
-        if isinstance(instr, Copy):
-            temps[instr.dest.name] = self._value(instr.src, slots, temps)
-            return _FALLTHROUGH
-        if isinstance(instr, BinOp):
-            temps[instr.dest.name] = self._binop(instr, slots, temps)
-            return _FALLTHROUGH
-        if isinstance(instr, UnOp):
-            temps[instr.dest.name] = self._unop(instr, slots, temps)
-            return _FALLTHROUGH
-        if isinstance(instr, Load):
-            pointer = self._slot_pointer(instr.var.name, function, slots)
-            block, offset = self._cell(pointer)
-            value = block.cells[offset]
-            temps[instr.dest.name] = 0 if value is None else value
-            return _FALLTHROUGH
-        if isinstance(instr, Store):
-            pointer = self._slot_pointer(instr.var.name, function, slots)
-            block, offset = self._cell(pointer)
-            block.cells[offset] = self._wrapped(self._value(instr.src, slots, temps), instr.ctype)
-            return _FALLTHROUGH
-        if isinstance(instr, AddrOf):
-            temps[instr.dest.name] = self._slot_pointer(instr.var.name, function, slots)
-            return _FALLTHROUGH
-        if isinstance(instr, LoadElem):
-            base = self._base_pointer(instr.base, function, slots, temps)
-            index = self._as_int(self._value(instr.index, slots, temps))
-            pointer = self._offset_pointer(base, index)
-            block, offset = self._cell(pointer)
-            value = block.cells[offset]
-            temps[instr.dest.name] = 0 if value is None else value
-            return _FALLTHROUGH
-        if isinstance(instr, StoreElem):
-            base = self._base_pointer(instr.base, function, slots, temps)
-            index = self._as_int(self._value(instr.index, slots, temps))
-            pointer = self._offset_pointer(base, index)
-            block, offset = self._cell(pointer)
-            block.cells[offset] = self._wrapped(self._value(instr.src, slots, temps), instr.ctype)
-            return _FALLTHROUGH
-        if isinstance(instr, LoadPtr):
-            pointer = self._value(instr.ptr, slots, temps)
-            if not isinstance(pointer, VMPointer):
-                raise VMTrap("dereference of a non-pointer value")
-            block, offset = self._cell(pointer)
-            value = block.cells[offset]
-            temps[instr.dest.name] = 0 if value is None else value
-            return _FALLTHROUGH
-        if isinstance(instr, StorePtr):
-            pointer = self._value(instr.ptr, slots, temps)
-            if not isinstance(pointer, VMPointer):
-                raise VMTrap("store through a non-pointer value")
-            block, offset = self._cell(pointer)
-            block.cells[offset] = self._wrapped(self._value(instr.src, slots, temps), instr.ctype)
-            return _FALLTHROUGH
-        if isinstance(instr, Call):
-            temps_value = self._call_target(instr, function, slots, temps, depth)
-            if instr.dest is not None:
-                temps[instr.dest.name] = temps_value
-            return _FALLTHROUGH
-        if isinstance(instr, Jump):
-            return ("jump", instr.target)
-        if isinstance(instr, CJump):
-            condition = self._value(instr.cond, slots, temps)
-            truthy = (not condition.is_null) if isinstance(condition, VMPointer) else (self._as_int(condition) != 0)
-            return ("jump", instr.true_target if truthy else instr.false_target)
-        if isinstance(instr, Return):
-            if instr.value is None:
-                return ("return", 0)
-            return ("return", self._value(instr.value, slots, temps))
-        raise VMTrap(f"unknown instruction {instr!r}")
-
     # -- helpers ------------------------------------------------------------------------
 
-    def _call_target(self, instr: Call, function, slots, temps, depth):
-        args = [self._value(arg, slots, temps) for arg in instr.args]
-        if instr.name == "printf":
-            self._stdout.append(_format_printf(instr.format or "", args))
-            return len(args)
-        if instr.name in ("abort", "__builtin_abort"):
-            raise _Exit(134)
-        if instr.name == "exit":
-            raise _Exit(self._as_int(args[0]) if args else 0)
-        if instr.name == "putchar":
-            value = self._as_int(args[0]) if args else 0
-            self._stdout.append(chr(value & 0xFF))
-            return value
-        callee = self.module.functions.get(instr.name)
+    def _call_named(self, name: str, args: list, depth: int):
+        callee = self.module.functions.get(name)
         if callee is None:
-            raise VMTrap(f"call of undefined function {instr.name!r}")
+            raise VMTrap(f"call of undefined function {name!r}")
         return self._call(callee, args, depth + 1)
 
-    def _base_pointer(self, operand: Operand, function: IRFunction, slots, temps):
-        """Resolve the base of an element access: a named array slot decays to its address."""
-        if isinstance(operand, VarRef):
-            return self._slot_pointer(operand.name, function, slots)
-        return self._value(operand, slots, temps)
-
-    def _slot_pointer(self, name: str, function: IRFunction, slots) -> VMPointer:
-        if name in slots:
-            return slots[name]
-        if name in self._globals:
-            return self._globals[name]
-        raise VMTrap(f"unknown variable {name!r}")
-
-    def _offset_pointer(self, base, index: int) -> VMPointer:
-        if not isinstance(base, VMPointer):
-            raise VMTrap("indexing a non-pointer value")
-        return VMPointer(base.block_id, base.offset + index)
-
-    def _value(self, operand: Operand, slots, temps):
-        if isinstance(operand, Const):
-            return operand.value
-        if isinstance(operand, Temp):
-            return temps.get(operand.name, 0)
-        if isinstance(operand, VarRef):
-            pointer = slots.get(operand.name) or self._globals.get(operand.name)
-            if pointer is None:
-                raise VMTrap(f"unknown variable {operand.name!r}")
-            block, offset = self._cell(pointer)
-            value = block.cells[offset]
-            return 0 if value is None else value
-        raise VMTrap(f"unknown operand {operand!r}")
+    def _slot_pointer(self, name: str, slots) -> VMPointer:
+        pointer = slots.get(name) or self._globals.get(name)
+        if pointer is None:
+            raise VMTrap(f"unknown variable {name!r}")
+        return pointer
 
     @staticmethod
     def _as_int(value) -> int:
@@ -302,30 +206,24 @@ class VirtualMachine:
         return int(value)
 
     @staticmethod
-    def _wrapped(value, ctype) -> object:
+    def _wrapped(value, int_type: IntType):
         if isinstance(value, VMPointer):
             return value
-        int_type = ctype if isinstance(ctype, IntType) else INT
         return int_type.wrap(int(value))
 
-    def _binop(self, instr: BinOp, slots, temps):
-        left = self._value(instr.left, slots, temps)
-        right = self._value(instr.right, slots, temps)
-        op = instr.op
+    def _binop_values(self, op: str, int_type: IntType, left, right):
+        """Evaluate one binary operation on already-fetched operands."""
         if op == "ptradd":
             if isinstance(left, VMPointer):
                 return VMPointer(left.block_id, left.offset + self._as_int(right))
             raise VMTrap("ptradd on a non-pointer")
         if isinstance(left, VMPointer) or isinstance(right, VMPointer):
             return self._pointer_binop(op, left, right)
-        int_type = instr.ctype if isinstance(instr.ctype, IntType) else INT
         left = int(left)
         right = int(right)
-        if op in ("==", "!=", "<", "<=", ">", ">="):
-            return int({
-                "==": left == right, "!=": left != right, "<": left < right,
-                "<=": left <= right, ">": left > right, ">=": left >= right,
-            }[op])
+        compare = _COMPARISONS.get(op)
+        if compare is not None:
+            return int(compare(left, right))
         if op in ("/", "%"):
             if right == 0:
                 raise VMTrap("division by zero")
@@ -367,36 +265,380 @@ class VirtualMachine:
         if op == "-" and isinstance(left, VMPointer):
             return VMPointer(left.block_id, left.offset - self._as_int(right))
         if op in ("<", "<=", ">", ">=") and isinstance(left, VMPointer) and isinstance(right, VMPointer):
-            return int({
-                "<": left.offset < right.offset, "<=": left.offset <= right.offset,
-                ">": left.offset > right.offset, ">=": left.offset >= right.offset,
-            }[op])
+            return int(_COMPARISONS[op](left.offset, right.offset))
         raise VMTrap(f"unsupported pointer operation {op!r}")
 
-    def _unop(self, instr: UnOp, slots, temps):
-        value = self._value(instr.operand, slots, temps)
-        int_type = instr.ctype if isinstance(instr.ctype, IntType) else INT
+    def _unop_value(self, op: str, int_type: IntType, value):
         if isinstance(value, VMPointer):
-            if instr.op == "!":
+            if op == "!":
                 return int(value.is_null)
-            raise VMTrap(f"unary {instr.op!r} on a pointer")
+            raise VMTrap(f"unary {op!r} on a pointer")
         value = int(value)
-        if instr.op == "-":
+        if op == "-":
             return int_type.wrap(-value)
-        if instr.op == "~":
+        if op == "~":
             return int_type.wrap(~value)
-        if instr.op == "!":
+        if op == "!":
             return int(value == 0)
-        if instr.op == "cast":
+        if op == "cast":
             return int_type.wrap(value)
-        raise VMTrap(f"unknown unary operator {instr.op!r}")
+        raise VMTrap(f"unknown unary operator {op!r}")
 
 
 class _StepLimit(Exception):
     pass
 
 
-_FALLTHROUGH = object()
+_COMPARISONS = {
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+# -- instruction translation -------------------------------------------------------
+# Each maker folds the instruction's fields into a closure taking
+# (vm, slots, temps, depth).  Operand reads go through operand thunks that
+# are themselves specialised per operand class at translation time.
+
+
+def _operand_thunk(operand: Operand):
+    cls = operand.__class__
+    if cls is Temp:
+        name = operand.name
+
+        def read_temp(vm, slots, temps):
+            return temps.get(name, 0)
+
+        return read_temp
+    if cls is Const:
+        value = operand.value
+
+        def read_const(vm, slots, temps):
+            return value
+
+        return read_const
+    if cls is VarRef:
+        name = operand.name
+
+        def read_var(vm, slots, temps):
+            pointer = slots.get(name) or vm._globals.get(name)
+            if pointer is None:
+                raise VMTrap(f"unknown variable {name!r}")
+            block, offset = vm._cell(pointer)
+            value = block.cells[offset]
+            return 0 if value is None else value
+
+        return read_var
+    raise VMTrap(f"unknown operand {operand!r}")
+
+
+def _base_thunk(operand: Operand):
+    """Element-access base: a named array slot decays to its address."""
+    if operand.__class__ is VarRef:
+        name = operand.name
+
+        def read_slot(vm, slots, temps):
+            return vm._slot_pointer(name, slots)
+
+        return read_slot
+    return _operand_thunk(operand)
+
+
+def _int_type_of(ctype) -> IntType:
+    return ctype if isinstance(ctype, IntType) else INT
+
+
+def _vmc_copy(instr: Copy):
+    dest = instr.dest.name
+    src = _operand_thunk(instr.src)
+
+    def run(vm, slots, temps, depth):
+        temps[dest] = src(vm, slots, temps)
+
+    return run
+
+
+def _vmc_binop(instr: BinOp):
+    dest = instr.dest.name
+    op = instr.op
+    int_type = _int_type_of(instr.ctype)
+    left_thunk = _operand_thunk(instr.left)
+    right_thunk = _operand_thunk(instr.right)
+    compare = _COMPARISONS.get(op) if op != "ptradd" else None
+    if compare is not None:
+
+        def run_cmp(vm, slots, temps, depth):
+            left = left_thunk(vm, slots, temps)
+            right = right_thunk(vm, slots, temps)
+            if type(left) is int and type(right) is int:
+                temps[dest] = 1 if compare(left, right) else 0
+            else:
+                temps[dest] = vm._binop_values(op, int_type, left, right)
+
+        return run_cmp
+    if op in ("+", "-", "*"):
+        arith = {"+": int.__add__, "-": int.__sub__, "*": int.__mul__}[op]
+
+        def run_arith(vm, slots, temps, depth):
+            left = left_thunk(vm, slots, temps)
+            right = right_thunk(vm, slots, temps)
+            if type(left) is int and type(right) is int:
+                temps[dest] = int_type.wrap(arith(left, right))
+            else:
+                temps[dest] = vm._binop_values(op, int_type, left, right)
+
+        return run_arith
+
+    def run(vm, slots, temps, depth):
+        temps[dest] = vm._binop_values(
+            op, int_type, left_thunk(vm, slots, temps), right_thunk(vm, slots, temps)
+        )
+
+    return run
+
+
+def _vmc_unop(instr: UnOp):
+    dest = instr.dest.name
+    op = instr.op
+    int_type = _int_type_of(instr.ctype)
+    operand_thunk = _operand_thunk(instr.operand)
+
+    def run(vm, slots, temps, depth):
+        temps[dest] = vm._unop_value(op, int_type, operand_thunk(vm, slots, temps))
+
+    return run
+
+
+def _vmc_load(instr: Load):
+    dest = instr.dest.name
+    var = instr.var.name
+
+    def run(vm, slots, temps, depth):
+        pointer = slots.get(var) or vm._globals.get(var)
+        if pointer is None:
+            raise VMTrap(f"unknown variable {var!r}")
+        block, offset = vm._cell(pointer)
+        value = block.cells[offset]
+        temps[dest] = 0 if value is None else value
+
+    return run
+
+
+def _vmc_store(instr: Store):
+    var = instr.var.name
+    src = _operand_thunk(instr.src)
+    int_type = _int_type_of(instr.ctype)
+
+    def run(vm, slots, temps, depth):
+        pointer = slots.get(var) or vm._globals.get(var)
+        if pointer is None:
+            raise VMTrap(f"unknown variable {var!r}")
+        block, offset = vm._cell(pointer)
+        value = src(vm, slots, temps)
+        if type(value) is int:
+            block.cells[offset] = int_type.wrap(value)
+        else:
+            block.cells[offset] = vm._wrapped(value, int_type)
+
+    return run
+
+
+def _vmc_addr_of(instr: AddrOf):
+    dest = instr.dest.name
+    var = instr.var.name
+
+    def run(vm, slots, temps, depth):
+        pointer = slots.get(var) or vm._globals.get(var)
+        if pointer is None:
+            raise VMTrap(f"unknown variable {var!r}")
+        temps[dest] = pointer
+
+    return run
+
+
+def _vmc_load_elem(instr: LoadElem):
+    dest = instr.dest.name
+    base_thunk = _base_thunk(instr.base)
+    index_thunk = _operand_thunk(instr.index)
+
+    def run(vm, slots, temps, depth):
+        base = base_thunk(vm, slots, temps)
+        if not isinstance(base, VMPointer):
+            raise VMTrap("indexing a non-pointer value")
+        index = vm._as_int(index_thunk(vm, slots, temps))
+        block, offset = vm._cell(VMPointer(base.block_id, base.offset + index))
+        value = block.cells[offset]
+        temps[dest] = 0 if value is None else value
+
+    return run
+
+
+def _vmc_store_elem(instr: StoreElem):
+    base_thunk = _base_thunk(instr.base)
+    index_thunk = _operand_thunk(instr.index)
+    src = _operand_thunk(instr.src)
+    int_type = _int_type_of(instr.ctype)
+
+    def run(vm, slots, temps, depth):
+        base = base_thunk(vm, slots, temps)
+        if not isinstance(base, VMPointer):
+            raise VMTrap("indexing a non-pointer value")
+        index = vm._as_int(index_thunk(vm, slots, temps))
+        block, offset = vm._cell(VMPointer(base.block_id, base.offset + index))
+        block.cells[offset] = vm._wrapped(src(vm, slots, temps), int_type)
+
+    return run
+
+
+def _vmc_load_ptr(instr: LoadPtr):
+    dest = instr.dest.name
+    ptr_thunk = _operand_thunk(instr.ptr)
+
+    def run(vm, slots, temps, depth):
+        pointer = ptr_thunk(vm, slots, temps)
+        if not isinstance(pointer, VMPointer):
+            raise VMTrap("dereference of a non-pointer value")
+        block, offset = vm._cell(pointer)
+        value = block.cells[offset]
+        temps[dest] = 0 if value is None else value
+
+    return run
+
+
+def _vmc_store_ptr(instr: StorePtr):
+    ptr_thunk = _operand_thunk(instr.ptr)
+    src = _operand_thunk(instr.src)
+    int_type = _int_type_of(instr.ctype)
+
+    def run(vm, slots, temps, depth):
+        pointer = ptr_thunk(vm, slots, temps)
+        if not isinstance(pointer, VMPointer):
+            raise VMTrap("store through a non-pointer value")
+        block, offset = vm._cell(pointer)
+        block.cells[offset] = vm._wrapped(src(vm, slots, temps), int_type)
+
+    return run
+
+
+def _vmc_call(instr: Call):
+    dest = instr.dest.name if instr.dest is not None else None
+    arg_thunks = [_operand_thunk(arg) for arg in instr.args]
+    name = instr.name
+    if name == "printf":
+        format_string = instr.format or ""
+
+        def run_printf(vm, slots, temps, depth):
+            args = [thunk(vm, slots, temps) for thunk in arg_thunks]
+            vm._stdout.append(_format_printf(format_string, args))
+            if dest is not None:
+                temps[dest] = len(args)
+
+        return run_printf
+    if name in ("abort", "__builtin_abort"):
+
+        def run_abort(vm, slots, temps, depth):
+            for thunk in arg_thunks:
+                thunk(vm, slots, temps)
+            raise _Exit(134)
+
+        return run_abort
+    if name == "exit":
+
+        def run_exit(vm, slots, temps, depth):
+            args = [thunk(vm, slots, temps) for thunk in arg_thunks]
+            raise _Exit(vm._as_int(args[0]) if args else 0)
+
+        return run_exit
+    if name == "putchar":
+
+        def run_putchar(vm, slots, temps, depth):
+            args = [thunk(vm, slots, temps) for thunk in arg_thunks]
+            value = vm._as_int(args[0]) if args else 0
+            vm._stdout.append(chr(value & 0xFF))
+            if dest is not None:
+                temps[dest] = value
+
+        return run_putchar
+
+    def run_call(vm, slots, temps, depth):
+        args = [thunk(vm, slots, temps) for thunk in arg_thunks]
+        value = vm._call_named(name, args, depth)
+        if dest is not None:
+            temps[dest] = value
+
+    return run_call
+
+
+def _vmc_jump(instr: Jump):
+    target = instr.target
+
+    def run(vm, slots, temps, depth):
+        return target
+
+    return run
+
+
+def _vmc_cjump(instr: CJump):
+    cond_thunk = _operand_thunk(instr.cond)
+    true_target = instr.true_target
+    false_target = instr.false_target
+
+    def run(vm, slots, temps, depth):
+        condition = cond_thunk(vm, slots, temps)
+        if type(condition) is int:
+            return true_target if condition != 0 else false_target
+        truthy = (
+            (not condition.is_null)
+            if isinstance(condition, VMPointer)
+            else (vm._as_int(condition) != 0)
+        )
+        return true_target if truthy else false_target
+
+    return run
+
+
+def _vmc_return(instr: Return):
+    if instr.value is None:
+
+        def run_void(vm, slots, temps, depth):
+            return ("return", 0)
+
+        return run_void
+    value_thunk = _operand_thunk(instr.value)
+
+    def run(vm, slots, temps, depth):
+        return ("return", value_thunk(vm, slots, temps))
+
+    return run
+
+
+_VM_TRANSLATORS = {
+    Copy: _vmc_copy,
+    BinOp: _vmc_binop,
+    UnOp: _vmc_unop,
+    Load: _vmc_load,
+    Store: _vmc_store,
+    AddrOf: _vmc_addr_of,
+    LoadElem: _vmc_load_elem,
+    StoreElem: _vmc_store_elem,
+    LoadPtr: _vmc_load_ptr,
+    StorePtr: _vmc_store_ptr,
+    Call: _vmc_call,
+    Jump: _vmc_jump,
+    CJump: _vmc_cjump,
+    Return: _vmc_return,
+}
+
+
+def _translate_instr(instr):
+    maker = _VM_TRANSLATORS.get(instr.__class__)
+    if maker is None:
+        raise VMTrap(f"unknown instruction {instr!r}")
+    return maker(instr)
 
 
 def _format_printf(format_string: str, args: list) -> str:

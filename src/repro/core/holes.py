@@ -84,6 +84,18 @@ class Skeleton:
     Frontends construct one of these per seed program.  ``realize`` is a
     callback supplied by the frontend that renders a concrete program from a
     characteristic vector; the core never needs to know the AST shape.
+
+    Frontends that keep their parsed program around may additionally attach
+    ``bind_fn``: a callback that *rebinds* the frontend's single AST to a
+    characteristic vector in O(holes) and returns it (an opaque object as far
+    as the core is concerned).  Consumers that understand the frontend's AST
+    (the reference interpreter, the compiler driver) can then skip the
+    render / re-lex / re-parse / re-resolve round-trip entirely -- the
+    parse-once fast path of the campaign harness.  ``order_clean_fn``
+    reports whether a vector respects the frontend's declaration-before-use
+    discipline (vectors that do not would be *rejected* by a textual
+    frontend, so they must take the render+reparse path to stay
+    observationally identical).
     """
 
     name: str
@@ -91,6 +103,8 @@ class Skeleton:
     scope_tree: ScopeTree
     original_vector: CharacteristicVector | None = None
     realize_fn: Callable[[Sequence[str]], str] | None = None
+    bind_fn: Callable[[Sequence[str]], object] | None = None
+    order_clean_fn: Callable[[Sequence[str]], bool] | None = None
     metadata: dict = field(default_factory=dict)
 
     # -- basic shape -------------------------------------------------------
@@ -139,6 +153,34 @@ class Skeleton:
         self.validate_vector(vector)
         return self.realize_fn(tuple(vector))
 
+    @property
+    def supports_binding(self) -> bool:
+        """Whether this skeleton can realize variants by AST rebinding."""
+        return self.bind_fn is not None
+
+    def bind(self, vector: Sequence[str]):
+        """Rebind the skeleton's program AST to ``vector`` and return it.
+
+        O(holes): no clone, no render, no re-parse.  The returned object is
+        the frontend's *shared* AST -- it stays bound to ``vector`` only
+        until the next ``bind``/``realize`` call, so callers must not hold
+        on to it across variants (use :class:`BoundVariant`, which rebinds
+        on access).
+        """
+        if self.bind_fn is None:
+            raise ValueError(f"skeleton {self.name!r} has no bind function attached")
+        if len(vector) != self.num_holes:
+            raise ValueError(
+                f"vector length {len(vector)} does not match hole count {self.num_holes}"
+            )
+        return self.bind_fn(tuple(vector))
+
+    def vector_order_clean(self, vector: Sequence[str]) -> bool:
+        """True when every entry is declared before the hole it fills."""
+        if self.order_clean_fn is None:
+            return bool(self.metadata.get("declaration_order_clean", True))
+        return self.order_clean_fn(tuple(vector))
+
     def validate_vector(self, vector: Sequence[str]) -> None:
         """Raise ``ValueError`` unless every entry is visible at its hole."""
         for hole, name in zip(self.holes, vector):
@@ -171,3 +213,54 @@ class Skeleton:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Skeleton({self.name!r}, holes={self.num_holes}, scopes={len(self.scope_tree)})"
+
+
+class BoundVariant:
+    """One enumerated variant, realized lazily.
+
+    Carries the (skeleton, enumeration index, characteristic vector) triple;
+    the expensive representations are produced on demand:
+
+    * ``program`` -- the skeleton's AST rebound to the vector (O(holes) per
+      access; the AST is shared across variants, so the property rebinds on
+      every read and remains correct even if variants are interleaved);
+    * ``source`` -- the rendered program text, produced only when something
+      actually needs text (a bug report, a reduction, the CLI) and cached.
+
+    ``cache`` is a scratch dict for consumers that memoise per-variant
+    derived artefacts (the compiler driver stores the lowered IR there so
+    one lowering is shared by every configuration of the oracle matrix).
+    """
+
+    __slots__ = ("skeleton", "index", "vector", "cache", "_source")
+
+    def __init__(self, skeleton: Skeleton, index: int, vector: CharacteristicVector) -> None:
+        self.skeleton = skeleton
+        self.index = index
+        self.vector = vector
+        self.cache: dict = {}
+        self._source: str | None = None
+
+    @property
+    def program(self):
+        """The skeleton's AST rebound to this variant's vector."""
+        return self.skeleton.bind(self.vector)
+
+    @property
+    def source(self) -> str:
+        """The rendered program text (cached after the first render)."""
+        if self._source is None:
+            self._source = self.skeleton.realize(self.vector)
+        return self._source
+
+    @property
+    def order_clean(self) -> bool:
+        """Whether this vector respects declaration-before-use (see Skeleton)."""
+        return self.skeleton.vector_order_clean(self.vector)
+
+    @property
+    def supports_binding(self) -> bool:
+        return self.skeleton.supports_binding
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"BoundVariant({self.skeleton.name!r}#{self.index}, {self.vector!r})"

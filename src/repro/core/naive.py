@@ -15,7 +15,7 @@ import itertools
 from typing import Iterable, Iterator
 
 from repro.core.alpha import canonicalize_assignment
-from repro.core.holes import CharacteristicVector, Skeleton
+from repro.core.holes import BoundVariant, CharacteristicVector, Skeleton
 from repro.core.problem import EnumerationProblem
 from repro.core.ranking import mixed_radix_digits
 
@@ -152,18 +152,15 @@ class NaiveSkeletonEnumerator:
         for vector in self.vectors(limit=limit, start=start, stop=stop):
             yield vector, self.skeleton.realize(vector)
 
-    def indexed_programs(
-        self, start: int = 0, stop: int | None = None
-    ) -> Iterator[tuple[int, CharacteristicVector, str]]:
-        """Like :meth:`programs` over ``[start, stop)`` with global variant indices."""
-        for offset, (vector, source) in enumerate(self.programs(start=start, stop=stop)):
-            yield start + offset, vector, source
+    def indexed_programs(self, start: int = 0, stop: int | None = None) -> Iterator[BoundVariant]:
+        """Yield lazily-realized :class:`BoundVariant`\\ s over ``[start, stop)``."""
+        for offset, vector in enumerate(self.vectors(start=start, stop=stop)):
+            yield BoundVariant(self.skeleton, start + offset, vector)
 
-    def programs_at(self, indices: Iterable[int]) -> Iterator[tuple[int, CharacteristicVector, str]]:
-        """Realize the variants at explicit enumeration indices (e.g. a sample)."""
+    def programs_at(self, indices: Iterable[int]) -> Iterator[BoundVariant]:
+        """Lazily realize the variants at explicit enumeration indices (e.g. a sample)."""
         for index in indices:
-            vector = self.unrank(index)
-            yield index, vector, self.skeleton.realize(vector)
+            yield BoundVariant(self.skeleton, index, self.unrank(index))
 
     def __iter__(self) -> Iterator[CharacteristicVector]:
         return self.vectors()

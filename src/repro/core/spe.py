@@ -31,7 +31,7 @@ from typing import Iterable, Iterator, Sequence
 
 from repro.core.combinations import combinations
 from repro.core.counting import naive_count, scoped_spe_count
-from repro.core.holes import CharacteristicVector, Skeleton
+from repro.core.holes import BoundVariant, CharacteristicVector, Skeleton
 from repro.core.partitions import partitions_at_most, partitions_exact
 from repro.core.problem import (
     EnumerationProblem,
@@ -518,18 +518,21 @@ class SkeletonEnumerator:
         for vector in self.vectors(limit=limit, start=start, stop=stop):
             yield vector, self.skeleton.realize(vector)
 
-    def indexed_programs(
-        self, start: int = 0, stop: int | None = None
-    ) -> Iterator[tuple[int, CharacteristicVector, str]]:
-        """Like :meth:`programs` over ``[start, stop)`` with global variant indices."""
-        for offset, (vector, source) in enumerate(self.programs(start=start, stop=stop)):
-            yield start + offset, vector, source
+    def indexed_programs(self, start: int = 0, stop: int | None = None) -> Iterator[BoundVariant]:
+        """Yield :class:`BoundVariant`\\ s over ``[start, stop)`` with global indices.
 
-    def programs_at(self, indices: Iterable[int]) -> Iterator[tuple[int, CharacteristicVector, str]]:
-        """Realize the variants at explicit enumeration indices (e.g. a sample)."""
+        Variants are realized lazily: the AST is rebound on ``.program``
+        access and source text is rendered only when ``.source`` is read, so
+        consumers that work on ASTs (the campaign fast path) never pay for
+        rendering or re-parsing.
+        """
+        for offset, vector in enumerate(self.vectors(start=start, stop=stop)):
+            yield BoundVariant(self.skeleton, start + offset, vector)
+
+    def programs_at(self, indices: Iterable[int]) -> Iterator[BoundVariant]:
+        """Lazily realize the variants at explicit enumeration indices (e.g. a sample)."""
         for index in indices:
-            vector = self.unrank(index)
-            yield index, vector, self.skeleton.realize(vector)
+            yield BoundVariant(self.skeleton, index, self.unrank(index))
 
     def __iter__(self) -> Iterator[CharacteristicVector]:
         return self.vectors()

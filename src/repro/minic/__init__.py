@@ -26,7 +26,7 @@ from repro.minic.ctypes import (
     type_from_name,
 )
 from repro.minic.errors import MiniCError, MiniCSyntaxError, MiniCTypeError
-from repro.minic.interp import ExecutionResult, ExecutionStatus, Interpreter, run_source
+from repro.minic.interp import ExecutionResult, ExecutionStatus, Interpreter, run_source, run_unit
 from repro.minic.lexer import Token, tokenize
 from repro.minic.parser import parse
 from repro.minic.printer import to_source
@@ -51,6 +51,7 @@ __all__ = [
     "parse",
     "resolve",
     "run_source",
+    "run_unit",
     "to_source",
     "tokenize",
     "type_from_name",

@@ -74,14 +74,19 @@ class IntType(CType):
 
     def wrap(self, value: int) -> int:
         """Reduce ``value`` into this type's representable range (two's complement)."""
-        mask = (1 << self.bits) - 1
-        value &= mask
-        if self.signed and value > self.max_value:
-            value -= 1 << self.bits
+        # Hot path of both executors; written with plain shifts instead of
+        # the min/max properties so one call does no extra attribute work.
+        bits = self.bits
+        value &= (1 << bits) - 1
+        if self.signed and value >= 1 << (bits - 1):
+            value -= 1 << bits
         return value
 
     def in_range(self, value: int) -> bool:
-        return self.min_value <= value <= self.max_value
+        if self.signed:
+            half = 1 << (self.bits - 1)
+            return -half <= value < half
+        return 0 <= value < 1 << self.bits
 
 
 @dataclass(frozen=True)

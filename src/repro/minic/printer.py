@@ -1,9 +1,12 @@
 """Pretty-printer: mini-C AST back to compilable C source.
 
-Used by skeleton realization (every enumerated variant is rendered to source
-before being handed to a compiler under test), by the mutation baseline, and
-by the bug reporter.  The output parses back to an equivalent AST, a property
-the round-trip tests check.
+Used by skeleton realization (variants are rendered to source only when text
+is actually needed -- a bug report, a reduction, the CLI), by the mutation
+baseline, and by the bug reporter.  The output parses back to an equivalent
+AST, a property the round-trip tests check.
+
+Like the reference interpreter, rendering dispatches on ``type(node)``
+through tables built once at module load instead of isinstance chains.
 """
 
 from __future__ import annotations
@@ -49,59 +52,105 @@ _PRECEDENCE = {
 }
 
 
+# -- expressions ----------------------------------------------------------------
+
+
 def expr_to_source(expr: ast.Expr) -> str:
     """Render an expression; parenthesises conservatively for re-parseability."""
-    if isinstance(expr, ast.Identifier):
-        return expr.name
-    if isinstance(expr, ast.IntLiteral):
-        return f"{expr.value}{expr.suffix.upper()}"
-    if isinstance(expr, ast.CharLiteral):
-        return expr.text or str(expr.value)
-    if isinstance(expr, ast.StringLiteral):
-        escaped = expr.value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n").replace("\t", "\\t").replace("\0", "\\0")
-        return f'"{escaped}"'
-    if isinstance(expr, ast.Unary):
-        operand = expr_to_source(expr.operand)
-        if not isinstance(expr.operand, (ast.Identifier, ast.IntLiteral, ast.CharLiteral, ast.Index, ast.Call)):
-            operand = f"({operand})"
-        if expr.postfix:
-            return f"{operand}{expr.op}"
-        separator = " " if expr.op in ("-", "+", "&", "*") else ""
-        return f"{expr.op}{separator}{operand}"
-    if isinstance(expr, ast.Binary):
-        left = expr_to_source(expr.left)
-        right = expr_to_source(expr.right)
-        if isinstance(expr.left, (ast.Binary, ast.Assignment, ast.Conditional)):
-            left = f"({left})"
-        if isinstance(expr.right, (ast.Binary, ast.Assignment, ast.Conditional)):
-            right = f"({right})"
-        operator = ", " if expr.op == "," else f" {expr.op} "
-        return f"{left}{operator}{right}".replace(", ,", ",")
-    if isinstance(expr, ast.Assignment):
-        target = expr_to_source(expr.target)
-        value = expr_to_source(expr.value)
-        return f"{target} {expr.op} {value}"
-    if isinstance(expr, ast.Conditional):
-        condition = expr_to_source(expr.condition)
-        then_expr = expr_to_source(expr.then_expr)
-        else_expr = expr_to_source(expr.else_expr)
-        if isinstance(expr.condition, (ast.Assignment, ast.Conditional)):
-            condition = f"({condition})"
-        return f"{condition} ? {then_expr} : ({else_expr})"
-    if isinstance(expr, ast.Call):
-        args = ", ".join(expr_to_source(arg) for arg in expr.args)
-        return f"{expr.callee}({args})"
-    if isinstance(expr, ast.Index):
-        base = expr_to_source(expr.base)
-        if not isinstance(expr.base, (ast.Identifier, ast.Index, ast.Call)):
-            base = f"({base})"
-        return f"{base}[{expr_to_source(expr.index)}]"
-    if isinstance(expr, ast.Cast):
-        operand = expr_to_source(expr.operand)
-        if not isinstance(expr.operand, (ast.Identifier, ast.IntLiteral, ast.CharLiteral)):
-            operand = f"({operand})"
-        return f"({expr.target_type.spelling()}) {operand}"
-    raise TypeError(f"cannot print expression {expr!r}")
+    printer = _EXPR_PRINTERS.get(expr.__class__)
+    if printer is None:
+        raise TypeError(f"cannot print expression {expr!r}")
+    return printer(expr)
+
+
+def _print_identifier(expr: ast.Identifier) -> str:
+    return expr.name
+
+
+def _print_int_literal(expr: ast.IntLiteral) -> str:
+    return f"{expr.value}{expr.suffix.upper()}"
+
+
+def _print_char_literal(expr: ast.CharLiteral) -> str:
+    return expr.text or str(expr.value)
+
+
+def _print_string_literal(expr: ast.StringLiteral) -> str:
+    escaped = expr.value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n").replace("\t", "\\t").replace("\0", "\\0")
+    return f'"{escaped}"'
+
+
+def _print_unary(expr: ast.Unary) -> str:
+    operand = expr_to_source(expr.operand)
+    if not isinstance(expr.operand, (ast.Identifier, ast.IntLiteral, ast.CharLiteral, ast.Index, ast.Call)):
+        operand = f"({operand})"
+    if expr.postfix:
+        return f"{operand}{expr.op}"
+    separator = " " if expr.op in ("-", "+", "&", "*") else ""
+    return f"{expr.op}{separator}{operand}"
+
+
+def _print_binary(expr: ast.Binary) -> str:
+    left = expr_to_source(expr.left)
+    right = expr_to_source(expr.right)
+    if isinstance(expr.left, (ast.Binary, ast.Assignment, ast.Conditional)):
+        left = f"({left})"
+    if isinstance(expr.right, (ast.Binary, ast.Assignment, ast.Conditional)):
+        right = f"({right})"
+    operator = ", " if expr.op == "," else f" {expr.op} "
+    return f"{left}{operator}{right}".replace(", ,", ",")
+
+
+def _print_assignment(expr: ast.Assignment) -> str:
+    target = expr_to_source(expr.target)
+    value = expr_to_source(expr.value)
+    return f"{target} {expr.op} {value}"
+
+
+def _print_conditional(expr: ast.Conditional) -> str:
+    condition = expr_to_source(expr.condition)
+    then_expr = expr_to_source(expr.then_expr)
+    else_expr = expr_to_source(expr.else_expr)
+    if isinstance(expr.condition, (ast.Assignment, ast.Conditional)):
+        condition = f"({condition})"
+    return f"{condition} ? {then_expr} : ({else_expr})"
+
+
+def _print_call(expr: ast.Call) -> str:
+    args = ", ".join(expr_to_source(arg) for arg in expr.args)
+    return f"{expr.callee}({args})"
+
+
+def _print_index(expr: ast.Index) -> str:
+    base = expr_to_source(expr.base)
+    if not isinstance(expr.base, (ast.Identifier, ast.Index, ast.Call)):
+        base = f"({base})"
+    return f"{base}[{expr_to_source(expr.index)}]"
+
+
+def _print_cast(expr: ast.Cast) -> str:
+    operand = expr_to_source(expr.operand)
+    if not isinstance(expr.operand, (ast.Identifier, ast.IntLiteral, ast.CharLiteral)):
+        operand = f"({operand})"
+    return f"({expr.target_type.spelling()}) {operand}"
+
+
+_EXPR_PRINTERS = {
+    ast.Identifier: _print_identifier,
+    ast.IntLiteral: _print_int_literal,
+    ast.CharLiteral: _print_char_literal,
+    ast.StringLiteral: _print_string_literal,
+    ast.Unary: _print_unary,
+    ast.Binary: _print_binary,
+    ast.Assignment: _print_assignment,
+    ast.Conditional: _print_conditional,
+    ast.Call: _print_call,
+    ast.Index: _print_index,
+    ast.Cast: _print_cast,
+}
+
+
+# -- declarations and statements -------------------------------------------------
 
 
 def _var_decl_to_source(decl: ast.VarDecl) -> str:
@@ -124,62 +173,112 @@ def _decl_stmt_to_source(stmt: ast.DeclStmt) -> str:
 
 
 def _stmt_lines(stmt: ast.Stmt, indent: int) -> list[str]:
+    printer = _STMT_PRINTERS.get(stmt.__class__)
+    if printer is None:
+        raise TypeError(f"cannot print statement {stmt!r}")
+    return printer(stmt, indent)
+
+
+def _lines_block(stmt: ast.Block, indent: int) -> list[str]:
     pad = "    " * indent
-    if isinstance(stmt, ast.Block):
-        lines = [f"{pad}{{"]
-        for item in stmt.items:
-            lines.extend(_stmt_lines(item, indent + 1))
-        lines.append(f"{pad}}}")
-        return lines
-    if isinstance(stmt, ast.DeclStmt):
-        return [f"{pad}{_var_decl_to_source(decl)};" for decl in stmt.decls]
-    if isinstance(stmt, ast.ExprStmt):
-        return [f"{pad}{expr_to_source(stmt.expr)};"]
-    if isinstance(stmt, ast.Empty):
-        return [f"{pad};"]
-    if isinstance(stmt, ast.If):
-        lines = [f"{pad}if ({expr_to_source(stmt.condition)})"]
-        lines.extend(_branch_lines(stmt.then_branch, indent))
-        if stmt.else_branch is not None:
-            lines.append(f"{pad}else")
-            lines.extend(_branch_lines(stmt.else_branch, indent))
-        return lines
-    if isinstance(stmt, ast.While):
-        lines = [f"{pad}while ({expr_to_source(stmt.condition)})"]
-        lines.extend(_branch_lines(stmt.body, indent))
-        return lines
-    if isinstance(stmt, ast.DoWhile):
-        lines = [f"{pad}do"]
-        lines.extend(_branch_lines(stmt.body, indent))
-        lines.append(f"{pad}while ({expr_to_source(stmt.condition)});")
-        return lines
-    if isinstance(stmt, ast.For):
-        if stmt.init is None:
-            init = ";"
-        elif isinstance(stmt.init, ast.DeclStmt):
-            init = _decl_stmt_to_source(stmt.init)
-        else:
-            init = f"{expr_to_source(stmt.init.expr)};"
-        condition = expr_to_source(stmt.condition) if stmt.condition is not None else ""
-        step = expr_to_source(stmt.step) if stmt.step is not None else ""
-        lines = [f"{pad}for ({init} {condition}; {step})"]
-        lines.extend(_branch_lines(stmt.body, indent))
-        return lines
-    if isinstance(stmt, ast.Return):
-        if stmt.value is None:
-            return [f"{pad}return;"]
-        return [f"{pad}return {expr_to_source(stmt.value)};"]
-    if isinstance(stmt, ast.Break):
-        return [f"{pad}break;"]
-    if isinstance(stmt, ast.Continue):
-        return [f"{pad}continue;"]
-    if isinstance(stmt, ast.Goto):
-        return [f"{pad}goto {stmt.label};"]
-    if isinstance(stmt, ast.Label):
-        lines = [f"{pad}{stmt.name}:"]
-        lines.extend(_stmt_lines(stmt.statement, indent))
-        return lines
-    raise TypeError(f"cannot print statement {stmt!r}")
+    lines = [f"{pad}{{"]
+    for item in stmt.items:
+        lines.extend(_stmt_lines(item, indent + 1))
+    lines.append(f"{pad}}}")
+    return lines
+
+
+def _lines_decl_stmt(stmt: ast.DeclStmt, indent: int) -> list[str]:
+    pad = "    " * indent
+    return [f"{pad}{_var_decl_to_source(decl)};" for decl in stmt.decls]
+
+
+def _lines_expr_stmt(stmt: ast.ExprStmt, indent: int) -> list[str]:
+    return [f"{'    ' * indent}{expr_to_source(stmt.expr)};"]
+
+
+def _lines_empty(stmt: ast.Empty, indent: int) -> list[str]:
+    return [f"{'    ' * indent};"]
+
+
+def _lines_if(stmt: ast.If, indent: int) -> list[str]:
+    pad = "    " * indent
+    lines = [f"{pad}if ({expr_to_source(stmt.condition)})"]
+    lines.extend(_branch_lines(stmt.then_branch, indent))
+    if stmt.else_branch is not None:
+        lines.append(f"{pad}else")
+        lines.extend(_branch_lines(stmt.else_branch, indent))
+    return lines
+
+
+def _lines_while(stmt: ast.While, indent: int) -> list[str]:
+    lines = [f"{'    ' * indent}while ({expr_to_source(stmt.condition)})"]
+    lines.extend(_branch_lines(stmt.body, indent))
+    return lines
+
+
+def _lines_do_while(stmt: ast.DoWhile, indent: int) -> list[str]:
+    pad = "    " * indent
+    lines = [f"{pad}do"]
+    lines.extend(_branch_lines(stmt.body, indent))
+    lines.append(f"{pad}while ({expr_to_source(stmt.condition)});")
+    return lines
+
+
+def _lines_for(stmt: ast.For, indent: int) -> list[str]:
+    if stmt.init is None:
+        init = ";"
+    elif isinstance(stmt.init, ast.DeclStmt):
+        init = _decl_stmt_to_source(stmt.init)
+    else:
+        init = f"{expr_to_source(stmt.init.expr)};"
+    condition = expr_to_source(stmt.condition) if stmt.condition is not None else ""
+    step = expr_to_source(stmt.step) if stmt.step is not None else ""
+    lines = [f"{'    ' * indent}for ({init} {condition}; {step})"]
+    lines.extend(_branch_lines(stmt.body, indent))
+    return lines
+
+
+def _lines_return(stmt: ast.Return, indent: int) -> list[str]:
+    pad = "    " * indent
+    if stmt.value is None:
+        return [f"{pad}return;"]
+    return [f"{pad}return {expr_to_source(stmt.value)};"]
+
+
+def _lines_break(stmt: ast.Break, indent: int) -> list[str]:
+    return [f"{'    ' * indent}break;"]
+
+
+def _lines_continue(stmt: ast.Continue, indent: int) -> list[str]:
+    return [f"{'    ' * indent}continue;"]
+
+
+def _lines_goto(stmt: ast.Goto, indent: int) -> list[str]:
+    return [f"{'    ' * indent}goto {stmt.label};"]
+
+
+def _lines_label(stmt: ast.Label, indent: int) -> list[str]:
+    lines = [f"{'    ' * indent}{stmt.name}:"]
+    lines.extend(_stmt_lines(stmt.statement, indent))
+    return lines
+
+
+_STMT_PRINTERS = {
+    ast.Block: _lines_block,
+    ast.DeclStmt: _lines_decl_stmt,
+    ast.ExprStmt: _lines_expr_stmt,
+    ast.Empty: _lines_empty,
+    ast.If: _lines_if,
+    ast.While: _lines_while,
+    ast.DoWhile: _lines_do_while,
+    ast.For: _lines_for,
+    ast.Return: _lines_return,
+    ast.Break: _lines_break,
+    ast.Continue: _lines_continue,
+    ast.Goto: _lines_goto,
+    ast.Label: _lines_label,
+}
 
 
 def _branch_lines(stmt: ast.Stmt, indent: int) -> list[str]:

@@ -4,16 +4,24 @@ Every resolved variable use becomes a hole (paper Section 3.1); the hole's
 candidate variable set is "variables of the same type visible at the use's
 scope", exactly the compact-alpha-renaming discipline of Section 3.2.2.
 
-Realization clones the AST, rewrites the identifier occurrences according to
-the characteristic vector and pretty-prints the result, so every enumerated
-variant is a complete, compilable C program.
+The seed program is parsed and resolved **once**.  Variants are realized by
+*rebinding*: each hole keeps a reference to its :class:`~repro.minic.ast.
+Identifier` node plus a precomputed ``name -> declaration`` map of its legal
+fillings, so moving the shared AST from one characteristic vector to another
+is O(holes) -- no clone, no re-render, no re-parse, no re-resolve.  Rendering
+to source text (``Skeleton.realize``) rebinds and pretty-prints the same
+shared AST, and is only needed when actual text is required (bug reports,
+reduction, the CLI).
 
 Precondition: within every scope, declarations of a (scope, type) variable
 group must precede any hole that can see the group (the usual
 "declaration before use" discipline of the GCC test-suite programs we
-mirror).  ``extract_skeleton`` verifies this and raises
-:class:`~repro.minic.errors.MiniCError` otherwise so that the campaign
-harness can skip such files, never emitting use-before-declaration C.
+mirror).  ``extract_skeleton`` verifies this and records, per hole, which
+candidate names *violate* it: vectors using such a name realize to
+use-before-declaration C that the textual frontend rejects, so
+``Skeleton.vector_order_clean`` lets the campaign harness route exactly
+those vectors through the legacy render+reparse path and keep observations
+bit-identical.
 """
 
 from __future__ import annotations
@@ -29,6 +37,65 @@ from repro.minic.printer import to_source
 from repro.minic.symbols import SymbolTable, resolve
 
 
+class SkeletonBinder:
+    """Rebinds one parsed+resolved translation unit to characteristic vectors.
+
+    Holds the shared AST, the hole identifier nodes (in hole order) and, per
+    hole, the map from candidate name to the declaration that name resolves
+    to at the hole's scope.  Rebinding patches ``name``/``decl``/``ctype`` of
+    each identifier, which makes the rebound AST indistinguishable (up to
+    source locations) from parsing and resolving the rendered text.
+    """
+
+    __slots__ = ("unit", "identifiers", "binding_maps", "late_names", "_bound")
+
+    def __init__(
+        self,
+        unit: ast.TranslationUnit,
+        identifiers: list[ast.Identifier],
+        binding_maps: list[dict[str, ast.VarDecl]],
+        late_names: list[frozenset[str]],
+    ) -> None:
+        self.unit = unit
+        self.identifiers = identifiers
+        self.binding_maps = binding_maps
+        self.late_names = late_names
+        # The vector currently bound; the original program is bound at start.
+        self._bound: tuple[str, ...] | None = tuple(
+            identifier.name for identifier in identifiers
+        )
+
+    def bind(self, vector: Sequence[str]) -> ast.TranslationUnit:
+        """Rebind the shared AST to ``vector`` (no-op if already bound)."""
+        key = tuple(vector)
+        if key == self._bound:
+            return self.unit
+        self._bound = None  # invalidate while partially rebound
+        for identifier, name, candidates in zip(self.identifiers, key, self.binding_maps):
+            decl = candidates.get(name)
+            if decl is None:
+                raise ValueError(
+                    f"variable {name!r} is not visible (or has the wrong type) "
+                    f"at hole of {identifier.name!r}"
+                )
+            identifier.name = name
+            identifier.decl = decl
+            identifier.ctype = decl.var_type
+        self._bound = key
+        return self.unit
+
+    def render(self, vector: Sequence[str]) -> str:
+        """Rebind and pretty-print: the textual realization of ``vector``."""
+        return to_source(self.bind(vector))
+
+    def order_clean(self, vector: Sequence[str]) -> bool:
+        """True when no entry names a declaration that follows its hole."""
+        for name, late in zip(vector, self.late_names):
+            if name in late:
+                return False
+        return True
+
+
 def extract_skeleton(source_or_unit: str | ast.TranslationUnit, name: str = "<minic>") -> Skeleton:
     """Build a :class:`~repro.core.holes.Skeleton` from mini-C source or AST.
 
@@ -38,7 +105,8 @@ def extract_skeleton(source_or_unit: str | ast.TranslationUnit, name: str = "<mi
 
     Returns:
         A skeleton whose ``realize`` renders complete C source for any
-        characteristic vector.
+        characteristic vector and whose ``bind`` rebinds the parse-once AST
+        in O(holes).
 
     Raises:
         MiniCError: on parse/resolution errors or when the
@@ -65,37 +133,65 @@ def extract_skeleton(source_or_unit: str | ast.TranslationUnit, name: str = "<mi
         )
 
     original_vector = CharacteristicVector(use.decl.name for use in table.uses)
-
-    def realize(vector: Sequence[str]) -> str:
-        clone = copy.deepcopy(unit)
-        identifiers = [node for node in clone.walk() if isinstance(node, ast.Identifier)]
-        if len(identifiers) != len(vector):
-            raise MiniCError(
-                f"internal error: {len(identifiers)} identifier occurrences but "
-                f"{len(vector)} vector entries for skeleton {name!r}"
-            )
-        for identifier, new_name in zip(identifiers, vector):
-            identifier.name = new_name
-        return to_source(clone)
+    binder = _build_binder(unit, table)
 
     skeleton = Skeleton(
         name=name,
         holes=holes,
         scope_tree=table.scope_tree,
         original_vector=original_vector,
-        realize_fn=realize,
+        realize_fn=binder.render,
+        bind_fn=binder.bind,
+        order_clean_fn=binder.order_clean,
         metadata={
             "language": "minic",
             "functions": list(table.functions),
             # False when some hole precedes a same-scope same-type declaration;
             # such skeletons can realize use-before-declaration variants, which
-            # the testing oracle rejects and skips (see module docstring).
+            # the textual frontend rejects -- the campaign routes exactly those
+            # vectors through the render+reparse path (see module docstring).
             "declaration_order_clean": declaration_order_clean,
         },
     )
     # Sanity: the original program must realize the skeleton (Definition 1).
     skeleton.validate_vector(original_vector)
     return skeleton
+
+
+def _build_binder(unit: ast.TranslationUnit, table: SymbolTable) -> SkeletonBinder:
+    """Precompute per-hole binding maps and late (use-before-decl) name sets."""
+    tree = table.scope_tree
+    binding_maps: list[dict[str, ast.VarDecl]] = []
+    late_names: list[frozenset[str]] = []
+    visible_cache: dict[int, dict[str, ast.VarDecl]] = {}
+    for use in table.uses:
+        visible = visible_cache.get(use.scope_id)
+        if visible is None:
+            # Innermost declaration wins; a shadowing declaration of a
+            # different type still hides the outer name, exactly mirroring
+            # ScopeTree.visible_variables.
+            visible = {}
+            for scope_id in tree.ancestors(use.scope_id):
+                for decl in table.declarations.get(scope_id, []):
+                    if decl.name not in visible:
+                        visible[decl.name] = decl
+            visible_cache[use.scope_id] = visible
+        use_type = use.decl.var_type.spelling()
+        candidates = {
+            decl_name: decl
+            for decl_name, decl in visible.items()
+            if decl.var_type.spelling() == use_type
+        }
+        binding_maps.append(candidates)
+        late_names.append(
+            frozenset(
+                decl_name
+                for decl_name, decl in candidates.items()
+                if table.declaration_order[id(decl)] > use.order
+            )
+        )
+    identifiers = [use.node for use in table.uses]
+    return SkeletonBinder(unit, identifiers, binding_maps, late_names)
 
 
 def _declaration_order_clean(table: SymbolTable) -> bool:
@@ -119,4 +215,4 @@ def _declaration_order_clean(table: SymbolTable) -> bool:
     return True
 
 
-__all__ = ["extract_skeleton"]
+__all__ = ["SkeletonBinder", "extract_skeleton"]

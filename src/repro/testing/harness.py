@@ -9,11 +9,17 @@ phases:
    to test (a prefix range, or a uniform sample with ``sample_per_file``);
    and split the per-file index ranges into ``shard_count`` disjoint
    :class:`CampaignShard`\\ s.
-2. **Execute** -- each shard re-extracts its skeletons, reaches its variants
-   directly by rank/unrank (no predecessor is enumerated), and tests each
-   against every configured compiler configuration through the
-   :class:`~repro.testing.oracle.DifferentialOracle`.  Shards carry plain
-   source text, so they can run in worker processes
+2. **Execute** -- each shard re-extracts its skeletons (parsing and
+   resolving each seed exactly once), reaches its variants directly by
+   rank/unrank (no predecessor is enumerated), and tests each against every
+   configured compiler configuration through the
+   :class:`~repro.testing.oracle.DifferentialOracle`.  Variants are realized
+   by *rebinding* the skeleton's AST in O(holes) -- no render, re-lex,
+   re-parse or re-resolve per variant -- and one lowering is shared across
+   the whole configuration matrix; source text is rendered only when a bug
+   is filed (``use_ast_rebinding=False`` restores the legacy
+   render+reparse pipeline).  Shards carry plain seed source text, so they
+   can run in worker processes
    (:class:`~repro.testing.executor.ProcessPoolExecutor`) or on another
    machine entirely (``--shard i/n`` on the CLI).
 3. **Merge** -- shard results are combined with :meth:`CampaignResult.merge`:
@@ -37,13 +43,13 @@ import time
 from dataclasses import dataclass, field, replace
 
 from repro.compiler.pipeline import OptimizationLevel
-from repro.core.holes import Skeleton
+from repro.core.holes import BoundVariant, CharacteristicVector, Skeleton
 from repro.core.naive import NaiveSkeletonEnumerator
 from repro.core.ranking import sample_distinct_indices, shard_bounds
 from repro.core.spe import EnumerationBudget, SkeletonEnumerator
 from repro.core.problem import Granularity
 from repro.minic.errors import MiniCError
-from repro.minic.interp import ExecutionResult, run_source
+from repro.minic.interp import ExecutionResult, run_source, run_unit
 from repro.minic.skeleton import extract_skeleton
 from repro.testing.bugs import BugDatabase, BugReport
 from repro.testing.executor import SerialExecutor, default_executor
@@ -76,8 +82,20 @@ class CampaignConfig:
     reduce_bugs: bool = False
     #: Stop once this many distinct bugs are filed.  Enforced per shard, so a
     #: parallel/sharded run may overshoot (each shard stops independently);
-    #: only a serial single-shard run stops exactly at the limit.
+    #: only a serial single-shard run stops exactly at the limit.  See
+    #: ``tests/testing/test_stop_after_bugs.py`` where this behaviour is
+    #: pinned: a multi-shard run may test more variants and report up to
+    #: ``shards x stop_after_bugs`` distinct bugs before the merge sees the
+    #: limit.
     stop_after_bugs: int | None = None
+    #: Realize variants by AST rebinding (parse each skeleton once, rebind
+    #: hole identifiers per variant, compile/interpret the bound AST with one
+    #: shared lowering per variant).  When False, every variant is rendered
+    #: to text and re-parsed per compiler configuration -- the legacy
+    #: pipeline, kept as the equivalence baseline.  Vectors that would
+    #: realize use-before-declaration programs always take the legacy path
+    #: so that textual-frontend rejections are reproduced exactly.
+    use_ast_rebinding: bool = True
 
     def oracles(self) -> list[DifferentialOracle]:
         return [
@@ -196,7 +214,10 @@ class Campaign:
     def __init__(self, config: CampaignConfig | None = None) -> None:
         self.config = config or CampaignConfig()
         self._oracles = self.config.oracles()
-        self._reference_cache: dict[str, ExecutionResult | None] = {}
+        # Reference-interpreter results keyed by characteristic vector (the
+        # vector is unique per variant within a file; hashing rendered source
+        # per variant was measurable overhead).  Reset per file.
+        self._reference_cache: dict[CharacteristicVector, ExecutionResult | None] = {}
         # Skeletons parsed during planning, reused by in-process execution
         # (worker processes re-extract from source; skeletons do not pickle).
         self._skeleton_cache: dict[tuple[str, str], Skeleton] = {}
@@ -438,40 +459,85 @@ class Campaign:
             )
         self._test_programs(skeleton, programs, result)
 
-    def _test_programs(self, skeleton: Skeleton, programs, result: CampaignResult) -> None:
-        # The reference-interpreter cache dedups identical realized sources,
-        # which only pays off within one file's variants -- reset per file so
-        # memory stays bounded by the densest file, not the whole campaign.
+    def _test_programs(self, skeleton: Skeleton, variants, result: CampaignResult) -> None:
+        # The reference-interpreter cache is only useful within one file's
+        # variants -- reset per file so memory stays bounded by the densest
+        # file, not the whole campaign.
         self._reference_cache.clear()
-        for index, _vector, source in programs:
+        rebind = self.config.use_ast_rebinding and skeleton.supports_binding
+        for variant in variants:
             result.variants_tested += 1
-            variant_name = f"{skeleton.name}#{index}"
-            reference_result = self._reference_result(source)
-            for oracle in self._oracles:
-                observation = oracle.observe(
-                    source, name=variant_name, reference_result=reference_result
-                )
-                result.note_observation(observation)
-                if observation.is_bug:
-                    self._file_bug(observation, oracle, result)
+            variant_name = f"{skeleton.name}#{variant.index}"
+            if rebind and variant.order_clean:
+                self._test_variant_ast(variant, variant_name, result)
+            else:
+                self._test_variant_text(variant, variant_name, result)
             if self._exhausted(result):
                 return
 
-    def _reference_result(self, source: str) -> ExecutionResult | None:
-        """Run the reference interpreter once per distinct variant source.
+    def _test_variant_ast(self, variant: BoundVariant, name: str, result: CampaignResult) -> None:
+        """Parse-once fast path: one frontend pass per variant, total.
 
-        Shared by all oracles of the configuration matrix *and* across
-        variants that realize to identical programs (common when holes refill
-        with the original names), keyed by source hash.
+        The skeleton AST is rebound to the variant's vector (O(holes)), the
+        reference interpreter runs on the bound AST, and every oracle of the
+        configuration matrix compiles from one shared lowering.  Source text
+        is rendered only if a bug is filed.
         """
-        key = hashlib.sha256(source.encode()).hexdigest()
+        reference_result = self._reference_result_ast(variant)
+        for oracle in self._oracles:
+            observation = oracle.observe_variant(
+                variant, name=name, reference_result=reference_result
+            )
+            result.note_observation(observation)
+            if observation.is_bug:
+                self._file_bug(observation, oracle, result)
+
+    def _test_variant_text(self, variant: BoundVariant, name: str, result: CampaignResult) -> None:
+        """Legacy render+reparse path (also the route for vectors that
+        realize use-before-declaration programs, which the textual frontend
+        must be the one to reject)."""
+        source = variant.source
+        reference_result = self._reference_result_text(variant.vector, source)
+        for oracle in self._oracles:
+            observation = oracle.observe(
+                source, name=name, reference_result=reference_result
+            )
+            result.note_observation(observation)
+            if observation.is_bug:
+                self._file_bug(observation, oracle, result)
+
+    def _reference_result_ast(self, variant: BoundVariant) -> ExecutionResult:
+        """Reference-interpret the bound AST once per variant (vector-keyed).
+
+        The interpreter's closure-compiled function bodies are memoised per
+        skeleton (they read identifier bindings at execution time), so the
+        whole file's variant stream shares one translation.
+        """
+        key = variant.vector
         if key in self._reference_cache:
             return self._reference_cache[key]
+        compiled = variant.skeleton.metadata.setdefault("interp_compiled", {})
+        value = run_unit(variant.program, compiled=compiled)
+        self._reference_cache[key] = value
+        return value
+
+    def _reference_result_text(
+        self, vector: CharacteristicVector, source: str
+    ) -> ExecutionResult | None:
+        """Run the reference interpreter once per variant, keyed by vector.
+
+        Shared by all oracles of the configuration matrix.  The vector
+        uniquely identifies the variant's realized source within a file, so
+        the key is equivalent to the historical sha256-of-source key without
+        hashing the full program text per variant.
+        """
+        if vector in self._reference_cache:
+            return self._reference_cache[vector]
         try:
             value = run_source(source)
         except MiniCError:
             value = None
-        self._reference_cache[key] = value
+        self._reference_cache[vector] = value
         return value
 
     def _file_bug(

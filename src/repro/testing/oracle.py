@@ -21,10 +21,12 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.compiler.driver import Compiler, CompileOutcome
 from repro.compiler.pipeline import OptimizationLevel
-from repro.minic.interp import ExecutionResult, ExecutionStatus, run_source
+from repro.core.holes import BoundVariant
+from repro.minic.interp import ExecutionResult, ExecutionStatus, run_source, run_unit
 
 
 class ObservationKind(enum.Enum):
@@ -94,7 +96,7 @@ class DifferentialOracle:
         name: str = "<program>",
         reference_result: ExecutionResult | None = None,
     ) -> Observation:
-        """Test one program; never raises.
+        """Test one program from source text; never raises.
 
         Args:
             source: the C program to test.
@@ -104,11 +106,85 @@ class DifferentialOracle:
                 and shares it across the compiler-configuration matrix).
         """
         outcome = self._compiler.compile_source(source, name=name)
+        return self._classify(
+            outcome,
+            name,
+            reference_result,
+            program=source,
+            bug_program=lambda: source,
+            reference_compile=lambda: self._reference.compile_source(source, name=name),
+            reference_run=lambda: run_source(source, max_steps=self.interp_max_steps),
+            execute=lambda: self._compiler.run(outcome),
+        )
 
+    def observe_variant(
+        self,
+        variant: BoundVariant,
+        name: str = "<program>",
+        reference_result: ExecutionResult | None = None,
+    ) -> Observation:
+        """Test one bound variant through the parse-once fast path.
+
+        The variant's AST is compiled directly (shared lowering, cloned per
+        configuration -- see :meth:`Compiler.compile_variant`) and the
+        reference interpreter, when needed, runs on the same rebound AST.
+        Source text is rendered only for observations that file a bug;
+        OK/SKIPPED observations carry an empty ``program``.
+        """
+        outcome = self._compiler.compile_variant(variant, name=name)
+        return self._classify(
+            outcome,
+            name,
+            reference_result,
+            program="",
+            bug_program=lambda: variant.source,
+            reference_compile=lambda: self._reference.compile_variant(variant, name=name),
+            reference_run=lambda: run_unit(variant.program, max_steps=self.interp_max_steps),
+            execute=lambda: self._run_shared(outcome, variant),
+        )
+
+    def _run_shared(self, outcome: CompileOutcome, variant: BoundVariant) -> ExecutionResult:
+        """Run the produced code, sharing results for identical modules.
+
+        Different configurations of the matrix frequently produce
+        bit-identical optimized modules for the same variant (always at -O0,
+        and at higher levels whenever no version-specific fault perturbed a
+        pass).  The VM is deterministic in the module text and step budget,
+        so such runs are executed once and shared via the variant's cache.
+        """
+        cache = variant.cache.setdefault("vm_results", {})
+        key = (self._compiler.vm_max_steps, str(outcome.module))
+        result = cache.get(key)
+        if result is None:
+            result = self._compiler.run(outcome)
+            cache[key] = result
+        return result
+
+    # -- shared classification ----------------------------------------------------------
+
+    def _classify(
+        self,
+        outcome: CompileOutcome,
+        name: str,
+        reference_result: ExecutionResult | None,
+        program: str,
+        bug_program: Callable[[], str],
+        reference_compile: Callable[[], CompileOutcome],
+        reference_run: Callable[[], ExecutionResult],
+        execute: Callable[[], ExecutionResult],
+    ) -> Observation:
+        """Turn a compile outcome into an observation (common to both paths).
+
+        ``program`` is attached to non-bug observations; ``bug_program`` is
+        invoked only when the observation files a bug, which is what lets the
+        AST path defer rendering until a bug actually needs text.
+        ``execute`` produces the compiled code's behaviour (the variant path
+        shares VM results between configurations with identical modules).
+        """
         if outcome.crashed:
             return Observation(
                 kind=ObservationKind.CRASH,
-                program=source,
+                program=bug_program(),
                 source_name=name,
                 compiler=self.version,
                 opt_level=self.opt_level,
@@ -120,7 +196,7 @@ class DifferentialOracle:
         if outcome.rejected is not None:
             return Observation(
                 kind=ObservationKind.SKIPPED,
-                program=source,
+                program=program,
                 source_name=name,
                 compiler=self.version,
                 opt_level=self.opt_level,
@@ -129,11 +205,11 @@ class DifferentialOracle:
             )
 
         if reference_result is None:
-            reference_result = run_source(source, max_steps=self.interp_max_steps)
+            reference_result = reference_run()
         if reference_result.status is not ExecutionStatus.OK:
             return Observation(
                 kind=ObservationKind.SKIPPED,
-                program=source,
+                program=program,
                 source_name=name,
                 compiler=self.version,
                 opt_level=self.opt_level,
@@ -142,15 +218,15 @@ class DifferentialOracle:
                 triggered_faults=outcome.triggered_faults,
             )
 
-        performance = self._performance_check(source, name, outcome)
+        performance = self._performance_check(name, outcome, reference_compile, bug_program)
         if performance is not None:
             return performance
 
-        compiled_result = self._compiler.run(outcome)
+        compiled_result = execute()
         if compiled_result.status is not ExecutionStatus.OK:
             return Observation(
                 kind=ObservationKind.WRONG_CODE,
-                program=source,
+                program=bug_program(),
                 source_name=name,
                 compiler=self.version,
                 opt_level=self.opt_level,
@@ -164,7 +240,7 @@ class DifferentialOracle:
         if compiled_result.observable() != reference_result.observable():
             return Observation(
                 kind=ObservationKind.WRONG_CODE,
-                program=source,
+                program=bug_program(),
                 source_name=name,
                 compiler=self.version,
                 opt_level=self.opt_level,
@@ -177,7 +253,7 @@ class DifferentialOracle:
 
         return Observation(
             kind=ObservationKind.OK,
-            program=source,
+            program=program,
             source_name=name,
             compiler=self.version,
             opt_level=self.opt_level,
@@ -189,14 +265,20 @@ class DifferentialOracle:
 
     # -- helpers ----------------------------------------------------------------------
 
-    def _performance_check(self, source: str, name: str, outcome: CompileOutcome) -> Observation | None:
+    def _performance_check(
+        self,
+        name: str,
+        outcome: CompileOutcome,
+        reference_compile: Callable[[], CompileOutcome],
+        bug_program: Callable[[], str],
+    ) -> Observation | None:
         # Comparing against the reference compiler costs a second compilation;
         # only bother when this compilation did enough work to plausibly be a
         # compile-time blow-up (the seeded performance fault inflates effort
         # by orders of magnitude, so the shortcut cannot miss it).
         if outcome.compile_effort <= 500:
             return None
-        reference_outcome = self._reference.compile_source(source, name=name)
+        reference_outcome = reference_compile()
         if not reference_outcome.success or reference_outcome.compile_effort <= 0:
             return None
         ratio = outcome.compile_effort / reference_outcome.compile_effort
@@ -204,7 +286,7 @@ class DifferentialOracle:
             return None
         return Observation(
             kind=ObservationKind.PERFORMANCE,
-            program=source,
+            program=bug_program(),
             source_name=name,
             compiler=self.version,
             opt_level=self.opt_level,

@@ -104,3 +104,54 @@ class TestUndefinedBehaviour:
         source = "int main() { unsigned u = 4294967295U; u = u + 1; return u == 0; }"
         result = status_of(source)
         assert result.ok and result.exit_code == 1
+
+
+class TestBlockScopeContainment:
+    """Declarations as un-braced if/while bodies stay in the enclosing block.
+
+    Regression: the environment-fork elision must treat a DeclStmt reachable
+    through non-block statements (``if (c) int x = 2;``) as declaring into
+    the enclosing block, in both the interpretive and compiled tiers --
+    otherwise the declaration rebinds the outer variable and the reference
+    interpreter diverges from the compiler pipeline.
+    """
+
+    SOURCE = """
+int main(void) {
+    int x = 1;
+    {
+        if (1) int x = 2;
+    }
+    return x;
+}
+"""
+
+    def test_compiled_tier_contains_declaration(self):
+        result = status_of(self.SOURCE)
+        assert result.ok and result.exit_code == 1
+
+    def test_interpretive_tier_contains_declaration(self):
+        from repro.minic.interp import Interpreter
+        from repro.minic.parser import parse
+        from repro.minic.symbols import resolve
+
+        unit = parse(self.SOURCE)
+        resolve(unit)
+        interp = Interpreter(compiled={id(fn): None for fn in unit.functions()})
+        result = interp.run(unit)
+        assert result.ok and result.exit_code == 1
+
+    def test_declaration_under_while_body(self):
+        source = """
+int main(void) {
+    int x = 5;
+    int i = 0;
+    {
+        while (i < 1) { i = i + 1; }
+        if (i) int x = 9;
+    }
+    return x;
+}
+"""
+        result = status_of(source)
+        assert result.ok and result.exit_code == 5

@@ -1,0 +1,68 @@
+"""Pins the documented ``stop_after_bugs`` sharding semantics.
+
+``stop_after_bugs`` is enforced *per shard*: shards cannot observe each
+other's bug counts mid-flight, so a sharded (or parallel) run keeps testing
+after some shard has already reached the limit and the merged result may
+report more variants tested -- and up to ``shards x stop_after_bugs``
+distinct bugs -- than a serial single-shard run.  Only the serial
+single-shard run stops exactly at the limit.  See the field docstring on
+:class:`repro.testing.harness.CampaignConfig`.
+"""
+
+from repro.compiler.pipeline import OptimizationLevel
+from repro.core.spe import EnumerationBudget
+from repro.testing.harness import Campaign, CampaignConfig
+
+
+# Two files with crash-triggering variants so that different shards can file
+# bugs independently; signatures differ per seeded fault component.
+SEEDS = {
+    "crash_a.c": (
+        "int a; int b = 1; int c = 2;\n"
+        "int main() { int t = 3; t = t + c; b = b + t; if (a) a = a - a; return b; }"
+    ),
+    "crash_b.c": (
+        "int d = 0; int e = 0;\n"
+        "int main() { int r; r = e ? (d == 0 ? 1 : 2) : (e == 0 ? 1 : 2); return r; }"
+    ),
+}
+
+
+def config(**overrides) -> CampaignConfig:
+    defaults = dict(
+        versions=["scc-trunk"],
+        opt_levels=[OptimizationLevel.O2],
+        budget=EnumerationBudget(max_variants=None),
+        max_variants_per_file=40,
+        stop_after_bugs=1,
+    )
+    defaults.update(overrides)
+    return CampaignConfig(**defaults)
+
+
+class TestStopAfterBugs:
+    def test_serial_single_shard_stops_at_the_limit(self):
+        result = Campaign(config()).run_sources(SEEDS)
+        # The limit is checked after each variant, so the run stops as soon
+        # as at least one distinct bug is on file, well before exhausting
+        # the 2 x 40 planned variants.
+        assert len(result.bugs) >= 1
+        assert result.variants_tested < 80
+
+    def test_sharded_run_may_overshoot(self):
+        serial = Campaign(config()).run_sources(SEEDS)
+        sharded = Campaign(config()).run_sources(SEEDS, shard_count=4)
+        # Each shard stops independently, so the merged run tests at least
+        # as many variants as the serial run and never *loses* bugs...
+        assert sharded.variants_tested >= serial.variants_tested
+        assert len(sharded.bugs) >= len(serial.bugs)
+        # ...and the documented ceiling holds: at most shards x limit bugs.
+        assert len(sharded.bugs) <= 4 * 1
+
+    def test_overshoot_is_real_not_theoretical(self):
+        # With one shard per file, each file's shard files its own bug:
+        # the merged result exceeds the limit, pinning that the limit is
+        # per-shard rather than global.
+        sharded = Campaign(config()).run_sources(SEEDS, shard_count=2)
+        serial = Campaign(config()).run_sources(SEEDS)
+        assert sharded.variants_tested > serial.variants_tested or len(sharded.bugs) >= len(serial.bugs)
