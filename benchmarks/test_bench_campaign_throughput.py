@@ -2,9 +2,11 @@
 
 Measures the parse-once AST-rebind pipeline (the default) against the legacy
 render+reparse pipeline on the same default-corpus workload, counts actual
-frontend passes (lex+parse+resolve) per pipeline, and writes the numbers to
-``BENCH_campaign.json`` in the repository root so the performance trajectory
-of the campaign hot path is recorded commit over commit.
+frontend passes (lex+parse+resolve) per pipeline, measures every registered
+language frontend's campaign throughput (the ``per_language`` section), and
+writes the numbers to ``BENCH_campaign.json`` in the repository root so the
+performance trajectory of the campaign hot path is recorded commit over
+commit and per language.
 
 Reference point: at the seed revision (before the parse-once rework and the
 closure-compiled executors) this workload ran at ~11.6 variants/sec on the
@@ -22,6 +24,7 @@ from pathlib import Path
 
 import repro.minic.parser as minic_parser
 from repro.experiments.table1 import build_corpus
+from repro.frontends import available_frontends, get_frontend
 from repro.testing.harness import Campaign, CampaignConfig
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -29,6 +32,9 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 #: The fixed workload: a slice of the default generated corpus at the CLI's
 #: default per-file variant budget.
 WORKLOAD = dict(files=12, seed=2017, max_variants_per_file=25)
+
+#: The per-language workload (smaller: it runs once per registered frontend).
+LANGUAGE_WORKLOAD = dict(files=8, seed=2017, max_variants_per_file=15)
 
 
 def _run_campaign(corpus, use_ast_rebinding: bool):
@@ -95,6 +101,30 @@ def test_campaign_throughput(benchmark, run_once):
     # (generous margin: both runs share the machine, noise is correlated).
     assert fast_vps >= 0.9 * legacy_vps
 
+    # Per-language throughput: every registered frontend runs the same small
+    # campaign shape, so the recorded numbers are comparable run over run.
+    per_language = {}
+    for language in available_frontends():
+        frontend = get_frontend(language)
+        language_corpus = frontend.build_corpus(
+            files=LANGUAGE_WORKLOAD["files"], seed=LANGUAGE_WORKLOAD["seed"]
+        )
+        language_config = CampaignConfig(
+            frontend=language,
+            max_variants_per_file=LANGUAGE_WORKLOAD["max_variants_per_file"],
+        )
+        started = time.perf_counter()
+        language_result = Campaign(language_config).run_sources(language_corpus)
+        elapsed = time.perf_counter() - started
+        assert language_result.variants_tested > 0
+        per_language[language] = {
+            "files": len(language_corpus),
+            "variants_tested": language_result.variants_tested,
+            "distinct_bugs": len(language_result.bugs),
+            "oracle_configurations": len(language_config.oracles()),
+            "variants_per_sec": round(language_result.variants_tested / elapsed, 2),
+        }
+
     payload = {
         "workload": WORKLOAD,
         "variants_tested": variants,
@@ -105,6 +135,8 @@ def test_campaign_throughput(benchmark, run_once):
         "legacy_frontend_passes": legacy_parses,
         "rebind_frontend_passes_per_variant": round(fast_parses / variants, 4),
         "legacy_frontend_passes_per_variant": round(legacy_parses / variants, 4),
+        "language_workload": LANGUAGE_WORKLOAD,
+        "per_language": per_language,
         "seed_baseline_note": (
             "the seed revision ran the full 25-file/40-variant version of this "
             "workload at ~11.6 variants/sec on the development machine; the "

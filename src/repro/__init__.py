@@ -5,7 +5,11 @@ Compiler Testing* (Zhang, Sun, Su -- PLDI 2017).  The package contains:
 
 * :mod:`repro.core` -- the SPE combinatorial enumeration algorithm,
   alpha-equivalence machinery and counting formulas;
-* :mod:`repro.lang` -- the paper's WHILE toy language (Figure 4);
+* :mod:`repro.frontends` -- the language plug-in protocol and registry: the
+  campaign stack talks to every language through one interface, selected by
+  ``--lang`` on the CLI;
+* :mod:`repro.lang` -- the paper's WHILE toy language (Figure 4), a full
+  campaign language with its own optimizing compiler-under-test;
 * :mod:`repro.minic` -- a C-subset frontend (lexer, parser, scopes, types,
   pretty-printer, skeleton extraction, reference interpreter with
   undefined-behaviour detection);

@@ -1,14 +1,17 @@
 """Command-line interface: ``spe`` (or ``python -m repro``).
 
-Subcommands:
+Subcommands (all program-level commands take ``--lang`` to select a
+registered language frontend; the default is mini-C):
 
-* ``count FILE``       -- naive vs SPE solution sizes for one C file;
+* ``count FILE``       -- naive vs SPE solution sizes for one seed file;
 * ``enumerate FILE``   -- print canonical variants of a file: a prefix, an
   arbitrary ``--start`` slice (reached by unranking), or a uniform ``--sample``;
-* ``test FILE``        -- differential-test one file against the trunk compilers;
-* ``campaign``         -- run a bug-hunting campaign over the built-in corpus;
-  supports ``--jobs N`` (process-parallel shards), ``--sample K`` (uniform
-  per-file sampling) and ``--shard I/N`` (distributed partial runs);
+* ``test FILE``        -- differential-test one file against the language's
+  trunk compilers;
+* ``campaign``         -- run a bug-hunting campaign over the language's
+  built-in corpus; supports ``--lang {minic,while,...}``, ``--jobs N``
+  (process-parallel shards), ``--sample K`` (uniform per-file sampling) and
+  ``--shard I/N`` (distributed partial runs);
 * ``experiment NAME``  -- regenerate a table/figure (table1, table2, table3,
   table4, fig8, fig9, fig10, or ``all``).
 """
@@ -20,14 +23,15 @@ import sys
 from pathlib import Path
 
 from repro.core.spe import SkeletonEnumerator
-from repro.minic.skeleton import extract_skeleton
+from repro.frontends import available_frontends, get_frontend
 
 
 def _cmd_count(args: argparse.Namespace) -> int:
     source = Path(args.file).read_text()
-    skeleton = extract_skeleton(source, name=args.file)
+    skeleton = get_frontend(args.lang).extract_skeleton(source, name=args.file)
     enumerator = SkeletonEnumerator(skeleton)
     print(f"file           : {args.file}")
+    print(f"language       : {args.lang}")
     print(f"holes          : {skeleton.num_holes}")
     print(f"naive variants : {enumerator.naive_count()}")
     print(f"SPE variants   : {enumerator.count()}")
@@ -36,7 +40,7 @@ def _cmd_count(args: argparse.Namespace) -> int:
 
 def _cmd_enumerate(args: argparse.Namespace) -> int:
     source = Path(args.file).read_text()
-    skeleton = extract_skeleton(source, name=args.file)
+    skeleton = get_frontend(args.lang).extract_skeleton(source, name=args.file)
     enumerator = SkeletonEnumerator(skeleton)
     if args.sample is not None:
         if args.start is not None:
@@ -58,7 +62,7 @@ def _cmd_test(args: argparse.Namespace) -> int:
     from repro.testing.harness import test_program
 
     source = Path(args.file).read_text()
-    observations = test_program(source, name=args.file)
+    observations = test_program(source, name=args.file, frontend=args.lang)
     failures = 0
     for observation in observations:
         status = observation.kind.value
@@ -70,6 +74,28 @@ def _cmd_test(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _positive_int(text: str) -> int:
+    """Argparse type for arguments that must be integers >= 1."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a positive integer, got {text!r}")
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"expected a positive integer, got {value}")
+    return value
+
+
+def _non_negative_int(text: str) -> int:
+    """Argparse type for arguments that must be integers >= 0."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a non-negative integer, got {text!r}")
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"expected a non-negative integer, got {value}")
+    return value
+
+
 def _parse_shard(spec: str) -> tuple[int, int]:
     """Parse ``I/N`` (0-based shard I of N), e.g. ``--shard 2/4``."""
     try:
@@ -77,17 +103,19 @@ def _parse_shard(spec: str) -> tuple[int, int]:
         index, count = int(index_text), int(count_text)
     except ValueError:
         raise argparse.ArgumentTypeError(f"expected I/N (e.g. 0/4), got {spec!r}")
-    if count <= 0 or not 0 <= index < count:
+    if count <= 0:
+        raise argparse.ArgumentTypeError(f"shard count must be positive, got {count}")
+    if not 0 <= index < count:
         raise argparse.ArgumentTypeError(f"shard index {index} out of range for {count} shards")
     return index, count
 
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
-    from repro.experiments.table1 import build_corpus
     from repro.testing.harness import Campaign, CampaignConfig
 
-    corpus = build_corpus(files=args.files, seed=args.seed)
+    corpus = get_frontend(args.lang).build_corpus(files=args.files, seed=args.seed)
     config = CampaignConfig(
+        frontend=args.lang,
         max_variants_per_file=args.variants,
         sample_per_file=args.sample,
         sample_seed=args.seed,
@@ -125,43 +153,54 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_lang_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--lang", choices=available_frontends(), default="minic",
+        help="language frontend to use (default: minic)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="spe", description=__doc__)
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    count = subparsers.add_parser("count", help="count naive vs SPE variants of a C file")
+    count = subparsers.add_parser("count", help="count naive vs SPE variants of a seed file")
     count.add_argument("file")
+    _add_lang_argument(count)
     count.set_defaults(func=_cmd_count)
 
-    enumerate_cmd = subparsers.add_parser("enumerate", help="print canonical variants of a C file")
+    enumerate_cmd = subparsers.add_parser("enumerate", help="print canonical variants of a seed file")
     enumerate_cmd.add_argument("file")
-    enumerate_cmd.add_argument("--limit", type=int, default=10)
+    _add_lang_argument(enumerate_cmd)
+    enumerate_cmd.add_argument("--limit", type=_positive_int, default=10)
     enumerate_cmd.add_argument(
-        "--start", type=int, default=None,
+        "--start", type=_non_negative_int, default=None,
         help="first variant index to print (reached by unranking, not enumeration)",
     )
     enumerate_cmd.add_argument(
-        "--sample", type=int, default=None, metavar="K",
+        "--sample", type=_positive_int, default=None, metavar="K",
         help="print K uniformly sampled variants instead of a prefix",
     )
     enumerate_cmd.add_argument("--seed", type=int, default=2017, help="sampling seed")
     enumerate_cmd.set_defaults(func=_cmd_enumerate)
 
-    test = subparsers.add_parser("test", help="differential-test one C file")
+    test = subparsers.add_parser("test", help="differential-test one seed file")
     test.add_argument("file")
+    _add_lang_argument(test)
     test.set_defaults(func=_cmd_test)
 
     campaign = subparsers.add_parser("campaign", help="run a small bug-hunting campaign")
-    campaign.add_argument("--files", type=int, default=25)
-    campaign.add_argument("--variants", type=int, default=40)
+    _add_lang_argument(campaign)
+    campaign.add_argument("--files", type=_positive_int, default=25)
+    campaign.add_argument("--variants", type=_positive_int, default=40)
     campaign.add_argument("--seed", type=int, default=2017)
     campaign.add_argument(
-        "--sample", type=int, default=None, metavar="K",
+        "--sample", type=_positive_int, default=None, metavar="K",
         help="test K uniformly sampled variants per file instead of the first K",
     )
     campaign.add_argument(
-        "--jobs", type=int, default=1, metavar="N",
-        help="run the campaign across N worker processes",
+        "--jobs", type=_positive_int, default=1, metavar="N",
+        help="run the campaign across N worker processes (N >= 1)",
     )
     campaign.add_argument(
         "--shard", type=_parse_shard, default=None, metavar="I/N",

@@ -12,6 +12,12 @@ faults (see :mod:`repro.compiler.faults`); a fault is present in a version if
 the version lies in the fault's ``introduced_in`` .. ``fixed_in`` range.  The
 fault metadata (component, priority, kind, minimum optimization level)
 drives the Figure 10 and Table 3/4 reproductions.
+
+The catalogue is a *registry*: frontend plug-ins register their own compiler
+lineages with :func:`register_lineage` (the WHILE frontend registers its
+``wc`` lineage this way), so the bug database, the affected-version queries
+and the campaign configuration matrix work identically for every language.
+The fault-free ``reference`` version is shared by all lineages.
 """
 
 from __future__ import annotations
@@ -248,48 +254,61 @@ class CompilerVersion:
         return self.name
 
 
-def _version_index(name: str) -> int:
-    order = _SCC_ORDER if name.startswith("scc") else _LCC_ORDER
+# lineage name -> version names, oldest first.  Extended by register_lineage.
+_LINEAGE_ORDERS: dict[str, list[str]] = {}
+_CATALOG: dict[str, CompilerVersion] = {
+    "reference": CompilerVersion(name="reference", lineage="reference", faults=())
+}
+
+
+def _version_index(name: str, order: list[str]) -> int:
     return order.index(name)
 
 
-def _faults_for(version: str, catalogue: list[Fault]) -> tuple[Fault, ...]:
+def _faults_for(version: str, order: list[str], catalogue: list[Fault]) -> tuple[Fault, ...]:
     present: list[Fault] = []
+    current = _version_index(version, order)
     for fault in catalogue:
         try:
-            introduced = _version_index(fault.introduced_in)
+            introduced = _version_index(fault.introduced_in, order)
         except ValueError:
             continue
-        current = _version_index(version)
         if current < introduced:
             continue
-        if fault.fixed_in is not None and current >= _version_index(fault.fixed_in):
+        if fault.fixed_in is not None and current >= _version_index(fault.fixed_in, order):
             continue
         present.append(fault)
     return tuple(present)
 
 
-def _build_catalog() -> dict[str, CompilerVersion]:
-    versions: dict[str, CompilerVersion] = {}
-    for name in _SCC_ORDER:
-        versions[name] = CompilerVersion(
+def register_lineage(lineage: str, order: list[str], catalogue: list[Fault]) -> None:
+    """Register a compiler lineage: its version names (oldest first) + faults.
+
+    Each version receives the subset of ``catalogue`` whose
+    ``introduced_in``/``fixed_in`` range contains it.  Re-registering the same
+    lineage replaces its versions (convenient for tests); version names must
+    be globally unique across lineages.
+    """
+    for name in order:
+        owner = _CATALOG.get(name)
+        if owner is not None and owner.lineage != lineage:
+            raise ValueError(
+                f"version name {name!r} already registered by lineage {owner.lineage!r}"
+            )
+    for stale in _LINEAGE_ORDERS.get(lineage, []):
+        _CATALOG.pop(stale, None)
+    _LINEAGE_ORDERS[lineage] = list(order)
+    for name in order:
+        _CATALOG[name] = CompilerVersion(
             name=name,
-            lineage="scc",
-            faults=_faults_for(name, BUG_CATALOGUE),
+            lineage=lineage,
+            faults=_faults_for(name, order, catalogue),
             is_trunk=name.endswith("trunk"),
         )
-    for name in _LCC_ORDER:
-        versions[name] = CompilerVersion(
-            name=name,
-            lineage="lcc",
-            faults=_faults_for(name, LCC_BUG_CATALOGUE),
-            is_trunk=name.endswith("trunk"),
-        )
-    versions["reference"] = CompilerVersion(name="reference", lineage="reference", faults=())
-    return versions
 
 
-_CATALOG = _build_catalog()
+register_lineage("scc", _SCC_ORDER, BUG_CATALOGUE)
+register_lineage("lcc", _LCC_ORDER, LCC_BUG_CATALOGUE)
 
 
 def available_versions() -> list[str]:
@@ -323,4 +342,5 @@ __all__ = [
     "affected_versions",
     "available_versions",
     "get_version",
+    "register_lineage",
 ]

@@ -1,0 +1,53 @@
+"""Language-neutral execution results.
+
+Every frontend's reference interpreter and every simulated compiler backend
+reports behaviour through the same two types, so the differential oracle and
+the campaign harness can compare "what the reference says" against "what the
+produced code does" without knowing which language produced them:
+
+* :class:`ExecutionStatus` classifies one run (``OK``, undefined behaviour,
+  timeout, runtime error);
+* :class:`ExecutionResult` carries the observable behaviour compilers must
+  agree on for well-defined programs (exit code + stdout).
+
+Frontends map their own notions onto these: mini-C reports detected
+undefined behaviour as ``UNDEFINED``; WHILE, which has no UB, reports
+division by zero as ``ERROR`` and exhausted fuel as ``TIMEOUT``.  Any status
+other than ``OK`` makes the oracle skip the wrong-code comparison for that
+variant (crash bugs are still reported), exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class ExecutionStatus(enum.Enum):
+    """Outcome classification of one interpreted execution."""
+
+    OK = "ok"
+    UNDEFINED = "undefined-behaviour"
+    TIMEOUT = "timeout"
+    ERROR = "runtime-error"
+
+
+@dataclass(frozen=True)
+class ExecutionResult:
+    """Observable behaviour of one program execution."""
+
+    status: ExecutionStatus
+    exit_code: int | None = None
+    stdout: str = ""
+    detail: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.status is ExecutionStatus.OK
+
+    def observable(self) -> tuple[int | None, str]:
+        """The pair compilers must agree on for UB-free programs."""
+        return (self.exit_code, self.stdout)
+
+
+__all__ = ["ExecutionResult", "ExecutionStatus"]

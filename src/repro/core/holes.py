@@ -77,6 +77,83 @@ class CharacteristicVector(tuple):
         return mapping
 
 
+class IdentifierBinder:
+    """Shared parse-once rebinding bookkeeping for frontend binders.
+
+    Every frontend that keeps its parsed program around and realizes variants
+    by *rebinding* (patching identifier nodes in place instead of rendering
+    and re-parsing) needs the same scaffolding: the shared unit, the hole
+    identifier nodes in hole order, a per-hole map from candidate name to
+    whatever the frontend resolves that name to, the per-hole sets of names
+    that violate declaration-before-use, and the currently-bound vector so
+    repeated binds of the same vector are no-ops.  Subclasses supply only the
+    two language-specific pieces:
+
+    * :meth:`_rebind` -- patch one identifier node to a new name/binding;
+    * :meth:`_render` -- pretty-print the bound unit to source text.
+
+    ``binding_maps[i]`` maps each legal filling name of hole ``i`` to an
+    opaque frontend binding (a declaration node, or just the name itself for
+    unscoped languages); membership in the map is the validity check.
+    """
+
+    __slots__ = ("unit", "identifiers", "binding_maps", "late_names", "_bound")
+
+    def __init__(
+        self,
+        unit: object,
+        identifiers: list,
+        binding_maps: list[dict],
+        late_names: list[frozenset[str]] | None = None,
+    ) -> None:
+        self.unit = unit
+        self.identifiers = identifiers
+        self.binding_maps = binding_maps
+        self.late_names = (
+            late_names if late_names is not None else [frozenset()] * len(identifiers)
+        )
+        # The vector currently bound; the original program is bound at start.
+        self._bound: tuple[str, ...] | None = tuple(
+            identifier.name for identifier in identifiers
+        )
+
+    def bind(self, vector: Sequence[str]):
+        """Rebind the shared unit to ``vector`` (no-op if already bound)."""
+        key = tuple(vector)
+        if key == self._bound:
+            return self.unit
+        self._bound = None  # invalidate while partially rebound
+        for identifier, name, candidates in zip(self.identifiers, key, self.binding_maps):
+            binding = candidates.get(name)  # maps never store None
+            if binding is None:
+                raise ValueError(
+                    f"variable {name!r} is not visible (or has the wrong type) "
+                    f"at hole of {identifier.name!r}"
+                )
+            self._rebind(identifier, name, binding)
+        self._bound = key
+        return self.unit
+
+    def render(self, vector: Sequence[str]) -> str:
+        """Rebind and pretty-print: the textual realization of ``vector``."""
+        return self._render(self.bind(vector))
+
+    def order_clean(self, vector: Sequence[str]) -> bool:
+        """True when no entry names a declaration that follows its hole."""
+        for name, late in zip(vector, self.late_names):
+            if name in late:
+                return False
+        return True
+
+    # -- language-specific hooks ------------------------------------------
+
+    def _rebind(self, identifier, name: str, binding) -> None:
+        raise NotImplementedError
+
+    def _render(self, unit) -> str:
+        raise NotImplementedError
+
+
 @dataclass
 class Skeleton:
     """A syntactic skeleton: holes + scope tree + a way to realize fillings.

@@ -6,7 +6,8 @@ type-correct variable: the search space is the Cartesian product
 implemented both for :class:`~repro.core.problem.EnumerationProblem` values
 and for whole skeletons, and is used as the baseline of Table 1 / Figure 8
 and as the brute-force oracle in the property tests (canonicalising the naive
-set must give exactly the SPE set).
+set must give exactly the SPE set).  Like the SPE enumerators, it is
+language-independent: it consumes skeletons from any registered frontend.
 """
 
 from __future__ import annotations

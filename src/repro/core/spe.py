@@ -20,6 +20,11 @@ Two enumerators are provided:
 :class:`SkeletonEnumerator` lifts the per-problem enumeration to whole
 skeletons with intra- or inter-procedural granularity and implements the 10K
 budget/threshold policy used in the paper's evaluation.
+
+Everything here is language-independent: enumerators consume
+:class:`~repro.core.holes.Skeleton` values and never look inside a
+frontend's AST, so any frontend registered with :mod:`repro.frontends`
+(mini-C, WHILE, ...) enumerates through the same machinery.
 """
 
 from __future__ import annotations

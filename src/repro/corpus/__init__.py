@@ -6,17 +6,28 @@
 * :mod:`repro.corpus.generator` -- a deterministic synthetic generator
   calibrated to the GCC-4.8.5 test-suite statistics of Table 2 (average
   holes/scopes/functions/types per file);
-* :mod:`repro.corpus.stats` -- corpus-level statistics (the Table 2 columns).
+* :mod:`repro.corpus.stats` -- corpus-level statistics (the Table 2 columns);
+* :mod:`repro.corpus.while_seeds` -- the WHILE-language counterpart: seeds
+  and a generator shaped around the ``wc`` lineage's seeded faults, used by
+  ``repro campaign --lang while``.
 """
 
 from repro.corpus.generator import CorpusGenerator, GeneratorConfig
 from repro.corpus.seeds import paper_seed_programs
 from repro.corpus.stats import SuiteStatistics, corpus_statistics
+from repro.corpus.while_seeds import (
+    WhileCorpusGenerator,
+    build_while_corpus,
+    while_seed_programs,
+)
 
 __all__ = [
     "CorpusGenerator",
     "GeneratorConfig",
     "SuiteStatistics",
+    "WhileCorpusGenerator",
+    "build_while_corpus",
     "corpus_statistics",
     "paper_seed_programs",
+    "while_seed_programs",
 ]

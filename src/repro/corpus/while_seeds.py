@@ -1,0 +1,163 @@
+"""WHILE seed corpus: hand-written seeds plus a deterministic generator.
+
+The WHILE counterpart of :mod:`repro.corpus.seeds` / :mod:`repro.corpus.
+generator`.  Each hand-written seed is correct as written; the interesting
+behaviour only appears in SPE-enumerated variants whose variable-usage
+patterns reach one of the ``wc`` lineage's seeded faults
+(:mod:`repro.lang.compile`): self-subtraction (`x - x`), reflexive
+comparisons (`x <= x`), name-ordered subtraction operands, self-assignment
+(`x := x`) and structurally identical branches.
+
+Skeleton sizes are kept under the paper's 10 000-variant enumeration
+threshold: with one shared scope the canonical count for ``n`` holes over
+``k`` variables is ``sum_i S(n, i)`` (Stirling numbers), so programs stay
+within 8 occurrences for 4 variables and 10 occurrences for 3 variables.
+"""
+
+from __future__ import annotations
+
+import random
+
+
+def while_seed_programs() -> dict[str, str]:
+    """Named WHILE seed programs used by campaigns, tests and examples."""
+    return dict(_SEEDS)
+
+
+_SEEDS: list[tuple[str, str]] = [
+    (
+        # Subtraction pairs: variants that collapse `a - b` to `x - x` reach
+        # the wfold-sub-self crash; name-order swaps reach wsub-name-commute.
+        "sub_pairs.while",
+        """
+a := 7 ;
+b := 2 ;
+c := a - b ;
+d := c - b
+""",
+    ),
+    (
+        # Reflexive comparison guards: `c >= b` variants with both sides the
+        # same variable hit wcmp-self-reflexive (<=/>= folded to false).
+        "guard_ge.while",
+        """
+a := 4 ;
+b := 1 ;
+if (a >= b) then c := a - b else c := b
+""",
+    ),
+    (
+        # Same-shape branches: variants that make then/else render
+        # identically crash the wc-1.0/wc-2.0 frontend (wfrontend-dup-branches).
+        "twin_branches.while",
+        """
+a := 1 ;
+b := 2 ;
+if (a < b) then c := a else c := b
+""",
+    ),
+    (
+        # Straight-line copies: variants realizing `x := x` trip the
+        # pass-manager blow-up (wopt-fixpoint-blowup, a performance bug).
+        "copy_chain.while",
+        """
+a := 5 ;
+b := a ;
+c := b ;
+a := c
+""",
+    ),
+    (
+        # The paper's Figure 5 loop; renamed guards/bodies also exercise
+        # timeout filtering (variants whose loop no longer decrements).
+        "fig5_loop.while",
+        """
+a := 10 ;
+b := 1 ;
+while (a > 0) do (
+  a := a - b
+)
+""",
+    ),
+    (
+        # A bounded accumulation loop mixing comparisons and subtraction.
+        "acc_loop.while",
+        """
+i := 3 ;
+s := 0 ;
+while (i > 0) do (
+  s := s + i ;
+  i := i - 1
+)
+""",
+    ),
+]
+
+
+class WhileCorpusGenerator:
+    """Generate small, deterministic WHILE programs below the SPE threshold.
+
+    Statements are drawn from fault-adjacent templates (subtractions,
+    comparisons guarding branches, copies, bounded loops).  The generator
+    tracks variable occurrences and stops each program before its skeleton's
+    canonical solution set can exceed the enumeration threshold.
+    """
+
+    #: (variables used, max occurrences) pairs keeping sum_i S(n, i) <= 10_000.
+    _SHAPE_LIMITS = {3: 10, 4: 8}
+
+    def __init__(self, seed: int = 2017) -> None:
+        self.seed = seed
+
+    def generate(self, count: int) -> dict[str, str]:
+        """Produce ``count`` named programs (deterministic in the seed)."""
+        programs: dict[str, str] = {}
+        for index in range(max(0, count)):
+            rng = random.Random(f"{self.seed}:while:{index}")
+            programs[f"gen_{index:03d}.while"] = self._program(rng)
+        return programs
+
+    def _program(self, rng: random.Random) -> str:
+        num_vars = rng.choice([3, 3, 4])
+        limit = self._SHAPE_LIMITS[num_vars]
+        names = ["a", "b", "c", "d"][:num_vars]
+
+        lines = [f"{name} := {rng.randint(1, 9)}" for name in names[: rng.randint(2, 3)]]
+        # Assignment targets are occurrences too, so the initial lines have
+        # already spent part of the budget.
+        used: list[int] = [len(lines)]
+
+        def var() -> str:
+            used[0] += 1
+            return rng.choice(names)
+
+        builders = [
+            lambda: f"{var()} := {var()} - {var()}",
+            lambda: f"{var()} := {var()} + {rng.randint(0, 3)}",
+            lambda: f"{var()} := {var()}",
+            lambda: (
+                f"if ({var()} >= {var()}) then {var()} := {var()} "
+                f"else {var()} := {var()}"
+            ),
+            lambda: (
+                f"if ({var()} < {rng.randint(1, 5)}) then {var()} := {var()} "
+                f"else {var()} := {rng.randint(0, 9)}"
+            ),
+        ]
+        while used[0] < limit - 3:
+            line = rng.choice(builders)()
+            if used[0] > limit:
+                break
+            lines.append(line)
+        return " ;\n".join(lines) + "\n"
+
+
+def build_while_corpus(files: int = 25, seed: int = 2017) -> dict[str, str]:
+    """The default WHILE corpus: hand-written seeds plus synthetic programs."""
+    corpus = while_seed_programs()
+    generator = WhileCorpusGenerator(seed=seed)
+    corpus.update(generator.generate(max(0, files - len(corpus))))
+    return corpus
+
+
+__all__ = ["WhileCorpusGenerator", "build_while_corpus", "while_seed_programs"]

@@ -1,0 +1,64 @@
+"""Frontend registry: one entry point per supported language.
+
+The campaign stack resolves languages by name through this registry --
+``CampaignConfig(frontend="while")``, ``DifferentialOracle(frontend=...)``
+and the CLI's ``--lang`` flag all call :func:`get_frontend`.  Frontends
+carry no per-campaign state, so one shared instance per language is
+registered at import time; third-party frontends can call
+:func:`register_frontend` themselves (see :mod:`repro.frontends.base` for
+the protocol and ``docs/ARCHITECTURE.md`` section 5 for the how-to).
+"""
+
+from __future__ import annotations
+
+from repro.frontends.base import Frontend
+
+
+_REGISTRY: dict[str, Frontend] = {}
+
+
+def register_frontend(frontend: Frontend, replace: bool = False) -> Frontend:
+    """Register a frontend under its ``name``; returns it for chaining."""
+    if not frontend.name:
+        raise ValueError(f"frontend {frontend!r} has no name")
+    existing = _REGISTRY.get(frontend.name)
+    if existing is not None and existing is not frontend and not replace:
+        raise ValueError(f"frontend {frontend.name!r} is already registered")
+    _REGISTRY[frontend.name] = frontend
+    return frontend
+
+
+def get_frontend(name: "str | Frontend") -> Frontend:
+    """Look up a frontend by name (a Frontend instance passes through)."""
+    if isinstance(name, Frontend):
+        return name
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown frontend {name!r}; available: {', '.join(sorted(_REGISTRY))}"
+        ) from None
+
+
+def available_frontends() -> list[str]:
+    """Names of all registered language frontends, sorted."""
+    return sorted(_REGISTRY)
+
+
+# Built-in frontends.  Imported after the registry functions exist: the
+# plug-in modules pull in packages (repro.testing via the reducer) that
+# import this module back for name resolution.
+from repro.frontends.minic import MiniCFrontend  # noqa: E402
+from repro.frontends.whilelang import WhileFrontend  # noqa: E402
+
+register_frontend(MiniCFrontend())
+register_frontend(WhileFrontend())
+
+__all__ = [
+    "Frontend",
+    "MiniCFrontend",
+    "WhileFrontend",
+    "available_frontends",
+    "get_frontend",
+    "register_frontend",
+]

@@ -1,0 +1,136 @@
+"""The frontend plug-in protocol.
+
+The enumeration core (:mod:`repro.core`) is language-independent -- it only
+sees scope trees and holes -- and the campaign stack (harness, oracle,
+executors, reducer, CLI) is written against the :class:`Frontend` protocol
+defined here, so adding a language to the whole pipeline is one registration
+(:func:`repro.frontends.register_frontend`), not a rewrite.
+
+A frontend packages everything the pipeline needs from a language:
+
+* **parse + skeleton extraction** -- source text to a
+  :class:`~repro.core.holes.Skeleton` (holes + scope tree + parse-once
+  binder), with :attr:`Frontend.parse_error_types` naming the exceptions
+  that mean "this seed/variant is rejected by the language frontend";
+* **reference interpretation** -- ground-truth observable behaviour as
+  :class:`~repro.core.execution.ExecutionResult`, both from source text
+  (the legacy render+reparse path) and from a bound variant's AST (the
+  parse-once fast path);
+* **the executor pair** -- :meth:`Frontend.executor` builds the simulated
+  compiler-under-test for one ``(version, opt level, machine bits)``
+  configuration; the fault-free :attr:`Frontend.reference_version` of the
+  same executor is the oracle's performance baseline.  Executors follow the
+  :class:`repro.compiler.driver.Compiler` surface: ``compile_source``,
+  ``compile_variant``, ``run`` and ``vm_max_steps``;
+* **reduction** -- shrink a bug-triggering program while a predicate holds;
+* **a corpus** -- the language's default seed programs for campaigns.
+
+:attr:`default_versions` x :attr:`default_opt_levels` is the language's
+default differential-testing configuration matrix (the versions must be
+registered with :func:`repro.compiler.versions.register_lineage` so bug
+classification and affected-version queries work).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Sequence
+
+from repro.compiler.pipeline import OptimizationLevel
+from repro.core.execution import ExecutionResult
+from repro.core.holes import BoundVariant, Skeleton
+
+
+class Frontend(abc.ABC):
+    """One pluggable language: parse, enumerate, interpret, compile, reduce."""
+
+    #: Registry key and the CLI's ``--lang`` value.
+    name: str = ""
+    #: Exceptions meaning "the language frontend rejects this source".  The
+    #: campaign planner treats exactly these as "skip the seed file"; the
+    #: empty default means an unconfigured frontend's bugs surface as
+    #: tracebacks instead of being silently counted as rejected files.
+    parse_error_types: tuple[type[BaseException], ...] = ()
+    #: Default compiler-under-test versions for a campaign matrix.
+    default_versions: tuple[str, ...] = ()
+    #: Default optimization levels for a campaign matrix.
+    default_opt_levels: tuple[OptimizationLevel, ...] = (
+        OptimizationLevel.O0,
+        OptimizationLevel.O3,
+    )
+    #: The fault-free executor version (the oracle's performance baseline).
+    reference_version: str = "reference"
+
+    # -- parsing + skeletons ------------------------------------------------
+
+    @abc.abstractmethod
+    def extract_skeleton(self, source: str, name: str = "<program>") -> Skeleton:
+        """Parse ``source`` once and build its skeleton (holes + scope tree).
+
+        Raises one of :attr:`parse_error_types` when the frontend rejects the
+        program.  The returned skeleton carries ``realize``/``bind``/
+        ``order_clean`` closures, so the campaign harness can use the
+        parse-once AST fast path whenever ``skeleton.supports_binding``.
+        """
+
+    # -- reference interpretation ------------------------------------------
+
+    @abc.abstractmethod
+    def run_reference_source(self, source: str, max_steps: int = 200_000) -> ExecutionResult:
+        """Parse and interpret ``source``; raises on frontend rejection."""
+
+    @abc.abstractmethod
+    def run_reference_variant(
+        self, variant: BoundVariant, max_steps: int = 200_000
+    ) -> ExecutionResult:
+        """Interpret a bound variant's AST directly (no render, no re-parse)."""
+
+    def try_run_reference_source(
+        self, source: str, max_steps: int = 200_000
+    ) -> ExecutionResult | None:
+        """Like :meth:`run_reference_source`, but ``None`` on rejection."""
+        try:
+            return self.run_reference_source(source, max_steps=max_steps)
+        except self.parse_error_types:
+            return None
+
+    # -- the executor pair --------------------------------------------------
+
+    @abc.abstractmethod
+    def executor(
+        self,
+        version: str,
+        opt_level: OptimizationLevel | int,
+        machine_bits: int = 64,
+    ):
+        """Build the simulated compiler for one configuration.
+
+        The returned object follows the :class:`repro.compiler.driver.
+        Compiler` surface (``compile_source`` / ``compile_variant`` / ``run``
+        / ``vm_max_steps``); passing :attr:`reference_version` yields the
+        fault-free reference member of the executor pair.
+        """
+
+    # -- reduction ----------------------------------------------------------
+
+    @abc.abstractmethod
+    def reduce(self, source: str, predicate: Callable[[str], bool]) -> str:
+        """Shrink ``source`` while ``predicate`` keeps holding."""
+
+    # -- corpus -------------------------------------------------------------
+
+    @abc.abstractmethod
+    def build_corpus(self, files: int = 25, seed: int = 2017) -> dict[str, str]:
+        """The language's default campaign corpus (name -> source)."""
+
+    # -- conveniences -------------------------------------------------------
+
+    def render_vector(self, skeleton: Skeleton, vector: Sequence[str]) -> str:
+        """Realize one characteristic vector to source text."""
+        return skeleton.realize(vector)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+__all__ = ["Frontend"]

@@ -7,6 +7,14 @@ pretty-printer, interpreter and skeleton extractor, so the paper's Figure 5
 example can be reproduced end to end and SPE-generated WHILE variants can be
 executed to confirm that alpha-equivalent programs are semantically
 equivalent (Theorem 1 in the unscoped setting).
+
+Beyond the paper walkthrough, WHILE is a full campaign language: the
+parse-once skeleton binder (:mod:`repro.lang.skeleton`), the optimizing
+compiler-under-test with seeded ``wc-*`` versions (:mod:`repro.lang.compile`)
+and the statement reducer (:mod:`repro.lang.reduce`) implement everything the
+frontend plug-in protocol (:mod:`repro.frontends`) needs, so
+``repro campaign --lang while`` runs the same differential-testing pipeline
+as mini-C.
 """
 
 from repro.lang.ast import (
@@ -24,11 +32,13 @@ from repro.lang.ast import (
     While,
     WhileNode,
 )
+from repro.lang.compile import WhileCompiler, WhileModule, execute_while
 from repro.lang.interp import ExecutionLimitExceeded, WhileInterpreter, run_program
 from repro.lang.lexer import LexerError, Token, tokenize
 from repro.lang.parser import ParseError, parse_program
 from repro.lang.printer import to_source
-from repro.lang.skeleton import extract_skeleton
+from repro.lang.reduce import reduce_while_program
+from repro.lang.skeleton import SkeletonExtractionError, extract_skeleton
 
 __all__ = [
     "Assign",
@@ -44,13 +54,18 @@ __all__ = [
     "ParseError",
     "Seq",
     "Skip",
+    "SkeletonExtractionError",
     "Token",
     "Var",
     "While",
+    "WhileCompiler",
     "WhileInterpreter",
+    "WhileModule",
     "WhileNode",
+    "execute_while",
     "extract_skeleton",
     "parse_program",
+    "reduce_while_program",
     "run_program",
     "to_source",
     "tokenize",

@@ -1,0 +1,90 @@
+"""Statement-level test-case reduction for WHILE programs.
+
+The WHILE counterpart of :mod:`repro.testing.reducer`: before a bug is
+"filed" the campaign deletes statements (greedily, restarting from the
+smaller program after every successful deletion) while the caller's
+predicate -- "the compiler still crashes with this signature" -- keeps
+holding.  WHILE ASTs are immutable, so candidate programs are produced by
+rebuilding the tree without one statement rather than deleting in place.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from repro.lang.ast import If, Seq, Skip, While, WhileNode
+from repro.lang.lexer import LexerError
+from repro.lang.parser import ParseError, parse_program
+from repro.lang.printer import to_source
+
+Predicate = Callable[[str], bool]
+
+
+def _without_statement(node: WhileNode, target: WhileNode) -> WhileNode:
+    """Rebuild ``node`` with the statement ``target`` (by identity) removed."""
+    if node is target:
+        return Skip()
+    if isinstance(node, Seq):
+        statements = tuple(
+            _without_statement(statement, target)
+            for statement in node.statements
+            if statement is not target
+        )
+        if not statements:
+            return Skip()
+        if len(statements) == 1:
+            return statements[0]
+        return Seq(statements)
+    if isinstance(node, While):
+        return While(node.condition, _without_statement(node.body, target))
+    if isinstance(node, If):
+        return If(
+            node.condition,
+            _without_statement(node.then_branch, target),
+            _without_statement(node.else_branch, target),
+        )
+    return node
+
+
+def _deletable_statements(program: WhileNode) -> Iterator[WhileNode]:
+    """Every statement node whose removal yields a smaller candidate."""
+    for node in program.walk():
+        if isinstance(node, Seq):
+            yield from node.statements
+        elif isinstance(node, (While, If)) and node is not program:
+            yield node
+
+
+def reduce_while_program(source: str, predicate: Predicate, max_rounds: int = 25) -> str:
+    """Greedily minimise ``source`` while ``predicate(source)`` stays true.
+
+    The input program is returned unchanged if it does not satisfy the
+    predicate (nothing to preserve) or cannot be parsed.
+    """
+    try:
+        program = parse_program(source)
+    except (ParseError, LexerError):
+        return source
+    if not predicate(source):
+        return source
+
+    current = program
+    current_source = to_source(current)
+    for _ in range(max_rounds):
+        changed = False
+        for target in list(_deletable_statements(current)):
+            candidate = _without_statement(current, target)
+            rendered = to_source(candidate)
+            if rendered == current_source:
+                continue
+            if predicate(rendered):
+                current = candidate
+                current_source = rendered
+                changed = True
+                break  # restart from the smaller program
+        if not changed:
+            break
+    return current_source
+
+
+__all__ = ["reduce_while_program"]

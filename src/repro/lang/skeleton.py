@@ -4,17 +4,53 @@ Every variable occurrence becomes a hole; because WHILE has no lexical
 scoping, every hole shares a single hole variable set (all variables of the
 program, or an explicitly supplied variable set), exactly as in the paper's
 Figure 5 walkthrough.
+
+The program is parsed **once**.  Variants are realized by *rebinding*: the
+binder holds the ``Var`` occurrence nodes (in pre-order, the hole order) and
+patches their names in place, so moving the shared AST from one
+characteristic vector to another is O(holes) -- no rebuild, no re-render, no
+re-parse.  WHILE has no declarations, so every vector is declaration-order
+clean and the campaign harness can always take the AST fast path.
 """
 
 from __future__ import annotations
 
+import copy
 from typing import Sequence
 
-from repro.core.holes import CharacteristicVector, Hole, Skeleton
+from repro.core.holes import CharacteristicVector, Hole, IdentifierBinder, Skeleton
 from repro.core.scopes import ScopeKind, ScopeTree
-from repro.lang.ast import Var, WhileNode, substitute_variables
+from repro.lang.ast import Var, WhileNode
 from repro.lang.parser import parse_program
 from repro.lang.printer import to_source
+
+
+class SkeletonExtractionError(ValueError):
+    """Raised when a WHILE program cannot form a skeleton (no variables).
+
+    A ``ValueError`` subclass for backwards compatibility, but distinct from
+    the binder's invalid-vector ``ValueError`` so the frontend's
+    ``parse_error_types`` can name exactly the rejection cases.
+    """
+
+
+class WhileSkeletonBinder(IdentifierBinder):
+    """Rebinds one parsed WHILE program to characteristic vectors.
+
+    ``Var`` nodes are frozen dataclasses (program *construction* treats them
+    as immutable values), so rebinding patches the shared occurrence nodes
+    through ``object.__setattr__`` -- the binder is the single owner of these
+    nodes and the interpreter reads names at execution time, which makes the
+    rebound AST indistinguishable from parsing the rendered text.
+    """
+
+    __slots__ = ()
+
+    def _rebind(self, identifier: Var, name: str, binding: str) -> None:
+        object.__setattr__(identifier, "name", name)
+
+    def _render(self, unit: WhileNode) -> str:
+        return to_source(unit)
 
 
 def extract_skeleton(
@@ -31,11 +67,18 @@ def extract_skeleton(
             in the program (in first-use order).
 
     The returned skeleton's ``realize`` renders complete WHILE source for any
-    filling, so SPE-enumerated variants can be parsed and executed directly.
+    filling and its ``bind`` rebinds the parse-once AST in O(holes), so
+    SPE-enumerated variants can be parsed/executed directly or fed to the
+    campaign harness's AST fast path.
     """
-    program = parse_program(source_or_ast) if isinstance(source_or_ast, str) else source_or_ast
+    if isinstance(source_or_ast, str):
+        program = parse_program(source_or_ast)
+    else:
+        # The binder rebinds Var nodes in place; never mutate a caller's tree.
+        program = copy.deepcopy(source_or_ast)
 
-    occurrences: list[str] = [node.name for node in program.walk() if isinstance(node, Var)]
+    occurrence_nodes: list[Var] = [node for node in program.walk() if isinstance(node, Var)]
+    occurrences: list[str] = [node.name for node in occurrence_nodes]
     if variables is None:
         seen: list[str] = []
         for occurrence in occurrences:
@@ -43,7 +86,9 @@ def extract_skeleton(
                 seen.append(occurrence)
         variables = seen
     if not variables:
-        raise ValueError("cannot build a skeleton for a program without variables")
+        raise SkeletonExtractionError(
+            "cannot build a skeleton for a program without variables"
+        )
 
     tree = ScopeTree(root_kind=ScopeKind.FILE, root_name=name)
     function_scope = tree.add_scope(tree.root_id, kind=ScopeKind.FUNCTION, name="<main>")
@@ -61,18 +106,21 @@ def extract_skeleton(
         for index, original in enumerate(occurrences)
     ]
 
-    def realize(vector: Sequence[str]) -> str:
-        filled = substitute_variables(program, list(vector))
-        return to_source(filled)
+    candidates = {variable: variable for variable in variables}
+    binder = WhileSkeletonBinder(
+        program, occurrence_nodes, [candidates] * len(occurrence_nodes)
+    )
 
     return Skeleton(
         name=name,
         holes=holes,
         scope_tree=tree,
         original_vector=CharacteristicVector(occurrences),
-        realize_fn=realize,
-        metadata={"language": "while"},
+        realize_fn=binder.render,
+        bind_fn=binder.bind,
+        order_clean_fn=binder.order_clean,
+        metadata={"language": "while", "declaration_order_clean": True},
     )
 
 
-__all__ = ["extract_skeleton"]
+__all__ = ["SkeletonExtractionError", "WhileSkeletonBinder", "extract_skeleton"]

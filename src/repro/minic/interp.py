@@ -22,9 +22,9 @@ Non-termination is bounded by a step budget and reported as ``TIMEOUT``.
 
 from __future__ import annotations
 
-import enum
 from dataclasses import dataclass, field
 
+from repro.core.execution import ExecutionResult, ExecutionStatus
 from repro.minic import ast
 from repro.minic.ctypes import (
     ArrayType,
@@ -40,31 +40,9 @@ from repro.minic.parser import parse
 from repro.minic.symbols import resolve
 
 
-class ExecutionStatus(enum.Enum):
-    """Outcome classification of one interpreted execution."""
-
-    OK = "ok"
-    UNDEFINED = "undefined-behaviour"
-    TIMEOUT = "timeout"
-    ERROR = "runtime-error"
-
-
-@dataclass(frozen=True)
-class ExecutionResult:
-    """Observable behaviour of one program execution."""
-
-    status: ExecutionStatus
-    exit_code: int | None = None
-    stdout: str = ""
-    detail: str = ""
-
-    @property
-    def ok(self) -> bool:
-        return self.status is ExecutionStatus.OK
-
-    def observable(self) -> tuple[int | None, str]:
-        """The pair compilers must agree on for UB-free programs."""
-        return (self.exit_code, self.stdout)
+# ExecutionStatus / ExecutionResult live in repro.core.execution (they are
+# shared by every frontend's reference interpreter and compiler backend);
+# they are re-exported here for backwards compatibility.
 
 
 class UndefinedBehaviour(Exception):

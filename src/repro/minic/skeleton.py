@@ -27,9 +27,8 @@ bit-identical.
 from __future__ import annotations
 
 import copy
-from typing import Sequence
 
-from repro.core.holes import CharacteristicVector, Hole, Skeleton
+from repro.core.holes import CharacteristicVector, Hole, IdentifierBinder, Skeleton
 from repro.minic import ast
 from repro.minic.errors import MiniCError
 from repro.minic.parser import parse
@@ -37,63 +36,28 @@ from repro.minic.printer import to_source
 from repro.minic.symbols import SymbolTable, resolve
 
 
-class SkeletonBinder:
+class SkeletonBinder(IdentifierBinder):
     """Rebinds one parsed+resolved translation unit to characteristic vectors.
 
-    Holds the shared AST, the hole identifier nodes (in hole order) and, per
-    hole, the map from candidate name to the declaration that name resolves
-    to at the hole's scope.  Rebinding patches ``name``/``decl``/``ctype`` of
-    each identifier, which makes the rebound AST indistinguishable (up to
-    source locations) from parsing and resolving the rendered text.
+    The shared bookkeeping (hole identifier nodes, per-hole candidate maps,
+    late-name sets, no-op rebinds) lives in
+    :class:`~repro.core.holes.IdentifierBinder`; this subclass supplies the
+    mini-C specifics.  ``binding_maps`` map each candidate name to the
+    declaration that name resolves to at the hole's scope, and rebinding
+    patches ``name``/``decl``/``ctype`` of each identifier, which makes the
+    rebound AST indistinguishable (up to source locations) from parsing and
+    resolving the rendered text.
     """
 
-    __slots__ = ("unit", "identifiers", "binding_maps", "late_names", "_bound")
+    __slots__ = ()
 
-    def __init__(
-        self,
-        unit: ast.TranslationUnit,
-        identifiers: list[ast.Identifier],
-        binding_maps: list[dict[str, ast.VarDecl]],
-        late_names: list[frozenset[str]],
-    ) -> None:
-        self.unit = unit
-        self.identifiers = identifiers
-        self.binding_maps = binding_maps
-        self.late_names = late_names
-        # The vector currently bound; the original program is bound at start.
-        self._bound: tuple[str, ...] | None = tuple(
-            identifier.name for identifier in identifiers
-        )
+    def _rebind(self, identifier: ast.Identifier, name: str, decl: ast.VarDecl) -> None:
+        identifier.name = name
+        identifier.decl = decl
+        identifier.ctype = decl.var_type
 
-    def bind(self, vector: Sequence[str]) -> ast.TranslationUnit:
-        """Rebind the shared AST to ``vector`` (no-op if already bound)."""
-        key = tuple(vector)
-        if key == self._bound:
-            return self.unit
-        self._bound = None  # invalidate while partially rebound
-        for identifier, name, candidates in zip(self.identifiers, key, self.binding_maps):
-            decl = candidates.get(name)
-            if decl is None:
-                raise ValueError(
-                    f"variable {name!r} is not visible (or has the wrong type) "
-                    f"at hole of {identifier.name!r}"
-                )
-            identifier.name = name
-            identifier.decl = decl
-            identifier.ctype = decl.var_type
-        self._bound = key
-        return self.unit
-
-    def render(self, vector: Sequence[str]) -> str:
-        """Rebind and pretty-print: the textual realization of ``vector``."""
-        return to_source(self.bind(vector))
-
-    def order_clean(self, vector: Sequence[str]) -> bool:
-        """True when no entry names a declaration that follows its hole."""
-        for name, late in zip(vector, self.late_names):
-            if name in late:
-                return False
-        return True
+    def _render(self, unit: ast.TranslationUnit) -> str:
+        return to_source(unit)
 
 
 def extract_skeleton(source_or_unit: str | ast.TranslationUnit, name: str = "<minic>") -> Skeleton:

@@ -1,5 +1,9 @@
 """The compiler-testing harness: differential testing of enumerated programs.
 
+The whole package is language-agnostic: parsing, reference interpretation,
+the executor pair and reduction are reached through the frontend plug-in
+protocol (:mod:`repro.frontends`), selected by ``CampaignConfig.frontend``.
+
 * :mod:`repro.testing.oracle` -- test one program against one compiler
   configuration: crash detection, UB filtering via the reference interpreter,
   wrong-code detection by comparing observable behaviour;

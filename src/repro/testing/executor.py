@@ -8,9 +8,11 @@ evaluated:
   default, and the reference behaviour every parallel backend must match;
 * :class:`ProcessPoolExecutor` fans them out over worker processes.  Work
   units carry plain source text (not skeletons, whose ``realize`` closures do
-  not pickle), so each worker re-extracts its skeletons; results come back as
-  :class:`~repro.testing.harness.CampaignResult` values and are merged with
-  :meth:`CampaignResult.merge`.
+  not pickle) and the campaign config carries its frontend as a registry
+  *name*, so shard payloads are language-agnostic and picklable: each worker
+  resolves the frontend plug-in and re-extracts its skeletons; results come
+  back as :class:`~repro.testing.harness.CampaignResult` values and are
+  merged with :meth:`CampaignResult.merge`.
 
 Both backends expose the same ``map(fn, items)`` surface, so anything
 shaped like that (e.g. an MPI or job-queue adapter) can be plugged into

@@ -1,6 +1,11 @@
 """The campaign harness: SPE over a corpus against a matrix of compilers.
 
-``Campaign`` is the top-level driver the experiments use.  A run has three
+``Campaign`` is the top-level driver the experiments use.  It is
+language-agnostic: every language-specific step -- parsing seeds into
+skeletons, reference-interpreting variants, building the compiler
+configuration matrix, reducing bug triggers -- goes through the frontend
+plug-in protocol (:mod:`repro.frontends`), selected by
+``CampaignConfig.frontend`` (the CLI's ``--lang``).  A run has three
 phases:
 
 1. **Plan** -- for every seed program, extract the skeleton and count its
@@ -43,28 +48,33 @@ import time
 from dataclasses import dataclass, field, replace
 
 from repro.compiler.pipeline import OptimizationLevel
+from repro.core.execution import ExecutionResult
 from repro.core.holes import BoundVariant, CharacteristicVector, Skeleton
 from repro.core.naive import NaiveSkeletonEnumerator
 from repro.core.ranking import sample_distinct_indices, shard_bounds
 from repro.core.spe import EnumerationBudget, SkeletonEnumerator
 from repro.core.problem import Granularity
-from repro.minic.errors import MiniCError
-from repro.minic.interp import ExecutionResult, run_source, run_unit
-from repro.minic.skeleton import extract_skeleton
+from repro.frontends import get_frontend
 from repro.testing.bugs import BugDatabase, BugReport
 from repro.testing.executor import SerialExecutor, default_executor
 from repro.testing.oracle import DifferentialOracle, Observation, ObservationKind
-from repro.testing.reducer import reduce_program
 
 
 @dataclass
 class CampaignConfig:
-    """Configuration of one testing campaign."""
+    """Configuration of one testing campaign.
 
-    versions: list[str] = field(default_factory=lambda: ["scc-trunk", "lcc-trunk"])
-    opt_levels: list[OptimizationLevel] = field(
-        default_factory=lambda: [OptimizationLevel.O0, OptimizationLevel.O3]
-    )
+    ``frontend`` names the language plug-in (see
+    :func:`repro.frontends.available_frontends`); it is stored as the
+    registry *name* so configs pickle cleanly into worker processes.
+    ``versions``/``opt_levels`` default to the frontend's configuration
+    matrix (for mini-C: scc/lcc trunks at -O0 and -O3) and are resolved at
+    construction time.
+    """
+
+    frontend: str = "minic"
+    versions: list[str] | None = None
+    opt_levels: list[OptimizationLevel] | None = None
     machine_bits: list[int] = field(default_factory=lambda: [64])
     budget: EnumerationBudget = field(default_factory=lambda: EnumerationBudget(max_variants=10_000))
     granularity: Granularity = Granularity.INTRA_PROCEDURAL
@@ -97,9 +107,22 @@ class CampaignConfig:
     #: so that textual-frontend rejections are reproduced exactly.
     use_ast_rebinding: bool = True
 
+    def __post_init__(self) -> None:
+        frontend = get_frontend(self.frontend)
+        self.frontend = frontend.name
+        if self.versions is None:
+            self.versions = list(frontend.default_versions)
+        if self.opt_levels is None:
+            self.opt_levels = list(frontend.default_opt_levels)
+
     def oracles(self) -> list[DifferentialOracle]:
         return [
-            DifferentialOracle(version=version, opt_level=level, machine_bits=bits)
+            DifferentialOracle(
+                version=version,
+                opt_level=level,
+                machine_bits=bits,
+                frontend=self.frontend,
+            )
             for version in self.versions
             for level in self.opt_levels
             for bits in self.machine_bits
@@ -213,6 +236,7 @@ class Campaign:
 
     def __init__(self, config: CampaignConfig | None = None) -> None:
         self.config = config or CampaignConfig()
+        self._frontend = get_frontend(self.config.frontend)
         self._oracles = self.config.oracles()
         # Reference-interpreter results keyed by characteristic vector (the
         # vector is unique per variant within a file; hashing rendered source
@@ -239,7 +263,7 @@ class Campaign:
         for name, source in sources.items():
             try:
                 skeleton = self._extract_cached(name, source)
-            except MiniCError:
+            except self._frontend.parse_error_types:
                 base.files_skipped_error += 1
                 continue
             enumerator = SkeletonEnumerator(
@@ -311,7 +335,7 @@ class Campaign:
         shard_index: int | None = None,
         executor=None,
     ) -> CampaignResult:
-        """Run the campaign over named seed programs (name -> C source).
+        """Run the campaign over named seed programs (name -> source text).
 
         Args:
             sources: the corpus.
@@ -411,14 +435,14 @@ class Campaign:
         key = (name, hashlib.sha256(source.encode()).hexdigest())
         skeleton = self._skeleton_cache.get(key)
         if skeleton is None:
-            skeleton = extract_skeleton(source, name=name)
+            skeleton = self._frontend.extract_skeleton(source, name=name)
             self._skeleton_cache[key] = skeleton
         return skeleton
 
     def _run_unit(self, unit: ShardUnit, result: CampaignResult) -> None:
         try:
             skeleton = self._extract_cached(unit.name, unit.source)
-        except MiniCError:  # pragma: no cover - planning already filtered these
+        except self._frontend.parse_error_types:  # pragma: no cover - planning already filtered these
             result.files_skipped_error += 1
             return
         if unit.primary:
@@ -509,15 +533,14 @@ class Campaign:
     def _reference_result_ast(self, variant: BoundVariant) -> ExecutionResult:
         """Reference-interpret the bound AST once per variant (vector-keyed).
 
-        The interpreter's closure-compiled function bodies are memoised per
-        skeleton (they read identifier bindings at execution time), so the
-        whole file's variant stream shares one translation.
+        Delegates to the frontend, which may memoise per-skeleton work
+        across the file's variant stream (mini-C shares one closure-compiled
+        translation of the function bodies).
         """
         key = variant.vector
         if key in self._reference_cache:
             return self._reference_cache[key]
-        compiled = variant.skeleton.metadata.setdefault("interp_compiled", {})
-        value = run_unit(variant.program, compiled=compiled)
+        value = self._frontend.run_reference_variant(variant)
         self._reference_cache[key] = value
         return value
 
@@ -533,10 +556,7 @@ class Campaign:
         """
         if vector in self._reference_cache:
             return self._reference_cache[vector]
-        try:
-            value = run_source(source)
-        except MiniCError:
-            value = None
+        value = self._frontend.try_run_reference_source(source)
         self._reference_cache[vector] = value
         return value
 
@@ -553,7 +573,7 @@ class Campaign:
                     and repeat.signature.split(" (")[0] == signature
                 )
 
-            observation.program = reduce_program(observation.program, still_crashes)
+            observation.program = self._frontend.reduce(observation.program, still_crashes)
         return result.bugs.record(observation)
 
 
@@ -600,14 +620,19 @@ def test_program(
     name: str = "<program>",
     versions: list[str] | None = None,
     opt_levels: list[OptimizationLevel] | None = None,
+    frontend: str = "minic",
 ) -> list[Observation]:
-    """Convenience helper: test a single program against a configuration matrix."""
-    versions = versions or ["scc-trunk", "lcc-trunk"]
-    opt_levels = opt_levels or [OptimizationLevel.O0, OptimizationLevel.O3]
+    """Convenience helper: test a single program against a configuration matrix.
+
+    ``versions``/``opt_levels`` default to the frontend's matrix.
+    """
+    resolved = get_frontend(frontend)
+    versions = versions or list(resolved.default_versions)
+    opt_levels = opt_levels or list(resolved.default_opt_levels)
     observations: list[Observation] = []
     for version in versions:
         for level in opt_levels:
-            oracle = DifferentialOracle(version=version, opt_level=level)
+            oracle = DifferentialOracle(version=version, opt_level=level, frontend=frontend)
             observations.append(oracle.observe(source, name=name))
     return observations
 

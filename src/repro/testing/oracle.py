@@ -1,7 +1,11 @@
 """The differential oracle.
 
-Given one C program and one compiler configuration it produces an
-:class:`Observation`:
+Given one program and one compiler configuration it produces an
+:class:`Observation`.  The oracle is language-agnostic: it resolves its
+``frontend`` through :mod:`repro.frontends` and talks to the language only
+through the protocol -- the frontend supplies the executor pair (the
+compiler under test and its fault-free reference sibling) and the reference
+interpreter.  Possible observations:
 
 * ``CRASH`` -- the compiler raised an internal compiler error;
 * ``WRONG_CODE`` -- the program is UB-free according to the reference
@@ -23,10 +27,11 @@ import enum
 from dataclasses import dataclass, field
 from typing import Callable
 
-from repro.compiler.driver import Compiler, CompileOutcome
+from repro.compiler.driver import CompileOutcome
 from repro.compiler.pipeline import OptimizationLevel
+from repro.core.execution import ExecutionResult, ExecutionStatus
 from repro.core.holes import BoundVariant
-from repro.minic.interp import ExecutionResult, ExecutionStatus, run_source, run_unit
+from repro.frontends import Frontend, get_frontend
 
 
 class ObservationKind(enum.Enum):
@@ -75,6 +80,9 @@ class DifferentialOracle:
         performance_ratio: a compilation whose effort exceeds
             ``performance_ratio`` times the reference compiler's effort on the
             same program is reported as a performance bug.
+        frontend: the language plug-in (a registry name or a
+            :class:`~repro.frontends.base.Frontend` instance) supplying the
+            executors and the reference interpreter.
     """
 
     version: str = "scc-trunk"
@@ -82,11 +90,17 @@ class DifferentialOracle:
     machine_bits: int = 64
     interp_max_steps: int = 200_000
     performance_ratio: float = 10.0
+    frontend: "str | Frontend" = "minic"
 
     def __post_init__(self) -> None:
         self.opt_level = OptimizationLevel(int(self.opt_level))
-        self._compiler = Compiler(self.version, self.opt_level, machine_bits=self.machine_bits)
-        self._reference = Compiler("reference", self.opt_level, machine_bits=self.machine_bits)
+        self._frontend = get_frontend(self.frontend)
+        self._compiler = self._frontend.executor(
+            self.version, self.opt_level, machine_bits=self.machine_bits
+        )
+        self._reference = self._frontend.executor(
+            self._frontend.reference_version, self.opt_level, machine_bits=self.machine_bits
+        )
 
     # -- main entry point -----------------------------------------------------------
 
@@ -99,7 +113,7 @@ class DifferentialOracle:
         """Test one program from source text; never raises.
 
         Args:
-            source: the C program to test.
+            source: the program to test.
             name: label used in observations and bug reports.
             reference_result: a pre-computed reference-interpreter result for
                 ``source`` (the campaign harness computes it once per variant
@@ -113,7 +127,9 @@ class DifferentialOracle:
             program=source,
             bug_program=lambda: source,
             reference_compile=lambda: self._reference.compile_source(source, name=name),
-            reference_run=lambda: run_source(source, max_steps=self.interp_max_steps),
+            reference_run=lambda: self._frontend.run_reference_source(
+                source, max_steps=self.interp_max_steps
+            ),
             execute=lambda: self._compiler.run(outcome),
         )
 
@@ -139,7 +155,9 @@ class DifferentialOracle:
             program="",
             bug_program=lambda: variant.source,
             reference_compile=lambda: self._reference.compile_variant(variant, name=name),
-            reference_run=lambda: run_unit(variant.program, max_steps=self.interp_max_steps),
+            reference_run=lambda: self._frontend.run_reference_variant(
+                variant, max_steps=self.interp_max_steps
+            ),
             execute=lambda: self._run_shared(outcome, variant),
         )
 

@@ -6,6 +6,10 @@ predicate -- "compiler X still crashes with this signature" or "still
 miscompiles" -- keeps holding.  This is a small, greedy cousin of C-Reduce /
 Berkeley Delta (paper Section 6), sufficient for the single-file programs SPE
 produces.
+
+This module is the mini-C reducer; the campaign harness routes reduction
+through the frontend protocol (``frontend.reduce(source, predicate)``),
+which lands here for mini-C and in :mod:`repro.lang.reduce` for WHILE.
 """
 
 from __future__ import annotations
