@@ -19,6 +19,7 @@ that the rebind pipeline is not slower than the legacy one.
 from __future__ import annotations
 
 import json
+import tempfile
 import time
 from pathlib import Path
 
@@ -101,6 +102,31 @@ def test_campaign_throughput(benchmark, run_once):
     # (generous margin: both runs share the machine, noise is correlated).
     assert fast_vps >= 0.9 * legacy_vps
 
+    # Journaling overhead: the same workload with the persistent campaign
+    # store enabled (one unbuffered JSONL append per completed unit).  The
+    # store's cost is per *unit*, not per variant, so the overhead must stay
+    # a small fraction of rebind throughput; a resumed run replays the
+    # journal without testing anything and should be near-instant.
+    with tempfile.TemporaryDirectory() as state_dir:
+        journal_config = CampaignConfig(
+            max_variants_per_file=WORKLOAD["max_variants_per_file"],
+            state_dir=state_dir,
+        )
+        started = time.perf_counter()
+        journal_result = Campaign(journal_config).run_sources(corpus)
+        journal_seconds = time.perf_counter() - started
+        started = time.perf_counter()
+        resumed_result = Campaign(journal_config).run_sources(corpus, resume=True)
+        resume_seconds = time.perf_counter() - started
+    assert journal_result.variants_tested == variants
+    assert journal_result.observations == fast_result.observations
+    assert resumed_result.observations == journal_result.observations
+    assert resumed_result.variants_tested == variants  # replayed, not re-tested
+    journal_vps = variants / journal_seconds
+    # Generous bound (shared machine, correlated noise); the recorded
+    # overhead_pct is the number the acceptance criterion tracks.
+    assert journal_vps >= 0.75 * fast_vps
+
     # Per-language throughput: every registered frontend runs the same small
     # campaign shape, so the recorded numbers are comparable run over run.
     per_language = {}
@@ -135,6 +161,11 @@ def test_campaign_throughput(benchmark, run_once):
         "legacy_frontend_passes": legacy_parses,
         "rebind_frontend_passes_per_variant": round(fast_parses / variants, 4),
         "legacy_frontend_passes_per_variant": round(legacy_parses / variants, 4),
+        "journal": {
+            "journaled_variants_per_sec": round(journal_vps, 2),
+            "overhead_pct": round(max(0.0, (1 - journal_vps / fast_vps)) * 100, 2),
+            "resume_replay_seconds": round(resume_seconds, 3),
+        },
         "language_workload": LANGUAGE_WORKLOAD,
         "per_language": per_language,
         "seed_baseline_note": (

@@ -10,8 +10,12 @@ registered language frontend; the default is mini-C):
   trunk compilers;
 * ``campaign``         -- run a bug-hunting campaign over the language's
   built-in corpus; supports ``--lang {minic,while,...}``, ``--jobs N``
-  (process-parallel shards), ``--sample K`` (uniform per-file sampling) and
-  ``--shard I/N`` (distributed partial runs);
+  (process-parallel shards), ``--sample K`` (uniform per-file sampling),
+  ``--shard I/N`` (distributed partial runs), and the persistent campaign
+  store: ``--state-dir DIR`` journals per-unit outcomes durably,
+  ``--resume`` replays them after a crash, ``--incremental`` re-tests only
+  compiler versions not yet covered, ``--fresh`` discards an existing
+  journal (a non-resume run refuses to overwrite one);
 * ``experiment NAME``  -- regenerate a table/figure (table1, table2, table3,
   table4, fig8, fig9, fig10, or ``all``).
 """
@@ -111,7 +115,36 @@ def _parse_shard(spec: str) -> tuple[int, int]:
 
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.store import CampaignStore, StoreMismatchError
     from repro.testing.harness import Campaign, CampaignConfig
+
+    if (args.resume or args.incremental) and args.state_dir is None:
+        print("error: --resume/--incremental require --state-dir", file=sys.stderr)
+        return 2
+    resume, incremental = args.resume, args.incremental
+    if args.state_dir is not None and (resume or incremental):
+        # First run against an empty state dir: fall back to a fresh run that
+        # creates the store, so `--resume` is safe to pass unconditionally in
+        # scripts and cron jobs.
+        if not CampaignStore(args.state_dir).manifest_path.exists():
+            print(f"# no journal in {args.state_dir} yet; starting a fresh campaign")
+            resume = incremental = False
+    if (
+        args.state_dir is not None
+        and not (resume or incremental or args.fresh)
+        and args.shard is None  # distributed shard runs append, never truncate
+    ):
+        journal = CampaignStore(args.state_dir).journal_path
+        if journal.exists() and journal.stat().st_size > 0:
+            # Guard the destructive direction: a fresh run truncates the
+            # journal, so an operator re-running the command from history
+            # after a crash must opt in explicitly.
+            print(
+                f"error: {args.state_dir} already holds a campaign journal; "
+                "pass --resume/--incremental to continue it, or --fresh to discard it",
+                file=sys.stderr,
+            )
+            return 2
 
     corpus = get_frontend(args.lang).build_corpus(files=args.files, seed=args.seed)
     config = CampaignConfig(
@@ -120,16 +153,25 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         sample_per_file=args.sample,
         sample_seed=args.seed,
         jobs=args.jobs,
+        state_dir=args.state_dir,
     )
     campaign = Campaign(config)
-    if args.shard is not None:
-        shard_index, shard_count = args.shard
-        result = campaign.run_sources(
-            corpus, shard_count=shard_count, shard_index=shard_index
-        )
-        print(f"# shard {shard_index}/{shard_count} (merge partial results with CampaignResult.merge)")
-    else:
-        result = campaign.run_sources(corpus)
+    try:
+        if args.shard is not None:
+            shard_index, shard_count = args.shard
+            result = campaign.run_sources(
+                corpus,
+                shard_count=shard_count,
+                shard_index=shard_index,
+                resume=resume,
+                incremental=incremental,
+            )
+            print(f"# shard {shard_index}/{shard_count} (merge partial results with CampaignResult.merge)")
+        else:
+            result = campaign.run_sources(corpus, resume=resume, incremental=incremental)
+    except StoreMismatchError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     print(result.summary())
     print()
     for report in result.bugs.reports:
@@ -205,6 +247,26 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument(
         "--shard", type=_parse_shard, default=None, metavar="I/N",
         help="run only shard I of N (0-based) and print its mergeable partial summary",
+    )
+    campaign.add_argument(
+        "--state-dir", default=None, metavar="DIR",
+        help="persist per-unit outcomes to DIR (append-only journal + manifest) "
+             "so an interrupted campaign can be resumed",
+    )
+    campaign.add_argument(
+        "--resume", action="store_true",
+        help="replay units already journaled in --state-dir instead of re-testing "
+             "them (falls back to a fresh run when the journal does not exist yet)",
+    )
+    campaign.add_argument(
+        "--incremental", action="store_true",
+        help="like --resume, but re-test journaled units against compiler versions "
+             "they have not covered yet (new versions re-run only the new oracle column)",
+    )
+    campaign.add_argument(
+        "--fresh", action="store_true",
+        help="discard an existing journal in --state-dir and start over "
+             "(without this, a non-resume run refuses to overwrite one)",
     )
     campaign.set_defaults(func=_cmd_campaign)
 

@@ -1,0 +1,68 @@
+"""Persistent campaign store: crash-safe resume and incremental re-runs.
+
+The paper's campaigns run for months against evolving compiler trunks; this
+package makes the reproduction's campaigns survive the same regime.  It
+provides:
+
+* JSON serialization for everything a campaign produces
+  (:mod:`repro.store.serialize`);
+* an append-only, crash-tolerant JSONL journal of per-unit outcomes with
+  periodic checkpoints (:mod:`repro.store.journal`);
+* the :class:`~repro.store.store.CampaignStore` coordinator -- manifest
+  fingerprinting, unit-record replay, and the associative merge algebra
+  that makes resumed, incremental and shuffled replays produce results
+  identical to an uninterrupted run (:mod:`repro.store.store`).
+
+The harness wires it up through ``CampaignConfig.state_dir`` and
+``Campaign.run_sources(resume=..., incremental=...)``; the CLI exposes
+``--state-dir`` / ``--resume`` / ``--incremental``.  See
+``docs/ARCHITECTURE.md`` section 6.
+"""
+
+from repro.store.journal import (
+    JOURNAL_FORMAT,
+    JournalWriter,
+    UnitRecord,
+    load_unit_records,
+    read_journal,
+    unit_key_for,
+)
+from repro.store.serialize import (
+    StoreFormatError,
+    bug_database_from_json,
+    bug_database_to_json,
+    bug_report_from_json,
+    bug_report_to_json,
+    campaign_result_from_json,
+    campaign_result_to_json,
+)
+from repro.store.store import (
+    CampaignStore,
+    StoreError,
+    StoreMismatchError,
+    config_fingerprint,
+    merge_unit_records,
+    select_records,
+)
+
+__all__ = [
+    "JOURNAL_FORMAT",
+    "CampaignStore",
+    "JournalWriter",
+    "StoreError",
+    "StoreFormatError",
+    "StoreMismatchError",
+    "UnitRecord",
+    "bug_database_from_json",
+    "bug_database_to_json",
+    "bug_report_from_json",
+    "bug_report_to_json",
+    "campaign_result_from_json",
+    "campaign_result_to_json",
+    "config_fingerprint",
+    "load_unit_records",
+    "merge_unit_records",
+    "read_journal",
+    "select_records",
+    "unit_key_for",
+]

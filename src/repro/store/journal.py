@@ -1,0 +1,245 @@
+"""The append-only campaign journal.
+
+One campaign state directory contains two files:
+
+* ``journal.jsonl`` -- an append-only log, one JSON record per line.  The
+  load-bearing record type is ``unit``: the complete, mergeable
+  :class:`~repro.testing.harness.CampaignResult` of one
+  :class:`~repro.testing.harness.ShardUnit` (a file's variant-index slice)
+  under one set of compiler versions.  ``checkpoint`` records interleave
+  periodically with progress counters and a merged summary so an operator
+  (or the CLI) can read campaign progress without replaying the log.
+* ``manifest.json`` -- the campaign fingerprint and format version
+  (:mod:`repro.store.store`), rewritten atomically.
+
+Durability and concurrency model:
+
+* every record is one line, written with a single unbuffered ``write`` call
+  on an ``O_APPEND`` file descriptor -- shard *worker processes* append
+  their own unit records directly, so once the write returns the record
+  lives in the kernel, surviving the worker, the pool and the parent all
+  dying right after the unit completes.  ``fsync=True`` additionally syncs
+  every record to stable storage (machine-crash durability) at a measurable
+  per-unit cost; by default the journal is fsync'd once on close;
+* the reader (:func:`read_journal`) tolerates a torn final line (the
+  classic crash artifact of an interrupted append) and skips unparsable
+  lines instead of failing the whole resume;
+* records are only ever appended for work actually executed, and the
+  harness plans disjoint units per run, so concurrent writers never
+  produce conflicting records for one unit key.
+
+Unit keys are content-derived (:func:`unit_key`): the seed name, the
+SHA-256 of its source text, and the exact index slice.  Editing a seed file
+or changing the plan shape therefore *misses* the old records and re-runs
+the unit -- stale records are simply never replayed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.store.serialize import (
+    StoreFormatError,
+    campaign_result_from_json,
+    campaign_result_to_json,
+)
+
+#: Journal format version; bumped on incompatible record-shape changes.
+JOURNAL_FORMAT = 1
+
+
+def source_sha(source: str) -> str:
+    return hashlib.sha256(source.encode()).hexdigest()[:16]
+
+
+def unit_key(
+    name: str,
+    source_digest: str,
+    start: int,
+    stop: int,
+    indices: tuple[int, ...] | None,
+    primary: bool,
+) -> str:
+    """Content-derived identity of one shard unit's work."""
+    payload = json.dumps(
+        [name, source_digest, start, stop, list(indices) if indices is not None else None, primary],
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+def unit_key_for(unit) -> str:
+    """The journal key of a :class:`~repro.testing.harness.ShardUnit`."""
+    return unit_key(
+        unit.name, source_sha(unit.source), unit.start, unit.stop, unit.indices, unit.primary
+    )
+
+
+@dataclass(frozen=True)
+class UnitRecord:
+    """One journaled unit outcome: a unit key, the versions it covered, and
+    the unit's complete mergeable result."""
+
+    key: str
+    name: str
+    versions: tuple[str, ...]
+    result: Any  # CampaignResult (typed loosely to avoid an import cycle)
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "type": "unit",
+            "format": JOURNAL_FORMAT,
+            "key": self.key,
+            "name": self.name,
+            "versions": list(self.versions),
+            "result": campaign_result_to_json(self.result),
+        }
+
+    @staticmethod
+    def from_json(payload: dict[str, Any]) -> "UnitRecord":
+        try:
+            return UnitRecord(
+                key=payload["key"],
+                name=payload.get("name", ""),
+                versions=tuple(sorted(payload["versions"])),
+                result=campaign_result_from_json(payload["result"]),
+            )
+        except (KeyError, TypeError) as error:
+            raise StoreFormatError(f"malformed unit record: {error}") from error
+
+
+class JournalWriter:
+    """Appends records to ``journal.jsonl`` durably.
+
+    Safe to instantiate independently in every shard worker process: each
+    record is one unbuffered O_APPEND write of a full line, so concurrent
+    appends from multiple workers interleave at line granularity and every
+    acknowledged record survives a crash of any process involved (the data
+    is in the kernel once the write returns).  ``fsync=True`` adds a sync
+    per record for machine-crash durability; otherwise the file is fsync'd
+    once on close.
+    """
+
+    def __init__(self, path: str | Path, *, fsync: bool = False) -> None:
+        self.path = Path(path)
+        self._fsync = fsync
+        self._file: io.FileIO | None = None
+
+    def _handle(self) -> io.FileIO:
+        if self._file is None or self._file.closed:
+            # Unbuffered binary append: one line per write() call.
+            self._file = open(self.path, "ab", buffering=0)
+        return self._file
+
+    def _append(self, payload: dict[str, Any]) -> None:
+        line = (json.dumps(payload, separators=(",", ":")) + "\n").encode()
+        handle = self._handle()
+        handle.write(line)
+        if self._fsync:
+            os.fsync(handle.fileno())
+
+    def append_unit(self, unit, versions, result) -> UnitRecord:
+        """Journal one completed unit's result under the versions it covered."""
+        record = UnitRecord(
+            key=unit_key_for(unit),
+            name=unit.name,
+            versions=tuple(sorted(versions)),
+            result=result,
+        )
+        self._append(record.to_json())
+        return record
+
+    def append_checkpoint(self, units_seen: int, summary: dict[str, Any]) -> None:
+        """Journal a progress checkpoint (merged counters so far).
+
+        Checkpoints are observability, not recovery state: resume replays
+        unit records (whose merge is associative and order-independent), so
+        a missing or torn checkpoint costs nothing.
+        """
+        self._append(
+            {
+                "type": "checkpoint",
+                "format": JOURNAL_FORMAT,
+                "units_seen": units_seen,
+                "summary": summary,
+            }
+        )
+
+    def close(self) -> None:
+        if self._file is not None and not self._file.closed:
+            try:
+                os.fsync(self._file.fileno())
+            except OSError:  # pragma: no cover - exotic filesystems
+                pass
+            self._file.close()
+
+    def __enter__(self) -> "JournalWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def read_journal(path: str | Path) -> Iterator[dict[str, Any]]:
+    """Yield parsed journal records, tolerating crash-torn or corrupt lines.
+
+    A process killed mid-append leaves a truncated final line; a disk-full
+    write can corrupt one in the middle.  Neither should cost the rest of
+    the log, so unparsable lines are skipped rather than raised.
+    """
+    path = Path(path)
+    if not path.exists():
+        return
+    with open(path, "r", encoding="utf-8", errors="replace") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(payload, dict):
+                yield payload
+
+
+def load_unit_records(path: str | Path) -> dict[str, list[UnitRecord]]:
+    """All well-formed unit records in the journal, grouped by unit key."""
+    records: dict[str, list[UnitRecord]] = {}
+    for payload in read_journal(path):
+        if payload.get("type") != "unit":
+            continue
+        try:
+            record = UnitRecord.from_json(payload)
+        except StoreFormatError:
+            continue
+        records.setdefault(record.key, []).append(record)
+    return records
+
+
+def last_checkpoint(path: str | Path) -> dict[str, Any] | None:
+    """The most recent checkpoint record, if any (progress observability)."""
+    checkpoint = None
+    for payload in read_journal(path):
+        if payload.get("type") == "checkpoint":
+            checkpoint = payload
+    return checkpoint
+
+
+__all__ = [
+    "JOURNAL_FORMAT",
+    "JournalWriter",
+    "UnitRecord",
+    "last_checkpoint",
+    "load_unit_records",
+    "read_journal",
+    "source_sha",
+    "unit_key",
+    "unit_key_for",
+]

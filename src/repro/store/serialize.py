@@ -1,0 +1,162 @@
+"""JSON codecs for campaign state: bug reports, databases, results.
+
+The persistent campaign store (:mod:`repro.store.journal`) is a plain-text
+JSONL journal, so everything a campaign produces must round-trip through
+JSON without losing the structure the merge layer depends on:
+
+* :class:`~repro.testing.bugs.BugReport` dedup keys are (possibly nested)
+  tuples -- they are encoded as nested lists and *re-tupled* on load, so a
+  reloaded database deduplicates against live observations exactly;
+* enum-valued fields (:class:`~repro.testing.bugs.BugKind`,
+  :class:`~repro.compiler.pipeline.OptimizationLevel`) are stored by value;
+* :class:`~repro.testing.harness.CampaignResult` counters and observation
+  histograms are plain dictionaries already.
+
+All codecs are pure functions (``x == from_json(to_json(x))`` up to dataclass
+equality) and raise :class:`StoreFormatError` on malformed input rather than
+surfacing ``KeyError``/``TypeError`` from deep inside the loader.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.testing.bugs import BugDatabase, BugReport
+
+# The testing layer imports this package back (the harness persists through
+# the store), so the codecs resolve their repro.testing/... names lazily at
+# call time instead of at import time.
+
+
+class StoreFormatError(ValueError):
+    """A journal/manifest payload does not match the store format."""
+
+
+def encode_key(key: tuple | None) -> list | None:
+    """Encode a (nested) dedup-key tuple as nested JSON lists."""
+    if key is None:
+        return None
+    return [encode_key(item) if isinstance(item, tuple) else item for item in key]
+
+
+def decode_key(key: list | None) -> tuple | None:
+    """Invert :func:`encode_key`: nested lists back to nested tuples."""
+    if key is None:
+        return None
+    return tuple(decode_key(item) if isinstance(item, list) else item for item in key)
+
+
+# -- bug reports ----------------------------------------------------------------
+
+
+def bug_report_to_json(report: BugReport) -> dict[str, Any]:
+    return {
+        "id": report.id,
+        "kind": report.kind.value,
+        "compiler": report.compiler,
+        "lineage": report.lineage,
+        "opt_level": int(report.opt_level),
+        "signature": report.signature,
+        "test_program": report.test_program,
+        "source_name": report.source_name,
+        "component": report.component,
+        "priority": report.priority,
+        "fault_ids": list(report.fault_ids),
+        "affected_versions": list(report.affected_versions),
+        "duplicate_count": report.duplicate_count,
+        "dedup_key": encode_key(report.dedup_key),
+    }
+
+
+def bug_report_from_json(payload: dict[str, Any]) -> "BugReport":
+    from repro.compiler.pipeline import OptimizationLevel
+    from repro.testing.bugs import BugKind, BugReport
+
+    try:
+        return BugReport(
+            id=payload["id"],
+            kind=BugKind(payload["kind"]),
+            compiler=payload["compiler"],
+            lineage=payload["lineage"],
+            opt_level=OptimizationLevel(payload["opt_level"]),
+            signature=payload["signature"],
+            test_program=payload["test_program"],
+            source_name=payload["source_name"],
+            component=payload.get("component", "unknown"),
+            priority=payload.get("priority", "P3"),
+            fault_ids=list(payload.get("fault_ids", [])),
+            affected_versions=list(payload.get("affected_versions", [])),
+            duplicate_count=int(payload.get("duplicate_count", 0)),
+            dedup_key=decode_key(payload.get("dedup_key")),
+        )
+    except (KeyError, ValueError, TypeError) as error:
+        raise StoreFormatError(f"malformed bug report record: {error}") from error
+
+
+# -- bug databases --------------------------------------------------------------
+
+
+def bug_database_to_json(database: "BugDatabase") -> dict[str, Any]:
+    return {"reports": [bug_report_to_json(report) for report in database.reports]}
+
+
+def bug_database_from_json(payload: dict[str, Any]) -> "BugDatabase":
+    from repro.testing.bugs import BugDatabase
+
+    database = BugDatabase()
+    try:
+        reports = payload["reports"]
+    except (KeyError, TypeError) as error:
+        raise StoreFormatError(f"malformed bug database record: {error}") from error
+    for entry in reports:
+        report = bug_report_from_json(entry)
+        # ``insert`` (not ``absorb``): loading must reproduce the serialized
+        # database exactly, duplicate counts included.
+        database.insert(report)
+    return database
+
+
+# -- campaign results ------------------------------------------------------------
+
+
+def campaign_result_to_json(result) -> dict[str, Any]:
+    return {
+        "bugs": bug_database_to_json(result.bugs),
+        "files_processed": result.files_processed,
+        "files_skipped_budget": result.files_skipped_budget,
+        "files_skipped_error": result.files_skipped_error,
+        "variants_tested": result.variants_tested,
+        "observations": dict(result.observations),
+        "wall_seconds": result.wall_seconds,
+    }
+
+
+def campaign_result_from_json(payload: dict[str, Any]):
+    from repro.testing.harness import CampaignResult
+
+    try:
+        return CampaignResult(
+            bugs=bug_database_from_json(payload["bugs"]),
+            files_processed=int(payload["files_processed"]),
+            files_skipped_budget=int(payload["files_skipped_budget"]),
+            files_skipped_error=int(payload["files_skipped_error"]),
+            variants_tested=int(payload["variants_tested"]),
+            observations={str(k): int(v) for k, v in payload["observations"].items()},
+            wall_seconds=float(payload.get("wall_seconds", 0.0)),
+        )
+    except (KeyError, ValueError, TypeError) as error:
+        raise StoreFormatError(f"malformed campaign result record: {error}") from error
+
+
+__all__ = [
+    "StoreFormatError",
+    "bug_database_from_json",
+    "bug_database_to_json",
+    "bug_report_from_json",
+    "bug_report_to_json",
+    "campaign_result_from_json",
+    "campaign_result_to_json",
+    "decode_key",
+    "encode_key",
+]

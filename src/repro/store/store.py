@@ -1,0 +1,292 @@
+"""The campaign store: manifest + journal + the unit-record merge algebra.
+
+:class:`CampaignStore` owns one campaign *state directory*:
+
+* ``manifest.json`` -- the campaign **fingerprint**: every config knob that
+  changes what a unit record *means* (frontend, opt levels, machine bits,
+  sampling, budget, granularity...).  A journal is only replayed into a
+  campaign with a matching fingerprint; anything else raises
+  :class:`StoreMismatchError` instead of silently merging apples into
+  oranges.  Compiler ``versions`` are deliberately *not* part of the
+  fingerprint -- each unit record carries the version set it covered, which
+  is what makes incremental re-runs (new compiler version => run only the
+  new column of the oracle matrix) possible.  ``use_ast_rebinding`` and
+  ``jobs`` are also excluded: the equivalence suite proves the pipelines
+  and shardings observationally identical, so records are interchangeable
+  across them.
+* ``journal.jsonl`` -- the append-only unit log (:mod:`repro.store.journal`).
+
+The merge algebra (:func:`merge_unit_records`) is what keeps resume and
+incremental runs exact.  Records for *different* units merge like shard
+results (counters sum).  Records for the *same* unit cover disjoint version
+sets, so their observation histograms and bug databases union -- but the
+unit's variants were walked once per record, so the per-variant counters
+(``variants_tested``, ``files_processed``...) take the **max**, not the sum.
+Both operations are associative and commutative, which is why a journal can
+be replayed in any order (shuffled, interleaved with live shards, across
+incremental generations) and produce one identical campaign result.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Iterable, Sequence
+
+from repro.store.journal import (
+    JOURNAL_FORMAT,
+    JournalWriter,
+    UnitRecord,
+    last_checkpoint,
+    load_unit_records,
+)
+
+
+class StoreError(RuntimeError):
+    """Base class for campaign-store failures."""
+
+
+class StoreMismatchError(StoreError):
+    """The state directory belongs to an incompatible campaign."""
+
+
+def config_fingerprint(config) -> dict[str, Any]:
+    """The store identity of a campaign configuration.
+
+    Two configs with equal fingerprints produce interchangeable unit
+    records.  See the module docstring for what is deliberately excluded
+    (``versions``, ``use_ast_rebinding``, ``jobs``).
+    """
+    return {
+        "format": JOURNAL_FORMAT,
+        "frontend": config.frontend,
+        "opt_levels": [int(level) for level in config.opt_levels],
+        "machine_bits": list(config.machine_bits),
+        "granularity": config.granularity.value,
+        "budget": {
+            "max_variants": config.budget.max_variants,
+            "truncate": config.budget.truncate,
+        },
+        "use_naive_enumeration": config.use_naive_enumeration,
+        "unit_variants": config.unit_variants,
+        "max_variants_per_file": config.max_variants_per_file,
+        "sample_per_file": config.sample_per_file,
+        "sample_seed": config.sample_seed,
+        "stop_after_bugs": config.stop_after_bugs,
+        "reduce_bugs": config.reduce_bugs,
+    }
+
+
+def select_records(
+    records: Sequence[UnitRecord], needed: set[str]
+) -> tuple[list[UnitRecord], set[str]]:
+    """Deterministically choose replayable records for one unit.
+
+    A record is usable when its version set is contained in ``needed`` (a
+    record covering foreign versions cannot be decomposed) and disjoint from
+    the versions already selected (overlapping records would double-count
+    observations).  Greedy **widest-first** (then lexicographic), so every
+    run of every process picks the same records, a record covering the full
+    needed set always wins over a partial one it overlaps (a journal holding
+    both ``(v1,)`` and ``(v1, v2)`` generations converges instead of
+    re-running forever), and the *coverage* reported here is exactly what
+    :func:`merge_unit_records` will replay, never more.
+    """
+    usable: list[UnitRecord] = []
+    covered: set[str] = set()
+    for record in sorted(records, key=lambda record: (-len(record.versions), record.versions)):
+        versions = set(record.versions)
+        if versions <= needed and not (versions & covered):
+            usable.append(record)
+            covered |= versions
+    return usable, covered
+
+
+def merge_unit_records(records: Sequence[UnitRecord]):
+    """Merge the records of ONE unit key into one unit result.
+
+    The records cover disjoint version sets of the same index slice:
+    observations sum and bugs union (each version column contributed its
+    own), while the walk counters take the max -- every record walked the
+    same variants, so summing them would double-count.  Associative and
+    commutative, hence order-independent.
+    """
+    from repro.testing.harness import CampaignResult
+
+    merged = CampaignResult()
+    for record in sorted(records, key=lambda record: record.versions):
+        result = record.result
+        for key, count in result.observations.items():
+            merged.observations[key] = merged.observations.get(key, 0) + count
+        merged.bugs = merged.bugs.merge(result.bugs)
+        merged.files_processed = max(merged.files_processed, result.files_processed)
+        merged.files_skipped_budget = max(
+            merged.files_skipped_budget, result.files_skipped_budget
+        )
+        merged.files_skipped_error = max(
+            merged.files_skipped_error, result.files_skipped_error
+        )
+        merged.variants_tested = max(merged.variants_tested, result.variants_tested)
+        merged.wall_seconds = max(merged.wall_seconds, result.wall_seconds)
+    return merged
+
+
+class CampaignStore:
+    """One campaign's durable state directory (manifest + journal)."""
+
+    MANIFEST_NAME = "manifest.json"
+    JOURNAL_NAME = "journal.jsonl"
+
+    def __init__(self, state_dir: str | Path, *, fsync: bool = False) -> None:
+        self.state_dir = Path(state_dir)
+        self._fsync = fsync
+        self._writer: JournalWriter | None = None
+        self._records: dict[str, list[UnitRecord]] = {}
+
+    # -- paths -------------------------------------------------------------
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.state_dir / self.MANIFEST_NAME
+
+    @property
+    def journal_path(self) -> Path:
+        return self.state_dir / self.JOURNAL_NAME
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def begin(
+        self, fingerprint: dict[str, Any], *, resume: bool, preserve: bool = False
+    ) -> None:
+        """Open the store for one campaign run.
+
+        ``resume=False`` starts fresh: the manifest is (re)written and any
+        existing journal truncated.  ``resume=True`` validates the manifest
+        against ``fingerprint`` and loads the journaled unit records for
+        replay; a missing or mismatching manifest raises
+        :class:`StoreMismatchError` -- replaying records that mean something
+        else would corrupt the campaign silently.
+
+        ``preserve=True`` (distributed ``--shard i/n`` runs appending into a
+        shared state directory) keeps an existing journal whose manifest
+        matches ``fingerprint`` instead of truncating it, so each machine's
+        partial run adds its units to the common log.
+        """
+        self.state_dir.mkdir(parents=True, exist_ok=True)
+        if resume:
+            manifest = self.read_manifest()
+            if manifest is None:
+                raise StoreMismatchError(
+                    f"cannot resume: no manifest in {self.state_dir} "
+                    "(run once without resume to create the store)"
+                )
+            stored = manifest.get("fingerprint")
+            if stored != fingerprint:
+                differing = sorted(
+                    key
+                    for key in set(stored or {}) | set(fingerprint)
+                    if (stored or {}).get(key) != fingerprint.get(key)
+                )
+                raise StoreMismatchError(
+                    f"state directory {self.state_dir} belongs to a different campaign "
+                    f"(fingerprint differs in: {', '.join(differing)})"
+                )
+            self._records = load_unit_records(self.journal_path)
+        else:
+            if preserve:
+                # Distributed shard runs append into a shared directory and
+                # may start concurrently on several machines, so this path
+                # must never truncate: records already appended by a sibling
+                # shard (even one that raced past us before the manifest was
+                # visible) stay intact.
+                manifest = self.read_manifest()
+                if manifest is not None and manifest.get("fingerprint") != fingerprint:
+                    # Never truncate someone else's journal: a shared state
+                    # directory holding another campaign's records is an
+                    # operator error, not ours to destroy.
+                    raise StoreMismatchError(
+                        f"state directory {self.state_dir} already belongs to a "
+                        "different campaign; use a fresh directory for this "
+                        "distributed run"
+                    )
+                if manifest is None:
+                    self.write_manifest(fingerprint)
+                open(self.journal_path, "ab").close()
+                self._records = {}
+                return
+            self.write_manifest(fingerprint)
+            open(self.journal_path, "wb").close()
+            self._records = {}
+
+    def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            self._writer = None
+
+    # -- manifest ----------------------------------------------------------
+
+    def read_manifest(self) -> dict[str, Any] | None:
+        if not self.manifest_path.exists():
+            return None
+        try:
+            payload = json.loads(self.manifest_path.read_text())
+        except (OSError, json.JSONDecodeError) as error:
+            raise StoreError(f"unreadable manifest {self.manifest_path}: {error}") from error
+        if not isinstance(payload, dict):
+            raise StoreError(f"malformed manifest {self.manifest_path}")
+        return payload
+
+    def write_manifest(self, fingerprint: dict[str, Any]) -> None:
+        """Atomically replace the manifest (write-to-temp + rename)."""
+        payload = {"format": JOURNAL_FORMAT, "fingerprint": fingerprint}
+        temp = self.manifest_path.with_suffix(".json.tmp")
+        temp.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        os.replace(temp, self.manifest_path)
+
+    # -- records -----------------------------------------------------------
+
+    def records_for(self, key: str) -> list[UnitRecord]:
+        return self._records.get(key, [])
+
+    def select(self, key: str, needed: Iterable[str]) -> tuple[list[UnitRecord], set[str]]:
+        """Replayable records and the versions they cover for one unit."""
+        return select_records(self.records_for(key), set(needed))
+
+    # -- writing -----------------------------------------------------------
+
+    def writer(self) -> JournalWriter:
+        if self._writer is None:
+            self._writer = JournalWriter(self.journal_path, fsync=self._fsync)
+        return self._writer
+
+    def checkpoint(self, units_seen: int, result) -> None:
+        """Append a periodic progress checkpoint (merged counters so far)."""
+        summary = {
+            "files_processed": result.files_processed,
+            "variants_tested": result.variants_tested,
+            "distinct_bugs": len(result.bugs),
+            "observations": dict(result.observations),
+        }
+        self.writer().append_checkpoint(units_seen, summary)
+
+    # -- observability -----------------------------------------------------
+
+    def status(self) -> dict[str, Any]:
+        """Cheap progress summary: unit count and the latest checkpoint."""
+        records = load_unit_records(self.journal_path)
+        return {
+            "units_journaled": sum(len(group) for group in records.values()),
+            "distinct_units": len(records),
+            "last_checkpoint": last_checkpoint(self.journal_path),
+        }
+
+
+__all__ = [
+    "CampaignStore",
+    "StoreError",
+    "StoreMismatchError",
+    "config_fingerprint",
+    "merge_unit_records",
+    "select_records",
+]

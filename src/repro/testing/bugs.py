@@ -11,6 +11,7 @@ produces the summary dictionaries the Table 4 / Figure 10 experiments render.
 from __future__ import annotations
 
 import enum
+import hashlib
 from dataclasses import dataclass, field, replace
 
 from repro.compiler.pipeline import OptimizationLevel
@@ -32,11 +33,34 @@ class BugKind(enum.Enum):
         }[kind]
 
 
+def bug_id(dedup_key: tuple) -> str:
+    """Stable, content-derived bug identifier.
+
+    Derived from the dedup key alone, so the same underlying bug gets the
+    same id in every shard, every resumed run and every merge order -- unlike
+    the historical insertion-order integer ids, which depended on discovery
+    order and made merged/resumed databases disagree on numbering.
+    """
+
+    def flatten(value) -> str:
+        if isinstance(value, tuple):
+            return "(" + ",".join(flatten(item) for item in value) + ")"
+        return repr(value)
+
+    return "b" + hashlib.sha256(flatten(dedup_key).encode()).hexdigest()[:10]
+
+
 @dataclass
 class BugReport:
-    """One deduplicated bug report."""
+    """One deduplicated bug report.
 
-    id: int
+    ``id`` is content-derived (:func:`bug_id` over the dedup key), not an
+    insertion counter: identical bugs carry identical ids across shards,
+    resumes and merges, so databases built along different paths sort and
+    deduplicate identically.
+    """
+
+    id: str
     kind: BugKind
     compiler: str
     lineage: str
@@ -53,7 +77,7 @@ class BugReport:
 
     def summary_line(self) -> str:
         return (
-            f"[{self.id:03d}] {self.lineage} {self.kind.value:>11} {self.priority} "
+            f"[{self.id}] {self.lineage} {self.kind.value:>11} {self.priority} "
             f"{str(self.opt_level):>4} {self.component:<18} {self.signature[:70]}"
         )
 
@@ -81,20 +105,20 @@ class BugDatabase:
         existing = self._by_key.get(key)
         if existing is not None:
             existing.duplicate_count += 1
-            self._adopt_if_smaller(existing, self._build_report(observation, kind, lineage, key, id=existing.id))
+            self._adopt_if_smaller(existing, self._build_report(observation, kind, lineage, key))
             return existing
 
-        report = self._build_report(observation, kind, lineage, key, id=len(self.reports) + 1)
+        report = self._build_report(observation, kind, lineage, key)
         self.reports.append(report)
         self._by_key[key] = report
         return report
 
     def _build_report(
-        self, observation: Observation, kind: BugKind, lineage: str, key: tuple, id: int
+        self, observation: Observation, kind: BugKind, lineage: str, key: tuple
     ) -> BugReport:
         component, priority, faults, affected = self._fault_metadata(observation, lineage)
         return BugReport(
-            id=id,
+            id=bug_id(key),
             kind=kind,
             compiler=observation.compiler,
             lineage=lineage,
@@ -139,18 +163,21 @@ class BugDatabase:
     def merge(self, other: "BugDatabase") -> "BugDatabase":
         """Union of two databases, deduplicated by signature.
 
-        Reports are absorbed in order (self first), re-numbered, and their
-        duplicate counts combined so that the total number of observations
-        behind each bug is preserved.  Because each bug's representative
-        metadata is the minimum under :meth:`_representative_order`, the
-        merged reports are independent of merge order and of how the
-        observations were sharded; only the report ids depend on it.
+        Reports are absorbed in order (self first) and their duplicate counts
+        combined so that the total number of observations behind each bug is
+        preserved.  Because each bug's representative metadata is the minimum
+        under :meth:`_representative_order`, its id is derived from the dedup
+        key alone, and the merged list is re-sorted canonically
+        (:meth:`sort`), the merged database is *fully* independent of merge
+        order and of how the observations were sharded -- ids and report
+        ordering included.
         """
         merged = BugDatabase()
         for report in self.reports:
             merged.absorb(report)
         for report in other.reports:
             merged.absorb(report)
+        merged.sort()
         return merged
 
     def absorb(self, report: BugReport) -> BugReport:
@@ -163,7 +190,7 @@ class BugDatabase:
             return existing
         copy = replace(
             report,
-            id=len(self.reports) + 1,
+            id=bug_id(key),
             fault_ids=list(report.fault_ids),
             affected_versions=list(report.affected_versions),
             dedup_key=key,
@@ -171,6 +198,30 @@ class BugDatabase:
         self.reports.append(copy)
         self._by_key[key] = copy
         return copy
+
+    def insert(self, report: BugReport) -> BugReport:
+        """Insert a deserialized report verbatim (no duplicate-count bump).
+
+        The store loader uses this to reconstruct a journaled database
+        exactly; a key collision means the payload was corrupt (the journal
+        never serializes two reports with one dedup key).
+        """
+        key = report.dedup_key if report.dedup_key is not None else self._key_from_report(report)
+        if key in self._by_key:
+            raise ValueError(f"duplicate dedup key in deserialized database: {key!r}")
+        report.dedup_key = key
+        self.reports.append(report)
+        self._by_key[key] = report
+        return report
+
+    def sort(self) -> None:
+        """Order reports canonically (representative order, then id).
+
+        Gives every database covering the same bug set the same report list,
+        whatever order the underlying observations arrived in -- the property
+        that makes journal replay order-independent.
+        """
+        self.reports.sort(key=lambda report: (*self._representative_order(report), report.id))
 
     # -- classification summaries -----------------------------------------------------
 
@@ -271,4 +322,4 @@ class BugDatabase:
         return component, priority, fault_ids, affected
 
 
-__all__ = ["BugDatabase", "BugKind", "BugReport"]
+__all__ = ["BugDatabase", "BugKind", "BugReport", "bug_id"]

@@ -17,23 +17,48 @@ evaluated:
 Both backends expose the same ``map(fn, items)`` surface, so anything
 shaped like that (e.g. an MPI or job-queue adapter) can be plugged into
 ``Campaign.run_sources(..., executor=...)``.
+
+When a campaign runs with a persistent state directory
+(``CampaignConfig.state_dir``), durability is layered on both sides of the
+executor boundary: shard *workers* append per-unit records to the campaign
+journal themselves (so a record survives worker, pool and parent all dying
+-- the payload config carries the state directory across the process
+boundary), and the *parent* streams shard completions through the optional
+``completed`` callback of :func:`map_streaming` to write progress
+checkpoints as results arrive instead of only after the whole pool drains.
 """
 
 from __future__ import annotations
 
 import concurrent.futures
+import inspect
 import os
 from typing import Callable, Iterable, Sequence, TypeVar
 
 _Item = TypeVar("_Item")
 _Result = TypeVar("_Result")
 
+#: Optional per-result callback, invoked as each work item completes (in
+#: completion order, which for parallel backends differs from item order).
+CompletedCallback = Callable[[_Result], None]
+
 
 class SerialExecutor:
     """Evaluate work items sequentially in the calling process."""
 
-    def map(self, fn: Callable[[_Item], _Result], items: Iterable[_Item]) -> list[_Result]:
-        return [fn(item) for item in items]
+    def map(
+        self,
+        fn: Callable[[_Item], _Result],
+        items: Iterable[_Item],
+        completed: CompletedCallback | None = None,
+    ) -> list[_Result]:
+        results: list[_Result] = []
+        for item in items:
+            result = fn(item)
+            if completed is not None:
+                completed(result)
+            results.append(result)
+        return results
 
 
 class ProcessPoolExecutor:
@@ -48,13 +73,52 @@ class ProcessPoolExecutor:
     def __init__(self, jobs: int | None = None) -> None:
         self.jobs = jobs if jobs and jobs > 0 else (os.cpu_count() or 1)
 
-    def map(self, fn: Callable[[_Item], _Result], items: Iterable[_Item]) -> list[_Result]:
+    def map(
+        self,
+        fn: Callable[[_Item], _Result],
+        items: Iterable[_Item],
+        completed: CompletedCallback | None = None,
+    ) -> list[_Result]:
         items = list(items)
         if self.jobs <= 1 or len(items) <= 1:
-            return [fn(item) for item in items]
+            return SerialExecutor().map(fn, items, completed)
         workers = min(self.jobs, len(items))
         with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(fn, items))
+            futures = [pool.submit(fn, item) for item in items]
+            if completed is not None:
+                # Stream results to the callback as workers finish them --
+                # this is what lets the harness checkpoint a long campaign's
+                # durable store while other shards are still running.
+                for future in concurrent.futures.as_completed(futures):
+                    completed(future.result())
+            return [future.result() for future in futures]
+
+
+def map_streaming(
+    executor,
+    fn: Callable[[_Item], _Result],
+    items: Sequence[_Item],
+    completed: CompletedCallback | None = None,
+) -> list[_Result]:
+    """``executor.map`` with a completion callback when the backend has one.
+
+    Third-party executors only promise ``map(fn, items)``; both built-in
+    backends additionally accept ``completed``.  This helper feature-detects
+    the parameter so streaming checkpoints degrade gracefully (callback
+    invoked once per result after the fact) on minimal backends.
+    """
+    if completed is None:
+        return executor.map(fn, items)
+    try:
+        accepts = "completed" in inspect.signature(executor.map).parameters
+    except (TypeError, ValueError):  # builtins / C callables
+        accepts = False
+    if accepts:
+        return executor.map(fn, items, completed=completed)
+    results = executor.map(fn, items)
+    for result in results:
+        completed(result)
+    return results
 
 
 def default_executor(jobs: int | None) -> SerialExecutor | ProcessPoolExecutor:
@@ -64,4 +128,4 @@ def default_executor(jobs: int | None) -> SerialExecutor | ProcessPoolExecutor:
     return ProcessPoolExecutor(jobs)
 
 
-__all__ = ["ProcessPoolExecutor", "SerialExecutor", "default_executor"]
+__all__ = ["ProcessPoolExecutor", "SerialExecutor", "default_executor", "map_streaming"]

@@ -12,8 +12,11 @@ phases:
    canonical variants (a closed form, no enumeration); skip files above the
    enumeration threshold (paper Section 5.2.1); decide which variant indices
    to test (a prefix range, or a uniform sample with ``sample_per_file``);
-   and split the per-file index ranges into ``shard_count`` disjoint
-   :class:`CampaignShard`\\ s.
+   cut each file's index set into fixed-size blocks
+   (``CampaignConfig.unit_variants`` -- block boundaries never depend on the
+   shard count, which keeps durable-store unit keys stable across
+   parallelism changes); and deal whole blocks round-robin across
+   ``shard_count`` disjoint :class:`CampaignShard`\\ s.
 2. **Execute** -- each shard re-extracts its skeletons (parsing and
    resolving each seed exactly once), reaches its variants directly by
    rank/unrank (no predecessor is enumerated), and tests each against every
@@ -38,6 +41,16 @@ phases:
 Variant names embed the *global* enumeration index (``file.c#17``), so
 observations are stable across shardings and resumable: a crashed shard can
 be re-run in isolation and merged into the rest.
+
+With ``CampaignConfig.state_dir`` set, the pipeline is additionally
+*durable* (:mod:`repro.store`): every completed :class:`ShardUnit` is
+appended to a crash-tolerant JSONL journal as it finishes -- by the worker
+process itself, so nothing is lost when a worker, the pool or the driver
+dies mid-run.  ``run_sources(resume=True)`` replays journaled units instead
+of re-executing them (the merged result is identical to an uninterrupted
+run), and ``run_sources(incremental=True)`` re-tests only the compiler
+versions a unit has not yet covered, so growing the version matrix re-runs
+only the new columns.
 """
 
 from __future__ import annotations
@@ -46,18 +59,35 @@ import hashlib
 import random
 import time
 from dataclasses import dataclass, field, replace
+from pathlib import Path
 
 from repro.compiler.pipeline import OptimizationLevel
 from repro.core.execution import ExecutionResult
 from repro.core.holes import BoundVariant, CharacteristicVector, Skeleton
 from repro.core.naive import NaiveSkeletonEnumerator
-from repro.core.ranking import sample_distinct_indices, shard_bounds
+from repro.core.ranking import sample_distinct_indices
 from repro.core.spe import EnumerationBudget, SkeletonEnumerator
 from repro.core.problem import Granularity
 from repro.frontends import get_frontend
+from repro.store import (
+    CampaignStore,
+    JournalWriter,
+    config_fingerprint,
+    merge_unit_records,
+    unit_key_for,
+)
 from repro.testing.bugs import BugDatabase, BugReport
-from repro.testing.executor import SerialExecutor, default_executor
+from repro.testing.executor import SerialExecutor, default_executor, map_streaming
 from repro.testing.oracle import DifferentialOracle, Observation, ObservationKind
+
+
+class CampaignInterrupted(RuntimeError):
+    """Raised by the ``fail_after_units`` fault-injection knob.
+
+    Crash-safety tests use it to hard-interrupt a run mid-shard (in-process
+    or inside a pool worker) at a deterministic point; everything journaled
+    before the interruption must survive and be replayable.
+    """
 
 
 @dataclass
@@ -106,6 +136,29 @@ class CampaignConfig:
     #: realize use-before-declaration programs always take the legacy path
     #: so that textual-frontend rejections are reproduced exactly.
     use_ast_rebinding: bool = True
+    #: Planning granularity: each file's tested variant indices are cut into
+    #: contiguous blocks of at most this many variants, and whole blocks are
+    #: dealt round-robin across shards.  Block boundaries depend only on the
+    #: file and this knob -- never on ``jobs`` or the shard count -- which is
+    #: what keeps journal unit keys stable when a campaign is resumed with a
+    #: different parallelism (part of the store fingerprint for that reason).
+    unit_variants: int = 32
+    #: Persist per-unit outcomes to this campaign state directory (an
+    #: append-only JSONL journal + manifest, see :mod:`repro.store`).  Shard
+    #: workers journal their own units, so a crashed run loses at most the
+    #: unit in flight; ``run_sources(resume=True)`` replays journaled units
+    #: instead of re-testing them, and ``incremental=True`` re-tests only the
+    #: compiler versions a unit has not covered yet.  ``None`` keeps the
+    #: campaign fully in-memory (the historical behaviour).
+    state_dir: str | None = None
+    #: Append a progress checkpoint to the journal every this many completed
+    #: units (per shard worker); checkpoints are observability only -- resume
+    #: correctness never depends on them.
+    checkpoint_every: int = 10
+    #: Fault injection for crash-safety tests: raise
+    #: :class:`CampaignInterrupted` after this many units have completed in a
+    #: shard (counted per worker).  ``None`` disables injection.
+    fail_after_units: int | None = None
 
     def __post_init__(self) -> None:
         frontend = get_frontend(self.frontend)
@@ -114,6 +167,8 @@ class CampaignConfig:
             self.versions = list(frontend.default_versions)
         if self.opt_levels is None:
             self.opt_levels = list(frontend.default_opt_levels)
+        if self.unit_variants < 1:
+            raise ValueError(f"unit_variants must be positive, got {self.unit_variants}")
 
     def oracles(self) -> list[DifferentialOracle]:
         return [
@@ -245,21 +300,31 @@ class Campaign:
         # Skeletons parsed during planning, reused by in-process execution
         # (worker processes re-extract from source; skeletons do not pickle).
         self._skeleton_cache: dict[tuple[str, str], Skeleton] = {}
+        # Dedup keys of bugs found by earlier units of the shard currently
+        # executing; lets ``stop_after_bugs`` count *distinct* bugs across a
+        # shard even though each unit accumulates into its own result (so it
+        # can be journaled independently).
+        self._shard_bug_keys: set = set()
 
     # -- planning ---------------------------------------------------------------
 
     def plan(self, sources: dict[str, str], shard_count: int = 1) -> CampaignPlan:
         """Lay out the campaign over ``shard_count`` disjoint shards.
 
-        Each file's tested variant indices are split into ``shard_count``
-        contiguous chunks (sizes differing by at most one), and chunk ``i``
-        of every file lands in shard ``i`` -- so every shard touches every
-        file and the load is balanced without knowing per-variant cost.
+        Each file's tested variant indices are cut into contiguous blocks of
+        at most ``config.unit_variants`` variants, and whole blocks are dealt
+        round-robin across the shards.  Block boundaries depend only on the
+        file and the config -- **never on the shard count** -- so the same
+        campaign planned at any parallelism produces the same
+        :class:`ShardUnit` identities (the durable store keys its journal by
+        them), while the round-robin deal keeps the load balanced without
+        knowing per-variant cost.
         """
         if shard_count <= 0:
             raise ValueError(f"shard_count must be positive, got {shard_count}")
         base = CampaignResult()
         shard_units: list[list[ShardUnit]] = [[] for _ in range(shard_count)]
+        next_slot = 0
         for name, source in sources.items():
             try:
                 skeleton = self._extract_cached(name, source)
@@ -277,48 +342,51 @@ class Campaign:
             else:
                 total = enumerator.count()
 
-            if self.config.sample_per_file is not None:
-                indices = self._sample_file_indices(name, total)
-                primary_emitted = False
-                for index in range(shard_count):
-                    lo, hi = shard_bounds(0, len(indices), index, shard_count)
-                    if lo >= hi and primary_emitted:
-                        continue
-                    shard_units[index].append(
-                        ShardUnit(
-                            name=name,
-                            source=source,
-                            indices=tuple(indices[lo:hi]),
-                            primary=not primary_emitted,
-                        )
-                    )
-                    primary_emitted = True
-            else:
-                stop = total
-                if self.config.max_variants_per_file is not None:
-                    stop = min(stop, self.config.max_variants_per_file)
-                elif self.config.budget.truncate and self.config.budget.limit() is not None:
-                    stop = min(stop, self.config.budget.limit())
-                primary_emitted = False
-                for index in range(shard_count):
-                    lo, hi = shard_bounds(0, stop, index, shard_count)
-                    if lo >= hi and primary_emitted:
-                        continue
-                    shard_units[index].append(
-                        ShardUnit(
-                            name=name,
-                            source=source,
-                            start=lo,
-                            stop=hi,
-                            primary=not primary_emitted,
-                        )
-                    )
-                    primary_emitted = True
+            for unit in self._file_units(name, source, total):
+                shard_units[next_slot % shard_count].append(unit)
+                next_slot += 1
         shards = [
             CampaignShard(index=index, units=tuple(units))
             for index, units in enumerate(shard_units)
         ]
         return CampaignPlan(shards=shards, base=base)
+
+    def _file_units(self, name: str, source: str, total: int) -> list[ShardUnit]:
+        """One file's shard units: fixed-size index blocks, first one primary."""
+        block = self.config.unit_variants
+        units: list[ShardUnit] = []
+        if self.config.sample_per_file is not None:
+            indices = self._sample_file_indices(name, total)
+            for lo in range(0, len(indices), block):
+                units.append(
+                    ShardUnit(
+                        name=name,
+                        source=source,
+                        indices=tuple(indices[lo : lo + block]),
+                        primary=not units,
+                    )
+                )
+            if not units:
+                units.append(ShardUnit(name=name, source=source, indices=(), primary=True))
+        else:
+            stop = total
+            if self.config.max_variants_per_file is not None:
+                stop = min(stop, self.config.max_variants_per_file)
+            elif self.config.budget.truncate and self.config.budget.limit() is not None:
+                stop = min(stop, self.config.budget.limit())
+            for lo in range(0, stop, block):
+                units.append(
+                    ShardUnit(
+                        name=name,
+                        source=source,
+                        start=lo,
+                        stop=min(lo + block, stop),
+                        primary=not units,
+                    )
+                )
+            if not units:
+                units.append(ShardUnit(name=name, source=source, primary=True))
+        return units
 
     def _sample_file_indices(self, name: str, total: int) -> list[int]:
         """Per-file deterministic uniform sample of variant indices."""
@@ -334,6 +402,8 @@ class Campaign:
         shard_count: int | None = None,
         shard_index: int | None = None,
         executor=None,
+        resume: bool = False,
+        incremental: bool = False,
     ) -> CampaignResult:
         """Run the campaign over named seed programs (name -> source text).
 
@@ -347,32 +417,150 @@ class Campaign:
                 the serial summary).
             executor: a :mod:`repro.testing.executor` backend; defaults to a
                 process pool when ``config.jobs > 1``, serial otherwise.
+            resume: replay units already journaled in ``config.state_dir``
+                instead of re-testing them; every stored unit must cover
+                exactly this campaign's compiler versions.  The merged result
+                is identical to an uninterrupted run.
+            incremental: like ``resume``, but units covered for only *some*
+                of the configured versions are re-tested against the missing
+                versions only -- adding a new compiler version re-runs just
+                the new column of the oracle matrix.
         """
         count = shard_count if shard_count is not None else max(1, self.config.jobs)
         plan = self.plan(sources, shard_count=count)
-        if shard_index is not None:
-            if not 0 <= shard_index < count:
-                raise ValueError(
-                    f"shard_index {shard_index} out of range for {count} shards"
-                )
-            return self._run_one_shard(plan, shard_index, executor)
-        started = time.perf_counter()
-        if executor is None:
-            executor = default_executor(self.config.jobs)
-        if isinstance(executor, SerialExecutor):
-            # In-process: no pickling, reuse this campaign's oracles and
-            # reference-interpreter cache across all shards.
-            results = [self._run_shard(shard) for shard in plan.shards]
-        else:
-            payloads = [(self.config, shard) for shard in plan.shards]
-            results = executor.map(_run_shard_payload, payloads)
-        merged = plan.base
-        for result in results:
-            merged = merged.merge(result)
-        merged.wall_seconds = time.perf_counter() - started
-        return merged
+        store = self._open_store(
+            resume=resume, incremental=incremental, preserve=shard_index is not None
+        )
+        try:
+            if shard_index is not None:
+                if not 0 <= shard_index < count:
+                    raise ValueError(
+                        f"shard_index {shard_index} out of range for {count} shards"
+                    )
+                return self._run_one_shard(plan, shard_index, executor, store, incremental)
+            started = time.perf_counter()
+            if executor is None:
+                executor = default_executor(self.config.jobs)
+            work, replayed = self._partition(plan.shards, store, incremental)
+            results = self._execute(work, executor, store)
+            merged = plan.base.merge(replayed)
+            for item, result in zip(work, results):
+                merged = merged.merge(item.fold(result))
+            merged.wall_seconds = time.perf_counter() - started
+            if store is not None:
+                store.checkpoint(sum(len(item.shard.units) for item in work), merged)
+            return merged
+        finally:
+            if store is not None:
+                store.close()
 
-    def _run_one_shard(self, plan: CampaignPlan, shard_index: int, executor) -> CampaignResult:
+    def _open_store(
+        self, *, resume: bool, incremental: bool, preserve: bool = False
+    ) -> CampaignStore | None:
+        """Open (or create) the durable campaign store, when configured."""
+        if self.config.state_dir is None:
+            if resume or incremental:
+                raise ValueError(
+                    "resume/incremental require CampaignConfig.state_dir to be set"
+                )
+            return None
+        store = CampaignStore(self.config.state_dir)
+        store.begin(
+            config_fingerprint(self.config),
+            resume=resume or incremental,
+            preserve=preserve,
+        )
+        return store
+
+    def _partition(
+        self, shards: list[CampaignShard], store: CampaignStore | None, incremental: bool
+    ) -> tuple[list["_WorkItem"], CampaignResult]:
+        """Split planned shards into replayable and executable work.
+
+        Returns ``(work, replayed)``: ``work`` is the list of
+        :class:`_WorkItem` payloads still to execute -- the campaign's own
+        config for uncovered units, or a versions-restricted clone for
+        incremental delta columns -- and ``replayed`` is the merged result of
+        every journaled unit, bit-identical to having re-run it.
+        """
+        replayed = CampaignResult()
+        if store is None:
+            return [_WorkItem(self.config, shard) for shard in shards], replayed
+        needed = set(self.config.versions)
+        work: list[_WorkItem] = []
+        for shard in shards:
+            fresh: list[ShardUnit] = []
+            deltas: dict[tuple[str, ...], list[ShardUnit]] = {}
+            for unit in shard.units:
+                usable, covered = store.select(unit_key_for(unit), needed)
+                missing = needed - covered
+                if not missing:
+                    replayed = replayed.merge(merge_unit_records(usable))
+                elif covered and incremental:
+                    replayed = replayed.merge(merge_unit_records(usable))
+                    deltas.setdefault(tuple(sorted(missing)), []).append(unit)
+                else:
+                    # No usable coverage (or partial coverage without
+                    # incremental mode, where mixing a partial replay with a
+                    # full re-run would double-count): run the unit in full.
+                    fresh.append(unit)
+            if fresh:
+                work.append(
+                    _WorkItem(self.config, CampaignShard(index=shard.index, units=tuple(fresh)))
+                )
+            for versions, units in sorted(deltas.items()):
+                delta_config = replace(self.config, versions=list(versions))
+                work.append(
+                    _WorkItem(
+                        delta_config,
+                        CampaignShard(index=shard.index, units=tuple(units)),
+                        delta=True,
+                    )
+                )
+        return work, replayed
+
+    def _execute(
+        self,
+        work: list["_WorkItem"],
+        executor,
+        store: CampaignStore | None,
+    ) -> list[CampaignResult]:
+        """Run the partitioned work on the chosen backend, journaling as it goes."""
+        if isinstance(executor, SerialExecutor):
+            # In-process: no pickling; shards with this campaign's own config
+            # reuse its oracles and caches, delta shards get a private
+            # campaign for their restricted version set.
+            journal = store.writer() if store is not None else None
+            results = []
+            for item in work:
+                campaign = self if item.config is self.config else Campaign(item.config)
+                results.append(campaign._run_shard(item.shard, journal=journal))
+            return results
+        progress = {"shards": 0, "merged": CampaignResult()}
+
+        def on_completed(result: CampaignResult) -> None:
+            # Stream a durable progress checkpoint as each shard result
+            # arrives (merged counters so far, in completion order); unit
+            # records were already journaled by the worker itself.
+            progress["shards"] += 1
+            progress["merged"] = progress["merged"].merge(result)
+            store.checkpoint(progress["shards"], progress["merged"])
+
+        return map_streaming(
+            executor,
+            _run_shard_payload,
+            [(item.config, item.shard) for item in work],
+            completed=on_completed if store is not None else None,
+        )
+
+    def _run_one_shard(
+        self,
+        plan: CampaignPlan,
+        shard_index: int,
+        executor,
+        store: CampaignStore | None = None,
+        incremental: bool = False,
+    ) -> CampaignResult:
         """Run a single shard of the plan (distributed mode), honouring ``jobs``.
 
         The shard is itself sub-sharded across the executor's workers, so
@@ -384,18 +572,25 @@ class Campaign:
         started = time.perf_counter()
         if executor is None:
             executor = default_executor(self.config.jobs)
+        work, replayed = self._partition([shard], store, incremental)
         if isinstance(executor, SerialExecutor):
-            result = self._run_shard(shard)
+            results = self._execute(work, executor, store)
+            folded = [item.fold(result) for item, result in zip(work, results)]
         else:
             jobs = max(1, getattr(executor, "jobs", self.config.jobs) or 1)
-            subshards = _split_shard(shard, jobs)
-            results = executor.map(
-                _run_shard_payload, [(self.config, subshard) for subshard in subshards]
+            items = [
+                replace(item, shard=subshard)
+                for item in work
+                for subshard in _split_shard(item.shard, jobs)
+            ]
+            results = map_streaming(
+                executor, _run_shard_payload, [(item.config, item.shard) for item in items]
             )
-            result = CampaignResult()
-            for partial in results:
-                result = result.merge(partial)
-            result.wall_seconds = time.perf_counter() - started
+            folded = [item.fold(result) for item, result in zip(items, results)]
+        result = replayed
+        for partial in folded:
+            result = result.merge(partial)
+        result.wall_seconds = time.perf_counter() - started
         if shard_index == 0:
             result = plan.base.merge(result)
         return result
@@ -418,16 +613,66 @@ class Campaign:
     # -- internals ------------------------------------------------------------------
 
     def _exhausted(self, result: CampaignResult) -> bool:
-        limit = self.config.stop_after_bugs
-        return limit is not None and len(result.bugs) >= limit
+        """Has ``stop_after_bugs`` been reached, counting distinct bugs?
 
-    def _run_shard(self, shard: CampaignShard) -> CampaignResult:
+        ``result`` may be a single unit's accumulator; bugs found by earlier
+        units of the same shard are counted through ``_shard_bug_keys`` so
+        the limit applies to the shard's distinct-bug total exactly as it
+        did when the whole shard shared one result object.
+        """
+        limit = self.config.stop_after_bugs
+        if limit is None:
+            return False
+        fresh = sum(
+            1
+            for report in result.bugs.reports
+            if report.dedup_key not in self._shard_bug_keys
+        )
+        return len(self._shard_bug_keys) + fresh >= limit
+
+    def _run_shard(self, shard: CampaignShard, journal: JournalWriter | None = None) -> CampaignResult:
+        """Execute one shard, unit by unit.
+
+        Each unit accumulates into its own result and is merged into the
+        shard total -- the per-unit result is exactly what the durable store
+        journals, so a crashed run can resume at unit granularity.  A unit
+        cut short by ``stop_after_bugs`` is *not* journaled (its record
+        would be incomplete); everything before it is.
+        """
         result = CampaignResult()
         started = time.perf_counter()
+        self._shard_bug_keys = set()
+        units_done = 0
         for unit in shard.units:
-            self._run_unit(unit, result)
-            if self._exhausted(result):
+            unit_result = CampaignResult()
+            self._run_unit(unit, unit_result)
+            exhausted = self._exhausted(unit_result)
+            result = result.merge(unit_result)
+            self._shard_bug_keys = {
+                report.dedup_key for report in result.bugs.reports
+            }
+            units_done += 1
+            if journal is not None and not exhausted:
+                journal.append_unit(unit, self.config.versions, unit_result)
+                if units_done % max(1, self.config.checkpoint_every) == 0:
+                    journal.append_checkpoint(
+                        units_done,
+                        {
+                            "files_processed": result.files_processed,
+                            "variants_tested": result.variants_tested,
+                            "distinct_bugs": len(result.bugs),
+                        },
+                    )
+            if (
+                self.config.fail_after_units is not None
+                and units_done >= self.config.fail_after_units
+            ):
+                raise CampaignInterrupted(
+                    f"fault injection: interrupted after {units_done} units"
+                )
+            if exhausted:
                 break
+        self._shard_bug_keys = set()
         result.wall_seconds = time.perf_counter() - started
         return result
 
@@ -577,32 +822,44 @@ class Campaign:
         return result.bugs.record(observation)
 
 
+@dataclass(frozen=True)
+class _WorkItem:
+    """One executable piece of a partitioned plan.
+
+    ``delta=True`` marks an incremental column re-run: the unit's variants
+    were already walked (and counted) by the journaled records being
+    replayed alongside, so when the live result merges into the campaign
+    total its walk counters are dropped (:meth:`fold`) -- observations and
+    bugs are the only new information a delta run contributes.  The *journal*
+    record of a delta unit keeps its full counters: the store's per-unit
+    merge takes the max across records, so durable state never double- or
+    under-counts either way.
+    """
+
+    config: CampaignConfig
+    shard: CampaignShard
+    delta: bool = False
+
+    def fold(self, result: CampaignResult) -> CampaignResult:
+        if not self.delta:
+            return result
+        return CampaignResult(
+            bugs=result.bugs,
+            observations=dict(result.observations),
+            wall_seconds=result.wall_seconds,
+        )
+
+
 def _split_shard(shard: CampaignShard, parts: int) -> list[CampaignShard]:
     """Split one shard into ``parts`` disjoint sub-shards covering it exactly.
 
-    Each unit's index slice is divided contiguously; a unit's ``primary``
-    flag travels with exactly one (possibly empty) piece so file accounting
-    stays correct after the merge.
+    Whole units are dealt round-robin -- a unit is never sliced, so its
+    identity (and therefore its journal key) is the same whether it runs in
+    the parent shard or in any sub-shard of any worker count.
     """
     sub_units: list[list[ShardUnit]] = [[] for _ in range(parts)]
-    for unit in shard.units:
-        span = unit.num_variants()
-        primary_pending = unit.primary
-        for index in range(parts):
-            lo, hi = shard_bounds(0, span, index, parts)
-            if lo >= hi and not primary_pending:
-                continue
-            if unit.indices is not None:
-                piece = replace(unit, indices=unit.indices[lo:hi], primary=primary_pending)
-            else:
-                piece = replace(
-                    unit,
-                    start=unit.start + lo,
-                    stop=unit.start + hi,
-                    primary=primary_pending,
-                )
-            primary_pending = False
-            sub_units[index].append(piece)
+    for position, unit in enumerate(shard.units):
+        sub_units[position % parts].append(unit)
     return [
         CampaignShard(index=index, units=tuple(units))
         for index, units in enumerate(sub_units)
@@ -610,9 +867,22 @@ def _split_shard(shard: CampaignShard, parts: int) -> list[CampaignShard]:
 
 
 def _run_shard_payload(payload: tuple[CampaignConfig, CampaignShard]) -> CampaignResult:
-    """Module-level shard worker (must be picklable for the process pool)."""
+    """Module-level shard worker (must be picklable for the process pool).
+
+    When the config carries a ``state_dir``, the worker journals each
+    completed unit itself (the journal supports concurrent line-atomic
+    appenders), so unit outcomes are durable even if the worker, the pool or
+    the parent dies before the shard result is returned.
+    """
     config, shard = payload
-    return Campaign(config)._run_shard(shard)
+    journal = None
+    if config.state_dir is not None:
+        journal = JournalWriter(Path(config.state_dir) / CampaignStore.JOURNAL_NAME)
+    try:
+        return Campaign(config)._run_shard(shard, journal=journal)
+    finally:
+        if journal is not None:
+            journal.close()
 
 
 def test_program(
@@ -640,6 +910,7 @@ def test_program(
 __all__ = [
     "Campaign",
     "CampaignConfig",
+    "CampaignInterrupted",
     "CampaignPlan",
     "CampaignResult",
     "CampaignShard",

@@ -14,7 +14,8 @@ from repro.core.execution import ExecutionResult
 from repro.core.holes import BoundVariant, Skeleton
 from repro.core.spe import SkeletonEnumerator
 from repro.frontends import Frontend, available_frontends, get_frontend
-from repro.testing.harness import Campaign, CampaignConfig
+from repro.store import CampaignStore, load_unit_records, merge_unit_records
+from repro.testing.harness import Campaign, CampaignConfig, CampaignResult
 from repro.testing.oracle import DifferentialOracle, Observation, ObservationKind
 
 #: One small, UB-free seed per language, with enough holes to enumerate.
@@ -181,6 +182,67 @@ class TestReduction:
         reduced = frontend.reduce(sample, lambda candidate: True)
         assert len(reduced) <= len(sample)
         assert frontend.try_run_reference_source(reduced) is not None
+
+
+class TestStoreRoundTrip:
+    """The persistent campaign store must be exact for every frontend."""
+
+    def campaign_corpus(self, frontend):
+        return dict(list(frontend.build_corpus(files=8, seed=7).items())[:3])
+
+    def bug_fingerprints(self, result) -> list[tuple]:
+        return [
+            (
+                report.id,
+                report.dedup_key,
+                report.kind.value,
+                report.compiler,
+                str(report.opt_level),
+                report.signature,
+                report.test_program,
+                report.duplicate_count,
+            )
+            for report in result.bugs.reports
+        ]
+
+    def test_journal_reload_reproduces_observations_and_bugs(self, frontend, tmp_path):
+        state = tmp_path / "state"
+        config = CampaignConfig(
+            frontend=frontend.name, max_variants_per_file=5, state_dir=str(state)
+        )
+        live = Campaign(config).run_sources(self.campaign_corpus(frontend))
+
+        rebuilt = CampaignResult()
+        for group in load_unit_records(state / "journal.jsonl").values():
+            rebuilt = rebuilt.merge(merge_unit_records(group))
+        assert rebuilt.observations == live.observations
+        assert rebuilt.variants_tested == live.variants_tested
+        assert rebuilt.files_processed == live.files_processed
+        assert self.bug_fingerprints(rebuilt) == self.bug_fingerprints(live)
+
+    def test_resume_replay_matches_live_run(self, frontend, tmp_path):
+        corpus = self.campaign_corpus(frontend)
+        config = CampaignConfig(
+            frontend=frontend.name, max_variants_per_file=5, state_dir=str(tmp_path / "state")
+        )
+        live = Campaign(config).run_sources(corpus)
+        replayed = Campaign(config).run_sources(corpus, resume=True)
+        assert replayed.summary() == live.summary()
+        assert self.bug_fingerprints(replayed) == self.bug_fingerprints(live)
+
+    def test_manifest_round_trips_registry_name(self, frontend, tmp_path):
+        # The manifest stores the frontend as its registry *name*; resolving
+        # it back must yield the same plug-in, so a journal written today can
+        # be resumed by a process that registered the frontend afresh.
+        state = tmp_path / "state"
+        config = CampaignConfig(
+            frontend=frontend.name, max_variants_per_file=3, state_dir=str(state)
+        )
+        Campaign(config).run_sources(self.campaign_corpus(frontend))
+        manifest = CampaignStore(state).read_manifest()
+        stored_name = manifest["fingerprint"]["frontend"]
+        assert stored_name == frontend.name
+        assert get_frontend(stored_name) is frontend
 
 
 class TestCorpusAndCampaign:

@@ -1,0 +1,302 @@
+"""Unit tests for the persistent campaign store (journal, manifest, codecs)."""
+
+import json
+
+import pytest
+
+from repro.compiler.pipeline import OptimizationLevel
+from repro.store import (
+    CampaignStore,
+    StoreMismatchError,
+    bug_database_from_json,
+    bug_database_to_json,
+    bug_report_from_json,
+    bug_report_to_json,
+    campaign_result_from_json,
+    campaign_result_to_json,
+    config_fingerprint,
+    load_unit_records,
+    merge_unit_records,
+    read_journal,
+    select_records,
+    unit_key_for,
+)
+from repro.store.journal import JournalWriter, UnitRecord
+from repro.testing.bugs import BugDatabase
+from repro.testing.harness import Campaign, CampaignConfig, CampaignResult, ShardUnit
+from repro.testing.oracle import Observation, ObservationKind
+
+CRASH_SEED = "int a, b = 1; int main() { if (a) a = a - a; return b; }"
+
+
+def small_config(**overrides) -> CampaignConfig:
+    defaults = dict(
+        versions=["scc-trunk"],
+        opt_levels=[OptimizationLevel.O2],
+        max_variants_per_file=8,
+    )
+    defaults.update(overrides)
+    return CampaignConfig(**defaults)
+
+
+def crashy_observation(signature="internal compiler error: in foo", name="t.c"):
+    return Observation(
+        kind=ObservationKind.CRASH,
+        program="int main() { return 0; }",
+        source_name=name,
+        compiler="scc-trunk",
+        opt_level=OptimizationLevel.O2,
+        signature=signature,
+    )
+
+
+def unit(name="t.c", source=CRASH_SEED, start=0, stop=4, indices=None, primary=True):
+    return ShardUnit(
+        name=name, source=source, start=start, stop=stop, indices=indices, primary=primary
+    )
+
+
+class TestSerialization:
+    def test_bug_report_round_trip(self):
+        db = BugDatabase()
+        report = db.record(crashy_observation())
+        payload = json.loads(json.dumps(bug_report_to_json(report)))
+        loaded = bug_report_from_json(payload)
+        assert loaded == report
+        assert loaded.dedup_key == report.dedup_key
+        assert isinstance(loaded.dedup_key, tuple)
+
+    def test_nested_dedup_key_retupled(self):
+        db = BugDatabase()
+        report = db.record(
+            Observation(
+                kind=ObservationKind.WRONG_CODE,
+                program="p",
+                source_name="t.c",
+                compiler="scc-trunk",
+                opt_level=OptimizationLevel.O2,
+                signature="wrong code: x",
+                triggered_faults=["cprop-ignores-aliases"],
+            )
+        )
+        loaded = bug_report_from_json(json.loads(json.dumps(bug_report_to_json(report))))
+        # The fault tuple inside the key must come back as a tuple, or the
+        # reloaded database would never dedup against live observations.
+        assert loaded.dedup_key == report.dedup_key
+
+    def test_bug_database_round_trip_preserves_duplicates(self):
+        db = BugDatabase()
+        db.record(crashy_observation(signature="internal compiler error: in foo (x)"))
+        db.record(crashy_observation(signature="internal compiler error: in foo (y)"))
+        db.record(crashy_observation(signature="internal compiler error: in bar"))
+        loaded = bug_database_from_json(json.loads(json.dumps(bug_database_to_json(db))))
+        assert len(loaded) == len(db) == 2
+        assert [r.duplicate_count for r in loaded.reports] == [
+            r.duplicate_count for r in db.reports
+        ]
+        # A reloaded database keeps deduplicating against new observations.
+        again = loaded.record(crashy_observation(signature="internal compiler error: in foo (z)"))
+        assert len(loaded) == 2 and again.duplicate_count == 2
+
+    def test_campaign_result_round_trip(self):
+        result = Campaign(small_config()).run_sources({"crash.c": CRASH_SEED})
+        loaded = campaign_result_from_json(
+            json.loads(json.dumps(campaign_result_to_json(result)))
+        )
+        assert loaded.variants_tested == result.variants_tested
+        assert loaded.observations == result.observations
+        assert [r.id for r in loaded.bugs.reports] == [r.id for r in result.bugs.reports]
+
+
+class TestJournal:
+    def test_append_and_load(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        result = CampaignResult(variants_tested=4, observations={"ok": 4})
+        with JournalWriter(path) as writer:
+            record = writer.append_unit(unit(), ["scc-trunk"], result)
+        loaded = load_unit_records(path)
+        assert set(loaded) == {record.key}
+        assert loaded[record.key][0].versions == ("scc-trunk",)
+        assert loaded[record.key][0].result.variants_tested == 4
+
+    def test_torn_final_line_is_tolerated(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with JournalWriter(path) as writer:
+            record = writer.append_unit(unit(), ["scc-trunk"], CampaignResult())
+        # Simulate a crash mid-append: a truncated, unterminated JSON line.
+        with open(path, "ab") as handle:
+            handle.write(b'{"type":"unit","key":"deadbeef","versio')
+        loaded = load_unit_records(path)
+        assert set(loaded) == {record.key}
+
+    def test_corrupt_middle_line_is_skipped(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with JournalWriter(path) as writer:
+            first = writer.append_unit(unit(name="a.c"), ["scc-trunk"], CampaignResult())
+        with open(path, "ab") as handle:
+            handle.write(b"not json at all\n")
+        with JournalWriter(path) as writer:
+            second = writer.append_unit(unit(name="b.c"), ["scc-trunk"], CampaignResult())
+        assert set(load_unit_records(path)) == {first.key, second.key}
+
+    def test_checkpoint_records(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with JournalWriter(path) as writer:
+            writer.append_checkpoint(3, {"variants_tested": 12})
+        checkpoints = [r for r in read_journal(path) if r["type"] == "checkpoint"]
+        assert checkpoints and checkpoints[0]["units_seen"] == 3
+
+    def test_unit_key_depends_on_source_and_slice(self):
+        base = unit()
+        assert unit_key_for(base) == unit_key_for(unit())
+        assert unit_key_for(base) != unit_key_for(unit(stop=5))
+        assert unit_key_for(base) != unit_key_for(unit(source=CRASH_SEED + " "))
+        assert unit_key_for(base) != unit_key_for(unit(primary=False))
+        assert unit_key_for(base) != unit_key_for(unit(indices=(0, 1, 2, 3)))
+
+
+class TestRecordAlgebra:
+    def make_record(self, versions, observations, variants=4):
+        return UnitRecord(
+            key="k",
+            name="t.c",
+            versions=tuple(sorted(versions)),
+            result=CampaignResult(
+                variants_tested=variants,
+                files_processed=1,
+                observations=dict(observations),
+            ),
+        )
+
+    def test_merge_sums_observations_maxes_counters(self):
+        merged = merge_unit_records(
+            [
+                self.make_record(["a"], {"ok": 3, "crash": 1}),
+                self.make_record(["b"], {"ok": 4}),
+            ]
+        )
+        assert merged.observations == {"ok": 7, "crash": 1}
+        assert merged.variants_tested == 4  # max, not sum: same variants walked twice
+        assert merged.files_processed == 1
+
+    def test_merge_is_order_independent(self):
+        records = [
+            self.make_record(["a"], {"ok": 3}),
+            self.make_record(["b"], {"ok": 4}),
+            self.make_record(["c"], {"crash": 2}),
+        ]
+        forward = merge_unit_records(records)
+        backward = merge_unit_records(list(reversed(records)))
+        assert forward.observations == backward.observations
+        assert forward.variants_tested == backward.variants_tested
+
+    def test_select_skips_foreign_and_overlapping_records(self):
+        records = [
+            self.make_record(["a"], {"ok": 1}),  # overlaps the wider record
+            self.make_record(["a", "b"], {"ok": 2}),
+            self.make_record(["x"], {"ok": 3}),  # foreign version
+        ]
+        # Widest-first: the complete (a, b) record wins over the partial (a)
+        # generation it overlaps -- so mixed-generation journals converge to
+        # a full replay instead of re-running the unit forever.
+        usable, covered = select_records(records, {"a", "b"})
+        assert covered == {"a", "b"}
+        assert [record.versions for record in usable] == [("a", "b")]
+
+    def test_select_tiles_disjoint_records(self):
+        records = [
+            self.make_record(["b"], {"ok": 1}),
+            self.make_record(["a"], {"ok": 2}),
+        ]
+        usable, covered = select_records(records, {"a", "b"})
+        assert covered == {"a", "b"}
+        assert len(usable) == 2
+
+
+class TestCampaignStore:
+    def test_fresh_begin_truncates(self, tmp_path):
+        store = CampaignStore(tmp_path / "state")
+        fingerprint = config_fingerprint(small_config())
+        store.begin(fingerprint, resume=False)
+        store.writer().append_unit(unit(), ["scc-trunk"], CampaignResult())
+        store.close()
+        store2 = CampaignStore(tmp_path / "state")
+        store2.begin(fingerprint, resume=False)
+        assert load_unit_records(store2.journal_path) == {}
+
+    def test_preserve_keeps_matching_journal(self, tmp_path):
+        store = CampaignStore(tmp_path / "state")
+        fingerprint = config_fingerprint(small_config())
+        store.begin(fingerprint, resume=False)
+        store.writer().append_unit(unit(), ["scc-trunk"], CampaignResult())
+        store.close()
+        store2 = CampaignStore(tmp_path / "state")
+        store2.begin(fingerprint, resume=False, preserve=True)
+        assert len(load_unit_records(store2.journal_path)) == 1
+
+    def test_preserve_never_truncates_even_without_manifest(self, tmp_path):
+        # Concurrent first-start race: a sibling shard's records may land
+        # before this machine sees the manifest; preserve mode must append,
+        # not truncate.
+        store = CampaignStore(tmp_path / "state")
+        (tmp_path / "state").mkdir()
+        with JournalWriter(store.journal_path) as writer:
+            writer.append_unit(unit(), ["scc-trunk"], CampaignResult())
+        store.begin(config_fingerprint(small_config()), resume=False, preserve=True)
+        assert len(load_unit_records(store.journal_path)) == 1
+        assert store.manifest_path.exists()
+
+    def test_preserve_refuses_to_truncate_foreign_journal(self, tmp_path):
+        # A distributed shard joining a shared state dir with a different
+        # config must not destroy the other machines' records.
+        store = CampaignStore(tmp_path / "state")
+        store.begin(config_fingerprint(small_config()), resume=False)
+        store.writer().append_unit(unit(), ["scc-trunk"], CampaignResult())
+        store.close()
+        other = config_fingerprint(small_config(max_variants_per_file=99))
+        with pytest.raises(StoreMismatchError, match="different campaign"):
+            CampaignStore(tmp_path / "state").begin(other, resume=False, preserve=True)
+        assert len(load_unit_records(store.journal_path)) == 1
+
+    def test_resume_requires_manifest(self, tmp_path):
+        store = CampaignStore(tmp_path / "state")
+        with pytest.raises(StoreMismatchError, match="no manifest"):
+            store.begin(config_fingerprint(small_config()), resume=True)
+
+    def test_resume_rejects_fingerprint_mismatch(self, tmp_path):
+        store = CampaignStore(tmp_path / "state")
+        store.begin(config_fingerprint(small_config()), resume=False)
+        other = config_fingerprint(small_config(max_variants_per_file=99))
+        with pytest.raises(StoreMismatchError, match="max_variants_per_file"):
+            store.begin(other, resume=True)
+
+    def test_versions_not_in_fingerprint(self):
+        # Incremental mode depends on version changes NOT invalidating the
+        # store: coverage is tracked per unit record instead.
+        one = config_fingerprint(small_config(versions=["scc-trunk"]))
+        two = config_fingerprint(small_config(versions=["scc-trunk", "lcc-trunk"]))
+        assert one == two
+
+    def test_status_reports_progress(self, tmp_path):
+        store = CampaignStore(tmp_path / "state")
+        store.begin(config_fingerprint(small_config()), resume=False)
+        store.writer().append_unit(unit(), ["scc-trunk"], CampaignResult())
+        store.checkpoint(1, CampaignResult(variants_tested=4))
+        store.close()
+        status = store.status()
+        assert status["units_journaled"] == 1
+        assert status["last_checkpoint"]["units_seen"] == 1
+
+
+class TestHarnessStoreValidation:
+    def test_resume_without_state_dir_raises(self):
+        campaign = Campaign(small_config())
+        with pytest.raises(ValueError, match="state_dir"):
+            campaign.run_sources({"t.c": CRASH_SEED}, resume=True)
+
+    def test_resume_rejects_changed_config(self, tmp_path):
+        state = str(tmp_path / "state")
+        Campaign(small_config(state_dir=state)).run_sources({"t.c": CRASH_SEED})
+        changed = small_config(state_dir=state, max_variants_per_file=3)
+        with pytest.raises(StoreMismatchError):
+            Campaign(changed).run_sources({"t.c": CRASH_SEED}, resume=True)

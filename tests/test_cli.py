@@ -50,6 +50,57 @@ class TestCLI:
         assert "#Holes" in capsys.readouterr().out
 
 
+class TestCampaignStoreFlags:
+    def test_resume_requires_state_dir(self, capsys):
+        assert main(["campaign", "--resume", "--files", "2"]) == 2
+        assert "--state-dir" in capsys.readouterr().err
+
+    def test_state_dir_journal_and_resume(self, tmp_path, capsys):
+        state = str(tmp_path / "state")
+        args = ["campaign", "--lang", "while", "--files", "3", "--variants", "5",
+                "--state-dir", state]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert (tmp_path / "state" / "journal.jsonl").exists()
+        assert (tmp_path / "state" / "manifest.json").exists()
+        # Resume replays the journal and prints the identical summary+reports.
+        assert main(args + ["--resume"]) == 0
+        second = capsys.readouterr().out
+        assert first == second
+
+    def test_resume_on_empty_state_dir_falls_back_to_fresh(self, tmp_path, capsys):
+        state = str(tmp_path / "state")
+        args = ["campaign", "--lang", "while", "--files", "2", "--variants", "4",
+                "--state-dir", state, "--resume"]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "fresh campaign" in out
+        assert (tmp_path / "state" / "journal.jsonl").exists()
+
+    def test_non_resume_rerun_refuses_to_truncate_journal(self, tmp_path, capsys):
+        state = str(tmp_path / "state")
+        args = ["campaign", "--lang", "while", "--files", "2", "--variants", "4",
+                "--state-dir", state]
+        assert main(args) == 0
+        capsys.readouterr()
+        journal = tmp_path / "state" / "journal.jsonl"
+        size = journal.stat().st_size
+        # Re-running without --resume must not destroy the journal...
+        assert main(args) == 2
+        assert "--fresh" in capsys.readouterr().err
+        assert journal.stat().st_size == size
+        # ...unless the operator opts in explicitly.
+        assert main(args + ["--fresh"]) == 0
+
+    def test_mismatched_store_is_a_clean_error(self, tmp_path, capsys):
+        state = str(tmp_path / "state")
+        base = ["campaign", "--lang", "while", "--files", "2", "--state-dir", state]
+        assert main(base + ["--variants", "4"]) == 0
+        capsys.readouterr()
+        assert main(base + ["--variants", "6", "--resume"]) == 2
+        assert "different campaign" in capsys.readouterr().err
+
+
 @pytest.fixture()
 def while_file(tmp_path):
     path = tmp_path / "sample.while"

@@ -1,7 +1,7 @@
 """Tests for bug records, deduplication and classification."""
 
 from repro.compiler.pipeline import OptimizationLevel
-from repro.testing.bugs import BugDatabase, BugKind
+from repro.testing.bugs import BugDatabase, BugKind, bug_id
 from repro.testing.oracle import DifferentialOracle, Observation, ObservationKind
 
 
@@ -72,6 +72,35 @@ class TestBugDatabase:
         report = db.record(make_observation())
         line = report.summary_line()
         assert "scc" in line and "crash" in line
+
+    def test_id_is_content_derived_not_insertion_order(self):
+        # Regression: ids used to be insertion-order integers, so the same
+        # bug got different ids depending on discovery order and merged or
+        # resumed databases numbered (and sorted) differently.
+        first = BugDatabase()
+        first.record(make_observation(signature="internal compiler error: in foo"))
+        first.record(make_observation(signature="internal compiler error: in bar"))
+        second = BugDatabase()
+        second.record(make_observation(signature="internal compiler error: in bar"))
+        second.record(make_observation(signature="internal compiler error: in foo"))
+        ids_first = {r.signature: r.id for r in first.reports}
+        ids_second = {r.signature: r.id for r in second.reports}
+        assert ids_first == ids_second
+        for report in first.reports:
+            assert report.id == bug_id(report.dedup_key)
+
+    def test_merge_order_does_not_change_ids_or_report_order(self):
+        a = BugDatabase()
+        a.record(make_observation(signature="internal compiler error: in foo"))
+        b = BugDatabase()
+        b.record(make_observation(signature="internal compiler error: in bar"))
+        b.record(make_observation(kind=ObservationKind.WRONG_CODE, signature="w",
+                                  faults=["dce-addr-taken-store"]))
+        ab = a.merge(b)
+        ba = b.merge(a)
+        assert [r.id for r in ab.reports] == [r.id for r in ba.reports]
+        assert [r.signature for r in ab.reports] == [r.signature for r in ba.reports]
+        assert [r.duplicate_count for r in ab.reports] == [r.duplicate_count for r in ba.reports]
 
     def test_end_to_end_with_real_oracle(self):
         oracle = DifferentialOracle(version="scc-trunk", opt_level=2)

@@ -1,0 +1,248 @@
+"""Resume equivalence: interrupted + resumed == uninterrupted.
+
+The satellite contract of the persistent campaign store: run a campaign,
+hard-interrupt it mid-shard (a worker raises after N units -- in-process for
+the serial backend, inside pool workers for the process backend), resume
+from the journal, and the merged :class:`BugDatabase` and
+``CampaignResult.summary()`` must be identical to an uninterrupted run.
+Parametrized over both execution backends and both bundled language
+frontends.  Incremental mode gets the same treatment: adding a compiler
+version to a journaled campaign must produce exactly the full-matrix
+result while re-running only the new column.
+"""
+
+import pytest
+
+from repro.frontends import get_frontend
+from repro.store import load_unit_records
+from repro.testing.executor import ProcessPoolExecutor, SerialExecutor
+from repro.testing.harness import Campaign, CampaignConfig, CampaignInterrupted
+
+
+def fingerprint(result) -> tuple:
+    """Everything the acceptance criterion compares, bug ids included."""
+    return (
+        result.summary(),
+        [
+            (
+                report.id,
+                report.dedup_key,
+                report.kind.value,
+                report.compiler,
+                str(report.opt_level),
+                report.signature,
+                report.test_program,
+                report.source_name,
+                report.duplicate_count,
+            )
+            for report in result.bugs.reports
+        ],
+    )
+
+
+def corpus_for(language: str) -> dict[str, str]:
+    return dict(list(get_frontend(language).build_corpus(files=4, seed=11).items()))
+
+
+def config_for(language: str, **overrides) -> CampaignConfig:
+    defaults = dict(frontend=language, max_variants_per_file=8)
+    defaults.update(overrides)
+    return CampaignConfig(**defaults)
+
+
+BACKENDS = {
+    "serial": lambda: (1, SerialExecutor()),
+    "process": lambda: (2, ProcessPoolExecutor(jobs=2)),
+}
+
+
+@pytest.mark.parametrize("language", ["minic", "while"])
+@pytest.mark.parametrize("backend", sorted(BACKENDS))
+class TestResumeEquivalence:
+    def test_interrupted_then_resumed_equals_uninterrupted(
+        self, tmp_path, language, backend
+    ):
+        jobs, executor = BACKENDS[backend]()
+        corpus = corpus_for(language)
+        baseline = Campaign(config_for(language, jobs=jobs)).run_sources(
+            corpus, executor=executor
+        )
+
+        state = str(tmp_path / "state")
+        interrupted = config_for(
+            language, jobs=jobs, state_dir=state, fail_after_units=1
+        )
+        with pytest.raises(CampaignInterrupted):
+            Campaign(interrupted).run_sources(corpus, executor=executor)
+        journaled = load_unit_records(tmp_path / "state" / "journal.jsonl")
+        assert journaled, "the interrupted run must leave durable unit records"
+        assert len(journaled) < len(corpus) * max(1, jobs), "interruption was not partial"
+
+        resumed = Campaign(config_for(language, jobs=jobs, state_dir=state)).run_sources(
+            corpus, executor=executor, resume=True
+        )
+        assert fingerprint(resumed) == fingerprint(baseline)
+
+    def test_second_resume_is_pure_replay(self, tmp_path, language, backend):
+        jobs, executor = BACKENDS[backend]()
+        corpus = corpus_for(language)
+        state = str(tmp_path / "state")
+        first = Campaign(config_for(language, jobs=jobs, state_dir=state)).run_sources(
+            corpus, executor=executor
+        )
+        journal = tmp_path / "state" / "journal.jsonl"
+        size_after_first = journal.stat().st_size
+        replayed = Campaign(config_for(language, jobs=jobs, state_dir=state)).run_sources(
+            corpus, executor=executor, resume=True
+        )
+        assert fingerprint(replayed) == fingerprint(first)
+        # Nothing re-ran, so no unit record was appended (only the final
+        # checkpoint line grows the file).
+        records_now = load_unit_records(journal)
+        assert sum(len(group) for group in records_now.values()) == len(
+            load_unit_records(journal)
+        )
+        assert journal.stat().st_size >= size_after_first
+
+
+class TestIncremental:
+    def lineages(self, language):
+        frontend = get_frontend(language)
+        return list(frontend.default_versions)
+
+    @pytest.mark.parametrize("language", ["minic", "while"])
+    def test_new_version_runs_only_new_column(self, tmp_path, language):
+        versions = self.lineages(language)
+        assert len(versions) >= 2
+        corpus = corpus_for(language)
+        state = str(tmp_path / "state")
+
+        Campaign(config_for(language, state_dir=state, versions=versions[:1])).run_sources(
+            corpus
+        )
+        journal = tmp_path / "state" / "journal.jsonl"
+        before = load_unit_records(journal)
+
+        incremental = Campaign(
+            config_for(language, state_dir=state, versions=versions)
+        ).run_sources(corpus, incremental=True)
+        after = load_unit_records(journal)
+
+        # Every appended record covers exactly the missing versions.
+        new_versions = set(versions) - set(versions[:1])
+        for key, group in after.items():
+            fresh = group[len(before.get(key, [])):]
+            for record in fresh:
+                assert set(record.versions) == new_versions
+
+        full = Campaign(config_for(language, versions=versions)).run_sources(corpus)
+        assert fingerprint(incremental) == fingerprint(full)
+
+    def test_incremental_replay_after_incremental_run(self, tmp_path):
+        versions = self.lineages("minic")
+        corpus = corpus_for("minic")
+        state = str(tmp_path / "state")
+        Campaign(config_for("minic", state_dir=state, versions=versions[:1])).run_sources(corpus)
+        first = Campaign(
+            config_for("minic", state_dir=state, versions=versions)
+        ).run_sources(corpus, incremental=True)
+        # The journal now holds two generations of records per unit; a pure
+        # replay must stitch them back into the identical result.
+        again = Campaign(
+            config_for("minic", state_dir=state, versions=versions)
+        ).run_sources(corpus, incremental=True)
+        assert fingerprint(again) == fingerprint(first)
+
+    def test_partial_coverage_without_incremental_reruns_fully(self, tmp_path):
+        versions = self.lineages("minic")
+        corpus = corpus_for("minic")
+        state = str(tmp_path / "state")
+        Campaign(config_for("minic", state_dir=state, versions=versions[:1])).run_sources(corpus)
+        # resume=True (not incremental): partially covered units re-run in
+        # full rather than mixing a partial replay with a full re-run.
+        resumed = Campaign(
+            config_for("minic", state_dir=state, versions=versions)
+        ).run_sources(corpus, resume=True)
+        full = Campaign(config_for("minic", versions=versions)).run_sources(corpus)
+        assert fingerprint(resumed) == fingerprint(full)
+
+
+class TestPlanShapeIndependence:
+    def journal_record_count(self, journal) -> int:
+        return sum(len(group) for group in load_unit_records(journal).values())
+
+    def test_resume_with_different_jobs_replays_everything(self, tmp_path):
+        # Unit keys are derived from fixed-size index blocks, never from the
+        # shard count -- so a campaign journaled at one parallelism resumes
+        # at any other without silently re-executing the work.
+        corpus = corpus_for("minic")
+        state = str(tmp_path / "state")
+        journal = tmp_path / "state" / "journal.jsonl"
+        first = Campaign(config_for("minic", jobs=2, state_dir=state)).run_sources(corpus)
+        records_before = self.journal_record_count(journal)
+        resumed = Campaign(config_for("minic", jobs=1, state_dir=state)).run_sources(
+            corpus, resume=True
+        )
+        assert fingerprint(resumed) == fingerprint(first)
+        assert self.journal_record_count(journal) == records_before, (
+            "a pure replay must not append unit records"
+        )
+
+    def test_version_growth_then_resume_converges(self, tmp_path):
+        # Journal generations (v1,) then (v1, v2): widest-first record
+        # selection must replay the complete generation instead of
+        # re-running the full matrix on every subsequent resume.
+        versions = list(get_frontend("minic").default_versions)
+        corpus = corpus_for("minic")
+        state = str(tmp_path / "state")
+        journal = tmp_path / "state" / "journal.jsonl"
+        Campaign(config_for("minic", state_dir=state, versions=versions[:1])).run_sources(corpus)
+        grown = Campaign(
+            config_for("minic", state_dir=state, versions=versions)
+        ).run_sources(corpus, resume=True)  # full re-run, appends (v1, v2) records
+        records_after_growth = self.journal_record_count(journal)
+        again = Campaign(
+            config_for("minic", state_dir=state, versions=versions)
+        ).run_sources(corpus, resume=True)
+        assert fingerprint(again) == fingerprint(grown)
+        assert self.journal_record_count(journal) == records_after_growth, (
+            "the second resume must be a pure replay, not another full re-run"
+        )
+
+
+class TestShardedStore:
+    def test_distributed_shards_share_a_journal(self, tmp_path):
+        corpus = corpus_for("minic")
+        state = str(tmp_path / "state")
+        partials = [
+            Campaign(config_for("minic", state_dir=state)).run_sources(
+                corpus, shard_count=3, shard_index=index
+            )
+            for index in range(3)
+        ]
+        merged = partials[0].merge(partials[1]).merge(partials[2])
+        baseline = Campaign(config_for("minic")).run_sources(corpus)
+        assert fingerprint(merged) == fingerprint(baseline)
+        # All three machines appended into one journal; a resumed shard run
+        # replays its own units from it.
+        resumed = Campaign(config_for("minic", state_dir=state)).run_sources(
+            corpus, shard_count=3, shard_index=1, resume=True
+        )
+        assert fingerprint(resumed) == fingerprint(partials[1])
+
+    def test_distributed_shard_with_jobs_resumes_by_key(self, tmp_path):
+        # --shard i/n --jobs m: workers journal whole planned units (sub-
+        # sharding deals units round-robin, it never slices them), so a
+        # resumed shard run finds its keys whatever the worker count was.
+        corpus = corpus_for("minic")
+        state = str(tmp_path / "state")
+        journal = tmp_path / "state" / "journal.jsonl"
+        first = Campaign(config_for("minic", jobs=2, state_dir=state)).run_sources(
+            corpus, shard_count=2, shard_index=0
+        )
+        records_before = sum(len(g) for g in load_unit_records(journal).values())
+        resumed = Campaign(config_for("minic", jobs=1, state_dir=state)).run_sources(
+            corpus, shard_count=2, shard_index=0, resume=True
+        )
+        assert fingerprint(resumed) == fingerprint(first)
+        assert sum(len(g) for g in load_unit_records(journal).values()) == records_before
