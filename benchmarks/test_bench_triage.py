@@ -1,0 +1,152 @@
+"""Triage throughput: ddmin vs the legacy greedy reducer, plus bisection cost.
+
+The acceptance pin of the triage engine: on the seeded mini-C and WHILE
+crash bugs the chunked ddmin reducer reaches a (never larger) reduced
+program with **strictly fewer predicate evaluations** than the legacy
+greedy restart-scan -- the machine-independent measure of reduction cost,
+since every predicate evaluation is a full compile (or compile+run) of a
+candidate program.  Wall-clock numbers ride along for the record.
+
+Results are merged into ``BENCH_campaign.json`` under the ``"triage"`` key
+(the campaign-throughput benchmark owns the other keys; both read-modify-
+write the file so either can run alone).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.frontends import get_frontend
+from repro.testing.oracle import DifferentialOracle
+from repro.triage import BugPredicate, bisect_report, ddmin_reduce
+from repro.triage.engine import TriageEngine
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: The fixed reduction workload: one padded crash seed per language.  The
+#: mini-C seed interleaves decl/use noise after the crash statement (the
+#: greedy scan re-pays the crash-preserving prefix every restart round); the
+#: WHILE seed prefixes plain deletable assignments.
+MINIC_NOISE_PAIRS = 10
+
+
+def minic_crash_seed() -> str:
+    body = []
+    for index in range(MINIC_NOISE_PAIRS):
+        body.append(f"    int n{index} = {index};")
+        body.append(f"    n{index} = n{index} + {index};")
+    return (
+        "int a;\nint g1 = 3;\nint g2 = 4;\nint main() {\n    if (a) a = a - a;\n"
+        + "\n".join(body)
+        + "\n    return 0;\n}\n"
+    )
+
+
+def while_crash_seed() -> str:
+    lines = [f"v{index} := {index}" for index in range(14)]
+    lines += ["a := 7", "c := a - a"]
+    return " ;\n".join(lines) + "\n"
+
+
+CASES = {
+    "minic": dict(seed=minic_crash_seed(), version="scc-trunk", opt_level=2),
+    "while": dict(seed=while_crash_seed(), version="wc-trunk", opt_level=2),
+}
+
+
+def _measure_case(language: str, case: dict) -> dict:
+    frontend = get_frontend(language)
+    observation = DifferentialOracle(
+        version=case["version"], opt_level=case["opt_level"], frontend=language
+    ).observe(case["seed"])
+    assert observation.is_bug, f"{language} benchmark seed must crash"
+    predicate = BugPredicate.from_observation(observation, language)
+
+    started = time.perf_counter()
+    ddmin = ddmin_reduce(frontend, case["seed"], predicate)
+    ddmin_seconds = time.perf_counter() - started
+
+    greedy_evals = {"count": 0}
+
+    def counting(candidate: str) -> bool:
+        greedy_evals["count"] += 1
+        return predicate(candidate)
+
+    started = time.perf_counter()
+    greedy = frontend.reduce(case["seed"], counting)
+    greedy_seconds = time.perf_counter() - started
+
+    # The acceptance pin: strictly fewer predicate evaluations, and the
+    # reduced program is never larger (both must still reproduce the bug).
+    assert predicate(ddmin.source) and predicate(greedy)
+    assert ddmin.stats.predicate_evaluations < greedy_evals["count"], language
+    assert len(ddmin.source) <= len(greedy), language
+
+    return {
+        "seed_bytes": len(case["seed"]),
+        "version": case["version"],
+        "opt_level": case["opt_level"],
+        "ddmin": {
+            "predicate_evaluations": ddmin.stats.predicate_evaluations,
+            "cache_hits": ddmin.stats.cache_hits,
+            "rounds": ddmin.stats.rounds,
+            "reduced_bytes": ddmin.stats.final_bytes,
+            "seconds": round(ddmin_seconds, 3),
+        },
+        "legacy_greedy": {
+            "predicate_evaluations": greedy_evals["count"],
+            "reduced_bytes": len(greedy),
+            "seconds": round(greedy_seconds, 3),
+        },
+        "evaluation_ratio": round(
+            greedy_evals["count"] / max(1, ddmin.stats.predicate_evaluations), 2
+        ),
+    }
+
+
+def test_triage_reduction_throughput(benchmark, run_once):
+    per_language = run_once(
+        benchmark,
+        lambda: {language: _measure_case(language, case) for language, case in CASES.items()},
+    )
+
+    # Bisection cost on a real campaign: triage the seeded WHILE bugs and
+    # require every one of them attributed, in O(log versions) evaluations.
+    from repro.corpus.while_seeds import while_seed_programs
+    from repro.testing.harness import Campaign, CampaignConfig
+
+    result = Campaign(
+        CampaignConfig(frontend="while", max_variants_per_file=15)
+    ).run_sources(while_seed_programs())
+    assert result.bugs.reports
+    engine = TriageEngine("while", reduce_policy="all", bisect=True)
+    started = time.perf_counter()
+    outcomes = engine.triage_database(result.bugs)
+    triage_seconds = time.perf_counter() - started
+    assert all(outcome.introduced_in for outcome in outcomes)
+
+    payload = {
+        "triage": {
+            "reduction": per_language,
+            "campaign_triage": {
+                "language": "while",
+                "bugs": len(outcomes),
+                "reduced": sum(1 for outcome in outcomes if outcome.reduced),
+                "attributed": sum(1 for outcome in outcomes if outcome.introduced_in),
+                "predicate_evaluations": sum(
+                    outcome.predicate_evaluations for outcome in outcomes
+                ),
+                "cache_hits": sum(outcome.cache_hits for outcome in outcomes),
+                "seconds": round(triage_seconds, 3),
+            },
+        }
+    }
+    bench_path = REPO_ROOT / "BENCH_campaign.json"
+    try:
+        existing = json.loads(bench_path.read_text())
+    except (OSError, json.JSONDecodeError):
+        existing = {}
+    existing.update(payload)
+    bench_path.write_text(json.dumps(existing, indent=2) + "\n")

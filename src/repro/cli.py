@@ -11,11 +11,17 @@ registered language frontend; the default is mini-C):
 * ``campaign``         -- run a bug-hunting campaign over the language's
   built-in corpus; supports ``--lang {minic,while,...}``, ``--jobs N``
   (process-parallel shards), ``--sample K`` (uniform per-file sampling),
-  ``--shard I/N`` (distributed partial runs), and the persistent campaign
+  ``--shard I/N`` (distributed partial runs), the persistent campaign
   store: ``--state-dir DIR`` journals per-unit outcomes durably,
   ``--resume`` replays them after a crash, ``--incremental`` re-tests only
   compiler versions not yet covered, ``--fresh`` discards an existing
-  journal (a non-resume run refuses to overwrite one);
+  journal (a non-resume run refuses to overwrite one); and in-flight
+  triage: ``--reduce {off,crash,all}`` minimises bug triggers as they are
+  filed and ``--bisect`` attributes each bug to the compiler version that
+  introduced it;
+* ``triage``           -- reduce and bisect the bugs journaled in an
+  existing campaign ``--state-dir`` after the fact, appending the reduced
+  programs and version attributions to the journal as ``triage`` records;
 * ``experiment NAME``  -- regenerate a table/figure (table1, table2, table3,
   table4, fig8, fig9, fig10, or ``all``).
 """
@@ -154,6 +160,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         sample_seed=args.seed,
         jobs=args.jobs,
         state_dir=args.state_dir,
+        reduce_bugs=args.reduce,
+        bisect_bugs=args.bisect,
     )
     campaign = Campaign(config)
     try:
@@ -176,6 +184,54 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     print()
     for report in result.bugs.reports:
         print(report.summary_line())
+    return 0
+
+
+def _cmd_triage(args: argparse.Namespace) -> int:
+    from repro.store import CampaignStore
+    from repro.testing.executor import default_executor
+    from repro.triage import TriageEngine
+
+    store = CampaignStore(args.state_dir)
+    manifest = store.read_manifest()
+    if manifest is None:
+        print(
+            f"error: no campaign manifest in {args.state_dir}; "
+            "run a campaign with --state-dir first",
+            file=sys.stderr,
+        )
+        return 2
+    frontend = (manifest.get("fingerprint") or {}).get("frontend")
+    if not frontend:
+        print(f"error: manifest in {args.state_dir} names no frontend", file=sys.stderr)
+        return 2
+    result = store.merged_result()
+    if not result.bugs.reports:
+        print(f"# no bugs journaled in {args.state_dir}; nothing to triage")
+        return 0
+    # Each run is a pure function of the unit records (so identical
+    # invocations print identical output); knowledge from earlier passes is
+    # protected at the journal layer instead -- load_triage_records merges
+    # field-wise, so a weaker re-run (--no-bisect, --reduce off) can never
+    # erase a journaled attribution or reduced program.
+    engine = TriageEngine(
+        frontend,
+        reduce_policy=args.reduce,
+        bisect=args.bisect,
+        executor=default_executor(args.jobs),
+    )
+    outcomes = engine.triage_database(result.bugs)
+    store.append_triage_outcomes(outcomes)
+    store.close()
+    reduced = sum(1 for outcome in outcomes if outcome.reduced)
+    attributed = sum(1 for outcome in outcomes if outcome.introduced_in)
+    evaluations = sum(outcome.predicate_evaluations for outcome in outcomes)
+    print(
+        f"# triaged {len(outcomes)} bugs ({frontend}): {reduced} reduced, "
+        f"{attributed} attributed, {evaluations} predicate evaluations"
+    )
+    for outcome in outcomes:
+        print(outcome.summary_line())
     return 0
 
 
@@ -268,7 +324,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="discard an existing journal in --state-dir and start over "
              "(without this, a non-resume run refuses to overwrite one)",
     )
+    campaign.add_argument(
+        "--reduce", choices=["off", "crash", "all"], default="off",
+        help="minimise bug triggers as they are filed: crash bugs only, or "
+             "all bug kinds (wrong code and performance included); the "
+             "reduced program always reproduces the same bug id",
+    )
+    campaign.add_argument(
+        "--bisect", action="store_true",
+        help="attribute every filed bug to the compiler version that "
+             "introduced it (reported as 'introduced in ...')",
+    )
     campaign.set_defaults(func=_cmd_campaign)
+
+    triage = subparsers.add_parser(
+        "triage",
+        help="reduce + bisect the bugs journaled in an existing campaign state dir",
+    )
+    triage.add_argument(
+        "--state-dir", required=True, metavar="DIR",
+        help="campaign state directory (journal + manifest) to triage",
+    )
+    triage.add_argument(
+        "--reduce", choices=["off", "crash", "all"], default="all",
+        help="which bug kinds to minimise (default: all)",
+    )
+    triage.add_argument(
+        "--bisect", action=argparse.BooleanOptionalAction, default=True,
+        help="attribute each bug to the lineage version that introduced it "
+             "(default: on; --no-bisect disables)",
+    )
+    triage.add_argument(
+        "--jobs", type=_positive_int, default=1, metavar="N",
+        help="evaluate reduction candidate batches on N worker processes",
+    )
+    triage.set_defaults(func=_cmd_triage)
 
     experiment = subparsers.add_parser("experiment", help="regenerate a paper table/figure")
     experiment.add_argument("name", help="table1|table2|table3|table4|fig8|fig9|fig10|all")

@@ -326,6 +326,17 @@ def get_version(name: str) -> CompilerVersion:
         ) from None
 
 
+def lineage_versions(lineage: str) -> list[str]:
+    """The registered version names of one lineage, oldest first.
+
+    The triage engine's version bisection walks this order to attribute a
+    bug to the release that introduced it.  Unknown lineages return an empty
+    list (e.g. the fault-free ``reference`` pseudo-lineage, which has no
+    registered order and nothing to bisect).
+    """
+    return list(_LINEAGE_ORDERS.get(lineage, []))
+
+
 def affected_versions(fault_id: str, lineage: str = "scc") -> list[str]:
     """All versions of a lineage that carry the given fault."""
     return [
@@ -342,5 +353,6 @@ __all__ = [
     "affected_versions",
     "available_versions",
     "get_version",
+    "lineage_versions",
     "register_lineage",
 ]

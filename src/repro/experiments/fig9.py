@@ -92,8 +92,16 @@ def run(
 
 def render(result: Fig9Result) -> str:
     headers = ["Approach", "Function coverage improvement (%)", "Line coverage improvement (%)"]
+
+    def cell(value: float):
+        # An empty baseline reports float("inf") (see CoverageReport.
+        # improvement_over); render the sentinel rather than round(inf).
+        if value == float("inf"):
+            return "inf"
+        return round(value, 2)
+
     rows = [
-        [name, round(values["function"], 2), round(values["line"], 2)]
+        [name, cell(values["function"]), cell(values["line"])]
         for name, values in result.improvements.items()
     ]
     table = format_table(

@@ -22,7 +22,14 @@ A frontend packages everything the pipeline needs from a language:
   same executor is the oracle's performance baseline.  Executors follow the
   :class:`repro.compiler.driver.Compiler` surface: ``compile_source``,
   ``compile_variant``, ``run`` and ``vm_max_steps``;
-* **reduction** -- shrink a bug-triggering program while a predicate holds;
+* **reduction** -- shrink a bug-triggering program while a predicate holds.
+  Frontends additionally opt into the triage engine's chunked ddmin reducer
+  (:mod:`repro.triage.reduce`) through the *deletion-candidate hooks*:
+  :meth:`Frontend.deletion_candidates` counts the independently deletable
+  elements of a program and :meth:`Frontend.delete_candidates` renders the
+  program with a chosen subset of them removed (``None`` when the result is
+  not a valid program).  The defaults opt out, in which case triage falls
+  back to the frontend's own :meth:`Frontend.reduce`;
 * **a corpus** -- the language's default seed programs for campaigns.
 
 :attr:`default_versions` x :attr:`default_opt_levels` is the language's
@@ -116,6 +123,28 @@ class Frontend(abc.ABC):
     @abc.abstractmethod
     def reduce(self, source: str, predicate: Callable[[str], bool]) -> str:
         """Shrink ``source`` while ``predicate`` keeps holding."""
+
+    def deletion_candidates(self, source: str) -> int:
+        """How many independently deletable elements ``source`` has.
+
+        The contract the ddmin reducer relies on: enumerating the candidates
+        of the *same* source twice yields the same count in the same order,
+        and index ``i`` names the same element in every
+        :meth:`delete_candidates` call for that source.  Returning ``0``
+        (the default) opts the frontend out of chunked ddmin; triage then
+        falls back to :meth:`reduce`.
+        """
+        return 0
+
+    def delete_candidates(self, source: str, indices: Sequence[int]) -> str | None:
+        """Render ``source`` with the indexed deletable elements removed.
+
+        Returns ``None`` when the deletion does not produce a valid program
+        (fails to parse/resolve) or removes nothing -- the reducer treats
+        such candidates as free failures, never spending a predicate
+        evaluation on them.
+        """
+        return None
 
     # -- corpus -------------------------------------------------------------
 

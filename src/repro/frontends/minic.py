@@ -60,6 +60,16 @@ class MiniCFrontend(Frontend):
 
         return reduce_program(source, predicate)
 
+    def deletion_candidates(self, source: str) -> int:
+        from repro.testing.reducer import deletion_candidates
+
+        return deletion_candidates(source)
+
+    def delete_candidates(self, source: str, indices) -> str | None:
+        from repro.testing.reducer import delete_candidates
+
+        return delete_candidates(source, indices)
+
     def build_corpus(self, files: int = 25, seed: int = 2017) -> dict[str, str]:
         from repro.experiments.table1 import build_corpus
 

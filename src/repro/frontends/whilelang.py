@@ -20,7 +20,11 @@ from repro.frontends.base import Frontend
 from repro.lang.compile import WhileCompiler, execute_while
 from repro.lang.lexer import LexerError
 from repro.lang.parser import ParseError, parse_program
-from repro.lang.reduce import reduce_while_program
+from repro.lang.reduce import (
+    delete_candidates as while_delete_candidates,
+    deletion_candidates as while_deletion_candidates,
+    reduce_while_program,
+)
 from repro.lang.skeleton import SkeletonExtractionError, extract_skeleton
 
 
@@ -53,6 +57,12 @@ class WhileFrontend(Frontend):
 
     def reduce(self, source: str, predicate: Callable[[str], bool]) -> str:
         return reduce_while_program(source, predicate)
+
+    def deletion_candidates(self, source: str) -> int:
+        return while_deletion_candidates(source)
+
+    def delete_candidates(self, source: str, indices) -> str | None:
+        return while_delete_candidates(source, indices)
 
     def build_corpus(self, files: int = 25, seed: int = 2017) -> dict[str, str]:
         from repro.corpus.while_seeds import build_while_corpus

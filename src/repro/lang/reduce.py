@@ -6,11 +6,17 @@ smaller program after every successful deletion) while the caller's
 predicate -- "the compiler still crashes with this signature" -- keeps
 holding.  WHILE ASTs are immutable, so candidate programs are produced by
 rebuilding the tree without one statement rather than deleting in place.
+
+:func:`deletion_candidates` / :func:`delete_candidates` are the WHILE
+implementation of the frontend deletion-candidate hooks: they expose the
+deletable statements as an indexed list (deterministic pre-order) so the
+chunked ddmin reducer of :mod:`repro.triage.reduce` can remove whole chunks
+per predicate evaluation.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Iterator
+from typing import Callable, Iterator, Sequence
 
 from repro.lang.ast import If, Seq, Skip, While, WhileNode
 from repro.lang.lexer import LexerError
@@ -20,15 +26,15 @@ from repro.lang.printer import to_source
 Predicate = Callable[[str], bool]
 
 
-def _without_statement(node: WhileNode, target: WhileNode) -> WhileNode:
-    """Rebuild ``node`` with the statement ``target`` (by identity) removed."""
-    if node is target:
+def _without_statements(node: WhileNode, targets: set[int]) -> WhileNode:
+    """Rebuild ``node`` with every statement in ``targets`` (ids) removed."""
+    if id(node) in targets:
         return Skip()
     if isinstance(node, Seq):
         statements = tuple(
-            _without_statement(statement, target)
+            _without_statements(statement, targets)
             for statement in node.statements
-            if statement is not target
+            if id(statement) not in targets
         )
         if not statements:
             return Skip()
@@ -36,14 +42,19 @@ def _without_statement(node: WhileNode, target: WhileNode) -> WhileNode:
             return statements[0]
         return Seq(statements)
     if isinstance(node, While):
-        return While(node.condition, _without_statement(node.body, target))
+        return While(node.condition, _without_statements(node.body, targets))
     if isinstance(node, If):
         return If(
             node.condition,
-            _without_statement(node.then_branch, target),
-            _without_statement(node.else_branch, target),
+            _without_statements(node.then_branch, targets),
+            _without_statements(node.else_branch, targets),
         )
     return node
+
+
+def _without_statement(node: WhileNode, target: WhileNode) -> WhileNode:
+    """Rebuild ``node`` with the statement ``target`` (by identity) removed."""
+    return _without_statements(node, {id(target)})
 
 
 def _deletable_statements(program: WhileNode) -> Iterator[WhileNode]:
@@ -53,6 +64,44 @@ def _deletable_statements(program: WhileNode) -> Iterator[WhileNode]:
             yield from node.statements
         elif isinstance(node, (While, If)) and node is not program:
             yield node
+
+
+# -- deletion-candidate hooks (the ddmin surface) -------------------------------
+
+
+def deletion_candidates(source: str) -> int:
+    """Count the deletable statements of ``source`` (0 when unparsable)."""
+    try:
+        program = parse_program(source)
+    except (ParseError, LexerError):
+        return 0
+    return len(list(_deletable_statements(program)))
+
+
+def delete_candidates(source: str, indices: Sequence[int]) -> str | None:
+    """Render ``source`` with the indexed deletable statements removed.
+
+    Returns ``None`` when the source is unparsable, an index is out of
+    range, or the deletion changes nothing (a nested statement whose
+    enclosing statement is also selected disappears with it, so the render
+    check is what decides progress).
+    """
+    try:
+        program = parse_program(source)
+    except (ParseError, LexerError):
+        return None
+    statements = list(_deletable_statements(program))
+    chosen = set(indices)
+    if not chosen or any(not 0 <= index < len(statements) for index in chosen):
+        return None
+    targets = {id(statements[index]) for index in chosen}
+    rendered = to_source(_without_statements(program, targets))
+    if rendered == to_source(program):
+        return None
+    return rendered
+
+
+# -- the legacy greedy reducer ---------------------------------------------------
 
 
 def reduce_while_program(source: str, predicate: Predicate, max_rounds: int = 25) -> str:
@@ -87,4 +136,4 @@ def reduce_while_program(source: str, predicate: Predicate, max_rounds: int = 25
     return current_source
 
 
-__all__ = ["reduce_while_program"]
+__all__ = ["delete_candidates", "deletion_candidates", "reduce_while_program"]

@@ -22,7 +22,9 @@ The harness wires it up through ``CampaignConfig.state_dir`` and
 from repro.store.journal import (
     JOURNAL_FORMAT,
     JournalWriter,
+    TriageRecord,
     UnitRecord,
+    load_triage_records,
     load_unit_records,
     read_journal,
     unit_key_for,
@@ -52,6 +54,7 @@ __all__ = [
     "StoreError",
     "StoreFormatError",
     "StoreMismatchError",
+    "TriageRecord",
     "UnitRecord",
     "bug_database_from_json",
     "bug_database_to_json",
@@ -60,6 +63,7 @@ __all__ = [
     "campaign_result_from_json",
     "campaign_result_to_json",
     "config_fingerprint",
+    "load_triage_records",
     "load_unit_records",
     "merge_unit_records",
     "read_journal",

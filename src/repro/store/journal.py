@@ -82,6 +82,54 @@ def unit_key_for(unit) -> str:
 
 
 @dataclass(frozen=True)
+class TriageRecord:
+    """One journaled triage outcome for one deduplicated bug.
+
+    Appended by the ``repro triage`` CLI (and available to any tool reading
+    the journal): the reduced trigger program, the attributed introducing
+    version, and the predicate-evaluation stats.  ``bug_id`` is the stable
+    content-derived id, so records match their bugs across resumes, merges
+    and re-runs; when a bug is triaged more than once the *last* record wins
+    (append-only log, latest knowledge).  Schema-versioned independently of
+    unit records so old journals -- which simply contain no ``triage``
+    records -- still load unchanged.
+    """
+
+    SCHEMA = 1
+
+    bug_id: str
+    kind: str
+    reduced_program: str | None
+    introduced_in: str | None
+    stats: dict[str, Any]
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "type": "triage",
+            "format": JOURNAL_FORMAT,
+            "schema": self.SCHEMA,
+            "bug_id": self.bug_id,
+            "kind": self.kind,
+            "reduced_program": self.reduced_program,
+            "introduced_in": self.introduced_in,
+            "stats": dict(self.stats),
+        }
+
+    @staticmethod
+    def from_json(payload: dict[str, Any]) -> "TriageRecord":
+        try:
+            return TriageRecord(
+                bug_id=payload["bug_id"],
+                kind=payload.get("kind", ""),
+                reduced_program=payload.get("reduced_program"),
+                introduced_in=payload.get("introduced_in"),
+                stats=dict(payload.get("stats", {})),
+            )
+        except (KeyError, TypeError) as error:
+            raise StoreFormatError(f"malformed triage record: {error}") from error
+
+
+@dataclass(frozen=True)
 class UnitRecord:
     """One journaled unit outcome: a unit key, the versions it covered, and
     the unit's complete mergeable result."""
@@ -155,6 +203,11 @@ class JournalWriter:
         self._append(record.to_json())
         return record
 
+    def append_triage(self, record: TriageRecord) -> TriageRecord:
+        """Journal one bug's triage outcome (reduced program + attribution)."""
+        self._append(record.to_json())
+        return record
+
     def append_checkpoint(self, units_seen: int, summary: dict[str, Any]) -> None:
         """Journal a progress checkpoint (merged counters so far).
 
@@ -223,6 +276,45 @@ def load_unit_records(path: str | Path) -> dict[str, list[UnitRecord]]:
     return records
 
 
+def load_triage_records(path: str | Path) -> dict[str, TriageRecord]:
+    """The effective triage record per bug id.
+
+    Records merge *field-wise*, latest knowledge winning per field: a later
+    record's ``None`` (e.g. a ``--no-bisect`` or ``--reduce off`` pass that
+    simply did not look) never erases an earlier record's attribution or
+    reduced program -- absence of knowledge does not overwrite knowledge,
+    mirroring how ``BugDatabase`` merges ``introduced_in``.  ``stats``
+    always reflect the most recent pass.
+    """
+    records: dict[str, TriageRecord] = {}
+    for payload in read_journal(path):
+        if payload.get("type") != "triage":
+            continue
+        try:
+            record = TriageRecord.from_json(payload)
+        except StoreFormatError:
+            continue
+        prior = records.get(record.bug_id)
+        if prior is not None:
+            record = TriageRecord(
+                bug_id=record.bug_id,
+                kind=record.kind or prior.kind,
+                reduced_program=(
+                    record.reduced_program
+                    if record.reduced_program is not None
+                    else prior.reduced_program
+                ),
+                introduced_in=(
+                    record.introduced_in
+                    if record.introduced_in is not None
+                    else prior.introduced_in
+                ),
+                stats=record.stats,
+            )
+        records[record.bug_id] = record
+    return records
+
+
 def last_checkpoint(path: str | Path) -> dict[str, Any] | None:
     """The most recent checkpoint record, if any (progress observability)."""
     checkpoint = None
@@ -235,8 +327,10 @@ def last_checkpoint(path: str | Path) -> dict[str, Any] | None:
 __all__ = [
     "JOURNAL_FORMAT",
     "JournalWriter",
+    "TriageRecord",
     "UnitRecord",
     "last_checkpoint",
+    "load_triage_records",
     "load_unit_records",
     "read_journal",
     "source_sha",

@@ -33,6 +33,13 @@ class StoreFormatError(ValueError):
     """A journal/manifest payload does not match the store format."""
 
 
+#: Bug-report record schema.  Version 2 added the triage fields
+#: (``introduced_in``); the loader accepts records without a schema marker
+#: (= version 1) by defaulting every newer field, so journals written before
+#: the triage engine still load and replay exactly.
+BUG_REPORT_SCHEMA = 2
+
+
 def encode_key(key: tuple | None) -> list | None:
     """Encode a (nested) dedup-key tuple as nested JSON lists."""
     if key is None:
@@ -52,6 +59,7 @@ def decode_key(key: list | None) -> tuple | None:
 
 def bug_report_to_json(report: BugReport) -> dict[str, Any]:
     return {
+        "schema": BUG_REPORT_SCHEMA,
         "id": report.id,
         "kind": report.kind.value,
         "compiler": report.compiler,
@@ -65,6 +73,7 @@ def bug_report_to_json(report: BugReport) -> dict[str, Any]:
         "fault_ids": list(report.fault_ids),
         "affected_versions": list(report.affected_versions),
         "duplicate_count": report.duplicate_count,
+        "introduced_in": report.introduced_in,
         "dedup_key": encode_key(report.dedup_key),
     }
 
@@ -88,6 +97,8 @@ def bug_report_from_json(payload: dict[str, Any]) -> "BugReport":
             fault_ids=list(payload.get("fault_ids", [])),
             affected_versions=list(payload.get("affected_versions", [])),
             duplicate_count=int(payload.get("duplicate_count", 0)),
+            # Schema 1 records (pre-triage journals) have no attribution.
+            introduced_in=payload.get("introduced_in"),
             dedup_key=decode_key(payload.get("dedup_key")),
         )
     except (KeyError, ValueError, TypeError) as error:
@@ -150,6 +161,7 @@ def campaign_result_from_json(payload: dict[str, Any]):
 
 
 __all__ = [
+    "BUG_REPORT_SCHEMA",
     "StoreFormatError",
     "bug_database_from_json",
     "bug_database_to_json",

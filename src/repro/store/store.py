@@ -37,8 +37,10 @@ from typing import Any, Iterable, Sequence
 from repro.store.journal import (
     JOURNAL_FORMAT,
     JournalWriter,
+    TriageRecord,
     UnitRecord,
     last_checkpoint,
+    load_triage_records,
     load_unit_records,
 )
 
@@ -74,7 +76,13 @@ def config_fingerprint(config) -> dict[str, Any]:
         "sample_per_file": config.sample_per_file,
         "sample_seed": config.sample_seed,
         "stop_after_bugs": config.stop_after_bugs,
-        "reduce_bugs": config.reduce_bugs,
+        # The reduction policy predates its string form ("off"/"crash"/"all"):
+        # it was a bool, and manifests written then must keep matching, so
+        # the two historical values are encoded as the booleans they were.
+        # (Reduction changes the representative programs a unit records, so
+        # it stays part of the fingerprint; bisection only annotates reports
+        # and deliberately does not.)
+        "reduce_bugs": {"off": False, "crash": True}.get(config.reduce_bugs, config.reduce_bugs),
     }
 
 
@@ -269,6 +277,51 @@ class CampaignStore:
             "observations": dict(result.observations),
         }
         self.writer().append_checkpoint(units_seen, summary)
+
+    # -- after-the-fact triage ---------------------------------------------
+
+    def merged_result(self):
+        """Merge every journaled unit record into one campaign result.
+
+        The after-the-fact entry point the ``repro triage`` CLI uses: no
+        ``begin()``/fingerprint handshake is needed because nothing is
+        replayed into a live campaign -- the merge algebra alone
+        reconstructs the deduplicated bug database (and the counters) from
+        the journal, in any record order.
+        """
+        from repro.testing.harness import CampaignResult
+
+        records = load_unit_records(self.journal_path)
+        merged = CampaignResult()
+        for key in sorted(records):
+            merged = merged.merge(merge_unit_records(records[key]))
+        return merged
+
+    def triage_records(self) -> dict[str, TriageRecord]:
+        """The latest journaled triage outcome per bug id."""
+        return load_triage_records(self.journal_path)
+
+    def append_triage_outcomes(self, outcomes: Iterable) -> int:
+        """Journal :class:`~repro.triage.engine.TriageOutcome` values; returns the count."""
+        written = 0
+        writer = self.writer()
+        for outcome in outcomes:
+            writer.append_triage(
+                TriageRecord(
+                    bug_id=outcome.bug_id,
+                    kind=outcome.kind,
+                    reduced_program=outcome.reduced_program,
+                    introduced_in=outcome.introduced_in,
+                    stats={
+                        "predicate_evaluations": outcome.predicate_evaluations,
+                        "cache_hits": outcome.cache_hits,
+                        "original_bytes": outcome.original_bytes,
+                        "reduced_bytes": outcome.reduced_bytes,
+                    },
+                )
+            )
+            written += 1
+        return written
 
     # -- observability -----------------------------------------------------
 

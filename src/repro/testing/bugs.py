@@ -33,6 +33,31 @@ class BugKind(enum.Enum):
         }[kind]
 
 
+def _earlier_version(lineage: str, left: str | None, right: str | None) -> str | None:
+    """The earlier of two attributions in lineage order (None loses to any).
+
+    Commutative and associative, so folding attributions over any merge
+    order yields the same result.  Versions missing from the registered
+    order compare lexicographically after registered ones (best effort for
+    foreign journals).
+    """
+    if left is None or right is None:
+        return left if right is None else right
+    if left == right:
+        return left
+    from repro.compiler.versions import lineage_versions
+
+    order = lineage_versions(lineage)
+
+    def rank(version: str) -> tuple:
+        try:
+            return (0, order.index(version), version)
+        except ValueError:
+            return (1, 0, version)
+
+    return min(left, right, key=rank)
+
+
 def bug_id(dedup_key: tuple) -> str:
     """Stable, content-derived bug identifier.
 
@@ -73,13 +98,26 @@ class BugReport:
     fault_ids: list[str] = field(default_factory=list)
     affected_versions: list[str] = field(default_factory=list)
     duplicate_count: int = 0
+    #: The lineage version that introduced this bug, attributed by the triage
+    #: engine's bisection (:mod:`repro.triage.bisect`).  ``None`` until (and
+    #: unless) the bug has been bisected.  Attribution depends on the
+    #: *witness* program bisected (a fault masked by another fault in older
+    #: releases shifts a witness's first-reproducing version later), so two
+    #: shards can legitimately attribute the same bug differently; merges
+    #: resolve the disagreement deterministically by keeping the earliest
+    #: version in lineage order (:func:`_earlier_version`), which is
+    #: commutative -- merged databases stay independent of merge order.
+    introduced_in: str | None = None
     dedup_key: tuple | None = field(default=None, repr=False, compare=False)
 
     def summary_line(self) -> str:
-        return (
+        line = (
             f"[{self.id}] {self.lineage} {self.kind.value:>11} {self.priority} "
             f"{str(self.opt_level):>4} {self.component:<18} {self.signature[:70]}"
         )
+        if self.introduced_in:
+            line += f" [introduced in {self.introduced_in}]"
+        return line
 
 
 @dataclass
@@ -187,6 +225,9 @@ class BugDatabase:
         if existing is not None:
             existing.duplicate_count += report.duplicate_count + 1
             self._adopt_if_smaller(existing, report)
+            existing.introduced_in = _earlier_version(
+                existing.lineage, existing.introduced_in, report.introduced_in
+            )
             return existing
         copy = replace(
             report,
@@ -213,6 +254,15 @@ class BugDatabase:
         self.reports.append(report)
         self._by_key[key] = report
         return report
+
+    def find(self, key: tuple) -> BugReport | None:
+        """The recorded report for a dedup key, if any.
+
+        The harness asks before filing: an observation whose key is already
+        recorded is a duplicate, and only pays for triage again when its
+        program is adopted as the bug's new representative.
+        """
+        return self._by_key.get(key)
 
     def sort(self) -> None:
         """Order reports canonically (representative order, then id).

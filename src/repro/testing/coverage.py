@@ -40,11 +40,18 @@ class CoverageReport:
         self.line_events |= other.line_events
 
     def improvement_over(self, baseline: "CoverageReport") -> dict[str, float]:
-        """Percentage improvement of this report relative to ``baseline``."""
+        """Percentage improvement of this report relative to ``baseline``.
+
+        An empty baseline cannot be improved *relatively*: any nonzero
+        coverage on top of zero is reported as ``float("inf")`` (the
+        documented sentinel -- the historical 0.0 silently understated a
+        strict improvement), and only zero-over-zero is 0.0.  Renderers
+        display the sentinel as ``inf`` (see the Figure 9 table).
+        """
 
         def percent(new: int, base: int) -> float:
             if base == 0:
-                return 0.0
+                return float("inf") if new > 0 else 0.0
             return 100.0 * (new - base) / base
 
         combined = CoverageReport(

@@ -51,6 +51,14 @@ of re-executing them (the merged result is identical to an uninterrupted
 run), and ``run_sources(incremental=True)`` re-tests only the compiler
 versions a unit has not yet covered, so growing the version matrix re-runs
 only the new columns.
+
+Bugs can be *triaged* as they are filed (:mod:`repro.triage`):
+``CampaignConfig.reduce_bugs`` selects which bug kinds get their trigger
+programs minimised by the chunked ddmin reducer (preserving the bug's dedup
+key, hence its ``bug_id``), and ``CampaignConfig.bisect_bugs`` attributes
+each distinct bug to the compiler-lineage version that introduced it
+(``BugReport.introduced_in``).  The same pipeline runs after the fact over
+a journaled campaign via the ``repro triage`` CLI command.
 """
 
 from __future__ import annotations
@@ -78,7 +86,11 @@ from repro.store import (
 )
 from repro.testing.bugs import BugDatabase, BugReport
 from repro.testing.executor import SerialExecutor, default_executor, map_streaming
-from repro.testing.oracle import DifferentialOracle, Observation, ObservationKind
+from repro.testing.oracle import DifferentialOracle, Observation
+
+# The triage engine (repro.triage) is imported lazily inside the methods
+# that use it: its modules import repro.testing.bugs/oracle back, so a
+# module-level import here would cycle through the package __init__.
 
 
 class CampaignInterrupted(RuntimeError):
@@ -119,7 +131,23 @@ class CampaignConfig:
     sample_seed: int = 2017
     #: Worker processes for :meth:`Campaign.run_sources` (1 = in-process).
     jobs: int = 1
-    reduce_bugs: bool = False
+    #: Bug-trigger reduction policy (the triage engine's ddmin reducer,
+    #: :mod:`repro.triage.reduce`): ``"off"`` files bugs untouched,
+    #: ``"crash"`` minimises crash triggers (signature-preserving), and
+    #: ``"all"`` additionally minimises wrong-code and performance triggers
+    #: (divergence-signature-preserving -- the reduced program must file
+    #: under the same ``bug_id``).  Booleans are accepted for backwards
+    #: compatibility (``True`` == ``"crash"``, ``False`` == ``"off"``) and
+    #: normalised at construction time.  Only the first observation of each
+    #: distinct bug per unit is reduced; duplicates are recorded as-is.
+    reduce_bugs: bool | str = False
+    #: Attribute every newly filed bug to the compiler-lineage version that
+    #: introduced it (:mod:`repro.triage.bisect`), recorded as
+    #: ``BugReport.introduced_in``.  O(log versions) extra predicate
+    #: evaluations per distinct bug, sharing the reduction's predicate
+    #: cache.  Bugs can also be attributed after the fact with the
+    #: ``repro triage`` CLI command against a campaign ``state_dir``.
+    bisect_bugs: bool = False
     #: Stop once this many distinct bugs are filed.  Enforced per shard, so a
     #: parallel/sharded run may overshoot (each shard stops independently);
     #: only a serial single-shard run stops exactly at the limit.  See
@@ -169,6 +197,9 @@ class CampaignConfig:
             self.opt_levels = list(frontend.default_opt_levels)
         if self.unit_variants < 1:
             raise ValueError(f"unit_variants must be positive, got {self.unit_variants}")
+        from repro.triage.engine import normalize_reduce_policy
+
+        self.reduce_bugs = normalize_reduce_policy(self.reduce_bugs)
 
     def oracles(self) -> list[DifferentialOracle]:
         return [
@@ -305,6 +336,16 @@ class Campaign:
         # shard even though each unit accumulates into its own result (so it
         # can be journaled independently).
         self._shard_bug_keys: set = set()
+        # Triage predicate verdicts keyed by (predicate identity, source
+        # hash), shared by reduction and bisection across the campaign's
+        # lifetime -- re-observing the same candidate for the same bug is
+        # never paid for twice.
+        from repro.triage.reduce import PredicateCache
+
+        self._predicate_cache = PredicateCache()
+        # TriageEngine per machine_bits (the only oracle knob a predicate
+        # carries that the config does not fix), built on first use.
+        self._triage_engines: dict = {}
 
     # -- planning ---------------------------------------------------------------
 
@@ -808,18 +849,55 @@ class Campaign:
     def _file_bug(
         self, observation: Observation, oracle: DifferentialOracle, result: CampaignResult
     ) -> BugReport | None:
-        if self.config.reduce_bugs and observation.kind is ObservationKind.CRASH:
-            signature = observation.signature.split(" (")[0]
+        """File one bug observation, then triage it when configured.
 
-            def still_crashes(candidate: str) -> bool:
-                repeat = oracle.observe(candidate, name=observation.source_name)
-                return (
-                    repeat.kind is ObservationKind.CRASH
-                    and repeat.signature.split(" (")[0] == signature
-                )
+        Newly filed bugs go through :meth:`TriageEngine.triage_report`:
+        reduction (``config.reduce_bugs``) shrinks the trigger while
+        preserving the report's dedup key -- so the reduced program still
+        files under the same ``bug_id`` -- and bisection
+        (``config.bisect_bugs``) attributes it to the lineage version that
+        introduced it.  Duplicates of an already-filed bug normally skip
+        triage (dedup would discard the work) -- *unless* the duplicate
+        orders earlier and is adopted as the bug's representative
+        (:meth:`BugDatabase._adopt_if_smaller`), in which case its program
+        replaced the reduced one and is re-triaged, so the filed report
+        always carries a reduced trigger whatever order the observations
+        arrive in.  All triage shares the campaign-lifetime predicate
+        cache (bisection attribution survives adoption: it derives from the
+        dedup key, so it is never recomputed).
+        """
+        from repro.triage.predicate import observation_dedup_key
 
-            observation.program = self._frontend.reduce(observation.program, still_crashes)
-        return result.bugs.record(observation)
+        key = observation_dedup_key(observation)
+        existing = result.bugs.find(key) if key is not None else None
+        prior_program = existing.test_program if existing is not None else None
+        report = result.bugs.record(observation)
+        if report is None:
+            return None
+        engine = self._triage_engine(oracle.machine_bits)
+        if engine is not None and (existing is None or report.test_program != prior_program):
+            engine.triage_report(report)
+        return report
+
+    def _triage_engine(self, machine_bits: int):
+        """The lazily built per-``machine_bits`` triage engine (or None when
+        triage is fully disabled).  All engines share the campaign's
+        predicate cache."""
+        if self.config.reduce_bugs == "off" and not self.config.bisect_bugs:
+            return None
+        engine = self._triage_engines.get(machine_bits)
+        if engine is None:
+            from repro.triage.engine import TriageEngine
+
+            engine = TriageEngine(
+                self.config.frontend,
+                reduce_policy=self.config.reduce_bugs,
+                bisect=self.config.bisect_bugs,
+                machine_bits=machine_bits,
+                cache=self._predicate_cache,
+            )
+            self._triage_engines[machine_bits] = engine
+        return engine
 
 
 @dataclass(frozen=True)

@@ -58,11 +58,29 @@ class OrionMutator:
         executed = interpreter.executed_statements
         return [stmt for stmt in _deletable_statements(unit) if id(stmt) not in executed]
 
+    def _dead_positions(self, unit: ast.TranslationUnit) -> list[int]:
+        """Indices of dead statements within the deletable-statement order.
+
+        Positions survive ``copy.deepcopy``: the copy's deletable statements
+        enumerate in the same deterministic walk order, so one profiling run
+        of the seed maps onto every mutant copy by index.
+        """
+        dead = {id(stmt) for stmt in self.dead_statements(unit)}
+        return [
+            index
+            for index, stmt in enumerate(_deletable_statements(unit))
+            if id(stmt) in dead
+        ]
+
     def mutants(self, source: str, count: int = 10) -> list[str]:
         """Produce up to ``count`` distinct mutants of ``source``.
 
         Returns fewer mutants (possibly none) when the seed has no dead
         statements to delete or when deletion produces an invalid program.
+        The seed's dead-statement set is invariant (profiling runs the
+        *unmutated* program), so it is profiled exactly once and mapped into
+        each mutant copy by position -- the attempt loop used to re-run the
+        full reference interpreter per attempt for the identical answer.
         """
         rng = random.Random(self.seed)
         try:
@@ -71,19 +89,17 @@ class OrionMutator:
         except MiniCError:
             return []
 
+        dead_positions = self._dead_positions(unit)
+        if not dead_positions:
+            return []
         produced: list[str] = []
         seen: set[str] = set()
         for _ in range(count * self.attempts_per_mutant):
             if len(produced) >= count:
                 break
             mutant_unit = copy.deepcopy(unit)
-            try:
-                resolve(mutant_unit)
-            except MiniCError:
-                continue
-            dead = self.dead_statements(mutant_unit)
-            if not dead:
-                break
+            candidates = _deletable_statements(mutant_unit)
+            dead = [candidates[index] for index in dead_positions]
             how_many = rng.randint(1, min(self.deletions, len(dead)))
             victims = {id(stmt) for stmt in rng.sample(dead, how_many)}
             self._delete(mutant_unit, victims)

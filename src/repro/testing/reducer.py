@@ -8,14 +8,24 @@ Berkeley Delta (paper Section 6), sufficient for the single-file programs SPE
 produces.
 
 This module is the mini-C reducer; the campaign harness routes reduction
-through the frontend protocol (``frontend.reduce(source, predicate)``),
-which lands here for mini-C and in :mod:`repro.lang.reduce` for WHILE.
+through the frontend protocol, which lands here for mini-C and in
+:mod:`repro.lang.reduce` for WHILE.  Two entry surfaces coexist:
+
+* :func:`reduce_program` -- the legacy greedy loop (restart from the smaller
+  program after every successful deletion), kept as the baseline the triage
+  benchmarks compare against and as the fallback for frontends without
+  deletion-candidate hooks;
+* :func:`deletion_candidates` / :func:`delete_candidates` -- the
+  deletion-candidate hooks backing the chunked ddmin reducer of
+  :mod:`repro.triage.reduce`.  A candidate index names either a statement
+  position inside some block (in pre-order walk order) or, after those, a
+  global declaration.  Multi-element deletion lets ddmin cut whole chunks
+  per predicate evaluation instead of one statement at a time.
 """
 
 from __future__ import annotations
 
-import copy
-from typing import Callable
+from typing import Callable, Sequence
 
 from repro.minic import ast
 from repro.minic.errors import MiniCError
@@ -36,6 +46,15 @@ def _candidate_deletions(unit: ast.TranslationUnit) -> list[tuple[ast.Block, int
     return positions
 
 
+def _global_decl_positions(unit: ast.TranslationUnit) -> list[int]:
+    """Indices into ``unit.decls`` holding removable global declarations."""
+    return [
+        index
+        for index, decl in enumerate(unit.decls)
+        if isinstance(decl, ast.DeclStmt)
+    ]
+
+
 def _try_render(unit: ast.TranslationUnit) -> str | None:
     try:
         rendered = to_source(unit)
@@ -44,6 +63,68 @@ def _try_render(unit: ast.TranslationUnit) -> str | None:
         return rendered
     except MiniCError:
         return None
+
+
+def _parse_resolved(source: str) -> ast.TranslationUnit | None:
+    try:
+        unit = parse(source)
+        resolve(unit)
+        return unit
+    except MiniCError:
+        return None
+
+
+# -- deletion-candidate hooks (the ddmin surface) -------------------------------
+
+
+def deletion_candidates(source: str) -> int:
+    """Count the deletable elements of ``source`` (statements, then globals)."""
+    unit = _parse_resolved(source)
+    if unit is None:
+        return 0
+    return len(_candidate_deletions(unit)) + len(_global_decl_positions(unit))
+
+
+def delete_candidates(source: str, indices: Sequence[int]) -> str | None:
+    """Render ``source`` with the indexed deletable elements removed.
+
+    Indices follow the order :func:`deletion_candidates` counts in: block
+    statements first (pre-order), then global declarations.  Returns ``None``
+    when nothing was removed or the result does not parse and resolve.
+    """
+    unit = _parse_resolved(source)
+    if unit is None:
+        return None
+    positions = _candidate_deletions(unit)
+    decl_positions = _global_decl_positions(unit)
+    total = len(positions) + len(decl_positions)
+
+    by_block: dict[int, tuple[ast.Block, list[int]]] = {}
+    decl_victims: list[int] = []
+    for index in set(indices):
+        if not 0 <= index < total:
+            return None
+        if index < len(positions):
+            block, item_index = positions[index]
+            by_block.setdefault(id(block), (block, []))[1].append(item_index)
+        else:
+            decl_victims.append(decl_positions[index - len(positions)])
+    if not by_block and not decl_victims:
+        return None
+    # Delete within each block in descending item order so earlier indices
+    # stay valid; blocks are independent objects, so block order is free.
+    for block, item_indices in by_block.values():
+        for item_index in sorted(item_indices, reverse=True):
+            del block.items[item_index]
+    for decl_index in sorted(decl_victims, reverse=True):
+        del unit.decls[decl_index]
+    rendered = _try_render(unit)
+    if rendered == source:
+        return None
+    return rendered
+
+
+# -- the legacy greedy reducer ---------------------------------------------------
 
 
 def reduce_program(source: str, predicate: Predicate, max_rounds: int = 25) -> str:
@@ -91,29 +172,37 @@ def reduce_program(source: str, predicate: Predicate, max_rounds: int = 25) -> s
 
 
 def _drop_unused_globals(source: str, predicate: Predicate) -> str:
-    """Remove global declarations one at a time while the predicate holds."""
-    try:
-        unit = parse(source)
-        resolve(unit)
-    except MiniCError:
+    """Remove global declarations one at a time while the predicate holds.
+
+    The index only advances past declarations that could *not* be removed:
+    after a successful removal the next declaration slides into the freed
+    slot, so advancing would skip it (the historical bug that left every
+    second removable global behind).
+    """
+    if _parse_resolved(source) is None:
         return source
     current = source
-    for decl_index in range(len(unit.decls)):
-        trial = parse(current)
-        try:
-            resolve(trial)
-        except MiniCError:
+    decl_index = 0
+    while True:
+        trial = _parse_resolved(current)
+        if trial is None:
             return current
         if decl_index >= len(trial.decls):
             break
         if not isinstance(trial.decls[decl_index], ast.DeclStmt):
+            decl_index += 1
             continue
-        removed = trial.decls[decl_index]
-        trial.decls.remove(removed)
+        del trial.decls[decl_index]
         rendered = _try_render(trial)
-        if rendered is not None and predicate(rendered):
+        if rendered is not None and rendered != current and predicate(rendered):
             current = rendered
+            continue  # same index: the next decl slid into this slot
+        decl_index += 1
     return current
 
 
-__all__ = ["reduce_program"]
+__all__ = [
+    "delete_candidates",
+    "deletion_candidates",
+    "reduce_program",
+]

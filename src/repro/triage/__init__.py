@@ -1,0 +1,44 @@
+"""Frontend-generic bug triage: ddmin reduction + version bisection.
+
+The campaign stack's post-detection layer (paper Section 6): once the
+differential oracle has *found* a bug, this package shrinks the triggering
+program while preserving the bug's identity (:mod:`repro.triage.reduce`),
+attributes it to the compiler release that introduced the fault
+(:mod:`repro.triage.bisect`), and packages both as one engine the harness
+and the ``repro triage`` CLI share (:mod:`repro.triage.engine`).  Everything
+is language-agnostic: languages participate through the
+:class:`~repro.frontends.base.Frontend` deletion-candidate hooks and the
+registered compiler lineages of :mod:`repro.compiler.versions`.
+"""
+
+from repro.triage.bisect import BisectionOutcome, bisect_report
+from repro.triage.engine import (
+    REDUCE_POLICIES,
+    TriageEngine,
+    TriageOutcome,
+    normalize_reduce_policy,
+    policy_covers,
+)
+from repro.triage.predicate import BugPredicate, observation_dedup_key
+from repro.triage.reduce import (
+    PredicateCache,
+    ReductionOutcome,
+    ReductionStats,
+    ddmin_reduce,
+)
+
+__all__ = [
+    "BisectionOutcome",
+    "BugPredicate",
+    "PredicateCache",
+    "REDUCE_POLICIES",
+    "ReductionOutcome",
+    "ReductionStats",
+    "TriageEngine",
+    "TriageOutcome",
+    "bisect_report",
+    "ddmin_reduce",
+    "normalize_reduce_policy",
+    "observation_dedup_key",
+    "policy_covers",
+]

@@ -1,0 +1,105 @@
+"""Compiler-version bisection: which release introduced this bug?
+
+The paper files bugs against compiler *versions*; our simulated lineages
+(:mod:`repro.compiler.versions`) order every lineage's releases oldest
+first, and every seeded fault occupies a contiguous ``introduced_in ..
+fixed_in`` range of that order.  That containment is exactly the
+monotonicity binary search needs: walking the lineage from its oldest
+release to the release the bug was observed on, the predicate "this program
+still reproduces the same deduplicated bug" flips from False to True exactly
+once -- at the introducing release.
+
+:func:`bisect_report` runs that search in O(log versions) predicate
+evaluations, sharing the triage pass's :class:`~repro.triage.reduce.
+PredicateCache` so a verdict needed by both reduction and bisection is paid
+for once.  Bisection runs on the report's (ideally already reduced)
+``test_program``, mirroring the paper's practice of bisecting the minimised
+trigger.
+
+Caveat -- attribution is of the *witness*: like ``git bisect`` on a real
+trigger program, the search answers "which release does **this program**
+first reproduce the deduplicated bug on?".  When another fault masks the
+bug in older releases (e.g. the witness crashes a frontend check there, so
+the expected dedup key cannot be observed), the witness's first-reproducing
+version is later than the fault's registered introduction -- and two
+different witnesses of the same bug can attribute differently.  Single-
+fault witnesses are monotone by construction (every seeded fault occupies
+one contiguous version range); disagreements between witnesses are resolved
+deterministically at merge time (earliest version in lineage order wins,
+see :mod:`repro.testing.bugs`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.compiler.versions import lineage_versions
+from repro.testing.bugs import BugReport
+from repro.triage.predicate import BugPredicate
+from repro.triage.reduce import PredicateCache, ReductionStats, _Evaluator
+
+
+@dataclass
+class BisectionOutcome:
+    """The attributed version plus the work the search spent."""
+
+    introduced_in: str | None
+    predicate_evaluations: int = 0
+    cache_hits: int = 0
+
+
+def bisect_report(
+    report: BugReport,
+    frontend: str,
+    *,
+    machine_bits: int = 64,
+    cache: PredicateCache | None = None,
+) -> BisectionOutcome:
+    """Attribute ``report`` to the lineage version that introduced its bug.
+
+    Returns ``introduced_in=None`` when attribution is impossible: the
+    report's compiler is not part of a registered lineage order, or its
+    ``test_program`` no longer reproduces the bug even on the version it was
+    filed against (nothing trustworthy to search with).
+    """
+    cache = cache if cache is not None else PredicateCache()
+    stats = ReductionStats()
+    order = lineage_versions(report.lineage)
+    if report.compiler not in order:
+        return BisectionOutcome(introduced_in=None)
+    base = BugPredicate.from_report(report, frontend, machine_bits=machine_bits)
+
+    def holds(version: str) -> bool:
+        # One cached evaluator per version (the predicate's cache_tag embeds
+        # the version, so entries never collide); cache and stats are shared
+        # with the whole triage pass.
+        evaluator = _Evaluator(replace(base, version=version), cache, stats)
+        return evaluator.check(report.test_program)
+
+    observed = order.index(report.compiler)
+    if not holds(order[observed]):
+        return BisectionOutcome(
+            introduced_in=None,
+            predicate_evaluations=stats.predicate_evaluations,
+            cache_hits=stats.cache_hits,
+        )
+    if holds(order[0]):
+        introduced = order[0]
+    else:
+        # Invariant: holds(order[low]) is False, holds(order[high]) is True.
+        low, high = 0, observed
+        while high - low > 1:
+            mid = (low + high) // 2
+            if holds(order[mid]):
+                high = mid
+            else:
+                low = mid
+        introduced = order[high]
+    return BisectionOutcome(
+        introduced_in=introduced,
+        predicate_evaluations=stats.predicate_evaluations,
+        cache_hits=stats.cache_hits,
+    )
+
+
+__all__ = ["BisectionOutcome", "bisect_report"]

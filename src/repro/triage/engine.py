@@ -1,0 +1,164 @@
+"""The triage engine: reduce then bisect a campaign's deduplicated bugs.
+
+One :class:`TriageEngine` owns the whole post-detection pipeline for a bug
+database -- the paper's Section 6 practice of filing *reduced* programs
+against the *introducing* release, as one frontend-generic pass:
+
+1. **reduce** (:mod:`repro.triage.reduce`) -- chunked ddmin through the
+   frontend's deletion-candidate hooks, preserving the report's dedup key
+   (crash signature base / triggered-fault divergence signature), for every
+   bug kind the policy selects (``"crash"`` mirrors the historical
+   behaviour, ``"all"`` adds wrong-code and performance bugs);
+2. **bisect** (:mod:`repro.triage.bisect`) -- attribute the reduced program
+   to the lineage version that introduced the bug
+   (:attr:`~repro.testing.bugs.BugReport.introduced_in`).
+
+Both stages share one :class:`~repro.triage.reduce.PredicateCache`, so a
+program evaluated during reduction is never re-evaluated during bisection of
+the same configuration.  The engine mutates reports in place (the campaign
+harness triages observations as bugs are filed; the ``repro triage`` CLI
+triages a journaled database after the fact) and returns one
+:class:`TriageOutcome` per report for journaling and display.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.frontends import Frontend, get_frontend
+from repro.testing.bugs import BugDatabase, BugKind, BugReport
+from repro.triage.bisect import bisect_report
+from repro.triage.predicate import BugPredicate
+from repro.triage.reduce import PredicateCache, ddmin_reduce
+
+#: The reduction-policy knob's legal values (``CampaignConfig.reduce_bugs``
+#: and the CLI's ``--reduce``).  Booleans map onto the historical meaning.
+REDUCE_POLICIES = ("off", "crash", "all")
+
+
+def normalize_reduce_policy(value) -> str:
+    """Canonicalise a reduction policy (bools kept for backwards compat)."""
+    if value is True:
+        return "crash"
+    if value is False or value is None:
+        return "off"
+    if value in REDUCE_POLICIES:
+        return value
+    raise ValueError(
+        f"reduce policy must be one of {', '.join(REDUCE_POLICIES)} (or a bool), got {value!r}"
+    )
+
+
+def policy_covers(policy: str, kind: BugKind) -> bool:
+    """Does a reduction policy select this bug kind?"""
+    if policy == "all":
+        return True
+    return policy == "crash" and kind is BugKind.CRASH
+
+
+@dataclass
+class TriageOutcome:
+    """What triaging one bug report did (journaled as a ``triage`` record)."""
+
+    bug_id: str
+    kind: str
+    reduced: bool
+    original_bytes: int
+    reduced_bytes: int
+    predicate_evaluations: int
+    cache_hits: int
+    introduced_in: str | None
+    reduced_program: str | None = None
+
+    def summary_line(self) -> str:
+        size = f"{self.original_bytes}B"
+        if self.reduced:
+            size = f"{self.original_bytes}B -> {self.reduced_bytes}B"
+        attribution = (
+            f"introduced_in={self.introduced_in}" if self.introduced_in else "introduced_in=?"
+        )
+        return (
+            f"[{self.bug_id}] {self.kind:>11} {size:<16} "
+            f"evals={self.predicate_evaluations:<4} {attribution}"
+        )
+
+
+class TriageEngine:
+    """Reduce and bisect the reports of one campaign's bug database."""
+
+    def __init__(
+        self,
+        frontend: str | Frontend,
+        *,
+        reduce_policy: str = "all",
+        bisect: bool = True,
+        executor=None,
+        machine_bits: int = 64,
+        cache: PredicateCache | None = None,
+    ) -> None:
+        self._frontend = get_frontend(frontend)
+        self.reduce_policy = normalize_reduce_policy(reduce_policy)
+        self.bisect = bisect
+        self.executor = executor
+        self.machine_bits = machine_bits
+        self.cache = cache if cache is not None else PredicateCache()
+
+    def triage_report(self, report: BugReport) -> TriageOutcome:
+        """Reduce and/or bisect one report, mutating it in place."""
+        original = report.test_program
+        evaluations = 0
+        hits = 0
+        reduced = False
+        if policy_covers(self.reduce_policy, report.kind) and report.test_program:
+            predicate = BugPredicate.from_report(
+                report, self._frontend.name, machine_bits=self.machine_bits
+            )
+            outcome = ddmin_reduce(
+                self._frontend,
+                report.test_program,
+                predicate,
+                executor=self.executor,
+                cache=self.cache,
+            )
+            evaluations += outcome.stats.predicate_evaluations
+            hits += outcome.stats.cache_hits
+            if outcome.reduced:
+                report.test_program = outcome.source
+                reduced = True
+        introduced = report.introduced_in
+        if self.bisect and introduced is None:
+            bisection = bisect_report(
+                report,
+                self._frontend.name,
+                machine_bits=self.machine_bits,
+                cache=self.cache,
+            )
+            evaluations += bisection.predicate_evaluations
+            hits += bisection.cache_hits
+            introduced = bisection.introduced_in
+            report.introduced_in = introduced
+        return TriageOutcome(
+            bug_id=report.id,
+            kind=report.kind.value,
+            reduced=reduced,
+            original_bytes=len(original),
+            reduced_bytes=len(report.test_program),
+            predicate_evaluations=evaluations,
+            cache_hits=hits,
+            introduced_in=introduced,
+            reduced_program=report.test_program if reduced else None,
+        )
+
+    def triage_database(self, bugs: BugDatabase) -> list[TriageOutcome]:
+        """Triage every report (canonical order, so output is deterministic)."""
+        bugs.sort()
+        return [self.triage_report(report) for report in bugs.reports]
+
+
+__all__ = [
+    "REDUCE_POLICIES",
+    "TriageEngine",
+    "TriageOutcome",
+    "normalize_reduce_policy",
+    "policy_covers",
+]

@@ -1,0 +1,129 @@
+"""Bug-preserving predicates: "does this program still trigger *that* bug?"
+
+A :class:`BugPredicate` is the interestingness test the triage engine
+minimises and bisects against.  It is deliberately a small frozen dataclass
+of plain values (frontend registry name, compiler version, opt level,
+expected dedup key) so it pickles cleanly into executor worker processes --
+the parallel ddmin reducer ships ``(predicate, candidate_source)`` pairs
+through the same :mod:`repro.testing.executor` backends the campaign uses.
+
+"Same bug" is defined exactly as the campaign's deduplication defines it
+(:meth:`repro.testing.bugs.BugDatabase._dedup_key`):
+
+* **crash** -- same lineage and crash-signature base (the per-program detail
+  suffix is stripped), i.e. signature-preserving reduction;
+* **wrong code / performance** -- same lineage and set of triggered seeded
+  faults (the divergence signature), falling back to the source name when a
+  fault id is unavailable.
+
+So a reduced program is accepted iff filing it would deduplicate into the
+original report -- ``bug_id`` is derived from the dedup key alone, which is
+what makes "the reduced program still reproduces the same ``bug_id``" a
+checkable property.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.compiler.versions import get_version
+from repro.testing.bugs import BugDatabase, BugKind, BugReport
+from repro.testing.oracle import DifferentialOracle, Observation
+
+#: Per-process oracle cache: predicates are recreated freely (dataclass
+#: ``replace`` during bisection, pickling into workers), but an oracle per
+#: configuration is enough -- construction builds both executor halves.
+_ORACLES: dict[tuple[str, str, int, int], DifferentialOracle] = {}
+
+
+def _oracle(frontend: str, version: str, opt_level: int, machine_bits: int) -> DifferentialOracle:
+    key = (frontend, version, opt_level, machine_bits)
+    oracle = _ORACLES.get(key)
+    if oracle is None:
+        oracle = DifferentialOracle(
+            version=version,
+            opt_level=opt_level,
+            machine_bits=machine_bits,
+            frontend=frontend,
+        )
+        _ORACLES[key] = oracle
+    return oracle
+
+
+def observation_dedup_key(observation: Observation) -> tuple | None:
+    """The bug-database dedup key an observation would file under (None if not a bug)."""
+    if not observation.is_bug:
+        return None
+    kind = BugKind.from_observation(observation.kind)
+    lineage = get_version(observation.compiler).lineage
+    return BugDatabase._dedup_key(observation, kind, lineage)
+
+
+@dataclass(frozen=True)
+class BugPredicate:
+    """True iff a program reproduces one specific deduplicated bug.
+
+    Picklable by construction: only registry names and plain values.  The
+    oracle is resolved lazily per process through a module-level cache.
+    """
+
+    frontend: str
+    version: str
+    opt_level: int
+    machine_bits: int
+    source_name: str
+    expected_key: tuple = field(default=())
+
+    @property
+    def cache_tag(self) -> tuple:
+        """Identity for predicate-result caching (see :mod:`repro.triage.reduce`)."""
+        return (
+            self.frontend,
+            self.version,
+            self.opt_level,
+            self.machine_bits,
+            self.expected_key,
+        )
+
+    def observe(self, source: str) -> Observation:
+        return _oracle(
+            self.frontend, self.version, self.opt_level, self.machine_bits
+        ).observe(source, name=self.source_name)
+
+    def __call__(self, source: str) -> bool:
+        return observation_dedup_key(self.observe(source)) == self.expected_key
+
+    # -- constructors -------------------------------------------------------
+
+    @staticmethod
+    def from_observation(
+        observation: Observation, frontend: str, machine_bits: int = 64
+    ) -> "BugPredicate":
+        key = observation_dedup_key(observation)
+        if key is None:
+            raise ValueError("cannot build a bug predicate from a non-bug observation")
+        return BugPredicate(
+            frontend=frontend,
+            version=observation.compiler,
+            opt_level=int(observation.opt_level),
+            machine_bits=machine_bits,
+            source_name=observation.source_name,
+            expected_key=key,
+        )
+
+    @staticmethod
+    def from_report(report: BugReport, frontend: str, machine_bits: int = 64) -> "BugPredicate":
+        key = report.dedup_key
+        if key is None:  # reports predating the stored key: best-effort rebuild
+            key = BugDatabase._key_from_report(report)
+        return BugPredicate(
+            frontend=frontend,
+            version=report.compiler,
+            opt_level=int(report.opt_level),
+            machine_bits=machine_bits,
+            source_name=report.source_name,
+            expected_key=key,
+        )
+
+
+__all__ = ["BugPredicate", "observation_dedup_key"]

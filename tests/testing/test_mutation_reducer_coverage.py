@@ -56,6 +56,84 @@ class TestOrionMutator:
         dead = OrionMutator().dead_statements(unit)
         assert len(dead) >= 3
 
+    def test_seed_profiled_exactly_once(self, monkeypatch):
+        # The seed's dead-statement set is invariant across attempts, so the
+        # reference interpreter runs once per mutants() call -- not once per
+        # attempt (the historical behaviour this pins against).
+        from repro.minic.interp import Interpreter
+
+        runs = []
+        original_run = Interpreter.run
+
+        def counting_run(self, unit, *args, **kwargs):
+            runs.append(unit)
+            return original_run(self, unit, *args, **kwargs)
+
+        monkeypatch.setattr(Interpreter, "run", counting_run)
+        mutants = OrionMutator(deletions=10, seed=3).mutants(SEED_WITH_DEAD_CODE, count=5)
+        assert mutants
+        assert len(runs) == 1
+
+    def test_mutants_unchanged_by_one_shot_profiling(self):
+        # The optimisation must be behaviour-preserving: mapping the one
+        # profiling run into each copy by position produces exactly the
+        # mutants the profile-per-attempt loop produced (same RNG stream,
+        # same statement order, hence identical output).
+        import copy
+        import random
+
+        from repro.minic.symbols import resolve
+        from repro.minic.printer import to_source
+        from repro.testing.mutation import _deletable_statements
+
+        def reference_mutants(mutator: OrionMutator, source: str, count: int) -> list[str]:
+            rng = random.Random(mutator.seed)
+            unit = parse(source)
+            resolve(unit)
+            produced, seen = [], set()
+            for _ in range(count * mutator.attempts_per_mutant):
+                if len(produced) >= count:
+                    break
+                mutant_unit = copy.deepcopy(unit)
+                resolve(mutant_unit)
+                dead = mutator.dead_statements(mutant_unit)
+                if not dead:
+                    break
+                how_many = rng.randint(1, min(mutator.deletions, len(dead)))
+                victims = {id(stmt) for stmt in rng.sample(dead, how_many)}
+                mutator._delete(mutant_unit, victims)
+                try:
+                    rendered = to_source(mutant_unit)
+                    check = parse(rendered)
+                    resolve(check)
+                except Exception:
+                    continue
+                if rendered not in seen and rendered.strip() != source.strip():
+                    seen.add(rendered)
+                    produced.append(rendered)
+            return produced
+
+        for seed in (0, 1, 3, 7):
+            mutator = OrionMutator(deletions=10, seed=seed)
+            assert mutator.mutants(SEED_WITH_DEAD_CODE, count=6) == reference_mutants(
+                OrionMutator(deletions=10, seed=seed), SEED_WITH_DEAD_CODE, 6
+            )
+
+    def test_mutant_count_unchanged_on_seeded_corpus(self):
+        # The seeded corpus keeps producing the same mutants per file as
+        # before the one-shot-profiling change (the RNG stream and the
+        # dead-statement order are both preserved): counts pinned here were
+        # recorded with the profile-per-attempt implementation.
+        from repro.experiments.table1 import build_corpus
+
+        corpus = build_corpus(files=6, seed=2017)
+        corpus["dead_code.c"] = SEED_WITH_DEAD_CODE
+        mutator = OrionMutator(deletions=10, seed=2017)
+        counts = {name: len(mutator.mutants(source, count=5)) for name, source in corpus.items()}
+        assert counts["fig11d_lifetime.c"] == 1  # the one hand seed with dead code
+        assert counts["dead_code.c"] == 5
+        assert sum(counts.values()) == 6
+
 
 class TestReducer:
     def test_reduces_crash_trigger(self):
@@ -90,6 +168,46 @@ class TestReducer:
     def test_unparsable_returns_original(self):
         assert reduce_program("int main( {", lambda s: True) == "int main( {"
 
+    def test_adjacent_unused_globals_both_removed(self):
+        # Regression: _drop_unused_globals used to advance its index past
+        # the declaration that slid into a removed declaration's slot, so of
+        # two adjacent removable globals only the first was dropped.
+        source = """
+        int a;
+        int unused_one = 1;
+        int unused_two = 2;
+        int main() {
+            if (a) a = a - a;
+            return 0;
+        }
+        """
+        oracle = DifferentialOracle(version="scc-trunk", opt_level=2)
+        signature = oracle.observe(source).signature.split(" (")[0]
+
+        def still_crashes(candidate: str) -> bool:
+            observation = oracle.observe(candidate)
+            return (
+                observation.kind is ObservationKind.CRASH
+                and observation.signature.split(" (")[0] == signature
+            )
+
+        reduced = reduce_program(source, still_crashes)
+        assert still_crashes(reduced)
+        assert "unused_one" not in reduced
+        assert "unused_two" not in reduced
+        assert "int a;" in reduced  # the crash-carrying global survives
+
+    def test_three_adjacent_unused_globals_all_removed(self):
+        from repro.testing.reducer import _drop_unused_globals
+
+        source = (
+            "int u1 = 1;\nint u2 = 2;\nint u3 = 3;\n"
+            "int main() {\n    return 0;\n}\n"
+        )
+        reduced = _drop_unused_globals(source, lambda candidate: True)
+        for name in ("u1", "u2", "u3"):
+            assert name not in reduced
+
 
 class TestCoverage:
     def test_coverage_accumulates(self):
@@ -109,6 +227,29 @@ class TestCoverage:
         report = meter.measure(["int a, b; int main() { if (a) a = a - a; return b; }"])
         assert isinstance(report, CoverageReport)
 
-    def test_improvement_over_empty_baseline(self):
+    def test_improvement_over_empty_baseline_is_inf(self):
+        # Nonzero coverage over an empty baseline is the documented
+        # float("inf") sentinel -- the historical 0.0 silently reported "no
+        # improvement" for what is a strict improvement.
         report = CoverageReport(function_events={"a"}, line_events={("a", 1)})
-        assert report.improvement_over(CoverageReport()) == {"function": 0.0, "line": 0.0}
+        improvement = report.improvement_over(CoverageReport())
+        assert improvement == {"function": float("inf"), "line": float("inf")}
+
+    def test_improvement_of_empty_over_empty_is_zero(self):
+        assert CoverageReport().improvement_over(CoverageReport()) == {
+            "function": 0.0,
+            "line": 0.0,
+        }
+
+    def test_fig9_renders_inf_sentinel(self):
+        from repro.experiments.fig9 import Fig9Result, render
+
+        result = Fig9Result(
+            baseline_function=0,
+            baseline_line=0,
+            improvements={"SPE": {"function": float("inf"), "line": 12.345}},
+            files=0,
+        )
+        table = render(result)
+        assert "inf" in table
+        assert "12.35" in table

@@ -1,0 +1,163 @@
+"""Version bisection: attribution of bugs to the release that introduced them."""
+
+import pytest
+
+from repro.compiler.pipeline import OptimizationLevel
+from repro.compiler.versions import lineage_versions
+from repro.lang.compile import WC_BUG_CATALOGUE
+from repro.testing.bugs import BugKind
+from repro.testing.harness import Campaign, CampaignConfig
+from repro.triage import PredicateCache, TriageEngine, bisect_report
+
+#: Registered introducing version per seeded wc fault id.
+WC_INTRODUCED = {fault.id: fault.introduced_in for fault in WC_BUG_CATALOGUE}
+
+#: One targeted corpus per seeded WHILE fault: a seed whose variants trigger
+#: the fault in isolation, plus the matrix slice that observes it.
+WC_FAULT_CASES = {
+    "wfold-sub-self": (
+        {"sub.while": "a := 7 ;\nb := 2 ;\nc := a - b\n"},
+        dict(versions=["wc-trunk"], opt_levels=[OptimizationLevel.O2], max_variants_per_file=50),
+    ),
+    "wcmp-self-reflexive": (
+        {"guard.while": "a := 4 ;\nb := 1 ;\nif (a >= b) then c := a - b else c := b\n"},
+        dict(versions=["wc-2.0"], opt_levels=[OptimizationLevel.O1], max_variants_per_file=80),
+    ),
+    "wopt-fixpoint-blowup": (
+        {"copy.while": "a := 5 ;\nb := a ;\nc := b ;\na := c\n"},
+        dict(versions=["wc-2.0"], opt_levels=[OptimizationLevel.O1], max_variants_per_file=60),
+    ),
+    "wsub-name-commute": (
+        {"commute.while": "b := 9 ;\na := 2 ;\nc := b - a ;\nd := c\n"},
+        dict(versions=["wc-trunk"], opt_levels=[OptimizationLevel.O2], max_variants_per_file=80),
+    ),
+    "wfrontend-dup-branches": (
+        {"dup.while": "a := 1 ;\nb := 2 ;\nif (a < b) then c := a else c := b\n"},
+        dict(versions=["wc-2.0"], opt_levels=[OptimizationLevel.O0], max_variants_per_file=80),
+    ),
+}
+
+
+def find_report(fault_id: str):
+    corpus, overrides = WC_FAULT_CASES[fault_id]
+    config = CampaignConfig(frontend="while", **overrides)
+    result = Campaign(config).run_sources(corpus)
+    fault = next(f for f in WC_BUG_CATALOGUE if f.id == fault_id)
+    reports = [
+        r
+        for r in result.bugs.reports
+        # A variant can trigger several faults at once; the report for
+        # *this* fault is the one whose kind matches it.
+        if fault_id in r.fault_ids and r.kind.value == fault.kind.value
+    ]
+    assert reports, f"campaign did not find {fault_id}: {result.summary()}"
+    return reports[0]
+
+
+class TestLineageVersions:
+    def test_orders_registered_oldest_first(self):
+        assert lineage_versions("wc") == ["wc-1.0", "wc-2.0", "wc-trunk"]
+        assert lineage_versions("scc")[0] == "scc-4.8"
+        assert lineage_versions("scc")[-1] == "scc-trunk"
+
+    def test_unknown_lineage_is_empty(self):
+        assert lineage_versions("reference") == []
+        assert lineage_versions("no-such") == []
+
+
+class TestSeededWhileFaultAttribution:
+    """The acceptance criterion: every seeded WHILE fault is attributed to
+    its registered introducing version."""
+
+    @pytest.mark.parametrize("fault_id", sorted(WC_FAULT_CASES))
+    def test_attributes_to_registered_introducing_version(self, fault_id):
+        report = find_report(fault_id)
+        outcome = bisect_report(report, "while")
+        assert outcome.introduced_in == WC_INTRODUCED[fault_id]
+        assert outcome.predicate_evaluations >= 1
+
+    def test_bisection_is_logarithmic_in_lineage_length(self):
+        report = find_report("wfold-sub-self")
+        outcome = bisect_report(report, "while")
+        # 3 versions: observed + oldest + at most one midpoint.
+        assert outcome.predicate_evaluations <= 3
+
+
+class TestMinicAttribution:
+    def test_fold_crash_attributed_to_scc_48(self):
+        corpus = {
+            "crash.c": (
+                "int a; int b = 1; int c = 2;\n"
+                "int main() { int t = 3; t = t + c; b = b + t; if (a) a = a - a; return b; }"
+            )
+        }
+        from repro.core.spe import EnumerationBudget
+
+        config = CampaignConfig(
+            max_variants_per_file=8,
+            budget=EnumerationBudget(max_variants=None),
+            versions=["scc-trunk"],
+            opt_levels=[OptimizationLevel.O2],
+        )
+        result = Campaign(config).run_sources(corpus)
+        crash = next(r for r in result.bugs.reports if r.kind is BugKind.CRASH)
+        assert "fold-equal-operands" in crash.fault_ids
+        assert bisect_report(crash, "minic").introduced_in == "scc-4.8"
+
+    def test_unbisectable_reference_report_returns_none(self):
+        from dataclasses import replace
+
+        report = find_report("wfold-sub-self")
+        broken = replace(report, compiler="reference", lineage="reference")
+        assert bisect_report(broken, "while").introduced_in is None
+
+    def test_non_reproducing_program_returns_none(self):
+        from dataclasses import replace
+
+        report = find_report("wfold-sub-self")
+        stale = replace(report, test_program="a := 1\n")
+        assert bisect_report(stale, "while").introduced_in is None
+
+
+class TestHarnessBisection:
+    def test_bisect_bugs_knob_populates_introduced_in(self):
+        corpus, overrides = WC_FAULT_CASES["wfold-sub-self"]
+        config = CampaignConfig(frontend="while", bisect_bugs=True, **overrides)
+        result = Campaign(config).run_sources(corpus)
+        crashes = [r for r in result.bugs.reports if r.kind is BugKind.CRASH]
+        assert crashes
+        assert all(r.introduced_in == "wc-1.0" for r in crashes)
+
+    def test_reduction_and_bisection_share_the_cache(self):
+        corpus, overrides = WC_FAULT_CASES["wfold-sub-self"]
+        config = CampaignConfig(
+            frontend="while", reduce_bugs="all", bisect_bugs=True, **overrides
+        )
+        campaign = Campaign(config)
+        result = campaign.run_sources(corpus)
+        assert any(r.introduced_in == "wc-1.0" for r in result.bugs.reports)
+        # The shared cache saw hits: bisection re-checks the reduced program
+        # on the observed version, which reduction just evaluated.
+        assert campaign._predicate_cache.hits > 0
+
+
+class TestEngineIntegration:
+    def test_engine_triages_database_in_place(self):
+        report = find_report("wcmp-self-reflexive")
+        original_program = report.test_program
+        engine = TriageEngine("while", reduce_policy="all", bisect=True)
+        outcome = engine.triage_report(report)
+        assert outcome.bug_id == report.id
+        assert report.introduced_in == "wc-2.0"
+        assert len(report.test_program) <= len(original_program)
+        if outcome.reduced:
+            assert outcome.reduced_program == report.test_program
+
+    def test_engine_cache_spans_reports(self):
+        cache = PredicateCache()
+        engine = TriageEngine("while", reduce_policy="all", bisect=True, cache=cache)
+        report = find_report("wopt-fixpoint-blowup")
+        engine.triage_report(report)
+        first = len(cache)
+        engine.triage_report(report)  # second pass answered mostly from cache
+        assert len(cache) == first

@@ -1,0 +1,251 @@
+"""The ``repro triage`` CLI and the store's triage persistence."""
+
+from repro.cli import main
+from repro.store import (
+    CampaignStore,
+    TriageRecord,
+    bug_report_from_json,
+    bug_report_to_json,
+    load_triage_records,
+)
+from repro.testing.bugs import BugKind, BugReport
+from repro.compiler.pipeline import OptimizationLevel
+
+
+def run_campaign_cli(state_dir, *extra) -> None:
+    code = main(
+        [
+            "campaign",
+            "--lang", "while",
+            "--files", "4",
+            "--variants", "12",
+            "--state-dir", str(state_dir),
+            *extra,
+        ]
+    )
+    assert code == 0
+
+
+class TestTriageCommand:
+    def test_triage_after_the_fact(self, tmp_path, capsys):
+        state = tmp_path / "state"
+        run_campaign_cli(state)
+        campaign_out = capsys.readouterr().out
+        campaign_ids = {
+            line.split("]")[0][1:] for line in campaign_out.splitlines() if line.startswith("[b")
+        }
+        assert campaign_ids, campaign_out
+
+        assert main(["triage", "--state-dir", str(state)]) == 0
+        triage_out = capsys.readouterr().out
+        triage_ids = {
+            line.split("]")[0][1:] for line in triage_out.splitlines() if line.startswith("[b")
+        }
+        # Stable ids: triage names exactly the bugs the campaign filed.
+        assert triage_ids == campaign_ids
+        # Every seeded WHILE fault is attributed; none is left unattributed.
+        assert "introduced_in=wc-" in triage_out
+        assert "introduced_in=?" not in triage_out
+
+        # The journal now carries one triage record per bug.
+        records = load_triage_records(CampaignStore(state).journal_path)
+        assert set(records) == campaign_ids
+        assert all(record.introduced_in for record in records.values())
+
+    def test_weaker_rerun_never_erases_journaled_knowledge(self, tmp_path, capsys):
+        # Regression: a later --no-bisect/--reduce off pass appends records
+        # whose None fields must not mask the attributions and reduced
+        # programs an earlier pass journaled (field-wise last-wins).
+        state = tmp_path / "state"
+        run_campaign_cli(state)
+        capsys.readouterr()
+        assert main(["triage", "--state-dir", str(state)]) == 0
+        capsys.readouterr()
+        strong = CampaignStore(state).triage_records()
+        assert any(record.introduced_in for record in strong.values())
+        assert any(record.reduced_program for record in strong.values())
+
+        assert main(
+            ["triage", "--state-dir", str(state), "--no-bisect", "--reduce", "off"]
+        ) == 0
+        capsys.readouterr()
+        weak = CampaignStore(state).triage_records()
+        assert set(weak) == set(strong)
+        for bug_id, record in strong.items():
+            assert weak[bug_id].introduced_in == record.introduced_in
+            assert weak[bug_id].reduced_program == record.reduced_program
+
+    def test_triage_is_idempotent(self, tmp_path, capsys):
+        state = tmp_path / "state"
+        run_campaign_cli(state)
+        capsys.readouterr()
+        assert main(["triage", "--state-dir", str(state)]) == 0
+        first = capsys.readouterr().out
+        assert main(["triage", "--state-dir", str(state)]) == 0
+        second = capsys.readouterr().out
+        assert first == second  # deterministic: same ids, sizes, attributions
+
+    def test_triage_without_manifest_errors(self, tmp_path, capsys):
+        assert main(["triage", "--state-dir", str(tmp_path / "nope")]) == 2
+        assert "no campaign manifest" in capsys.readouterr().err
+
+    def test_triage_empty_journal(self, tmp_path, capsys):
+        state = tmp_path / "state"
+        store = CampaignStore(state)
+        store.begin({"frontend": "while"}, resume=False)
+        store.close()
+        assert main(["triage", "--state-dir", str(state)]) == 0
+        assert "nothing to triage" in capsys.readouterr().out
+
+    def test_campaign_resume_still_replays_after_triage(self, tmp_path, capsys):
+        # Triage records are annotations: a later --resume run must replay
+        # the unit records exactly as before, ignoring the triage entries.
+        state = tmp_path / "state"
+        run_campaign_cli(state)
+        first = capsys.readouterr().out
+        assert main(["triage", "--state-dir", str(state)]) == 0
+        capsys.readouterr()
+        run_campaign_cli(state, "--resume")
+        resumed = capsys.readouterr().out
+        assert resumed == first
+
+    def test_inflight_reduce_and_bisect_flags(self, tmp_path, capsys):
+        state = tmp_path / "state"
+        run_campaign_cli(state, "--reduce", "all", "--bisect")
+        out = capsys.readouterr().out
+        assert "[introduced in wc-" in out
+
+
+class TestTriagePersistence:
+    def test_bug_report_codec_roundtrips_attribution(self):
+        report = BugReport(
+            id="bdeadbeef00",
+            kind=BugKind.CRASH,
+            compiler="wc-2.0",
+            lineage="wc",
+            opt_level=OptimizationLevel.O1,
+            signature="in wfold_binary, at wfold.c:118",
+            test_program="c := a - a\n",
+            source_name="x.while",
+            introduced_in="wc-1.0",
+            dedup_key=("wc", "crash", "in wfold_binary, at wfold.c:118"),
+        )
+        payload = bug_report_to_json(report)
+        assert payload["schema"] == 2
+        assert bug_report_from_json(payload) == report
+
+    def test_schema1_records_without_attribution_still_load(self):
+        payload = {
+            # A pre-triage journal record: no "schema", no "introduced_in".
+            "id": "b0123456789",
+            "kind": "crash",
+            "compiler": "wc-2.0",
+            "lineage": "wc",
+            "opt_level": 1,
+            "signature": "sig",
+            "test_program": "p",
+            "source_name": "s",
+        }
+        report = bug_report_from_json(payload)
+        assert report.introduced_in is None
+
+    def test_triage_record_roundtrip_and_torn_tolerance(self, tmp_path):
+        journal = tmp_path / "journal.jsonl"
+        record = TriageRecord(
+            bug_id="bfeedface00",
+            kind="performance",
+            reduced_program="a := a\n",
+            introduced_in="wc-1.0",
+            stats={"predicate_evaluations": 7},
+        )
+        from repro.store import JournalWriter
+
+        with JournalWriter(journal) as writer:
+            writer.append_triage(record)
+            writer.append_triage(
+                TriageRecord(
+                    bug_id="bfeedface00",
+                    kind="performance",
+                    reduced_program="a := a\n",
+                    introduced_in="wc-1.0",
+                    stats={"predicate_evaluations": 1},
+                )
+            )
+        # Torn final line (crash artifact) must not cost earlier records.
+        with open(journal, "a") as handle:
+            handle.write('{"type": "triage", "bug_id": "btorn')
+        records = load_triage_records(journal)
+        assert set(records) == {"bfeedface00"}
+        # Last record wins.
+        assert records["bfeedface00"].stats["predicate_evaluations"] == 1
+
+    def test_merge_preserves_attribution(self):
+        from repro.testing.bugs import BugDatabase
+
+        attributed = BugReport(
+            id="b1", kind=BugKind.CRASH, compiler="wc-2.0", lineage="wc",
+            opt_level=OptimizationLevel.O1, signature="sig", test_program="p",
+            source_name="s", introduced_in="wc-1.0",
+            dedup_key=("wc", "crash", "sig"),
+        )
+        plain = BugReport(
+            id="b1", kind=BugKind.CRASH, compiler="wc-2.0", lineage="wc",
+            opt_level=OptimizationLevel.O1, signature="sig", test_program="p",
+            source_name="s", dedup_key=("wc", "crash", "sig"),
+        )
+        left = BugDatabase()
+        left.absorb(plain)
+        right = BugDatabase()
+        right.absorb(attributed)
+        assert left.merge(right).reports[0].introduced_in == "wc-1.0"
+        assert right.merge(left).reports[0].introduced_in == "wc-1.0"
+
+    def test_merge_resolves_disagreeing_attributions_to_earliest(self):
+        # Two witnesses of the same bug can legitimately attribute to
+        # different versions (masking faults); the merge must resolve the
+        # disagreement identically in both orders: earliest in lineage
+        # order wins.
+        from dataclasses import replace
+
+        from repro.testing.bugs import BugDatabase
+
+        base = BugReport(
+            id="b1", kind=BugKind.PERFORMANCE, compiler="wc-trunk", lineage="wc",
+            opt_level=OptimizationLevel.O2, signature="sig", test_program="p",
+            source_name="s", dedup_key=("wc", "performance", ("wopt-fixpoint-blowup",)),
+        )
+        early = replace(base, introduced_in="wc-1.0")
+        late = replace(base, introduced_in="wc-trunk")
+        for first, second in ((early, late), (late, early)):
+            left = BugDatabase()
+            left.absorb(replace(first))
+            right = BugDatabase()
+            right.absorb(replace(second))
+            assert left.merge(right).reports[0].introduced_in == "wc-1.0"
+
+    def test_store_merged_result_reconstructs_bugs(self, tmp_path, capsys):
+        state = tmp_path / "state"
+        run_campaign_cli(state)
+        out = capsys.readouterr().out
+        campaign_ids = {
+            line.split("]")[0][1:] for line in out.splitlines() if line.startswith("[b")
+        }
+        merged = CampaignStore(state).merged_result()
+        assert {report.id for report in merged.bugs.reports} == campaign_ids
+
+    def test_fingerprint_keeps_boolean_encoding(self):
+        # A manifest written by the boolean-era config must still match.
+        from repro.store import config_fingerprint
+        from repro.testing.harness import CampaignConfig
+
+        off = config_fingerprint(CampaignConfig(frontend="while"))
+        crash = config_fingerprint(CampaignConfig(frontend="while", reduce_bugs="crash"))
+        assert off["reduce_bugs"] is False
+        assert crash["reduce_bugs"] is True
+        assert config_fingerprint(
+            CampaignConfig(frontend="while", reduce_bugs="all")
+        )["reduce_bugs"] == "all"
+        # Bisection deliberately stays out of the fingerprint: it only
+        # annotates reports, so journals are interchangeable across it.
+        with_bisect = config_fingerprint(CampaignConfig(frontend="while", bisect_bugs=True))
+        assert with_bisect == off
