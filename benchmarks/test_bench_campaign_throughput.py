@@ -34,8 +34,10 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 #: default per-file variant budget.
 WORKLOAD = dict(files=12, seed=2017, max_variants_per_file=25)
 
-#: The per-language workload (smaller: it runs once per registered frontend).
-LANGUAGE_WORKLOAD = dict(files=8, seed=2017, max_variants_per_file=15)
+#: The per-language workload (runs twice -- batched and scalar -- per
+#: registered frontend).  Big enough that per-campaign fixed costs (runner
+#: codegen, pass-pipeline warmup) amortize, matching the headline workload.
+LANGUAGE_WORKLOAD = dict(files=12, seed=2017, max_variants_per_file=25)
 
 
 def _run_campaign(corpus, use_ast_rebinding: bool):
@@ -72,6 +74,61 @@ def _run_campaign(corpus, use_ast_rebinding: bool):
     return result, elapsed, counter["parses"]
 
 
+def _run_stage_timed(corpus, state_dir: str):
+    """One journaled campaign run with per-stage wall-clock attribution.
+
+    Class-level patches accumulate time in four stages -- ``materialize``
+    (skeleton extraction), ``execute`` (reference interpretation, batched or
+    scalar), ``oracle`` (compile + VM + classify per configuration) and
+    ``journal`` (durable unit appends).  A depth guard keeps nested calls
+    (e.g. the batch tier falling back to the per-variant interpreter) from
+    double-counting.  Everything else (enumeration, merging, planning) shows
+    up as ``other``.
+    """
+    from repro.frontends.minic import MiniCFrontend
+    from repro.store.journal import JournalWriter
+    from repro.testing.oracle import DifferentialOracle
+
+    stages = {"materialize": 0.0, "execute": 0.0, "oracle": 0.0, "journal": 0.0}
+    depth = {"n": 0}
+
+    def timed(stage, fn):
+        def wrapper(*args, **kwargs):
+            if depth["n"]:
+                return fn(*args, **kwargs)
+            depth["n"] += 1
+            started = time.perf_counter()
+            try:
+                return fn(*args, **kwargs)
+            finally:
+                stages[stage] += time.perf_counter() - started
+                depth["n"] -= 1
+
+        return wrapper
+
+    patches = [
+        (MiniCFrontend, "extract_skeleton", "materialize"),
+        (MiniCFrontend, "run_reference_batch", "execute"),
+        (MiniCFrontend, "run_reference_variant", "execute"),
+        (DifferentialOracle, "observe_variant", "oracle"),
+        (DifferentialOracle, "observe", "oracle"),
+        (JournalWriter, "append_unit", "journal"),
+    ]
+    originals = [(cls, name, getattr(cls, name)) for cls, name, _ in patches]
+    for cls, name, stage in patches:
+        setattr(cls, name, timed(stage, getattr(cls, name)))
+    config = CampaignConfig(
+        max_variants_per_file=WORKLOAD["max_variants_per_file"], state_dir=state_dir
+    )
+    started = time.perf_counter()
+    try:
+        result = Campaign(config).run_sources(corpus)
+    finally:
+        for cls, name, original in originals:
+            setattr(cls, name, original)
+    return result, time.perf_counter() - started, stages
+
+
 def test_campaign_throughput(benchmark, run_once):
     corpus = build_corpus(files=WORKLOAD["files"], seed=WORKLOAD["seed"])
 
@@ -79,6 +136,13 @@ def test_campaign_throughput(benchmark, run_once):
         benchmark, _run_campaign, corpus, True
     )
     legacy_result, legacy_seconds, legacy_parses = _run_campaign(corpus, False)
+    # Second draw of each pipeline; keep the faster wall clock (the pass
+    # counts are deterministic) so the recorded ratio tracks the pipeline,
+    # not scheduler noise on a shared machine.
+    _, fast_retry_seconds, _ = _run_campaign(corpus, True)
+    fast_seconds = min(fast_seconds, fast_retry_seconds)
+    _, legacy_retry_seconds, _ = _run_campaign(corpus, False)
+    legacy_seconds = min(legacy_seconds, legacy_retry_seconds)
 
     # Both pipelines test the same variants and see the same world.
     assert fast_result.variants_tested == legacy_result.variants_tested > 0
@@ -112,9 +176,9 @@ def test_campaign_throughput(benchmark, run_once):
             max_variants_per_file=WORKLOAD["max_variants_per_file"],
             state_dir=state_dir,
         )
-        started = time.perf_counter()
-        journal_result = Campaign(journal_config).run_sources(corpus)
-        journal_seconds = time.perf_counter() - started
+        journal_result, journal_seconds, stage_seconds = _run_stage_timed(
+            corpus, state_dir
+        )
         started = time.perf_counter()
         resumed_result = Campaign(journal_config).run_sources(corpus, resume=True)
         resume_seconds = time.perf_counter() - started
@@ -129,26 +193,47 @@ def test_campaign_throughput(benchmark, run_once):
 
     # Per-language throughput: every registered frontend runs the same small
     # campaign shape, so the recorded numbers are comparable run over run.
+    # Each language is measured twice -- the default batched tier and the
+    # scalar tier (batch_size=0) -- so the codegen tier's gain is recorded
+    # per language, commit over commit.
     per_language = {}
     for language in available_frontends():
         frontend = get_frontend(language)
         language_corpus = frontend.build_corpus(
             files=LANGUAGE_WORKLOAD["files"], seed=LANGUAGE_WORKLOAD["seed"]
         )
-        language_config = CampaignConfig(
-            frontend=language,
-            max_variants_per_file=LANGUAGE_WORKLOAD["max_variants_per_file"],
-        )
-        started = time.perf_counter()
-        language_result = Campaign(language_config).run_sources(language_corpus)
-        elapsed = time.perf_counter() - started
+        timings = {}
+        results = {}
+        for tier, batch_size in (("batched", 32), ("scalar", 0)):
+            language_config = CampaignConfig(
+                frontend=language,
+                max_variants_per_file=LANGUAGE_WORKLOAD["max_variants_per_file"],
+                batch_size=batch_size,
+            )
+            # Best of three runs: the recorded number tracks the pipeline,
+            # not scheduler noise on a shared machine.
+            best = None
+            for _ in range(3):
+                started = time.perf_counter()
+                results[tier] = Campaign(language_config).run_sources(language_corpus)
+                elapsed = time.perf_counter() - started
+                best = elapsed if best is None else min(best, elapsed)
+            timings[tier] = best
+        language_result = results["batched"]
         assert language_result.variants_tested > 0
+        # The batch tier changes throughput only, never observations.
+        assert language_result.observations == results["scalar"].observations
         per_language[language] = {
             "files": len(language_corpus),
             "variants_tested": language_result.variants_tested,
             "distinct_bugs": len(language_result.bugs),
             "oracle_configurations": len(language_config.oracles()),
-            "variants_per_sec": round(language_result.variants_tested / elapsed, 2),
+            "variants_per_sec": round(
+                language_result.variants_tested / timings["batched"], 2
+            ),
+            "scalar_variants_per_sec": round(
+                results["scalar"].variants_tested / timings["scalar"], 2
+            ),
         }
 
     payload = {
@@ -165,6 +250,16 @@ def test_campaign_throughput(benchmark, run_once):
             "journaled_variants_per_sec": round(journal_vps, 2),
             "overhead_pct": round(max(0.0, (1 - journal_vps / fast_vps)) * 100, 2),
             "resume_replay_seconds": round(resume_seconds, 3),
+        },
+        "per_stage": {
+            "total_seconds": round(journal_seconds, 3),
+            "materialize_seconds": round(stage_seconds["materialize"], 3),
+            "execute_seconds": round(stage_seconds["execute"], 3),
+            "oracle_seconds": round(stage_seconds["oracle"], 3),
+            "journal_seconds": round(stage_seconds["journal"], 3),
+            "other_seconds": round(
+                max(0.0, journal_seconds - sum(stage_seconds.values())), 3
+            ),
         },
         "language_workload": LANGUAGE_WORKLOAD,
         "per_language": per_language,

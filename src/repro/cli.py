@@ -162,6 +162,9 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         state_dir=args.state_dir,
         reduce_bugs=args.reduce,
         bisect_bugs=args.bisect,
+        batch_size=max(0, args.batch_size),
+        persistent_workers=not args.no_persistent_workers,
+        cache_module_results=not args.no_module_cache,
     )
     campaign = Campaign(config)
     try:
@@ -323,6 +326,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--fresh", action="store_true",
         help="discard an existing journal in --state-dir and start over "
              "(without this, a non-resume run refuses to overwrite one)",
+    )
+    campaign.add_argument(
+        "--batch-size", type=int, default=32, metavar="K",
+        help="evaluate reference results K variants at a time through the "
+             "frontend's batched execution tier (0 or 1 disables batching; "
+             "observable results are identical either way)",
+    )
+    campaign.add_argument(
+        "--no-persistent-workers", action="store_true",
+        help="ship full source text in every shard payload instead of "
+             "preloading the corpus into the worker pool once (the legacy "
+             "payload protocol)",
+    )
+    campaign.add_argument(
+        "--no-module-cache", action="store_true",
+        help="disable the campaign-scoped VM-result cache keyed by "
+             "optimized-module content hash (each variant keeps a private "
+             "per-variant cache, the legacy behaviour)",
     )
     campaign.add_argument(
         "--reduce", choices=["off", "crash", "all"], default="off",

@@ -92,6 +92,23 @@ class Frontend(abc.ABC):
     ) -> ExecutionResult:
         """Interpret a bound variant's AST directly (no render, no re-parse)."""
 
+    def run_reference_batch(
+        self, variants: Sequence[BoundVariant], max_steps: int = 200_000
+    ) -> list[ExecutionResult]:
+        """Interpret a batch of bound variants of the *same* skeleton.
+
+        The default delegates to :meth:`run_reference_variant` per variant;
+        frontends with a batched execution tier (a per-skeleton compiled
+        body shared by every characteristic vector, e.g.
+        :mod:`repro.minic.codegen`) override this so the whole batch runs
+        without re-entering per-node interpretation -- the campaign
+        harness's ``batch_size`` knob feeds variants through here.
+        Results must be byte-identical to the per-variant path.
+        """
+        return [
+            self.run_reference_variant(variant, max_steps=max_steps) for variant in variants
+        ]
+
     def try_run_reference_source(
         self, source: str, max_steps: int = 200_000
     ) -> ExecutionResult | None:

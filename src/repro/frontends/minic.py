@@ -45,6 +45,37 @@ class MiniCFrontend(Frontend):
         compiled = variant.skeleton.metadata.setdefault("interp_compiled", {})
         return run_unit(variant.program, max_steps=max_steps, compiled=compiled)
 
+    def run_reference_batch(self, variants, max_steps: int = 200_000):
+        # The batched tier translates the whole skeleton into one generated
+        # Python function (repro.minic.codegen); each vector then costs a
+        # slot-table lookup plus one call.  Skeletons outside the raw-int
+        # subset get no runner and fall back to the per-variant interpreter.
+        from repro.minic.codegen import runner_for_skeleton
+
+        results = []
+        index = 0
+        total = len(variants)
+        while index < total:
+            skeleton = variants[index].skeleton
+            group_end = index
+            while group_end < total and variants[group_end].skeleton is skeleton:
+                group_end += 1
+            runner = runner_for_skeleton(skeleton)
+            if runner is not None:
+                results.extend(
+                    runner.run_batch(
+                        [variant.vector for variant in variants[index:group_end]],
+                        max_steps=max_steps,
+                    )
+                )
+            else:
+                results.extend(
+                    self.run_reference_variant(variant, max_steps=max_steps)
+                    for variant in variants[index:group_end]
+                )
+            index = group_end
+        return results
+
     def executor(
         self,
         version: str,

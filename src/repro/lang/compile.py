@@ -28,7 +28,7 @@ binder moves the skeleton to the next characteristic vector.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.compiler.driver import CompileOutcome
 from repro.compiler.errors import CompilationError, InternalCompilerError
@@ -136,9 +136,16 @@ class WhileModule:
 
     name: str
     program: WhileNode
+    # Rendered-source memo: the oracle stringifies the module once per
+    # configuration for its result-sharing cache key, and the program is
+    # never mutated after compilation (the optimizer rebuilds, see module
+    # docstring), so rendering once is safe.
+    _source: str | None = field(default=None, repr=False, compare=False)
 
     def __str__(self) -> str:
-        return to_source(self.program)
+        if self._source is None:
+            self._source = to_source(self.program)
+        return self._source
 
 
 def execute_while(program: WhileNode, max_steps: int = 100_000) -> ExecutionResult:
@@ -294,7 +301,12 @@ class WhileCompiler:
                 continue
             for _ in range(4):  # fixpoint bound; folds converge quickly
                 folded = self._fold(result, faults, effort)
-                if to_source(folded) == to_source(result):
+                # Structural equality: the nodes are frozen dataclasses and
+                # the printer is injective on them, so this is exactly the
+                # historical `to_source(folded) == to_source(result)` check
+                # without rendering both trees per iteration.  The effort
+                # counter is untouched either way (rendering never counted).
+                if folded == result:
                     result = folded
                     break
                 result = folded

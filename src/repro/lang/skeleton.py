@@ -119,7 +119,14 @@ def extract_skeleton(
         realize_fn=binder.render,
         bind_fn=binder.bind,
         order_clean_fn=binder.order_clean,
-        metadata={"language": "while", "declaration_order_clean": True},
+        metadata={
+            "language": "while",
+            # The binder itself, for consumers needing the parsed program
+            # plus the hole occurrence nodes (the batched codegen tier maps
+            # hole indices to Var sites from it; see repro.lang.codegen).
+            "binder": binder,
+            "declaration_order_clean": True,
+        },
     )
 
 

@@ -110,6 +110,10 @@ def extract_skeleton(source_or_unit: str | ast.TranslationUnit, name: str = "<mi
         metadata={
             "language": "minic",
             "functions": list(table.functions),
+            # The binder itself, for consumers that need the resolved unit
+            # plus per-hole candidate maps (the batched codegen tier builds
+            # its slot tables from these; see repro.minic.codegen).
+            "binder": binder,
             # False when some hole precedes a same-scope same-type declaration;
             # such skeletons can realize use-before-declaration variants, which
             # the textual frontend rejects -- the campaign routes exactly those

@@ -27,6 +27,7 @@ from repro.store.journal import (
     load_triage_records,
     load_unit_records,
     read_journal,
+    source_sha,
     unit_key_for,
 )
 from repro.store.serialize import (
@@ -68,5 +69,6 @@ __all__ = [
     "merge_unit_records",
     "read_journal",
     "select_records",
+    "source_sha",
     "unit_key_for",
 ]

@@ -14,6 +14,18 @@ evaluated:
   back as :class:`~repro.testing.harness.CampaignResult` values and are
   merged with :meth:`CampaignResult.merge`.
 
+The process pool is *persistent*: it is spawned lazily on the first parallel
+``map`` and reused by every later call (and by later campaigns in the same
+process) until :meth:`ProcessPoolExecutor.close` -- the executor is a
+context manager, and the harness closes executors it created itself.  A
+campaign's corpus can be *preloaded* into the workers once via
+:meth:`ProcessPoolExecutor.preload`: sources travel keyed by content sha
+through the pool initializer, and shard payloads then reference them by sha
+instead of re-pickling source text per unit (see
+``harness._slim_shard``/``harness._run_shard_payload``).  Preloading is
+content-addressed and cumulative, so reusing one executor across campaigns
+only respawns the pool when genuinely new sources appear.
+
 Both backends expose the same ``map(fn, items)`` surface, so anything
 shaped like that (e.g. an MPI or job-queue adapter) can be plugged into
 ``Campaign.run_sources(..., executor=...)``.
@@ -42,6 +54,27 @@ _Result = TypeVar("_Result")
 #: completion order, which for parallel backends differs from item order).
 CompletedCallback = Callable[[_Result], None]
 
+#: Per-worker-process corpus installed by the pool initializer: content sha
+#: -> source text.  Module-level so shard payloads can reference sources by
+#: sha (see ``worker_source``); only ever written in worker processes.
+_WORKER_SOURCES: dict[str, str] = {}
+
+
+def _install_worker_sources(sources: dict[str, str]) -> None:
+    """Pool initializer: runs once per worker process at spawn."""
+    _WORKER_SOURCES.update(sources)
+
+
+def worker_source(sha: str) -> str:
+    """Resolve a preloaded source by content sha (inside a worker process)."""
+    try:
+        return _WORKER_SOURCES[sha]
+    except KeyError:
+        raise RuntimeError(
+            f"source {sha[:12]}... was not preloaded into this worker "
+            "(executor.preload must run before dispatching slim payloads)"
+        ) from None
+
 
 class SerialExecutor:
     """Evaluate work items sequentially in the calling process."""
@@ -62,16 +95,75 @@ class SerialExecutor:
 
 
 class ProcessPoolExecutor:
-    """Evaluate work items in a pool of worker processes.
+    """Evaluate work items in a persistent pool of worker processes.
 
     Args:
         jobs: number of worker processes (defaults to the CPU count).  Both
             ``fn`` and the items must be picklable; the campaign's shard
             worker is a module-level function for exactly this reason.
+
+    The underlying pool is created lazily on the first parallel ``map`` call
+    and *kept alive* across calls -- worker spawn cost is paid once per
+    corpus, not once per ``map``.  Use as a context manager (or call
+    :meth:`close`) to shut the workers down; the campaign harness closes
+    executors it constructed internally and leaves caller-provided ones
+    running for reuse.
     """
 
     def __init__(self, jobs: int | None = None) -> None:
         self.jobs = jobs if jobs and jobs > 0 else (os.cpu_count() or 1)
+        self._pool: concurrent.futures.ProcessPoolExecutor | None = None
+        self._preloaded: dict[str, str] = {}
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def preload(self, sources: dict[str, str]) -> None:
+        """Make ``sources`` (content sha -> text) resolvable in every worker.
+
+        Content-addressed and cumulative: preloading a subset of what the
+        workers already hold is free; genuinely new sources force a pool
+        respawn (a live worker cannot be re-initialized), after which the
+        union is installed at each worker's spawn.
+        """
+        if not sources:
+            return
+        missing = {sha: text for sha, text in sources.items() if sha not in self._preloaded}
+        if not missing:
+            return
+        if self._pool is not None:
+            self._shutdown_pool()
+        self._preloaded.update(missing)
+
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent); the executor stays usable
+        and respawns workers on the next parallel ``map``."""
+        self._shutdown_pool()
+
+    def __enter__(self) -> "ProcessPoolExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _shutdown_pool(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+
+    def _ensure_pool(self) -> concurrent.futures.ProcessPoolExecutor:
+        if self._pool is None:
+            kwargs = {}
+            if self._preloaded:
+                kwargs = {
+                    "initializer": _install_worker_sources,
+                    "initargs": (dict(self._preloaded),),
+                }
+            self._pool = concurrent.futures.ProcessPoolExecutor(
+                max_workers=self.jobs, **kwargs
+            )
+        return self._pool
+
+    # -- execution ---------------------------------------------------------
 
     def map(
         self,
@@ -82,16 +174,29 @@ class ProcessPoolExecutor:
         items = list(items)
         if self.jobs <= 1 or len(items) <= 1:
             return SerialExecutor().map(fn, items, completed)
-        workers = min(self.jobs, len(items))
-        with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
+        pool = self._ensure_pool()
+        try:
             futures = [pool.submit(fn, item) for item in items]
-            if completed is not None:
-                # Stream results to the callback as workers finish them --
-                # this is what lets the harness checkpoint a long campaign's
-                # durable store while other shards are still running.
-                for future in concurrent.futures.as_completed(futures):
-                    completed(future.result())
-            return [future.result() for future in futures]
+            if completed is None:
+                return [future.result() for future in futures]
+            # Single gathering pass: each future's result is consumed exactly
+            # once, streamed to the callback in *completion* order (which is
+            # what lets the harness checkpoint a long campaign's durable
+            # store while other shards are still running) and slotted back
+            # into *submission* order for the return value.
+            results: list[_Result] = [None] * len(futures)  # type: ignore[list-item]
+            slot_of = {future: index for index, future in enumerate(futures)}
+            for future in concurrent.futures.as_completed(futures):
+                result = future.result()
+                results[slot_of[future]] = result
+                completed(result)
+            return results
+        except concurrent.futures.process.BrokenProcessPool:
+            # A worker died abnormally; the pool is unusable.  Drop it so the
+            # next map() call starts from a fresh spawn, then surface the
+            # failure to the caller.
+            self._shutdown_pool()
+            raise
 
 
 def map_streaming(
@@ -128,4 +233,10 @@ def default_executor(jobs: int | None) -> SerialExecutor | ProcessPoolExecutor:
     return ProcessPoolExecutor(jobs)
 
 
-__all__ = ["ProcessPoolExecutor", "SerialExecutor", "default_executor", "map_streaming"]
+__all__ = [
+    "ProcessPoolExecutor",
+    "SerialExecutor",
+    "default_executor",
+    "map_streaming",
+    "worker_source",
+]

@@ -82,6 +82,7 @@ from repro.store import (
     JournalWriter,
     config_fingerprint,
     merge_unit_records,
+    source_sha,
     unit_key_for,
 )
 from repro.testing.bugs import BugDatabase, BugReport
@@ -187,6 +188,31 @@ class CampaignConfig:
     #: :class:`CampaignInterrupted` after this many units have completed in a
     #: shard (counted per worker).  ``None`` disables injection.
     fail_after_units: int | None = None
+    #: Evaluate reference results in batches of this many variants through
+    #: the frontend's batched execution tier
+    #: (:meth:`~repro.frontends.base.Frontend.run_reference_batch`; for
+    #: mini-C a per-skeleton generated-Python body,
+    #: :mod:`repro.minic.codegen`).  Only the AST-rebinding path batches;
+    #: vectors routed to the legacy text path inside a batch are still
+    #: tested one at a time.  ``0`` or ``1`` disables batching (the scalar
+    #: per-variant path).  Observable results are byte-identical either way
+    #: -- this knob is throughput only, and is excluded from the durable
+    #: store's config fingerprint.
+    batch_size: int = 32
+    #: Ship the corpus to pool workers once, through the pool initializer:
+    #: sources travel content-addressed (keyed by sha), shard payloads carry
+    #: only unit keys + index slices, and the worker pool is kept alive
+    #: across ``map`` calls (and across campaigns sharing one executor).
+    #: When False, every shard payload carries its full source text -- the
+    #: legacy payload protocol.  Throughput only; fingerprint-excluded.
+    persistent_workers: bool = True
+    #: Share one campaign-scoped VM-execution cache across all oracles,
+    #: keyed by optimized-module content hash -- different variants (and
+    #: different compiler configurations) that lower to the same optimized
+    #: module pay for one VM run campaign-wide instead of one per variant.
+    #: When False, each variant keeps its private per-variant cache (the
+    #: legacy behaviour).  Throughput only; fingerprint-excluded.
+    cache_module_results: bool = True
 
     def __post_init__(self) -> None:
         frontend = get_frontend(self.frontend)
@@ -197,6 +223,8 @@ class CampaignConfig:
             self.opt_levels = list(frontend.default_opt_levels)
         if self.unit_variants < 1:
             raise ValueError(f"unit_variants must be positive, got {self.unit_variants}")
+        if self.batch_size < 0:
+            raise ValueError(f"batch_size must be non-negative, got {self.batch_size}")
         from repro.triage.engine import normalize_reduce_policy
 
         self.reduce_bugs = normalize_reduce_policy(self.reduce_bugs)
@@ -273,6 +301,14 @@ class ShardUnit:
     cross process boundaries; the worker re-extracts the skeleton.  Either a
     contiguous ``[start, stop)`` range of the canonical enumeration or an
     explicit tuple of sampled ``indices``.
+
+    Under the persistent-pool payload protocol
+    (``CampaignConfig.persistent_workers``), units crossing the process
+    boundary are *slim*: ``source`` is empty and ``source_sha`` names the
+    text in the worker's preloaded corpus.  The worker rehydrates the full
+    source (and clears ``source_sha``) before executing, so everything
+    downstream -- including the journal's content-derived unit keys, which
+    hash ``source`` -- sees exactly the unit a serial run would.
     """
 
     name: str
@@ -283,6 +319,9 @@ class ShardUnit:
     #: Exactly one unit per file is primary; it accounts the file in
     #: ``files_processed`` so that merged shard totals match a serial run.
     primary: bool = False
+    #: Content sha of ``source`` in the worker-preloaded corpus; non-empty
+    #: only on slim in-flight pool payloads, never on executed units.
+    source_sha: str = ""
 
     def num_variants(self) -> int:
         if self.indices is not None:
@@ -320,14 +359,37 @@ class CampaignPlan:
 class Campaign:
     """Run SPE-based differential testing over a corpus of seed programs."""
 
+    #: Bound on the campaign-lifetime reference-result cache (entries, FIFO
+    #: eviction).  Comfortably holds several dense files' variant streams;
+    #: at ~a few hundred bytes per ExecutionResult the worst case is a few
+    #: megabytes.
+    REFERENCE_CACHE_ENTRIES = 4096
+
     def __init__(self, config: CampaignConfig | None = None) -> None:
         self.config = config or CampaignConfig()
         self._frontend = get_frontend(self.config.frontend)
         self._oracles = self.config.oracles()
-        # Reference-interpreter results keyed by characteristic vector (the
-        # vector is unique per variant within a file; hashing rendered source
-        # per variant was measurable overhead).  Reset per file.
-        self._reference_cache: dict[CharacteristicVector, ExecutionResult | None] = {}
+        # One campaign-scoped VM-result cache shared by every oracle of the
+        # matrix, keyed by optimized-module content hash (see
+        # DifferentialOracle._run_shared): variants and configurations that
+        # lower to the same module pay for one VM run campaign-wide.
+        self._module_cache: dict | None = (
+            {} if self.config.cache_module_results else None
+        )
+        if self._module_cache is not None:
+            for oracle in self._oracles:
+                oracle.shared_module_cache = self._module_cache
+        # Reference-interpreter results keyed by (source sha, characteristic
+        # vector) -- the sha scopes vectors to their file, so the cache can
+        # live for the whole campaign (a unit re-visited for another version
+        # column, or a file whose variants arrive in multiple units, never
+        # re-interprets) instead of being cleared per file.  Bounded FIFO.
+        self._reference_cache: dict[
+            tuple[str, CharacteristicVector], ExecutionResult | None
+        ] = {}
+        # Fallback identity tokens for skeletons that did not come from
+        # source text (run_skeletons): unique per skeleton object.
+        self._anon_skeletons = 0
         # Skeletons parsed during planning, reused by in-process execution
         # (worker processes re-extract from source; skeletons do not pickle).
         self._skeleton_cache: dict[tuple[str, str], Skeleton] = {}
@@ -472,6 +534,7 @@ class Campaign:
         store = self._open_store(
             resume=resume, incremental=incremental, preserve=shard_index is not None
         )
+        owned_executor = None
         try:
             if shard_index is not None:
                 if not 0 <= shard_index < count:
@@ -481,7 +544,7 @@ class Campaign:
                 return self._run_one_shard(plan, shard_index, executor, store, incremental)
             started = time.perf_counter()
             if executor is None:
-                executor = default_executor(self.config.jobs)
+                executor = owned_executor = default_executor(self.config.jobs)
             work, replayed = self._partition(plan.shards, store, incremental)
             results = self._execute(work, executor, store)
             merged = plan.base.merge(replayed)
@@ -492,6 +555,11 @@ class Campaign:
                 store.checkpoint(sum(len(item.shard.units) for item in work), merged)
             return merged
         finally:
+            # Only executors this call created are shut down here;
+            # caller-provided ones stay alive so their (persistent) worker
+            # pools can be reused by later campaigns.
+            if owned_executor is not None and hasattr(owned_executor, "close"):
+                owned_executor.close()
             if store is not None:
                 store.close()
 
@@ -590,9 +658,39 @@ class Campaign:
         return map_streaming(
             executor,
             _run_shard_payload,
-            [(item.config, item.shard) for item in work],
+            self._pool_payloads(work, executor),
             completed=on_completed if store is not None else None,
         )
+
+    def _pool_payloads(
+        self, work: list["_WorkItem"], executor
+    ) -> list[tuple[CampaignConfig, CampaignShard]]:
+        """Payloads for the process-pool boundary, slimmed when possible.
+
+        Under ``persistent_workers`` (and an executor supporting
+        :meth:`~repro.testing.executor.ProcessPoolExecutor.preload`), the
+        corpus crosses the boundary once, content-addressed through the pool
+        initializer, and shard payloads reference sources by sha -- a unit's
+        source text is never re-pickled per shard.  Otherwise payloads carry
+        full source text (the legacy protocol, and the fallback for
+        third-party executors).
+        """
+        preload = getattr(executor, "preload", None)
+        if not self.config.persistent_workers or preload is None:
+            return [(item.config, item.shard) for item in work]
+        corpus: dict[str, str] = {}
+        payloads: list[tuple[CampaignConfig, CampaignShard]] = []
+        for item in work:
+            units = []
+            for unit in item.shard.units:
+                sha = source_sha(unit.source)
+                corpus[sha] = unit.source
+                units.append(replace(unit, source="", source_sha=sha))
+            payloads.append(
+                (item.config, CampaignShard(index=item.shard.index, units=tuple(units)))
+            )
+        preload(corpus)
+        return payloads
 
     def _run_one_shard(
         self,
@@ -625,7 +723,7 @@ class Campaign:
                 for subshard in _split_shard(item.shard, jobs)
             ]
             results = map_streaming(
-                executor, _run_shard_payload, [(item.config, item.shard) for item in items]
+                executor, _run_shard_payload, self._pool_payloads(items, executor)
             )
             folded = [item.fold(result) for item, result in zip(items, results)]
         result = replayed
@@ -722,8 +820,26 @@ class Campaign:
         skeleton = self._skeleton_cache.get(key)
         if skeleton is None:
             skeleton = self._frontend.extract_skeleton(source, name=name)
+            # Identity token for the campaign-lifetime reference cache: the
+            # source sha scopes cached vectors to this file's content.
+            skeleton.metadata.setdefault("source_sha", key[1])
             self._skeleton_cache[key] = skeleton
         return skeleton
+
+    def _skeleton_token(self, skeleton: Skeleton) -> str:
+        """The reference-cache identity of a skeleton (source sha, usually).
+
+        Skeletons built from source get their content sha in
+        :meth:`_extract_cached`; caller-provided skeletons
+        (:meth:`run_skeletons`) get a unique per-object token, so distinct
+        skeletons never share cache entries.
+        """
+        token = skeleton.metadata.get("source_sha")
+        if token is None:
+            self._anon_skeletons += 1
+            token = f"<anon:{self._anon_skeletons}>"
+            skeleton.metadata["source_sha"] = token
+        return token
 
     def _run_unit(self, unit: ShardUnit, result: CampaignResult) -> None:
         try:
@@ -770,20 +886,74 @@ class Campaign:
         self._test_programs(skeleton, programs, result)
 
     def _test_programs(self, skeleton: Skeleton, variants, result: CampaignResult) -> None:
-        # The reference-interpreter cache is only useful within one file's
-        # variants -- reset per file so memory stays bounded by the densest
-        # file, not the whole campaign.
-        self._reference_cache.clear()
         rebind = self.config.use_ast_rebinding and skeleton.supports_binding
+        if rebind and self.config.batch_size > 1:
+            self._test_programs_batched(skeleton, variants, result)
+            return
         for variant in variants:
-            result.variants_tested += 1
-            variant_name = f"{skeleton.name}#{variant.index}"
-            if rebind and variant.order_clean:
-                self._test_variant_ast(variant, variant_name, result)
-            else:
-                self._test_variant_text(variant, variant_name, result)
-            if self._exhausted(result):
+            if self._test_one_variant(skeleton, variant, rebind, result):
                 return
+
+    def _test_programs_batched(
+        self, skeleton: Skeleton, variants, result: CampaignResult
+    ) -> None:
+        """Batched reference execution: chunk the variant stream, prefetch
+        reference results for the whole chunk through the frontend's batched
+        tier, then run the unchanged per-variant testing loop (which now
+        hits the reference cache).  Counters, observations, bugs and the
+        exhaustion check are exactly the scalar path's -- batching only
+        changes *when* reference interpretation happens, never what is
+        observed."""
+        token = self._skeleton_token(skeleton)
+        chunk: list[BoundVariant] = []
+        for variant in variants:
+            chunk.append(variant)
+            if len(chunk) >= self.config.batch_size:
+                if self._test_variant_chunk(skeleton, token, chunk, result):
+                    return
+                chunk = []
+        if chunk:
+            self._test_variant_chunk(skeleton, token, chunk, result)
+
+    def _test_variant_chunk(
+        self,
+        skeleton: Skeleton,
+        token: str,
+        chunk: list[BoundVariant],
+        result: CampaignResult,
+    ) -> bool:
+        """Test one chunk; True when ``stop_after_bugs`` fired mid-chunk.
+
+        Only order-clean variants prefetch (the batched tier rebinds, which
+        the legacy text route for use-before-declaration vectors must not
+        do); everything else falls through to the scalar path per variant.
+        """
+        missing = [
+            variant
+            for variant in chunk
+            if variant.order_clean and (token, variant.vector) not in self._reference_cache
+        ]
+        if missing:
+            references = self._frontend.run_reference_batch(missing)
+            for variant, reference in zip(missing, references):
+                self._remember_reference((token, variant.vector), reference)
+        for variant in chunk:
+            if self._test_one_variant(skeleton, variant, True, result):
+                return True
+        return False
+
+    def _test_one_variant(
+        self, skeleton: Skeleton, variant: BoundVariant, rebind: bool, result: CampaignResult
+    ) -> bool:
+        """Test a single variant against the whole oracle matrix; True when
+        the campaign is exhausted (``stop_after_bugs``)."""
+        result.variants_tested += 1
+        variant_name = f"{skeleton.name}#{variant.index}"
+        if rebind and variant.order_clean:
+            self._test_variant_ast(variant, variant_name, result)
+        else:
+            self._test_variant_text(variant, variant_name, result)
+        return self._exhausted(result)
 
     def _test_variant_ast(self, variant: BoundVariant, name: str, result: CampaignResult) -> None:
         """Parse-once fast path: one frontend pass per variant, total.
@@ -807,7 +977,7 @@ class Campaign:
         realize use-before-declaration programs, which the textual frontend
         must be the one to reject)."""
         source = variant.source
-        reference_result = self._reference_result_text(variant.vector, source)
+        reference_result = self._reference_result_text(variant, source)
         for oracle in self._oracles:
             observation = oracle.observe(
                 source, name=name, reference_result=reference_result
@@ -816,34 +986,48 @@ class Campaign:
             if observation.is_bug:
                 self._file_bug(observation, oracle, result)
 
-    def _reference_result_ast(self, variant: BoundVariant) -> ExecutionResult:
-        """Reference-interpret the bound AST once per variant (vector-keyed).
+    def _remember_reference(
+        self, key: tuple[str, CharacteristicVector], value: ExecutionResult | None
+    ) -> None:
+        cache = self._reference_cache
+        cache[key] = value
+        while len(cache) > self.REFERENCE_CACHE_ENTRIES:
+            del cache[next(iter(cache))]
 
+    def _reference_result_ast(self, variant: BoundVariant) -> ExecutionResult:
+        """Reference-interpret the bound AST once per variant.
+
+        Keyed by (source sha, vector) in the campaign-lifetime cache -- the
+        batched prefetch (:meth:`_test_variant_chunk`) populates the same
+        entries, so a batched run's per-variant loop is all cache hits.
         Delegates to the frontend, which may memoise per-skeleton work
         across the file's variant stream (mini-C shares one closure-compiled
         translation of the function bodies).
         """
-        key = variant.vector
+        key = (self._skeleton_token(variant.skeleton), variant.vector)
         if key in self._reference_cache:
             return self._reference_cache[key]
         value = self._frontend.run_reference_variant(variant)
-        self._reference_cache[key] = value
+        self._remember_reference(key, value)
         return value
 
     def _reference_result_text(
-        self, vector: CharacteristicVector, source: str
+        self, variant: BoundVariant, source: str
     ) -> ExecutionResult | None:
-        """Run the reference interpreter once per variant, keyed by vector.
+        """Run the reference interpreter once per variant, keyed by
+        (source sha, vector).
 
         Shared by all oracles of the configuration matrix.  The vector
-        uniquely identifies the variant's realized source within a file, so
-        the key is equivalent to the historical sha256-of-source key without
-        hashing the full program text per variant.
+        uniquely identifies the variant's realized source within a file and
+        the sha scopes it to the file, so the key is equivalent to the
+        historical sha256-of-rendered-source key without hashing the full
+        program text per variant.
         """
-        if vector in self._reference_cache:
-            return self._reference_cache[vector]
+        key = (self._skeleton_token(variant.skeleton), variant.vector)
+        if key in self._reference_cache:
+            return self._reference_cache[key]
         value = self._frontend.try_run_reference_source(source)
-        self._reference_cache[vector] = value
+        self._remember_reference(key, value)
         return value
 
     def _file_bug(
@@ -951,8 +1135,24 @@ def _run_shard_payload(payload: tuple[CampaignConfig, CampaignShard]) -> Campaig
     completed unit itself (the journal supports concurrent line-atomic
     appenders), so unit outcomes are durable even if the worker, the pool or
     the parent dies before the shard result is returned.
+
+    Slim units (persistent-pool payloads referencing preloaded sources by
+    sha) are rehydrated to full source text *before* execution, so journal
+    unit keys -- which hash the source -- are identical to a serial run's.
     """
     config, shard = payload
+    if any(unit.source_sha for unit in shard.units):
+        from repro.testing.executor import worker_source
+
+        shard = CampaignShard(
+            index=shard.index,
+            units=tuple(
+                replace(unit, source=worker_source(unit.source_sha), source_sha="")
+                if unit.source_sha
+                else unit
+                for unit in shard.units
+            ),
+        )
     journal = None
     if config.state_dir is not None:
         journal = JournalWriter(Path(config.state_dir) / CampaignStore.JOURNAL_NAME)

@@ -24,6 +24,7 @@ interpreter.  Possible observations:
 from __future__ import annotations
 
 import enum
+import hashlib
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -83,6 +84,12 @@ class DifferentialOracle:
         frontend: the language plug-in (a registry name or a
             :class:`~repro.frontends.base.Frontend` instance) supplying the
             executors and the reference interpreter.
+        shared_module_cache: an optional campaign-scoped VM-result cache,
+            shared by every oracle of a configuration matrix and keyed by
+            optimized-module *content* (sha) rather than per-variant
+            identity -- so any two compilations in the whole campaign that
+            produce the same module at the same budget share one VM run.
+            ``None`` (the default) keeps the legacy per-variant cache.
     """
 
     version: str = "scc-trunk"
@@ -91,6 +98,12 @@ class DifferentialOracle:
     interp_max_steps: int = 200_000
     performance_ratio: float = 10.0
     frontend: "str | Frontend" = "minic"
+    shared_module_cache: dict | None = None
+
+    #: Bound on a shared module cache (entries, FIFO eviction).  Module
+    #: texts are not stored -- only (budget, bits, sha) keys and
+    #: ExecutionResults -- so the worst case is a few tens of megabytes.
+    SHARED_CACHE_ENTRIES = 65536
 
     def __post_init__(self) -> None:
         self.opt_level = OptimizationLevel(int(self.opt_level))
@@ -130,7 +143,7 @@ class DifferentialOracle:
             reference_run=lambda: self._frontend.run_reference_source(
                 source, max_steps=self.interp_max_steps
             ),
-            execute=lambda: self._compiler.run(outcome),
+            execute=lambda: self._run_module(outcome),
         )
 
     def observe_variant(
@@ -168,14 +181,44 @@ class DifferentialOracle:
         bit-identical optimized modules for the same variant (always at -O0,
         and at higher levels whenever no version-specific fault perturbed a
         pass).  The VM is deterministic in the module text and step budget,
-        so such runs are executed once and shared via the variant's cache.
+        so such runs are executed once and shared via the variant's cache --
+        or, when the campaign wires up a :attr:`shared_module_cache`,
+        shared campaign-wide by module content hash, which additionally
+        dedups *across variants*: many characteristic vectors of one
+        skeleton lower to the same optimized module.
         """
+        if self.shared_module_cache is not None:
+            return self._run_module(outcome)
         cache = variant.cache.setdefault("vm_results", {})
         key = (self._compiler.vm_max_steps, str(outcome.module))
         result = cache.get(key)
         if result is None:
             result = self._compiler.run(outcome)
             cache[key] = result
+        return result
+
+    def _run_module(self, outcome: CompileOutcome) -> ExecutionResult:
+        """Run the produced code through the shared module cache when wired.
+
+        The VM is deterministic in (module text, step budget), so caching by
+        content hash is observably identical to executing -- the text path
+        (:meth:`observe`) routes through here too, so legacy render+reparse
+        campaigns dedup identical modules the same way.
+        """
+        shared = self.shared_module_cache
+        if shared is None:
+            return self._compiler.run(outcome)
+        key = (
+            self._compiler.vm_max_steps,
+            self.machine_bits,
+            hashlib.sha256(str(outcome.module).encode()).hexdigest(),
+        )
+        result = shared.get(key)
+        if result is None:
+            result = self._compiler.run(outcome)
+            shared[key] = result
+            while len(shared) > self.SHARED_CACHE_ENTRIES:
+                del shared[next(iter(shared))]
         return result
 
     # -- shared classification ----------------------------------------------------------

@@ -93,6 +93,82 @@ class TestPipelineEquivalence:
         legacy = Campaign(config(False, **kwargs)).run_sources(corpus)
         assert result_fingerprint(fast) == result_fingerprint(legacy)
 
+class TestBatchedEquivalence:
+    """PR 6: the batched tier and the throughput caches change nothing
+    observable.  serial == sharded == batched == legacy, for the result
+    fingerprint and for the journal's unit records byte-for-byte."""
+
+    def test_batched_scalar_legacy_identical(self, corpus):
+        batched = Campaign(config(True, batch_size=32)).run_sources(corpus)
+        scalar = Campaign(config(True, batch_size=0)).run_sources(corpus)
+        legacy = Campaign(config(False)).run_sources(corpus)
+        assert result_fingerprint(batched) == result_fingerprint(scalar)
+        assert result_fingerprint(batched) == result_fingerprint(legacy)
+
+    def test_tiny_batch_size_identical(self, corpus):
+        # Batch boundaries mid-file must not matter.
+        batched = Campaign(config(True, batch_size=3)).run_sources(corpus)
+        scalar = Campaign(config(True, batch_size=0)).run_sources(corpus)
+        assert result_fingerprint(batched) == result_fingerprint(scalar)
+
+    def test_module_cache_changes_nothing(self, corpus):
+        cached = Campaign(config(True, cache_module_results=True)).run_sources(corpus)
+        uncached = Campaign(config(True, cache_module_results=False)).run_sources(corpus)
+        assert result_fingerprint(cached) == result_fingerprint(uncached)
+
+    def test_persistent_pool_identical_to_serial(self, corpus):
+        serial = Campaign(config(True)).run_sources(corpus)
+        pooled = Campaign(config(True, jobs=2, persistent_workers=True)).run_sources(
+            corpus, shard_count=4
+        )
+        fat_payload = Campaign(
+            config(True, jobs=2, persistent_workers=False)
+        ).run_sources(corpus, shard_count=4)
+        assert result_fingerprint(pooled) == result_fingerprint(serial)
+        assert result_fingerprint(fat_payload) == result_fingerprint(serial)
+
+    def test_while_frontend_batched_identical(self):
+        from repro.frontends import get_frontend
+
+        corpus = get_frontend("while").build_corpus(files=6, seed=2017)
+        kwargs = dict(frontend="while", versions=None, opt_levels=None)
+        batched = Campaign(config(True, **kwargs)).run_sources(corpus)
+        scalar = Campaign(config(True, batch_size=0, **kwargs)).run_sources(corpus)
+        legacy = Campaign(config(False, **kwargs)).run_sources(corpus)
+        assert result_fingerprint(batched) == result_fingerprint(scalar)
+        assert result_fingerprint(batched) == result_fingerprint(legacy)
+
+    def test_journal_unit_records_are_pinned(self, corpus, tmp_path):
+        # The journal is the durable truth a resumed campaign replays from;
+        # batched and slim-payload runs must journal the *same* unit records
+        # (same keys -- which hash unit sources -- same merged results).
+        def unit_lines(state_dir):
+            lines = (state_dir / "journal.jsonl").read_bytes().splitlines()
+            return sorted(line for line in lines if b'"type": "unit"' in line or b'"type":"unit"' in line)
+
+        # Same plan (shard_count=2) across all runs: unit keys encode the
+        # index slices, so only the execution strategy may vary.
+        runs = [
+            ("batched", dict(batch_size=32)),
+            ("scalar", dict(batch_size=0)),
+            ("legacy-pipeline", dict(use_ast_rebinding=False)),
+            ("pooled-slim", dict(batch_size=32, jobs=2, persistent_workers=True)),
+            ("pooled-fat", dict(batch_size=32, jobs=2, persistent_workers=False)),
+        ]
+        journals = []
+        for label, overrides in runs:
+            state_dir = tmp_path / label
+            Campaign(config(True, state_dir=str(state_dir), **overrides)).run_sources(
+                corpus, shard_count=2
+            )
+            journals.append((label, unit_lines(state_dir)))
+        baseline_label, baseline = journals[0]
+        assert baseline, "journal must contain unit records"
+        for label, lines in journals[1:]:
+            assert lines == baseline, f"{label} journal differs from {baseline_label}"
+
+
+class TestFallbackEquivalence:
     def test_use_before_declaration_vectors_fall_back(self):
         # Holes that precede a same-scope same-type declaration realize
         # use-before-declaration variants; the fast path must route exactly

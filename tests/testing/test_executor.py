@@ -1,11 +1,39 @@
 """Tests for the sharded campaign pipeline and its execution backends."""
 
+import time
+
 import pytest
 
 from repro.compiler.pipeline import OptimizationLevel
 from repro.core.spe import EnumerationBudget
-from repro.testing.executor import ProcessPoolExecutor, SerialExecutor, default_executor
+from repro.store import source_sha
+from repro.testing.executor import (
+    ProcessPoolExecutor,
+    SerialExecutor,
+    default_executor,
+    map_streaming,
+    worker_source,
+)
 from repro.testing.harness import Campaign, CampaignConfig, CampaignResult
+
+
+# Worker functions must be module-level to pickle across the pool boundary.
+def _sleep_then_return(item):
+    index, delay = item
+    time.sleep(delay)
+    return index
+
+
+def _double(x):
+    return x * 2
+
+
+def _explode(x):
+    raise ValueError(f"worker exploded on {x}")
+
+
+def _resolve_preloaded(sha):
+    return worker_source(sha)
 
 SEEDS = {
     "sub.c": "int main() { int a = 7, b = 3; int x = 0, y = 0; x = a - b; y = a - b; return x + y; }",
@@ -41,6 +69,143 @@ class TestExecutors:
 
     def test_process_pool_falls_back_to_serial_for_single_item(self):
         assert ProcessPoolExecutor(jobs=4).map(abs, [-3]) == [3]
+
+    def test_jobs_one_pool_never_spawns_workers(self):
+        pool = ProcessPoolExecutor(jobs=1)
+        seen = []
+        assert pool.map(_double, [1, 2, 3], completed=seen.append) == [2, 4, 6]
+        assert seen == [2, 4, 6]  # serial: completion order == item order
+        assert pool._pool is None  # delegated to SerialExecutor, no spawn
+
+
+class TestSinglePassGather:
+    """The pool's map() gathers each future exactly once: callbacks stream in
+    completion order while the return value keeps submission order."""
+
+    def test_return_order_is_submission_order_callbacks_completion_order(self):
+        # Three workers, three items whose delays invert completion order
+        # (generous gaps so scheduler noise cannot reorder them).
+        items = [(0, 0.8), (1, 0.05), (2, 0.4)]
+        completions = []
+        with ProcessPoolExecutor(jobs=3) as pool:
+            results = pool.map(_sleep_then_return, items, completed=completions.append)
+        assert results == [0, 1, 2]
+        assert completions == [1, 2, 0]
+
+    def test_each_result_delivered_exactly_once(self):
+        items = [(i, 0.01) for i in range(12)]
+        completions = []
+        with ProcessPoolExecutor(jobs=4) as pool:
+            results = pool.map(_sleep_then_return, items, completed=completions.append)
+        assert results == list(range(12))
+        assert sorted(completions) == list(range(12))
+        assert len(completions) == 12  # once per item, no double-gathering
+
+
+class TestExceptionPropagation:
+    def test_serial_map_propagates_worker_exception(self):
+        with pytest.raises(ValueError, match="worker exploded"):
+            SerialExecutor().map(_explode, [1, 2])
+
+    def test_pool_map_propagates_worker_exception(self):
+        with ProcessPoolExecutor(jobs=2) as pool:
+            with pytest.raises(ValueError, match="worker exploded"):
+                pool.map(_explode, [1, 2, 3])
+
+    def test_map_streaming_propagates_worker_exception(self):
+        seen = []
+        with ProcessPoolExecutor(jobs=2) as pool:
+            with pytest.raises(ValueError, match="worker exploded"):
+                map_streaming(pool, _explode, [1, 2, 3], completed=seen.append)
+
+    def test_pool_survives_an_ordinary_worker_exception(self):
+        # A ValueError in a task is not a pool failure; the persistent pool
+        # must stay usable for the next map() without respawning.
+        with ProcessPoolExecutor(jobs=2) as pool:
+            with pytest.raises(ValueError):
+                pool.map(_explode, [1, 2, 3])
+            inner = pool._pool
+            assert inner is not None
+            assert pool.map(_double, [4, 5, 6]) == [8, 10, 12]
+            assert pool._pool is inner  # same workers, no respawn
+
+
+class TestPersistentPool:
+    def test_pool_reused_across_map_calls(self):
+        with ProcessPoolExecutor(jobs=2) as pool:
+            assert pool.map(_double, [1, 2, 3]) == [2, 4, 6]
+            inner = pool._pool
+            assert inner is not None
+            assert pool.map(_double, [7, 8, 9]) == [14, 16, 18]
+            assert pool._pool is inner
+
+    def test_close_is_idempotent_and_pool_respawns_after_close(self):
+        pool = ProcessPoolExecutor(jobs=2)
+        assert pool.map(_double, [1, 2]) == [2, 4]
+        pool.close()
+        assert pool._pool is None
+        pool.close()  # idempotent
+        assert pool.map(_double, [3, 4]) == [6, 8]  # usable again
+        pool.close()
+
+    def test_preload_resolves_in_workers(self):
+        sources = {"int main() { return 0; }": None, "x := 1": None}
+        corpus = {source_sha(text): text for text in sources}
+        shas = list(corpus)
+        with ProcessPoolExecutor(jobs=2) as pool:
+            pool.preload(corpus)
+            assert pool.map(_resolve_preloaded, shas) == [corpus[sha] for sha in shas]
+
+    def test_preload_is_cumulative_and_idempotent(self):
+        first = {source_sha("alpha"): "alpha", source_sha("beta"): "beta"}
+        extra = {source_sha("gamma"): "gamma"}
+        with ProcessPoolExecutor(jobs=2) as pool:
+            pool.preload(first)
+            pool.map(_resolve_preloaded, list(first))
+            inner = pool._pool
+            pool.preload(dict(first))  # already-known shas: no respawn
+            assert pool._pool is inner
+            pool.preload(extra)  # genuinely new source: workers respawn
+            assert pool._pool is None
+            everything = {**first, **extra}
+            shas = list(everything)
+            assert pool.map(_resolve_preloaded, shas) == [everything[s] for s in shas]
+
+    def test_worker_source_raises_on_missing_preload(self):
+        with pytest.raises(RuntimeError, match="was not preloaded"):
+            worker_source("0" * 16)
+
+    def test_pool_reuse_across_two_campaigns(self):
+        serial_a = Campaign(small_config()).run_sources(SEEDS)
+        only_sub = {"sub.c": SEEDS["sub.c"]}
+        serial_b = Campaign(small_config()).run_sources(only_sub)
+        with ProcessPoolExecutor(jobs=2) as pool:
+            pooled_a = Campaign(small_config()).run_sources(
+                SEEDS, shard_count=2, executor=pool
+            )
+            # The harness must leave a caller-provided executor open...
+            pooled_b = Campaign(small_config()).run_sources(
+                only_sub, shard_count=2, executor=pool
+            )
+        assert pooled_a.summary() == serial_a.summary()
+        assert bug_keys(pooled_a) == bug_keys(serial_a)
+        assert pooled_b.summary() == serial_b.summary()
+        assert bug_keys(pooled_b) == bug_keys(serial_b)
+
+
+class TestMapStreamingFeatureDetection:
+    def test_minimal_backend_gets_after_the_fact_callbacks(self):
+        class MinimalExecutor:
+            def map(self, fn, items):
+                return [fn(item) for item in items]
+
+        seen = []
+        results = map_streaming(MinimalExecutor(), _double, [1, 2, 3], completed=seen.append)
+        assert results == [2, 4, 6]
+        assert seen == [2, 4, 6]  # degraded mode: callback once per result
+
+    def test_no_callback_skips_detection(self):
+        assert map_streaming(SerialExecutor(), _double, [1, 2]) == [2, 4]
 
 
 class TestCampaignResultMerge:
