@@ -106,6 +106,21 @@ def _non_negative_int(text: str) -> int:
     return value
 
 
+def _ordinal_list(text: str) -> tuple[int, ...]:
+    """Argparse type for comma-separated unit ordinals (``1,4,7``)."""
+    if not text.strip():
+        return ()
+    try:
+        values = tuple(int(part) for part in text.split(","))
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected comma-separated integers (e.g. 1,4,7), got {text!r}"
+        )
+    if any(value < 0 for value in values):
+        raise argparse.ArgumentTypeError(f"unit ordinals must be >= 0, got {text!r}")
+    return values
+
+
 def _parse_shard(spec: str) -> tuple[int, int]:
     """Parse ``I/N`` (0-based shard I of N), e.g. ``--shard 2/4``."""
     try:
@@ -122,7 +137,7 @@ def _parse_shard(spec: str) -> tuple[int, int]:
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
     from repro.store import CampaignStore, StoreMismatchError
-    from repro.testing.harness import Campaign, CampaignConfig
+    from repro.testing.harness import Campaign, CampaignConfig, UnitExecutionError
 
     if (args.resume or args.incremental) and args.state_dir is None:
         print("error: --resume/--incremental require --state-dir", file=sys.stderr)
@@ -153,6 +168,16 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             return 2
 
     corpus = get_frontend(args.lang).build_corpus(files=args.files, seed=args.seed)
+    chaos = None
+    if args.chaos_crash_at or args.chaos_hang_at or args.chaos_raise_at:
+        from repro.testing.harness import ChaosSpec
+
+        chaos = ChaosSpec(
+            crash_at=args.chaos_crash_at,
+            hang_at=args.chaos_hang_at,
+            raise_at=args.chaos_raise_at,
+            hang_seconds=args.chaos_hang_seconds,
+        )
     config = CampaignConfig(
         frontend=args.lang,
         max_variants_per_file=args.variants,
@@ -165,6 +190,11 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         batch_size=max(0, args.batch_size),
         persistent_workers=not args.no_persistent_workers,
         cache_module_results=not args.no_module_cache,
+        unit_timeout=args.unit_timeout,
+        max_retries=args.max_retries,
+        on_fault=args.on_fault,
+        chaos=chaos,
+        fsync_journal=args.fsync_journal,
     )
     campaign = Campaign(config)
     try:
@@ -183,7 +213,19 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     except StoreMismatchError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    except UnitExecutionError as error:
+        print(f"error: campaign aborted on a poison unit: {error}", file=sys.stderr)
+        print("hint: re-run with --on-fault quarantine to degrade and continue", file=sys.stderr)
+        return 3
     print(result.summary())
+    for record in sorted(result.quarantined, key=lambda r: (r.name, r.key)):
+        # One greppable line per quarantined unit (the chaos-smoke CI job
+        # matches on '# quarantined:'); printed only when any exist, so
+        # fault-free reports stay byte-identical to the historical format.
+        print(
+            f"# quarantined: {record.name} {record.span} kind={record.kind} "
+            f"attempts={record.attempts} key={record.key}"
+        )
     print()
     for report in result.bugs.reports:
         print(report.summary_line())
@@ -344,6 +386,49 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable the campaign-scoped VM-result cache keyed by "
              "optimized-module content hash (each variant keeps a private "
              "per-variant cache, the legacy behaviour)",
+    )
+    campaign.add_argument(
+        "--unit-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-unit wall-clock deadline (engages the campaign supervisor: "
+             "worker-side alarm plus a parent watchdog that kills and "
+             "respawns a pool stuck past the deadline)",
+    )
+    campaign.add_argument(
+        "--max-retries", type=_non_negative_int, default=2, metavar="N",
+        help="retry a failed or timed-out unit up to N times (degrading down "
+             "the execution tiers) before quarantining or aborting it",
+    )
+    campaign.add_argument(
+        "--on-fault", choices=["abort", "quarantine"], default="abort",
+        help="what to do with a unit that exhausts its retries: abort the "
+             "campaign (legacy fail-fast), or journal a quarantine record, "
+             "report it, and keep going; quarantined units are skipped on "
+             "--resume instead of re-crashing forever",
+    )
+    campaign.add_argument(
+        "--fsync-journal", action="store_true",
+        help="fsync the journal after every appended record (machine-crash "
+             "durability) instead of once on close; costs per-unit throughput",
+    )
+    campaign.add_argument(
+        "--chaos-crash-at", type=_ordinal_list, default=(), metavar="I,J,...",
+        help="fault injection: SIGKILL the worker at these planned unit "
+             "ordinals (supervision testing; fires on every attempt)",
+    )
+    campaign.add_argument(
+        "--chaos-hang-at", type=_ordinal_list, default=(), metavar="I,J,...",
+        help="fault injection: sleep --chaos-hang-seconds at these planned "
+             "unit ordinals",
+    )
+    campaign.add_argument(
+        "--chaos-raise-at", type=_ordinal_list, default=(), metavar="I,J,...",
+        help="fault injection: raise a deterministic exception at these "
+             "planned unit ordinals",
+    )
+    campaign.add_argument(
+        "--chaos-hang-seconds", type=float, default=60.0, metavar="S",
+        help="duration of injected hangs (default 60; pick it above "
+             "--unit-timeout so the deadline machinery engages)",
     )
     campaign.add_argument(
         "--reduce", choices=["off", "crash", "all"], default="off",

@@ -22,8 +22,10 @@ The harness wires it up through ``CampaignConfig.state_dir`` and
 from repro.store.journal import (
     JOURNAL_FORMAT,
     JournalWriter,
+    QuarantineRecord,
     TriageRecord,
     UnitRecord,
+    load_quarantine_records,
     load_triage_records,
     load_unit_records,
     read_journal,
@@ -55,6 +57,7 @@ __all__ = [
     "StoreError",
     "StoreFormatError",
     "StoreMismatchError",
+    "QuarantineRecord",
     "TriageRecord",
     "UnitRecord",
     "bug_database_from_json",
@@ -64,6 +67,7 @@ __all__ = [
     "campaign_result_from_json",
     "campaign_result_to_json",
     "config_fingerprint",
+    "load_quarantine_records",
     "load_triage_records",
     "load_unit_records",
     "merge_unit_records",

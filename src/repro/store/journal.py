@@ -130,6 +130,77 @@ class TriageRecord:
 
 
 @dataclass(frozen=True)
+class QuarantineRecord:
+    """One journaled poison-unit quarantine decision.
+
+    Appended by the campaign supervisor when a unit exhausts its retry
+    budget (``--max-retries``) under ``--on-fault quarantine``: the unit's
+    content-derived key plus enough identity to report it (seed name, index
+    slice), the failure taxonomy ``kind`` (``exception`` / ``hang`` /
+    ``crash``), the attempt count, and the last traceback or signal detail.
+    Resume treats a quarantined key as *covered-by-decision*: the unit is
+    excluded from replay re-execution (breaking the deterministic-crash
+    livelock) and surfaced in ``CampaignResult.quarantined`` instead.
+    Schema-versioned independently of unit records, exactly like
+    :class:`TriageRecord` -- old journals simply contain no ``quarantine``
+    records and load unchanged.  When a key is quarantined more than once
+    (e.g. a re-run after widening the retry budget) the *last* record wins.
+    """
+
+    SCHEMA = 1
+
+    key: str
+    name: str
+    start: int
+    stop: int
+    indices: tuple[int, ...] | None
+    primary: bool
+    kind: str
+    attempts: int
+    detail: str
+
+    @property
+    def span(self) -> str:
+        if self.indices is not None:
+            return f"indices[{len(self.indices)}]"
+        return f"[{self.start}:{self.stop})"
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "type": "quarantine",
+            "format": JOURNAL_FORMAT,
+            "schema": self.SCHEMA,
+            "key": self.key,
+            "name": self.name,
+            "start": self.start,
+            "stop": self.stop,
+            "indices": list(self.indices) if self.indices is not None else None,
+            "primary": self.primary,
+            "kind": self.kind,
+            "attempts": self.attempts,
+            "detail": self.detail,
+        }
+
+    @staticmethod
+    def from_json(payload: dict[str, Any]) -> "QuarantineRecord":
+        try:
+            indices = payload.get("indices")
+            return QuarantineRecord(
+                key=payload["key"],
+                name=payload.get("name", ""),
+                start=int(payload.get("start", 0)),
+                stop=int(payload.get("stop", 0)),
+                indices=tuple(indices) if indices is not None else None,
+                primary=bool(payload.get("primary", False)),
+                kind=payload.get("kind", "exception"),
+                attempts=int(payload.get("attempts", 0)),
+                detail=payload.get("detail", ""),
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise StoreFormatError(f"malformed quarantine record: {error}") from error
+
+
+@dataclass(frozen=True)
 class UnitRecord:
     """One journaled unit outcome: a unit key, the versions it covered, and
     the unit's complete mergeable result."""
@@ -205,6 +276,11 @@ class JournalWriter:
 
     def append_triage(self, record: TriageRecord) -> TriageRecord:
         """Journal one bug's triage outcome (reduced program + attribution)."""
+        self._append(record.to_json())
+        return record
+
+    def append_quarantine(self, record: QuarantineRecord) -> QuarantineRecord:
+        """Journal one poison unit's quarantine decision (see :class:`QuarantineRecord`)."""
         self._append(record.to_json())
         return record
 
@@ -315,6 +391,20 @@ def load_triage_records(path: str | Path) -> dict[str, TriageRecord]:
     return records
 
 
+def load_quarantine_records(path: str | Path) -> dict[str, QuarantineRecord]:
+    """The effective quarantine record per unit key (last record wins)."""
+    records: dict[str, QuarantineRecord] = {}
+    for payload in read_journal(path):
+        if payload.get("type") != "quarantine":
+            continue
+        try:
+            record = QuarantineRecord.from_json(payload)
+        except StoreFormatError:
+            continue
+        records[record.key] = record
+    return records
+
+
 def last_checkpoint(path: str | Path) -> dict[str, Any] | None:
     """The most recent checkpoint record, if any (progress observability)."""
     checkpoint = None
@@ -327,9 +417,11 @@ def last_checkpoint(path: str | Path) -> dict[str, Any] | None:
 __all__ = [
     "JOURNAL_FORMAT",
     "JournalWriter",
+    "QuarantineRecord",
     "TriageRecord",
     "UnitRecord",
     "last_checkpoint",
+    "load_quarantine_records",
     "load_triage_records",
     "load_unit_records",
     "read_journal",

@@ -132,7 +132,7 @@ def bug_database_from_json(payload: dict[str, Any]) -> "BugDatabase":
 
 
 def campaign_result_to_json(result) -> dict[str, Any]:
-    return {
+    payload = {
         "bugs": bug_database_to_json(result.bugs),
         "files_processed": result.files_processed,
         "files_skipped_budget": result.files_skipped_budget,
@@ -141,9 +141,16 @@ def campaign_result_to_json(result) -> dict[str, Any]:
         "observations": dict(result.observations),
         "wall_seconds": result.wall_seconds,
     }
+    if result.quarantined:
+        # Emitted only when non-empty: a fault-free supervised run's records
+        # stay byte-identical to pre-supervision journals (the equivalence
+        # contract), and old loaders never see the key.
+        payload["quarantined"] = [record.to_json() for record in result.quarantined]
+    return payload
 
 
 def campaign_result_from_json(payload: dict[str, Any]):
+    from repro.store.journal import QuarantineRecord
     from repro.testing.harness import CampaignResult
 
     try:
@@ -155,6 +162,10 @@ def campaign_result_from_json(payload: dict[str, Any]):
             variants_tested=int(payload["variants_tested"]),
             observations={str(k): int(v) for k, v in payload["observations"].items()},
             wall_seconds=float(payload.get("wall_seconds", 0.0)),
+            quarantined=[
+                QuarantineRecord.from_json(entry)
+                for entry in payload.get("quarantined", [])
+            ],
         )
     except (KeyError, ValueError, TypeError) as error:
         raise StoreFormatError(f"malformed campaign result record: {error}") from error

@@ -37,9 +37,11 @@ from typing import Any, Iterable, Sequence
 from repro.store.journal import (
     JOURNAL_FORMAT,
     JournalWriter,
+    QuarantineRecord,
     TriageRecord,
     UnitRecord,
     last_checkpoint,
+    load_quarantine_records,
     load_triage_records,
     load_unit_records,
 )
@@ -151,6 +153,7 @@ class CampaignStore:
         self._fsync = fsync
         self._writer: JournalWriter | None = None
         self._records: dict[str, list[UnitRecord]] = {}
+        self._quarantines: dict[str, QuarantineRecord] = {}
 
     # -- paths -------------------------------------------------------------
 
@@ -201,6 +204,7 @@ class CampaignStore:
                     f"(fingerprint differs in: {', '.join(differing)})"
                 )
             self._records = load_unit_records(self.journal_path)
+            self._quarantines = load_quarantine_records(self.journal_path)
         else:
             if preserve:
                 # Distributed shard runs append into a shared directory and
@@ -222,10 +226,12 @@ class CampaignStore:
                     self.write_manifest(fingerprint)
                 open(self.journal_path, "ab").close()
                 self._records = {}
+                self._quarantines = {}
                 return
             self.write_manifest(fingerprint)
             open(self.journal_path, "wb").close()
             self._records = {}
+            self._quarantines = {}
 
     def close(self) -> None:
         if self._writer is not None:
@@ -261,6 +267,19 @@ class CampaignStore:
         """Replayable records and the versions they cover for one unit."""
         return select_records(self.records_for(key), set(needed))
 
+    def quarantine_for(self, key: str) -> QuarantineRecord | None:
+        """The effective quarantine decision for one unit key, if any.
+
+        Loaded at ``begin(resume=True)``; a quarantined unit is never
+        re-executed on resume (that would be the deterministic-crash
+        livelock this record exists to break).
+        """
+        return self._quarantines.get(key)
+
+    def quarantine_records(self) -> dict[str, QuarantineRecord]:
+        """The latest journaled quarantine record per unit key."""
+        return load_quarantine_records(self.journal_path)
+
     # -- writing -----------------------------------------------------------
 
     def writer(self) -> JournalWriter:
@@ -295,6 +314,9 @@ class CampaignStore:
         merged = CampaignResult()
         for key in sorted(records):
             merged = merged.merge(merge_unit_records(records[key]))
+        quarantines = load_quarantine_records(self.journal_path)
+        for key in sorted(quarantines):
+            merged.note_quarantine(quarantines[key])
         return merged
 
     def triage_records(self) -> dict[str, TriageRecord]:
@@ -331,6 +353,7 @@ class CampaignStore:
         return {
             "units_journaled": sum(len(group) for group in records.values()),
             "distinct_units": len(records),
+            "quarantined_units": len(load_quarantine_records(self.journal_path)),
             "last_checkpoint": last_checkpoint(self.journal_path),
         }
 

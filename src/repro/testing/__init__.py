@@ -28,10 +28,14 @@ from repro.testing.executor import ProcessPoolExecutor, SerialExecutor, default_
 from repro.testing.harness import (
     Campaign,
     CampaignConfig,
+    CampaignInterrupted,
     CampaignPlan,
     CampaignResult,
     CampaignShard,
+    ChaosError,
+    ChaosSpec,
     ShardUnit,
+    UnitExecutionError,
     test_program,
 )
 from repro.testing.oracle import DifferentialOracle, Observation, ObservationKind
@@ -43,15 +47,19 @@ __all__ = [
     "BugReport",
     "Campaign",
     "CampaignConfig",
+    "CampaignInterrupted",
     "CampaignPlan",
     "CampaignResult",
     "CampaignShard",
+    "ChaosError",
+    "ChaosSpec",
     "DifferentialOracle",
     "Observation",
     "ObservationKind",
     "ProcessPoolExecutor",
     "SerialExecutor",
     "ShardUnit",
+    "UnitExecutionError",
     "default_executor",
     "reduce_program",
     "test_program",

@@ -47,6 +47,8 @@ import inspect
 import os
 from typing import Callable, Iterable, Sequence, TypeVar
 
+from concurrent.futures.process import BrokenProcessPool
+
 _Item = TypeVar("_Item")
 _Result = TypeVar("_Result")
 
@@ -150,6 +152,27 @@ class ProcessPoolExecutor:
             self._pool.shutdown(wait=True, cancel_futures=True)
             self._pool = None
 
+    def kill_workers(self) -> None:
+        """Hard-kill the worker processes (SIGKILL) and drop the pool.
+
+        The escape hatch for a *hung* worker: :meth:`close` waits for running
+        tasks, which never return when a worker is stuck past its deadline.
+        The campaign supervisor calls this when a unit deadline expires; the
+        next ``map``/``submit`` respawns a fresh pool (re-running the pool
+        initializer, so preloaded sources survive).  Outstanding futures fail
+        with :class:`~concurrent.futures.process.BrokenProcessPool`.
+        """
+        pool = self._pool
+        if pool is None:
+            return
+        self._pool = None
+        for process in list((getattr(pool, "_processes", None) or {}).values()):
+            try:
+                process.kill()
+            except (OSError, AttributeError):  # pragma: no cover - already dead
+                pass
+        pool.shutdown(wait=False, cancel_futures=True)
+
     def _ensure_pool(self) -> concurrent.futures.ProcessPoolExecutor:
         if self._pool is None:
             kwargs = {}
@@ -165,6 +188,15 @@ class ProcessPoolExecutor:
 
     # -- execution ---------------------------------------------------------
 
+    def submit(self, fn: Callable[[_Item], _Result], item: _Item) -> concurrent.futures.Future:
+        """Submit one work item to the persistent pool and return its future.
+
+        The fine-grained entry point the campaign supervisor dispatches
+        through: it tracks per-future deadlines itself, so it needs futures
+        rather than a gathered ``map``.
+        """
+        return self._ensure_pool().submit(fn, item)
+
     def map(
         self,
         fn: Callable[[_Item], _Result],
@@ -175,6 +207,7 @@ class ProcessPoolExecutor:
         if self.jobs <= 1 or len(items) <= 1:
             return SerialExecutor().map(fn, items, completed)
         pool = self._ensure_pool()
+        futures: list[concurrent.futures.Future] = []
         try:
             futures = [pool.submit(fn, item) for item in items]
             if completed is None:
@@ -191,12 +224,42 @@ class ProcessPoolExecutor:
                 results[slot_of[future]] = result
                 completed(result)
             return results
-        except concurrent.futures.process.BrokenProcessPool:
+        except BrokenProcessPool:
             # A worker died abnormally; the pool is unusable.  Drop it so the
             # next map() call starts from a fresh spawn, then surface the
             # failure to the caller.
             self._shutdown_pool()
             raise
+        except BaseException:
+            # One future failed mid-gather: cancel the outstanding ones
+            # before re-raising so an aborting campaign stops burning CPU on
+            # shards whose results nobody will ever read.  Already-running
+            # futures cannot be cancelled (stdlib semantics) -- their
+            # eventual results/exceptions are consumed silently instead of
+            # leaking "exception was never retrieved" noise.
+            _cancel_outstanding(futures)
+            raise
+
+
+def _cancel_outstanding(futures: Iterable[concurrent.futures.Future]) -> None:
+    """Cancel queued futures; drain running ones without surfacing results."""
+    for future in futures:
+        if future.done():
+            # Consume a possibly-set exception so the interpreter does not
+            # warn about it at garbage collection.
+            try:
+                future.exception(timeout=0)
+            except BaseException:
+                pass
+        elif not future.cancel():
+            future.add_done_callback(_swallow_result)
+
+
+def _swallow_result(future: concurrent.futures.Future) -> None:
+    try:
+        future.exception(timeout=0)
+    except BaseException:
+        pass
 
 
 def map_streaming(

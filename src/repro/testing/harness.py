@@ -63,9 +63,14 @@ a journaled campaign via the ``repro triage`` CLI command.
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
+import os
 import random
+import signal
+import threading
 import time
+import traceback
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 
@@ -80,6 +85,7 @@ from repro.frontends import get_frontend
 from repro.store import (
     CampaignStore,
     JournalWriter,
+    QuarantineRecord,
     config_fingerprint,
     merge_unit_records,
     source_sha,
@@ -101,6 +107,169 @@ class CampaignInterrupted(RuntimeError):
     or inside a pool worker) at a deterministic point; everything journaled
     before the interruption must survive and be replayable.
     """
+
+
+class ChaosError(RuntimeError):
+    """A deterministically injected worker exception (see :class:`ChaosSpec`)."""
+
+
+class UnitDeadlineExpired(Exception):
+    """A unit overran ``CampaignConfig.unit_timeout`` (worker-side alarm)."""
+
+
+def _rebuild_unit_error(message, unit_key, unit_name, span, kind):
+    return UnitExecutionError(message, unit_key=unit_key, unit_name=unit_name, span=span, kind=kind)
+
+
+class UnitExecutionError(RuntimeError):
+    """A unit failed, wrapped with the unit's identity.
+
+    Failures propagated out of a shard worker name the unit that caused them
+    -- seed name, journal key and exact index slice -- instead of only the
+    raw traceback, so an aborted campaign's operator knows *which* work to
+    exclude or retry.  Picklable across the pool boundary (``__reduce__``
+    keeps the context attributes).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        unit_key: str = "",
+        unit_name: str = "",
+        span: str = "",
+        kind: str = "exception",
+    ) -> None:
+        super().__init__(message)
+        self.unit_key = unit_key
+        self.unit_name = unit_name
+        self.span = span
+        self.kind = kind
+
+    def __reduce__(self):
+        return (
+            _rebuild_unit_error,
+            (str(self), self.unit_key, self.unit_name, self.span, self.kind),
+        )
+
+    @staticmethod
+    def for_unit(unit: "ShardUnit", kind: str, detail: str) -> "UnitExecutionError":
+        span = unit_span(unit)
+        return UnitExecutionError(
+            f"unit {unit.name}{span} (key {unit_key_for(unit)}) failed: {kind}: {detail}",
+            unit_key=unit_key_for(unit),
+            unit_name=unit.name,
+            span=span,
+            kind=kind,
+        )
+
+
+def unit_span(unit: "ShardUnit") -> str:
+    """Human-readable index slice of a unit (``[0:32)`` / ``indices[6]``)."""
+    if unit.indices is not None:
+        return f"indices[{len(unit.indices)}]"
+    return f"[{unit.start}:{unit.stop})"
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """Deterministic fault injection at planned unit ordinals.
+
+    Every planned :class:`ShardUnit` carries its position in the (stable,
+    shard-count-independent) planning order as ``ordinal``; a chaos spec
+    names ordinals at which the worker misbehaves *at the start of the
+    unit*, on **every** attempt -- injected faults are deterministic, which
+    is exactly what makes an injected unit a poison unit the supervisor must
+    quarantine rather than a flake a retry absorbs:
+
+    * ``crash_at`` -- the worker SIGKILLs itself (no cleanup, no journal
+      flush): the process-pool observable of a segfault or the OOM killer;
+    * ``hang_at`` -- the worker sleeps ``hang_seconds`` (chosen to overrun
+      any sane ``unit_timeout``).  With ``hang_hard=True`` SIGALRM is
+      blocked for the duration, so the worker-side deadline cannot fire and
+      only the parent watchdog (kill + respawn + bisect) can recover --
+      the stand-in for a worker stuck in uninterruptible C code;
+    * ``raise_at`` -- the worker raises :class:`ChaosError`: an ordinary
+      deterministic in-band failure.
+
+    Reachable from the CLI (``--chaos-crash-at`` et al.) so the supervision
+    layer is testable end to end; excluded from the store fingerprint.
+    """
+
+    crash_at: tuple[int, ...] = ()
+    hang_at: tuple[int, ...] = ()
+    raise_at: tuple[int, ...] = ()
+    hang_seconds: float = 60.0
+    hang_hard: bool = False
+
+    def any(self) -> bool:
+        return bool(self.crash_at or self.hang_at or self.raise_at)
+
+
+#: Failure taxonomy of the supervision layer (see ARCHITECTURE.md section 9).
+FAILURE_EXCEPTION = "exception"
+FAILURE_HANG = "hang"
+FAILURE_CRASH = "crash"
+
+
+@dataclass(frozen=True)
+class UnitFailure:
+    """One unit's failure, as reported (or inferred) by the supervisor."""
+
+    unit_key: str
+    unit_name: str
+    span: str
+    kind: str  # exception | hang | crash
+    detail: str
+
+
+@dataclass
+class ShardOutcome:
+    """What a supervised shard worker returns: per-unit outcomes, not just a
+    merged result.
+
+    ``result`` merges every unit that *completed* (those were journaled by
+    the worker itself, exactly as in unsupervised mode); ``failed`` lists
+    the positions (into the dispatched unit tuple) whose unit raised or
+    overran its worker-side deadline -- batch-mates of a failing unit still
+    produce results in the same pass, so only genuinely failed units are
+    retried.  Crashes and hard hangs never return an outcome at all; the
+    parent infers those from the broken pool / its watchdog.
+    """
+
+    result: CampaignResult
+    failed: tuple[tuple[int, UnitFailure], ...] = ()
+    exhausted: bool = False
+
+
+@contextlib.contextmanager
+def unit_deadline(seconds: float | None):
+    """Enforce a wall-clock deadline on the enclosed unit via ``SIGALRM``.
+
+    Raises :class:`UnitDeadlineExpired` in the worker when the unit overruns
+    -- a *soft* deadline that interrupts any pure-Python work (including an
+    injected ``sleep``).  No-ops when no timeout is configured, on platforms
+    without ``SIGALRM``, or off the main thread (the parent watchdog is the
+    backstop for all of those, and for workers hung in C code).
+    """
+    if (
+        seconds is None
+        or not hasattr(signal, "SIGALRM")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        yield
+        return
+
+    def _expire(signum, frame):
+        raise UnitDeadlineExpired(f"unit exceeded its {seconds:g}s deadline")
+
+    previous = signal.signal(signal.SIGALRM, _expire)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @dataclass
@@ -213,6 +382,37 @@ class CampaignConfig:
     #: When False, each variant keeps its private per-variant cache (the
     #: legacy behaviour).  Throughput only; fingerprint-excluded.
     cache_module_results: bool = True
+    #: Per-unit wall-clock deadline in seconds, enforced on serial and pooled
+    #: backends alike (worker-side ``SIGALRM`` alarm, with a parent-side
+    #: watchdog backstop that kills and respawns a pool stuck past the
+    #: deadline).  Setting it engages the campaign supervisor
+    #: (:mod:`repro.testing.supervisor`).  ``None`` disables deadlines.
+    unit_timeout: float | None = None
+    #: How many times the supervisor retries a failed or timed-out unit
+    #: before resolving it (quarantine or abort, per ``on_fault``).  Retries
+    #: degrade down the execution tiers: the first retry disables the
+    #: batched reference tier, later ones fall back to the legacy
+    #: render+reparse pipeline, so a codegen-tier bug costs one tier, not
+    #: the campaign.  Only meaningful under supervision.
+    max_retries: int = 2
+    #: Base of the exponential backoff between retry attempts of one unit
+    #: (``retry_backoff * 2**(attempt-1)`` seconds).  Zero disables waiting.
+    retry_backoff: float = 0.1
+    #: What to do with a unit that exhausts its retries: ``"abort"`` re-raises
+    #: (the legacy fail-fast behaviour -- with ``unit_timeout`` unset this is
+    #: exactly the historical pipeline, byte-identical journals included),
+    #: ``"quarantine"`` journals a ``type="quarantine"`` record, reports the
+    #: unit in ``CampaignResult.quarantined`` and degrades gracefully:
+    #: every other unit still produces its result, and resumed runs skip
+    #: quarantined units instead of re-crashing on them forever.
+    on_fault: str = "abort"
+    #: Deterministic fault injection for supervision tests (see
+    #: :class:`ChaosSpec`).  ``None`` injects nothing.
+    chaos: ChaosSpec | None = None
+    #: fsync the journal after every appended record (machine-crash
+    #: durability) instead of once on close.  Operator-selectable
+    #: crash-safety vs. throughput; fingerprint-excluded.
+    fsync_journal: bool = False
 
     def __post_init__(self) -> None:
         frontend = get_frontend(self.frontend)
@@ -225,9 +425,29 @@ class CampaignConfig:
             raise ValueError(f"unit_variants must be positive, got {self.unit_variants}")
         if self.batch_size < 0:
             raise ValueError(f"batch_size must be non-negative, got {self.batch_size}")
+        if self.unit_timeout is not None and self.unit_timeout <= 0:
+            raise ValueError(f"unit_timeout must be positive, got {self.unit_timeout}")
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be non-negative, got {self.max_retries}")
+        if self.retry_backoff < 0:
+            raise ValueError(f"retry_backoff must be non-negative, got {self.retry_backoff}")
+        if self.on_fault not in ("abort", "quarantine"):
+            raise ValueError(
+                f"on_fault must be 'abort' or 'quarantine', got {self.on_fault!r}"
+            )
         from repro.triage.engine import normalize_reduce_policy
 
         self.reduce_bugs = normalize_reduce_policy(self.reduce_bugs)
+
+    @property
+    def supervised(self) -> bool:
+        """Does this campaign run under the fault-tolerant supervisor?
+
+        Engaged by any knob that changes failure handling; the default
+        config keeps the historical fail-fast pipeline (and its byte-exact
+        journals) without a supervisor in the loop.
+        """
+        return self.on_fault == "quarantine" or self.unit_timeout is not None
 
     def oracles(self) -> list[DifferentialOracle]:
         return [
@@ -254,10 +474,19 @@ class CampaignResult:
     variants_tested: int = 0
     observations: dict[str, int] = field(default_factory=dict)
     wall_seconds: float = 0.0
+    #: Units the supervisor gave up on (exhausted retries): the quarantine
+    #: records, deduplicated by unit key.  Empty -- and absent from every
+    #: serialized form -- in fault-free runs, which is what keeps supervised
+    #: no-fault journals byte-identical to unsupervised ones.
+    quarantined: list[QuarantineRecord] = field(default_factory=list)
 
     def note_observation(self, observation: Observation) -> None:
         key = observation.kind.value
         self.observations[key] = self.observations.get(key, 0) + 1
+
+    def note_quarantine(self, record: QuarantineRecord) -> None:
+        if all(existing.key != record.key for existing in self.quarantined):
+            self.quarantined.append(record)
 
     def merge(self, other: "CampaignResult") -> "CampaignResult":
         """Combine two shard results into one (neither input is modified).
@@ -270,6 +499,11 @@ class CampaignResult:
         observations = dict(self.observations)
         for key, count in other.observations.items():
             observations[key] = observations.get(key, 0) + count
+        quarantined = list(self.quarantined)
+        seen = {record.key for record in quarantined}
+        quarantined.extend(
+            record for record in other.quarantined if record.key not in seen
+        )
         return CampaignResult(
             bugs=self.bugs.merge(other.bugs),
             files_processed=self.files_processed + other.files_processed,
@@ -278,6 +512,7 @@ class CampaignResult:
             variants_tested=self.variants_tested + other.variants_tested,
             observations=observations,
             wall_seconds=max(self.wall_seconds, other.wall_seconds),
+            quarantined=quarantined,
         )
 
     def summary(self) -> str:
@@ -288,6 +523,10 @@ class CampaignResult:
             f"variants tested      : {self.variants_tested}",
             f"distinct bugs        : {len(self.bugs)}",
         ]
+        if self.quarantined:
+            # Printed only when non-empty so fault-free summaries stay
+            # byte-identical to the historical format.
+            lines.append(f"quarantined units    : {len(self.quarantined)}")
         for kind, count in sorted(self.observations.items()):
             lines.append(f"  observations[{kind}]: {count}")
         return "\n".join(lines)
@@ -322,6 +561,11 @@ class ShardUnit:
     #: Content sha of ``source`` in the worker-preloaded corpus; non-empty
     #: only on slim in-flight pool payloads, never on executed units.
     source_sha: str = ""
+    #: Position in the deterministic planning order (file order x block
+    #: order; independent of shard count and parallelism).  The address
+    #: space of :class:`ChaosSpec` fault injection.  ``-1`` on ad-hoc units
+    #: built outside :meth:`Campaign.plan`; never part of the journal key.
+    ordinal: int = -1
 
     def num_variants(self) -> int:
         if self.indices is not None:
@@ -428,6 +672,7 @@ class Campaign:
         base = CampaignResult()
         shard_units: list[list[ShardUnit]] = [[] for _ in range(shard_count)]
         next_slot = 0
+        ordinal = 0
         for name, source in sources.items():
             try:
                 skeleton = self._extract_cached(name, source)
@@ -446,6 +691,8 @@ class Campaign:
                 total = enumerator.count()
 
             for unit in self._file_units(name, source, total):
+                unit = replace(unit, ordinal=ordinal)
+                ordinal += 1
                 shard_units[next_slot % shard_count].append(unit)
                 next_slot += 1
         shards = [
@@ -573,7 +820,7 @@ class Campaign:
                     "resume/incremental require CampaignConfig.state_dir to be set"
                 )
             return None
-        store = CampaignStore(self.config.state_dir)
+        store = CampaignStore(self.config.state_dir, fsync=self.config.fsync_journal)
         store.begin(
             config_fingerprint(self.config),
             resume=resume or incremental,
@@ -601,10 +848,22 @@ class Campaign:
             fresh: list[ShardUnit] = []
             deltas: dict[tuple[str, ...], list[ShardUnit]] = {}
             for unit in shard.units:
-                usable, covered = store.select(unit_key_for(unit), needed)
+                key = unit_key_for(unit)
+                usable, covered = store.select(key, needed)
                 missing = needed - covered
+                quarantine = store.quarantine_for(key)
                 if not missing:
                     replayed = replayed.merge(merge_unit_records(usable))
+                elif quarantine is not None:
+                    # Poison unit from an earlier run: replay whatever
+                    # coverage it managed (e.g. version columns tested
+                    # before it went bad), surface the quarantine record,
+                    # and -- crucially -- never re-execute it: a
+                    # deterministically failing unit would otherwise fail
+                    # again on every resume, a livelock.
+                    if usable:
+                        replayed = replayed.merge(merge_unit_records(usable))
+                    replayed.note_quarantine(quarantine)
                 elif covered and incremental:
                     replayed = replayed.merge(merge_unit_records(usable))
                     deltas.setdefault(tuple(sorted(missing)), []).append(unit)
@@ -635,6 +894,15 @@ class Campaign:
         store: CampaignStore | None,
     ) -> list[CampaignResult]:
         """Run the partitioned work on the chosen backend, journaling as it goes."""
+        if self.config.supervised:
+            # Fault-tolerant path: per-unit deadlines, retry/backoff with
+            # tier degradation, batch bisection and poison-unit quarantine.
+            # With no faults injected and none occurring, it executes the
+            # same units through the same worker code and journals
+            # byte-identical records.
+            from repro.testing.supervisor import CampaignSupervisor
+
+            return CampaignSupervisor(self, work, executor, store).run()
         if isinstance(executor, SerialExecutor):
             # In-process: no pickling; shards with this campaign's own config
             # reuse its oracles and caches, delta shards get a private
@@ -722,9 +990,7 @@ class Campaign:
                 for item in work
                 for subshard in _split_shard(item.shard, jobs)
             ]
-            results = map_streaming(
-                executor, _run_shard_payload, self._pool_payloads(items, executor)
-            )
+            results = self._execute(items, executor, store)
             folded = [item.fold(result) for item, result in zip(items, results)]
         result = replayed
         for partial in folded:
@@ -784,7 +1050,15 @@ class Campaign:
         units_done = 0
         for unit in shard.units:
             unit_result = CampaignResult()
-            self._run_unit(unit, unit_result)
+            try:
+                self._run_unit(unit, unit_result)
+            except Exception as error:
+                # Name the unit that failed (seed + index slice + journal
+                # key), not just the raw traceback -- the operator of an
+                # aborted campaign needs to know which work to exclude.
+                raise UnitExecutionError.for_unit(
+                    unit, FAILURE_EXCEPTION, f"{type(error).__name__}: {error}"
+                ) from error
             exhausted = self._exhausted(unit_result)
             result = result.merge(unit_result)
             self._shard_bug_keys = {
@@ -815,6 +1089,92 @@ class Campaign:
         result.wall_seconds = time.perf_counter() - started
         return result
 
+    def _run_shard_supervised(
+        self, shard: CampaignShard, journal: JournalWriter | None = None
+    ) -> ShardOutcome:
+        """Execute one shard under supervision: failures are *reported*, not raised.
+
+        The supervised twin of :meth:`_run_shard`: each unit runs under the
+        worker-side ``unit_timeout`` alarm, and a unit that raises or overruns
+        is recorded in the outcome's ``failed`` list while its batch-mates
+        keep executing -- one pass produces every completable unit's (still
+        byte-identical) journal record plus a precise failure report for the
+        rest, so the parent retries only the genuinely failed units.
+        ``CampaignInterrupted`` still propagates: fault *injection of the
+        parent/store layer* is outside the unit-failure taxonomy.
+        """
+        result = CampaignResult()
+        started = time.perf_counter()
+        self._shard_bug_keys = set()
+        failed: list[tuple[int, UnitFailure]] = []
+        exhausted = False
+        units_done = 0
+        timeout = self.config.unit_timeout
+        for position, unit in enumerate(shard.units):
+            unit_result = CampaignResult()
+            try:
+                with unit_deadline(timeout):
+                    self._run_unit(unit, unit_result)
+            except CampaignInterrupted:
+                raise
+            except UnitDeadlineExpired:
+                failed.append(
+                    (
+                        position,
+                        UnitFailure(
+                            unit_key=unit_key_for(unit),
+                            unit_name=unit.name,
+                            span=unit_span(unit),
+                            kind=FAILURE_HANG,
+                            detail=f"unit exceeded its {timeout:g}s deadline",
+                        ),
+                    )
+                )
+                continue
+            except Exception as error:
+                failed.append(
+                    (
+                        position,
+                        UnitFailure(
+                            unit_key=unit_key_for(unit),
+                            unit_name=unit.name,
+                            span=unit_span(unit),
+                            kind=FAILURE_EXCEPTION,
+                            detail=_format_failure(error),
+                        ),
+                    )
+                )
+                continue
+            exhausted = self._exhausted(unit_result)
+            result = result.merge(unit_result)
+            self._shard_bug_keys = {
+                report.dedup_key for report in result.bugs.reports
+            }
+            units_done += 1
+            if journal is not None and not exhausted:
+                journal.append_unit(unit, self.config.versions, unit_result)
+                if units_done % max(1, self.config.checkpoint_every) == 0:
+                    journal.append_checkpoint(
+                        units_done,
+                        {
+                            "files_processed": result.files_processed,
+                            "variants_tested": result.variants_tested,
+                            "distinct_bugs": len(result.bugs),
+                        },
+                    )
+            if (
+                self.config.fail_after_units is not None
+                and units_done >= self.config.fail_after_units
+            ):
+                raise CampaignInterrupted(
+                    f"fault injection: interrupted after {units_done} units"
+                )
+            if exhausted:
+                break
+        self._shard_bug_keys = set()
+        result.wall_seconds = time.perf_counter() - started
+        return ShardOutcome(result=result, failed=tuple(failed), exhausted=exhausted)
+
     def _extract_cached(self, name: str, source: str) -> Skeleton:
         key = (name, hashlib.sha256(source.encode()).hexdigest())
         skeleton = self._skeleton_cache.get(key)
@@ -842,6 +1202,8 @@ class Campaign:
         return token
 
     def _run_unit(self, unit: ShardUnit, result: CampaignResult) -> None:
+        if self.config.chaos is not None:
+            _inject_chaos(self.config.chaos, unit)
         try:
             skeleton = self._extract_cached(unit.name, unit.source)
         except self._frontend.parse_error_types:  # pragma: no cover - planning already filtered these
@@ -1109,6 +1471,7 @@ class _WorkItem:
             bugs=result.bugs,
             observations=dict(result.observations),
             wall_seconds=result.wall_seconds,
+            quarantined=list(result.quarantined),
         )
 
 
@@ -1128,6 +1491,68 @@ def _split_shard(shard: CampaignShard, parts: int) -> list[CampaignShard]:
     ]
 
 
+def _format_failure(error: BaseException) -> str:
+    """One-line failure head plus a (bounded) traceback tail for the record."""
+    head = f"{type(error).__name__}: {error}"
+    trace = "".join(
+        traceback.format_exception(type(error), error, error.__traceback__)
+    )
+    if len(trace) > 2000:
+        trace = "...\n" + trace[-2000:]
+    return f"{head}\n{trace}".rstrip()
+
+
+def _inject_chaos(chaos: ChaosSpec, unit: ShardUnit) -> None:
+    """Fire any fault the chaos spec schedules for this unit's ordinal.
+
+    Runs at the top of ``_run_unit`` on every attempt -- injected faults are
+    deterministic poison, not flakes.  Units without a planned ordinal
+    (``run_skeletons`` paths, hand-built units) are never targeted.
+    """
+    ordinal = unit.ordinal
+    if ordinal < 0 or not chaos.any():
+        return
+    if ordinal in chaos.crash_at:
+        # The observable of a segfault / OOM kill: the process dies with no
+        # cleanup, no journal flush, and no exception crossing the pool.
+        os.kill(os.getpid(), signal.SIGKILL)
+    if ordinal in chaos.hang_at:
+        if chaos.hang_hard and hasattr(signal, "pthread_sigmask"):
+            # Block SIGALRM so the worker-side deadline cannot fire: only
+            # the parent watchdog (kill + respawn + bisect) can recover --
+            # the stand-in for a worker stuck in uninterruptible C code.
+            previous = signal.pthread_sigmask(signal.SIG_BLOCK, {signal.SIGALRM})
+            try:
+                time.sleep(chaos.hang_seconds)
+            finally:
+                signal.pthread_sigmask(signal.SIG_SETMASK, previous)
+        else:
+            time.sleep(chaos.hang_seconds)
+    if ordinal in chaos.raise_at:
+        raise ChaosError(f"injected failure at unit ordinal {ordinal}")
+
+
+def _rehydrate_shard(shard: CampaignShard) -> CampaignShard:
+    """Resolve slim units (source by sha) back to full source text.
+
+    Happens *before* execution, so journal unit keys -- which hash the
+    source -- are identical to a serial run's.
+    """
+    if not any(unit.source_sha for unit in shard.units):
+        return shard
+    from repro.testing.executor import worker_source
+
+    return CampaignShard(
+        index=shard.index,
+        units=tuple(
+            replace(unit, source=worker_source(unit.source_sha), source_sha="")
+            if unit.source_sha
+            else unit
+            for unit in shard.units
+        ),
+    )
+
+
 def _run_shard_payload(payload: tuple[CampaignConfig, CampaignShard]) -> CampaignResult:
     """Module-level shard worker (must be picklable for the process pool).
 
@@ -1135,29 +1560,37 @@ def _run_shard_payload(payload: tuple[CampaignConfig, CampaignShard]) -> Campaig
     completed unit itself (the journal supports concurrent line-atomic
     appenders), so unit outcomes are durable even if the worker, the pool or
     the parent dies before the shard result is returned.
-
-    Slim units (persistent-pool payloads referencing preloaded sources by
-    sha) are rehydrated to full source text *before* execution, so journal
-    unit keys -- which hash the source -- are identical to a serial run's.
     """
     config, shard = payload
-    if any(unit.source_sha for unit in shard.units):
-        from repro.testing.executor import worker_source
-
-        shard = CampaignShard(
-            index=shard.index,
-            units=tuple(
-                replace(unit, source=worker_source(unit.source_sha), source_sha="")
-                if unit.source_sha
-                else unit
-                for unit in shard.units
-            ),
-        )
+    shard = _rehydrate_shard(shard)
     journal = None
     if config.state_dir is not None:
-        journal = JournalWriter(Path(config.state_dir) / CampaignStore.JOURNAL_NAME)
+        journal = JournalWriter(
+            Path(config.state_dir) / CampaignStore.JOURNAL_NAME,
+            fsync=config.fsync_journal,
+        )
     try:
         return Campaign(config)._run_shard(shard, journal=journal)
+    finally:
+        if journal is not None:
+            journal.close()
+
+
+def _run_shard_supervised_payload(
+    payload: tuple[CampaignConfig, CampaignShard]
+) -> ShardOutcome:
+    """Supervised twin of :func:`_run_shard_payload`: returns a
+    :class:`ShardOutcome` so per-unit failures cross the pool as data."""
+    config, shard = payload
+    shard = _rehydrate_shard(shard)
+    journal = None
+    if config.state_dir is not None:
+        journal = JournalWriter(
+            Path(config.state_dir) / CampaignStore.JOURNAL_NAME,
+            fsync=config.fsync_journal,
+        )
+    try:
+        return Campaign(config)._run_shard_supervised(shard, journal=journal)
     finally:
         if journal is not None:
             journal.close()
@@ -1192,6 +1625,14 @@ __all__ = [
     "CampaignPlan",
     "CampaignResult",
     "CampaignShard",
+    "ChaosError",
+    "ChaosSpec",
+    "ShardOutcome",
     "ShardUnit",
+    "UnitDeadlineExpired",
+    "UnitExecutionError",
+    "UnitFailure",
     "test_program",
+    "unit_deadline",
+    "unit_span",
 ]

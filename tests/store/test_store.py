@@ -21,6 +21,7 @@ from repro.store import (
     select_records,
     unit_key_for,
 )
+from repro.store import QuarantineRecord, load_quarantine_records
 from repro.store.journal import JournalWriter, UnitRecord
 from repro.testing.bugs import BugDatabase
 from repro.testing.harness import Campaign, CampaignConfig, CampaignResult, ShardUnit
@@ -153,6 +154,93 @@ class TestJournal:
         assert unit_key_for(base) != unit_key_for(unit(source=CRASH_SEED + " "))
         assert unit_key_for(base) != unit_key_for(unit(primary=False))
         assert unit_key_for(base) != unit_key_for(unit(indices=(0, 1, 2, 3)))
+
+
+def quarantine(key="abc123", kind="crash", attempts=3, **overrides):
+    defaults = dict(
+        key=key, name="t.c", start=0, stop=4, indices=None, primary=True,
+        kind=kind, attempts=attempts, detail="worker process died without a result",
+    )
+    defaults.update(overrides)
+    return QuarantineRecord(**defaults)
+
+
+class TestQuarantineRecords:
+    def test_round_trip_through_journal(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        record = quarantine(indices=(1, 3, 5), primary=False, kind="hang")
+        with JournalWriter(path) as writer:
+            writer.append_quarantine(record)
+        loaded = load_quarantine_records(path)
+        assert loaded == {record.key: record}
+        assert loaded[record.key].span == "indices[3]"
+
+    def test_last_record_wins_per_key(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with JournalWriter(path) as writer:
+            writer.append_quarantine(quarantine(attempts=1))
+            writer.append_quarantine(quarantine(attempts=3, kind="hang"))
+        loaded = load_quarantine_records(path)
+        assert loaded["abc123"].attempts == 3
+        assert loaded["abc123"].kind == "hang"
+
+    def test_quarantine_lines_invisible_to_unit_loading(self, tmp_path):
+        # Forward compat both ways: unit replay ignores quarantine records,
+        # and a journal without any (every pre-supervision journal) simply
+        # yields no quarantines.
+        path = tmp_path / "journal.jsonl"
+        with JournalWriter(path) as writer:
+            first = writer.append_unit(unit(name="a.c"), ["scc-trunk"], CampaignResult())
+            writer.append_quarantine(quarantine())
+            second = writer.append_unit(unit(name="b.c"), ["scc-trunk"], CampaignResult())
+        assert set(load_unit_records(path)) == {first.key, second.key}
+
+        old = tmp_path / "old.jsonl"
+        with JournalWriter(old) as writer:
+            writer.append_unit(unit(), ["scc-trunk"], CampaignResult())
+        assert load_quarantine_records(old) == {}
+
+    def test_store_surfaces_quarantines_on_resume(self, tmp_path):
+        fingerprint = config_fingerprint(small_config())
+        store = CampaignStore(tmp_path / "state")
+        store.begin(fingerprint, resume=False)
+        store.writer().append_unit(unit(), ["scc-trunk"], CampaignResult(variants_tested=4))
+        store.writer().append_quarantine(quarantine())
+        store.close()
+
+        resumed = CampaignStore(tmp_path / "state")
+        resumed.begin(fingerprint, resume=True)
+        assert resumed.quarantine_for("abc123") is not None
+        assert resumed.quarantine_for("missing") is None
+        merged = resumed.merged_result()
+        assert [q.key for q in merged.quarantined] == ["abc123"]
+        resumed.close()
+        assert resumed.status()["quarantined_units"] == 1
+
+    def test_fresh_begin_drops_quarantines(self, tmp_path):
+        fingerprint = config_fingerprint(small_config())
+        store = CampaignStore(tmp_path / "state")
+        store.begin(fingerprint, resume=False)
+        store.writer().append_quarantine(quarantine())
+        store.close()
+        fresh = CampaignStore(tmp_path / "state")
+        fresh.begin(fingerprint, resume=False)
+        assert fresh.quarantine_records() == {}
+        assert load_quarantine_records(fresh.journal_path) == {}
+
+    def test_result_codec_omits_empty_quarantines(self):
+        # Byte-identity contract: a fault-free result serializes exactly as
+        # it did before quarantine records existed.
+        clean = campaign_result_to_json(CampaignResult())
+        assert "quarantined" not in clean
+        assert campaign_result_from_json(clean).quarantined == []
+
+        result = CampaignResult()
+        result.note_quarantine(quarantine())
+        result.note_quarantine(quarantine())  # same key: deduplicated
+        payload = json.loads(json.dumps(campaign_result_to_json(result)))
+        loaded = campaign_result_from_json(payload)
+        assert loaded.quarantined == [quarantine()]
 
 
 class TestRecordAlgebra:

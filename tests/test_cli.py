@@ -101,6 +101,71 @@ class TestCampaignStoreFlags:
         assert "different campaign" in capsys.readouterr().err
 
 
+class TestSupervisionFlags:
+    def test_parser_accepts_supervision_flags(self):
+        args = build_parser().parse_args(
+            ["campaign", "--unit-timeout", "2.5", "--max-retries", "1",
+             "--on-fault", "quarantine", "--fsync-journal",
+             "--chaos-crash-at", "1,4", "--chaos-hang-at", "",
+             "--chaos-raise-at", "7", "--chaos-hang-seconds", "9"]
+        )
+        assert args.unit_timeout == 2.5
+        assert args.max_retries == 1
+        assert args.on_fault == "quarantine"
+        assert args.fsync_journal is True
+        assert args.chaos_crash_at == (1, 4)
+        assert args.chaos_hang_at == ()
+        assert args.chaos_raise_at == (7,)
+        assert args.chaos_hang_seconds == 9.0
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["campaign", "--on-fault", "retry"],
+            ["campaign", "--max-retries", "-1"],
+            ["campaign", "--chaos-crash-at", "1,x"],
+            ["campaign", "--chaos-crash-at", "-2"],
+        ],
+    )
+    def test_bad_supervision_flags(self, argv, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(argv)
+        assert excinfo.value.code == 2
+
+    def test_chaos_quarantine_campaign_reports_and_resumes(self, tmp_path, capsys):
+        state = str(tmp_path / "state")
+        args = ["campaign", "--lang", "while", "--files", "3", "--variants", "4",
+                "--state-dir", state, "--on-fault", "quarantine",
+                "--max-retries", "0", "--chaos-raise-at", "1"]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert "quarantined units    : 1" in first
+        quarantine_lines = [
+            line for line in first.splitlines() if line.startswith("# quarantined:")
+        ]
+        assert len(quarantine_lines) == 1
+        assert "kind=exception" in quarantine_lines[0]
+        # Resume (chaos flags still set!) must replay, not re-poison.
+        assert main(args + ["--resume"]) == 0
+        second = capsys.readouterr().out
+        assert first == second
+
+    def test_chaos_abort_is_a_clean_error(self, tmp_path, capsys):
+        args = ["campaign", "--lang", "while", "--files", "3", "--variants", "4",
+                "--unit-timeout", "60", "--max-retries", "0",
+                "--chaos-raise-at", "0"]
+        assert main(args) == 3
+        err = capsys.readouterr().err
+        assert "poison unit" in err
+        assert "--on-fault quarantine" in err
+
+    def test_fsync_journal_campaign_runs(self, tmp_path, capsys):
+        state = str(tmp_path / "state")
+        assert main(["campaign", "--lang", "while", "--files", "2", "--variants", "4",
+                     "--state-dir", state, "--fsync-journal"]) == 0
+        assert (tmp_path / "state" / "journal.jsonl").exists()
+
+
 @pytest.fixture()
 def while_file(tmp_path):
     path = tmp_path / "sample.while"

@@ -1,6 +1,7 @@
 """Tests for the sharded campaign pipeline and its execution backends."""
 
 import time
+from concurrent.futures.process import BrokenProcessPool
 
 import pytest
 
@@ -34,6 +35,15 @@ def _explode(x):
 
 def _resolve_preloaded(sha):
     return worker_source(sha)
+
+
+def _explode_or_mark(item):
+    directory, index, delay = item
+    if index == 0:
+        raise ValueError("worker exploded on 0")
+    time.sleep(delay)
+    (directory / f"ran-{index}").touch()
+    return index
 
 SEEDS = {
     "sub.c": "int main() { int a = 7, b = 3; int x = 0, y = 0; x = a - b; y = a - b; return x + y; }",
@@ -191,6 +201,46 @@ class TestPersistentPool:
         assert bug_keys(pooled_a) == bug_keys(serial_a)
         assert pooled_b.summary() == serial_b.summary()
         assert bug_keys(pooled_b) == bug_keys(serial_b)
+
+
+class TestFaultContainment:
+    """The supervision-facing executor surface: hard worker kills and
+    cancellation of work nobody will read."""
+
+    def test_kill_workers_on_unspawned_pool_is_a_noop(self):
+        pool = ProcessPoolExecutor(jobs=2)
+        pool.kill_workers()  # nothing spawned yet: must not raise
+        assert pool._pool is None
+
+    def test_kill_workers_fails_inflight_and_respawns_with_preload(self):
+        sha = source_sha("alpha")
+        with ProcessPoolExecutor(jobs=2) as pool:
+            pool.preload({sha: "alpha"})
+            future = pool.submit(_sleep_then_return, (1, 60.0))
+            time.sleep(0.3)  # let a worker pick the task up
+            pool.kill_workers()
+            with pytest.raises(BrokenProcessPool):
+                future.result(timeout=10)
+            assert pool._pool is None
+            # The next map respawns a fresh pool whose initializer re-installs
+            # the preloaded corpus -- hang recovery must not strand slim
+            # payloads.
+            assert pool.map(_resolve_preloaded, [sha, sha]) == ["alpha", "alpha"]
+
+    def test_failed_map_cancels_outstanding_futures(self, tmp_path):
+        # Item 0 explodes immediately; the other items sleep, then drop a
+        # marker file.  Without cancellation the pool would drain the whole
+        # queue after map() raised (workers only stop at close()), so every
+        # marker would appear; with it, the still-queued tail never runs.
+        items = [(tmp_path, index, 0.3) for index in range(8)]
+        with ProcessPoolExecutor(jobs=2) as pool:
+            with pytest.raises(ValueError, match="worker exploded"):
+                pool.map(_explode_or_mark, items)
+            # wait long enough that any *uncancelled* queue would have fully
+            # drained ((8-1) * 0.3s across 2 workers ~= 1.1s)
+            time.sleep(2.0)
+            ran = len(list(tmp_path.glob("ran-*")))
+        assert ran < 7, f"queued futures were not cancelled ({ran}/7 ran)"
 
 
 class TestMapStreamingFeatureDetection:
