@@ -74,35 +74,59 @@ def _run_campaign(corpus, use_ast_rebinding: bool):
     return result, elapsed, counter["parses"]
 
 
+def _cache_rates(cache_stats):
+    """Hit/miss counters plus derived hit rates for each campaign cache."""
+    rates = {}
+    for label in ("module", "pipeline", "reference"):
+        hits = cache_stats.get(f"{label}_hits", 0)
+        misses = cache_stats.get(f"{label}_misses", 0)
+        total = hits + misses
+        rates[label] = {
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": round(hits / total, 4) if total else 0.0,
+        }
+    return rates
+
+
 def _run_stage_timed(corpus, state_dir: str):
     """One journaled campaign run with per-stage wall-clock attribution.
 
-    Class-level patches accumulate time in four stages -- ``materialize``
+    Class-level patches accumulate time in five stages -- ``materialize``
     (skeleton extraction), ``execute`` (reference interpretation, batched or
-    scalar), ``oracle`` (compile + VM + classify per configuration) and
-    ``journal`` (durable unit appends).  A depth guard keeps nested calls
-    (e.g. the batch tier falling back to the per-variant interpreter) from
-    double-counting.  Everything else (enumeration, merging, planning) shows
-    up as ``other``.
+    scalar), ``compile`` (pass-pipeline runs per configuration, cache hits
+    included), ``vm`` (interpreting optimized modules) and ``journal``
+    (durable unit appends).  A per-stage depth guard keeps nested calls of
+    the *same* stage (e.g. the batch tier falling back to the per-variant
+    interpreter, or ``compile_variant`` delegating to ``compile_unit``) from
+    double-counting while still attributing calls that cross stages.
+    Everything else (enumeration, oracle classification, merging, planning)
+    shows up as ``other``.
     """
+    from repro.compiler.driver import Compiler
     from repro.frontends.minic import MiniCFrontend
     from repro.store.journal import JournalWriter
-    from repro.testing.oracle import DifferentialOracle
 
-    stages = {"materialize": 0.0, "execute": 0.0, "oracle": 0.0, "journal": 0.0}
-    depth = {"n": 0}
+    stages = {
+        "materialize": 0.0,
+        "execute": 0.0,
+        "compile": 0.0,
+        "vm": 0.0,
+        "journal": 0.0,
+    }
+    depth = {stage: 0 for stage in stages}
 
     def timed(stage, fn):
         def wrapper(*args, **kwargs):
-            if depth["n"]:
+            if depth[stage]:
                 return fn(*args, **kwargs)
-            depth["n"] += 1
+            depth[stage] += 1
             started = time.perf_counter()
             try:
                 return fn(*args, **kwargs)
             finally:
                 stages[stage] += time.perf_counter() - started
-                depth["n"] -= 1
+                depth[stage] -= 1
 
         return wrapper
 
@@ -110,8 +134,10 @@ def _run_stage_timed(corpus, state_dir: str):
         (MiniCFrontend, "extract_skeleton", "materialize"),
         (MiniCFrontend, "run_reference_batch", "execute"),
         (MiniCFrontend, "run_reference_variant", "execute"),
-        (DifferentialOracle, "observe_variant", "oracle"),
-        (DifferentialOracle, "observe", "oracle"),
+        (Compiler, "compile_variant", "compile"),
+        (Compiler, "compile_unit", "compile"),
+        (Compiler, "compile_source", "compile"),
+        (Compiler, "run", "vm"),
         (JournalWriter, "append_unit", "journal"),
     ]
     originals = [(cls, name, getattr(cls, name)) for cls, name, _ in patches]
@@ -176,9 +202,9 @@ def test_campaign_throughput(benchmark, run_once):
             max_variants_per_file=WORKLOAD["max_variants_per_file"],
             state_dir=state_dir,
         )
-        journal_result, journal_seconds, stage_seconds = _run_stage_timed(
-            corpus, state_dir
-        )
+        started = time.perf_counter()
+        journal_result = Campaign(journal_config).run_sources(corpus)
+        journal_seconds = time.perf_counter() - started
         started = time.perf_counter()
         resumed_result = Campaign(journal_config).run_sources(corpus, resume=True)
         resume_seconds = time.perf_counter() - started
@@ -190,6 +216,16 @@ def test_campaign_throughput(benchmark, run_once):
     # Generous bound (shared machine, correlated noise); the recorded
     # overhead_pct is the number the acceptance criterion tracks.
     assert journal_vps >= 0.75 * fast_vps
+
+    # Per-stage attribution runs separately from the overhead measurement:
+    # the stage wrappers sit on per-variant-per-configuration hot calls
+    # (``Compiler.run``, ``compile_variant``), so their own bookkeeping cost
+    # must not count against the journaling-overhead bound above.
+    with tempfile.TemporaryDirectory() as stage_dir:
+        stage_result, stage_total_seconds, stage_seconds = _run_stage_timed(
+            corpus, stage_dir
+        )
+    assert stage_result.observations == journal_result.observations
 
     # Per-language throughput: every registered frontend runs the same small
     # campaign shape, so the recorded numbers are comparable run over run.
@@ -252,21 +288,25 @@ def test_campaign_throughput(benchmark, run_once):
             "resume_replay_seconds": round(resume_seconds, 3),
         },
         "per_stage": {
-            "total_seconds": round(journal_seconds, 3),
+            "total_seconds": round(stage_total_seconds, 3),
             "materialize_seconds": round(stage_seconds["materialize"], 3),
             "execute_seconds": round(stage_seconds["execute"], 3),
-            "oracle_seconds": round(stage_seconds["oracle"], 3),
+            "compile_seconds": round(stage_seconds["compile"], 3),
+            "vm_seconds": round(stage_seconds["vm"], 3),
             "journal_seconds": round(stage_seconds["journal"], 3),
             "other_seconds": round(
-                max(0.0, journal_seconds - sum(stage_seconds.values())), 3
+                max(0.0, stage_total_seconds - sum(stage_seconds.values())), 3
             ),
         },
+        "cache": _cache_rates(journal_result.cache_stats),
         "language_workload": LANGUAGE_WORKLOAD,
         "per_language": per_language,
         "seed_baseline_note": (
             "the seed revision ran the full 25-file/40-variant version of this "
             "workload at ~11.6 variants/sec on the development machine; the "
-            "rebind pipeline exceeds 5x that there"
+            "batched pipeline with the pipeline-outcome and module-result "
+            "caches now runs more than an order of magnitude faster there "
+            "(see per_language for the current per-frontend numbers)"
         ),
     }
     # Read-modify-write: other benchmarks (triage) own their own top-level

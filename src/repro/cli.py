@@ -190,6 +190,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         batch_size=max(0, args.batch_size),
         persistent_workers=not args.no_persistent_workers,
         cache_module_results=not args.no_module_cache,
+        cache_pipeline_results=not args.no_pipeline_cache,
+        shared_memory=not args.no_shared_memory,
         unit_timeout=args.unit_timeout,
         max_retries=args.max_retries,
         on_fault=args.on_fault,
@@ -218,6 +220,19 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         print("hint: re-run with --on-fault quarantine to degrade and continue", file=sys.stderr)
         return 3
     print(result.summary())
+    if result.cache_stats:
+        # Cache telemetry goes to stderr: CI smoke legs diff stdout
+        # byte-for-byte between serial and pooled runs, and hit counts are
+        # legitimately run-shape-dependent.
+        parts = []
+        for label in ("module", "pipeline", "reference"):
+            hits = result.cache_stats.get(f"{label}_hits", 0)
+            misses = result.cache_stats.get(f"{label}_misses", 0)
+            total = hits + misses
+            if total:
+                parts.append(f"{label} {hits}/{total} ({100.0 * hits / total:.1f}%)")
+        if parts:
+            print(f"# cache: {'  '.join(parts)}", file=sys.stderr)
     for record in sorted(result.quarantined, key=lambda r: (r.name, r.key)):
         # One greppable line per quarantined unit (the chaos-smoke CI job
         # matches on '# quarantined:'); printed only when any exist, so
@@ -386,6 +401,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable the campaign-scoped VM-result cache keyed by "
              "optimized-module content hash (each variant keeps a private "
              "per-variant cache, the legacy behaviour)",
+    )
+    campaign.add_argument(
+        "--no-pipeline-cache", action="store_true",
+        help="disable the campaign-scoped pass-pipeline outcome cache keyed "
+             "by pre-optimization module content hash (every variant re-runs "
+             "the full pass pipeline, the legacy behaviour)",
+    )
+    campaign.add_argument(
+        "--no-shared-memory", action="store_true",
+        help="ship the preloaded corpus to pooled workers over pickled "
+             "initargs instead of one shared-memory segment (the legacy "
+             "fan-out protocol; observable results are identical either way)",
     )
     campaign.add_argument(
         "--unit-timeout", type=float, default=None, metavar="SECONDS",

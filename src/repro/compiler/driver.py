@@ -22,6 +22,7 @@ entries).
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 
 from repro.compiler.errors import CompilationError, InternalCompilerError
@@ -56,6 +57,10 @@ class CompileOutcome:
     coverage: CoverageRecorder = field(default_factory=CoverageRecorder)
     triggered_faults: list[str] = field(default_factory=list)
     compile_effort: int = 0
+    #: Content sha of ``str(module)``, stamped when the compiler already knows
+    #: it (the pipeline-cache paths): lets the oracle's VM-result cache key a
+    #: run without re-rendering the module text.  ``None`` on legacy paths.
+    module_sha: str | None = None
 
     @property
     def crashed(self) -> bool:
@@ -63,6 +68,71 @@ class CompileOutcome:
 
     def crash_signature(self) -> str | None:
         return self.crash.signature() if self.crash is not None else None
+
+
+@dataclass(frozen=True)
+class PipelineRecord:
+    """One memoised pass-pipeline run (see :class:`PipelineCache`).
+
+    Captures the pipeline's *complete* observable effect on a compilation:
+    the optimized module (shared read-only -- neither the passes nor the VM
+    mutate a module after compilation), the content sha of its rendered
+    text, the crash it raised (if any), the faults it triggered (first
+    occurrences, in trigger order -- duplicates are dropped because the only
+    consumer deduplicates order-preservingly), the coverage events it
+    recorded, and the compile effort it reported.  Replaying a record
+    produces a :class:`CompileOutcome` indistinguishable from a fresh run.
+    """
+
+    module: object | None
+    module_sha: str | None
+    crash: InternalCompilerError | None
+    triggered: tuple[str, ...]
+    coverage: tuple[tuple[str, int], ...]
+    compile_effort: int
+
+
+class PipelineCache:
+    """Campaign-scoped cache of pass-pipeline outcomes.
+
+    Keyed by ``(version, opt_level, machine_bits, content sha of the
+    pre-optimization module)`` -- everything the pipeline's behaviour can
+    depend on: passes are deterministic in the module they transform, the
+    pass schedule (opt level), and the version's seeded-fault set.  Shared
+    by every executor of a campaign's configuration matrix; each
+    configuration occupies its own key space, so a hit replays a compilation
+    this exact configuration has already performed (re-compiles during
+    performance checks, triage reduction/bisection, incremental runs, and
+    repeated corpus content) without running a single pass.
+    """
+
+    #: Bound on retained entries (FIFO eviction, like the VM-result cache).
+    MAX_ENTRIES = 16384
+
+    __slots__ = ("entries", "hits", "misses", "max_entries")
+
+    def __init__(self, max_entries: int = MAX_ENTRIES) -> None:
+        self.entries: dict[tuple, PipelineRecord] = {}
+        self.hits = 0
+        self.misses = 0
+        self.max_entries = max_entries
+
+    def get(self, key: tuple) -> PipelineRecord | None:
+        record = self.entries.get(key)
+        if record is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return record
+
+    def put(self, key: tuple, record: PipelineRecord) -> None:
+        self.entries[key] = record
+        while len(self.entries) > self.max_entries:
+            del self.entries[next(iter(self.entries))]
+
+
+#: Sentinel distinguishing "memo not computed" from a computed ``None``.
+_UNSET = object()
 
 
 class Compiler:
@@ -84,6 +154,10 @@ class Compiler:
         # the FaultSet's ``triggered`` list is per-compilation.
         self._pipeline = build_pass_pipeline(self.opt_level)
         self._fault_dict = {fault.id: fault for fault in self.version.faults}
+        #: Optional campaign-scoped :class:`PipelineCache`; when wired (the
+        #: harness does this for every executor of its oracle matrix),
+        #: ``compile_variant`` memoises pass-pipeline outcomes by content.
+        self.pipeline_cache: PipelineCache | None = None
 
     def _fresh_faults(self) -> FaultSet:
         return FaultSet(faults=self._fault_dict, opt_level=int(self.opt_level))
@@ -126,14 +200,95 @@ class Compiler:
         frontend fault checks run before lowering is consulted, so a
         frontend crash masks a lowering rejection exactly as in the textual
         path.
+
+        With a :attr:`pipeline_cache` wired, the pass-pipeline run is keyed
+        on the content sha of the pre-optimization lowered module (per
+        configuration) and replayed from cache on repeats; frontend fault
+        verdicts and the lowered module's sha are additionally memoised per
+        variant, and at ``-O0`` (empty pipeline) the shared lowered module
+        is used directly -- no passes can mutate it, so no private clone is
+        needed.  All of it is observationally identical to the uncached
+        path.
         """
+        cache = self.pipeline_cache
+        if cache is None:
 
-        def build(faults: FaultSet) -> IRModule:
+            def build(faults: FaultSet) -> IRModule:
+                unit = variant.program
+                self._frontend_checks(unit, faults)
+                return self._lowered_clone(variant, unit)
+
+            return self._compile(name, build)
+        return self._compile_variant_cached(variant, name, cache)
+
+    def _compile_variant_cached(
+        self, variant: BoundVariant, name: str, cache: PipelineCache
+    ) -> CompileOutcome:
+        """The pipeline-dedup fast path of :meth:`compile_variant`."""
+        outcome = CompileOutcome(
+            source_name=name,
+            version=self.version.name,
+            opt_level=self.opt_level,
+            machine_bits=self.machine_bits,
+        )
+        faults = self._fresh_faults()
+        try:
             unit = variant.program
-            self._frontend_checks(unit, faults)
-            return self._lowered_clone(variant, unit)
+            self._frontend_checks_variant(variant, unit, faults)
+            lowered = self._lowered_cached(variant, unit)
+            lowered_sha = self._lowered_sha(variant, lowered)
+            key = (self.version.name, int(self.opt_level), self.machine_bits, lowered_sha)
+            record = cache.get(key)
+            if record is None:
+                record = self._run_pipeline_recorded(lowered, lowered_sha, faults, outcome)
+                cache.put(key, record)
+            else:
+                for event, count in record.coverage:
+                    outcome.coverage.record(event, count)
+                faults.triggered.extend(record.triggered)
+                outcome.compile_effort = record.compile_effort
+            if record.crash is not None:
+                raise record.crash
+            outcome.module = record.module
+            outcome.module_sha = record.module_sha
+            outcome.success = True
+        except InternalCompilerError as crash:
+            outcome.crash = crash
+        except (MiniCError, CompilationError) as rejection:
+            outcome.rejected = str(rejection)
+        outcome.triggered_faults = list(dict.fromkeys(faults.triggered))
+        return outcome
 
-        return self._compile(name, build)
+    def _run_pipeline_recorded(
+        self,
+        lowered: IRModule,
+        lowered_sha: str,
+        faults: FaultSet,
+        outcome: CompileOutcome,
+    ) -> PipelineRecord:
+        """Run the pass pipeline once and capture its effects as a record.
+
+        An empty pipeline (``-O0``) cannot mutate the module, so the shared
+        lowered module is used directly (its text -- and therefore its sha --
+        is the lowered sha); otherwise the pipeline runs on a private clone
+        whose rendered text is hashed once for the VM-result cache.
+        """
+        base = len(faults.triggered)
+        module = clone_module(lowered) if self._pipeline else lowered
+        crash: InternalCompilerError | None = None
+        try:
+            self._run_pipeline(module, faults, outcome)
+        except InternalCompilerError as error:
+            crash = error
+        triggered = tuple(dict.fromkeys(faults.triggered[base:]))
+        coverage = tuple(outcome.coverage.counts.items())
+        if crash is not None:
+            return PipelineRecord(None, None, crash, triggered, coverage, outcome.compile_effort)
+        if module is lowered:
+            module_sha = lowered_sha
+        else:
+            module_sha = hashlib.sha256(str(module).encode()).hexdigest()
+        return PipelineRecord(module, module_sha, None, triggered, coverage, outcome.compile_effort)
 
     def _compile(self, name: str, build_module) -> CompileOutcome:
         """Shared scaffolding: run ``build_module`` + the pass pipeline,
@@ -158,8 +313,8 @@ class Compiler:
         return outcome
 
     @staticmethod
-    def _lowered_clone(variant: BoundVariant, unit: ast.TranslationUnit) -> IRModule:
-        """The variant's lowered IR: computed once, cloned per configuration.
+    def _lowered_cached(variant: BoundVariant, unit: ast.TranslationUnit) -> IRModule:
+        """The variant's lowered IR, computed once and shared read-only.
 
         A lowering rejection is memoised too (as the exception) so every
         configuration reports the identical rejection string.
@@ -173,7 +328,58 @@ class Compiler:
             variant.cache["lowered_ir"] = cached
         if isinstance(cached, CompilationError):
             raise cached
-        return clone_module(cached)
+        return cached
+
+    @staticmethod
+    def _lowered_clone(variant: BoundVariant, unit: ast.TranslationUnit) -> IRModule:
+        """The variant's lowered IR: computed once, cloned per configuration."""
+        return clone_module(Compiler._lowered_cached(variant, unit))
+
+    @staticmethod
+    def _lowered_sha(variant: BoundVariant, lowered: IRModule) -> str:
+        """Content sha of the lowered module text, rendered once per variant."""
+        sha = variant.cache.get("lowered_sha")
+        if sha is None:
+            sha = hashlib.sha256(str(lowered).encode()).hexdigest()
+            variant.cache["lowered_sha"] = sha
+        return sha
+
+    def _frontend_checks_variant(
+        self, variant: BoundVariant, unit: ast.TranslationUnit, faults: FaultSet
+    ) -> None:
+        """:meth:`_frontend_checks` with per-variant verdict memoisation.
+
+        The three frontend checks are pure functions of the unit (the fault
+        set only gates whether a verdict *fires*), so their verdicts are
+        computed once per variant and replayed for every configuration whose
+        fault set activates them -- same crashes, same detail strings, in the
+        same order as the unmemoised walk.
+        """
+        memo = variant.cache
+        if faults.active("frontend-identical-arms"):
+            detail = memo.get("fe_identical_arms", _UNSET)
+            if detail is _UNSET:
+                detail = None
+                for node in unit.walk():
+                    if isinstance(node, ast.Conditional):
+                        if expr_to_source(node.then_expr) == expr_to_source(node.else_expr):
+                            detail = f"'{expr_to_source(node.then_expr)}'"
+                            break
+                memo["fe_identical_arms"] = detail
+            if detail is not None:
+                faults.crash("frontend-identical-arms", detail=detail)
+        if faults.active("frontend-nested-conditional-depth"):
+            depth = memo.get("fe_conditional_depth")
+            if depth is None:
+                depth = memo["fe_conditional_depth"] = self._max_conditional_depth(unit)
+            if depth >= 3:
+                faults.crash("frontend-nested-conditional-depth")
+        if faults.active("frontend-goto-into-scope"):
+            detail = memo.get("fe_goto_into_scope", _UNSET)
+            if detail is _UNSET:
+                detail = memo["fe_goto_into_scope"] = self._first_goto_into_scope(unit)
+            if detail is not None:
+                faults.crash("frontend-goto-into-scope", detail=detail)
 
     # -- execution ----------------------------------------------------------------
 
@@ -242,6 +448,13 @@ class Compiler:
 
     @staticmethod
     def _check_goto_into_scope(unit: ast.TranslationUnit, faults: FaultSet) -> None:
+        detail = Compiler._first_goto_into_scope(unit)
+        if detail is not None:
+            faults.crash("frontend-goto-into-scope", detail=detail)
+
+    @staticmethod
+    def _first_goto_into_scope(unit: ast.TranslationUnit) -> str | None:
+        """Detail string of the first goto-into-scope violation, if any."""
         for function in unit.functions():
             gotos = [node for node in function.walk() if isinstance(node, ast.Goto)]
             if not gotos:
@@ -260,9 +473,15 @@ class Compiler:
                 }
                 for goto in gotos:
                     if goto.label in labels and id(goto) not in gotos_inside:
-                        faults.crash(
-                            "frontend-goto-into-scope", detail=f"label {goto.label!r}"
-                        )
+                        return f"label {goto.label!r}"
+        return None
 
 
-__all__ = ["CompilationError", "CompileOutcome", "Compiler", "InternalCompilerError"]
+__all__ = [
+    "CompilationError",
+    "CompileOutcome",
+    "Compiler",
+    "InternalCompilerError",
+    "PipelineCache",
+    "PipelineRecord",
+]

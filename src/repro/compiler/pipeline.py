@@ -11,6 +11,7 @@ configurations).
 from __future__ import annotations
 
 import enum
+import functools
 
 from repro.compiler.passes import (
     ALL_PASSES,
@@ -85,9 +86,17 @@ def pass_names(level: OptimizationLevel) -> list[str]:
     return list(_PIPELINES[level])
 
 
-def build_pass_pipeline(level: OptimizationLevel) -> list[FunctionPass]:
-    """Instantiate the passes for an optimization level, in execution order."""
-    return [ALL_PASSES[name]() for name in pass_names(level)]
+@functools.lru_cache(maxsize=None)
+def build_pass_pipeline(level: OptimizationLevel) -> tuple[FunctionPass, ...]:
+    """The passes for an optimization level, in execution order.
+
+    Memoized process-wide: passes are stateless (all per-run state lives in
+    the :class:`~repro.compiler.passes.PassContext`), so every compiler
+    instance at the same level shares one pipeline tuple instead of
+    re-instantiating the pass objects per driver.  The tuple is immutable so
+    no caller can perturb another driver's schedule.
+    """
+    return tuple(ALL_PASSES[name]() for name in pass_names(level))
 
 
 __all__ = ["OptimizationLevel", "build_pass_pipeline", "pass_names"]

@@ -90,10 +90,13 @@ class _Emitter:
 
     ``hole_of`` maps ``id(var_node)`` to the hole index; every ``Var``
     occurrence is a hole in WHILE, so a site reads/writes ``_s[N[k]]`` where
-    ``N`` is the vector's name tuple.
+    ``N`` is the vector's name tuple.  A ``hole_of`` of ``None`` selects
+    *concrete* mode: the program has no holes to parameterise, so every
+    name is embedded as a string literal (the vector argument is ignored)
+    -- used to compile the optimizer's *output* for oracle-side execution.
     """
 
-    def __init__(self, hole_of: dict[int, int]) -> None:
+    def __init__(self, hole_of: dict[int, int] | None) -> None:
         self._hole_of = hole_of
         self._lines: list[str] = []
         self._indent = 1
@@ -122,6 +125,8 @@ class _Emitter:
     # -- expressions -------------------------------------------------------
 
     def _site(self, node: Var) -> str:
+        if self._hole_of is None:
+            return repr(node.name)
         return f"N[{self._hole_of[id(node)]}]"
 
     def _expr(self, node: WhileNode) -> str:
@@ -209,13 +214,39 @@ class _Emitter:
         return f"def _skeleton_main(N, _ms):\n{body}\n"
 
 
+#: Vectorized trampoline, compiled once into each skeleton's namespace: a
+#: whole chunk of vectors enters the generated code in one Python call, with
+#: the try/except ladder, the detail strings and the sorted-store rendering
+#: inside compiled code -- observationally identical to calling
+#: :meth:`WhileSkeletonRunner.run` per vector (``'%s=%s\\n' %`` renders the
+#: same text as the scalar path's f-string for the str/int store).
+_BATCH_SOURCE = """\
+def _skeleton_batch(_frames, _ms, _results):
+    _append = _results.append
+    _join = ''.join
+    _main = _skeleton_main
+    _to_detail = 'exceeded %s steps' % (_ms,)
+    for N in _frames:
+        try:
+            _store = _main(N, _ms)
+        except _TO:
+            _append(_R(_TIMEOUT, None, '', _to_detail))
+            continue
+        except _RF as _e:
+            _append(_R(_ERROR, None, '', str(_e)))
+            continue
+        _append(_R(_OK, 0, _join(['%s=%s\\n' % _kv for _kv in sorted(_store.items())])))
+"""
+
+
 class WhileSkeletonRunner:
     """Executes characteristic vectors through a compiled skeleton body."""
 
-    __slots__ = ("_fn",)
+    __slots__ = ("_fn", "_batch")
 
-    def __init__(self, fn) -> None:
+    def __init__(self, fn, batch=None) -> None:
         self._fn = fn
+        self._batch = batch
 
     def run(self, vector: Sequence[str], max_steps: int = 200_000) -> ExecutionResult:
         try:
@@ -232,7 +263,33 @@ class WhileSkeletonRunner:
     def run_batch(
         self, vectors: Sequence[CharacteristicVector], max_steps: int = 200_000
     ) -> list[ExecutionResult]:
-        return [self.run(vector, max_steps=max_steps) for vector in vectors]
+        """One generated-trampoline call for the whole batch (argument frames
+        precomputed in bulk); per-vector :meth:`run` fallback for runners
+        built before the vectorized tier existed."""
+        batch = self._batch
+        if batch is None:
+            return [self.run(vector, max_steps=max_steps) for vector in vectors]
+        frames = [tuple(vector) for vector in vectors]
+        results: list[ExecutionResult] = []
+        batch(frames, max_steps, results)
+        return results
+
+
+def _compile_runner(source: str, filename: str) -> WhileSkeletonRunner:
+    namespace = {
+        "_TO": _Timeout,
+        "_div": _div,
+        "_RF": _RuntimeFault,
+        "_R": ExecutionResult,
+        "_OK": ExecutionStatus.OK,
+        "_TIMEOUT": ExecutionStatus.TIMEOUT,
+        "_ERROR": ExecutionStatus.ERROR,
+    }
+    exec(compile(source, filename, "exec"), namespace)  # noqa: S102
+    exec(compile(_BATCH_SOURCE, filename + "-batch", "exec"), namespace)  # noqa: S102
+    return WhileSkeletonRunner(
+        namespace["_skeleton_main"], batch=namespace["_skeleton_batch"]
+    )
 
 
 def compile_skeleton_runner(program: WhileNode, identifiers: Sequence[Var]) -> WhileSkeletonRunner | None:
@@ -242,9 +299,23 @@ def compile_skeleton_runner(program: WhileNode, identifiers: Sequence[Var]) -> W
         source = _Emitter(hole_of).translate(program)
     except (_Bail, KeyError):
         return None
-    namespace = {"_TO": _Timeout, "_div": _div}
-    exec(compile(source, "<while-skeleton>", "exec"), namespace)  # noqa: S102
-    return WhileSkeletonRunner(namespace["_skeleton_main"])
+    return _compile_runner(source, "<while-skeleton>")
+
+
+def compile_program_runner(program: WhileNode) -> WhileSkeletonRunner | None:
+    """Translate one concrete (hole-free) program; names become literals.
+
+    This is the oracle-side twin of :func:`compile_skeleton_runner`: the
+    compiler under test executes its *optimized output* through the same
+    generated-code tier the reference uses for skeletons, under the same
+    exactness contract with the interpreter.  Call ``run(())`` -- the
+    vector argument is ignored.
+    """
+    try:
+        source = _Emitter(None).translate(program)
+    except _Bail:
+        return None
+    return _compile_runner(source, "<while-program>")
 
 
 def runner_for_skeleton(skeleton: Skeleton) -> WhileSkeletonRunner | None:
@@ -266,4 +337,9 @@ def runner_for_skeleton(skeleton: Skeleton) -> WhileSkeletonRunner | None:
     return runner
 
 
-__all__ = ["WhileSkeletonRunner", "compile_skeleton_runner", "runner_for_skeleton"]
+__all__ = [
+    "WhileSkeletonRunner",
+    "compile_program_runner",
+    "compile_skeleton_runner",
+    "runner_for_skeleton",
+]

@@ -28,9 +28,10 @@ binder moves the skeleton to the next characteristic vector.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 
-from repro.compiler.driver import CompileOutcome
+from repro.compiler.driver import CompileOutcome, PipelineCache, PipelineRecord
 from repro.compiler.errors import CompilationError, InternalCompilerError
 from repro.compiler.faults import Fault, FaultKind, FaultSet
 from repro.compiler.pipeline import OptimizationLevel
@@ -52,6 +53,7 @@ from repro.lang.ast import (
     While,
     WhileNode,
 )
+from repro.lang.codegen import compile_program_runner
 from repro.lang.interp import ExecutionLimitExceeded, WhileInterpreter, WhileRuntimeError
 from repro.lang.lexer import LexerError
 from repro.lang.parser import ParseError, parse_program
@@ -124,6 +126,17 @@ register_lineage("wc", WC_ORDER, WC_BUG_CATALOGUE)
 #: self-assignment (the performance fault's compile-time blow-up).
 _BLOWUP_RERUNS = 120
 
+#: Sentinel distinguishing "memo not computed" from a computed ``None``.
+_UNSET = object()
+
+#: Process-wide memo of compiled oracle-side runners, keyed by optimized
+#: module content sha (the same identity the VM-result cache uses): distinct
+#: configurations and campaigns frequently produce identical optimized
+#: programs, so each is translated to Python once.  FIFO-bounded like the
+#: other campaign caches; ``None`` caches "not translatable".
+_PROGRAM_RUNNER_ENTRIES = 4096
+_program_runners: dict = {}
+
 
 @dataclass
 class WhileModule:
@@ -191,6 +204,9 @@ class WhileCompiler:
         self.machine_bits = machine_bits
         self.vm_max_steps = vm_max_steps
         self._fault_dict = {fault.id: fault for fault in self.version.faults}
+        #: Optional campaign-scoped pipeline-outcome cache, mirroring
+        #: :attr:`repro.compiler.driver.Compiler.pipeline_cache`.
+        self.pipeline_cache: PipelineCache | None = None
 
     def _fresh_faults(self) -> FaultSet:
         return FaultSet(faults=self._fault_dict, opt_level=int(self.opt_level))
@@ -215,12 +231,114 @@ class WhileCompiler:
         The variant's program is the skeleton's shared AST rebound in
         O(holes); no render or re-parse happens.  The optimizer rebuilds its
         output, so the produced module stays valid after the next rebind.
+
+        With a :attr:`pipeline_cache` wired, the fold pipeline is keyed on
+        the content sha of the variant's rendered source (the printer is
+        injective on programs, so equal text means equal pre-opt AST) per
+        configuration, and repeats replay the recorded optimized program,
+        triggered faults and effort -- observationally identical to the
+        uncached path.
         """
+        cache = self.pipeline_cache
+        if cache is None:
 
-        def build(faults: FaultSet, outcome: CompileOutcome) -> WhileModule:
-            return self._build_module(variant.program, name, faults, outcome)
+            def build(faults: FaultSet, outcome: CompileOutcome) -> WhileModule:
+                return self._build_module(variant.program, name, faults, outcome)
 
-        return self._compile(name, build)
+            return self._compile(name, build)
+        return self._compile_variant_cached(variant, name, cache)
+
+    def _compile_variant_cached(
+        self, variant: BoundVariant, name: str, cache: PipelineCache
+    ) -> CompileOutcome:
+        """The pipeline-dedup fast path of :meth:`compile_variant`."""
+        outcome = CompileOutcome(
+            source_name=name,
+            version=self.version.name,
+            opt_level=self.opt_level,
+            machine_bits=self.machine_bits,
+        )
+        faults = self._fresh_faults()
+        try:
+            program = variant.program
+            self._frontend_checks_variant(variant, program, faults, outcome)
+            sha = variant.cache.get("while_source_sha")
+            if sha is None:
+                sha = hashlib.sha256(variant.source.encode()).hexdigest()
+                variant.cache["while_source_sha"] = sha
+            key = (self.version.name, int(self.opt_level), self.machine_bits, sha)
+            record = cache.get(key)
+            if record is None:
+                record = self._run_pipeline_recorded(program, faults)
+                cache.put(key, record)
+            else:
+                faults.triggered.extend(record.triggered)
+            outcome.compile_effort = record.compile_effort
+            if record.crash is not None:
+                raise record.crash
+            # A fresh wrapper per outcome (the record's module is shared and
+            # carries no caller name); program and rendered source are reused.
+            template = record.module
+            outcome.module = WhileModule(
+                name=name, program=template.program, _source=str(template)
+            )
+            outcome.module_sha = record.module_sha
+            outcome.success = True
+        except InternalCompilerError as crash:
+            outcome.crash = crash
+        except CompilationError as rejection:
+            outcome.rejected = str(rejection)
+        outcome.triggered_faults = list(dict.fromkeys(faults.triggered))
+        return outcome
+
+    def _run_pipeline_recorded(self, program: WhileNode, faults: FaultSet) -> PipelineRecord:
+        """Run the fold pipeline once and capture its effects as a record.
+
+        The WHILE pipeline records no coverage (only the frontend check
+        does, and that runs outside the cached region per configuration),
+        so the record's coverage tuple is empty.  A crash leaves the effort
+        at 0, exactly like the legacy path where the effort assignment in
+        ``_build_module`` is never reached.
+        """
+        base = len(faults.triggered)
+        effort = [0]
+        crash: InternalCompilerError | None = None
+        optimized: WhileNode | None = None
+        try:
+            optimized = self._run_pipeline(program, faults, effort)
+        except InternalCompilerError as error:
+            crash = error
+        triggered = tuple(dict.fromkeys(faults.triggered[base:]))
+        if crash is not None:
+            return PipelineRecord(None, None, crash, triggered, (), 0)
+        module = WhileModule(name="<module>", program=optimized)
+        module_sha = hashlib.sha256(str(module).encode()).hexdigest()
+        return PipelineRecord(module, module_sha, None, triggered, (), effort[0])
+
+    def _frontend_checks_variant(
+        self, variant: BoundVariant, program: WhileNode, faults: FaultSet, outcome: CompileOutcome
+    ) -> None:
+        """:meth:`_frontend_checks` with a per-variant verdict memo.
+
+        The dup-branches verdict is a pure function of the program (the
+        fault set only gates whether it fires), so the walk -- and its
+        ``to_source`` renders -- run once per variant instead of once per
+        configuration.
+        """
+        outcome.coverage.record("wfrontend.program")
+        if faults.active("wfrontend-dup-branches"):
+            detail = variant.cache.get("wfe_dup_branches", _UNSET)
+            if detail is _UNSET:
+                detail = None
+                for node in program.walk():
+                    if isinstance(node, If) and to_source(node.then_branch) == to_source(
+                        node.else_branch
+                    ):
+                        detail = f"'{to_source(node.then_branch).strip()}'"
+                        break
+                variant.cache["wfe_dup_branches"] = detail
+            if detail is not None:
+                faults.crash("wfrontend-dup-branches", detail=detail)
 
     def _compile(self, name: str, build_module) -> CompileOutcome:
         outcome = CompileOutcome(
@@ -252,10 +370,32 @@ class WhileCompiler:
     # -- execution ----------------------------------------------------------------
 
     def run(self, outcome: CompileOutcome, entry: str = "main") -> ExecutionResult:
-        """Execute the compiled (optimized) program on the interpreter."""
+        """Execute the compiled (optimized) program.
+
+        The produced "binary" runs through the concrete codegen tier
+        (:func:`repro.lang.codegen.compile_program_runner`) -- the program
+        is translated once per distinct optimized module (content-sha
+        memo shared process-wide) and every execution is one call into
+        compiled bytecode, observationally identical to the interpreter
+        by the codegen exactness contract.  Programs outside the
+        translatable subset (defensive; the language is closed) fall back
+        to :func:`execute_while`.
+        """
         if not outcome.success or outcome.module is None:
             return ExecutionResult(ExecutionStatus.ERROR, detail="compilation did not succeed")
-        return execute_while(outcome.module.program, max_steps=self.vm_max_steps)
+        module = outcome.module
+        sha = outcome.module_sha
+        if sha is None:
+            sha = hashlib.sha256(str(module).encode()).hexdigest()
+        runner = _program_runners.get(sha, _UNSET)
+        if runner is _UNSET:
+            runner = compile_program_runner(module.program)
+            _program_runners[sha] = runner
+            while len(_program_runners) > _PROGRAM_RUNNER_ENTRIES:
+                del _program_runners[next(iter(_program_runners))]
+        if runner is None:
+            return execute_while(module.program, max_steps=self.vm_max_steps)
+        return runner.run((), max_steps=self.vm_max_steps)
 
     # -- frontend ------------------------------------------------------------------
 
@@ -281,7 +421,12 @@ class WhileCompiler:
         At ``-O0`` the program is only rebuilt (no rewriting), like a real
         compiler's unoptimized pipeline.  The performance fault re-runs the
         whole pipeline per self-assignment, inflating ``compile_effort`` by
-        orders of magnitude without changing the produced code.
+        orders of magnitude without changing the produced code.  The faulty
+        reruns are pure repetition -- every rerun starts from the same
+        ``program``, the folds are deterministic, and fault triggers
+        deduplicate -- so the simulator runs the pipeline *once* and scales
+        the effort delta by the rerun count: every observable
+        (``compile_effort`` included) is identical to actually looping.
         """
         reruns = 1
         if faults.active("wopt-fixpoint-blowup") and any(
@@ -293,12 +438,11 @@ class WhileCompiler:
             faults.trigger("wopt-fixpoint-blowup")
             reruns = _BLOWUP_RERUNS
         optimize = int(self.opt_level) >= 1
+        base = effort[0]
         result = program
-        for _ in range(reruns):
-            result = program
-            if not optimize:
-                result = self._rebuild(result, effort)
-                continue
+        if not optimize:
+            result = self._rebuild(result, effort)
+        else:
             for _ in range(4):  # fixpoint bound; folds converge quickly
                 folded = self._fold(result, faults, effort)
                 # Structural equality: the nodes are frozen dataclasses and
@@ -310,6 +454,8 @@ class WhileCompiler:
                     result = folded
                     break
                 result = folded
+        if reruns > 1:
+            effort[0] += (reruns - 1) * (effort[0] - base)
         return result
 
     def _rebuild(self, node: WhileNode, effort: list[int]) -> WhileNode:

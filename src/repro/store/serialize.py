@@ -146,6 +146,11 @@ def campaign_result_to_json(result) -> dict[str, Any]:
         # stay byte-identical to pre-supervision journals (the equivalence
         # contract), and old loaders never see the key.
         payload["quarantined"] = [record.to_json() for record in result.quarantined]
+    if result.cache_stats:
+        # Same only-when-non-empty rule: per-unit journal records never carry
+        # cache counters (the harness attaches them at shard granularity),
+        # so unit records stay byte-identical whatever the cache knobs.
+        payload["cache_stats"] = dict(result.cache_stats)
     return payload
 
 
@@ -166,6 +171,9 @@ def campaign_result_from_json(payload: dict[str, Any]):
                 QuarantineRecord.from_json(entry)
                 for entry in payload.get("quarantined", [])
             ],
+            cache_stats={
+                str(k): int(v) for k, v in payload.get("cache_stats", {}).items()
+            },
         )
     except (KeyError, ValueError, TypeError) as error:
         raise StoreFormatError(f"malformed campaign result record: {error}") from error

@@ -74,6 +74,7 @@ import traceback
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 
+from repro.compiler.driver import PipelineCache
 from repro.compiler.pipeline import OptimizationLevel
 from repro.core.execution import ExecutionResult
 from repro.core.holes import BoundVariant, CharacteristicVector, Skeleton
@@ -382,6 +383,22 @@ class CampaignConfig:
     #: When False, each variant keeps its private per-variant cache (the
     #: legacy behaviour).  Throughput only; fingerprint-excluded.
     cache_module_results: bool = True
+    #: Share one campaign-scoped pass-pipeline outcome cache across all
+    #: oracles, keyed by ``(version, opt_level, machine_bits,
+    #: pre-optimization lowered-module hash)`` -- re-compiles of the same
+    #: lowered module (reference siblings, triage, incremental columns,
+    #: repeated corpus content) replay the recorded optimized module,
+    #: triggered-fault set and crash outcome instead of re-running the
+    #: passes.  When False, every compile runs the full pipeline (the
+    #: legacy behaviour).  Throughput only; fingerprint-excluded.
+    cache_pipeline_results: bool = True
+    #: Fan the preloaded corpus out to pool workers through one
+    #: ``multiprocessing.shared_memory`` segment (workers map the source
+    #: text) instead of pickling the corpus dict into every worker's
+    #: initializer.  Falls back to the pickle protocol automatically when
+    #: shared memory is unavailable.  Only meaningful with
+    #: ``persistent_workers``.  Throughput only; fingerprint-excluded.
+    shared_memory: bool = True
     #: Per-unit wall-clock deadline in seconds, enforced on serial and pooled
     #: backends alike (worker-side ``SIGALRM`` alarm, with a parent-side
     #: watchdog backstop that kills and respawns a pool stuck past the
@@ -479,6 +496,12 @@ class CampaignResult:
     #: serialized form -- in fault-free runs, which is what keeps supervised
     #: no-fault journals byte-identical to unsupervised ones.
     quarantined: list[QuarantineRecord] = field(default_factory=list)
+    #: Campaign-cache hit/miss counters (module / pipeline / reference
+    #: caches), attached at shard granularity -- never to per-unit results,
+    #: so journal unit records are byte-identical with or without caching.
+    #: Observability only: excluded from equality and from :meth:`summary`
+    #: (resume fingerprints must not depend on cache behaviour).
+    cache_stats: dict[str, int] = field(default_factory=dict, compare=False)
 
     def note_observation(self, observation: Observation) -> None:
         key = observation.kind.value
@@ -504,6 +527,9 @@ class CampaignResult:
         quarantined.extend(
             record for record in other.quarantined if record.key not in seen
         )
+        cache_stats = dict(self.cache_stats)
+        for key, count in other.cache_stats.items():
+            cache_stats[key] = cache_stats.get(key, 0) + count
         return CampaignResult(
             bugs=self.bugs.merge(other.bugs),
             files_processed=self.files_processed + other.files_processed,
@@ -513,6 +539,7 @@ class CampaignResult:
             observations=observations,
             wall_seconds=max(self.wall_seconds, other.wall_seconds),
             quarantined=quarantined,
+            cache_stats=cache_stats,
         )
 
     def summary(self) -> str:
@@ -620,9 +647,21 @@ class Campaign:
         self._module_cache: dict | None = (
             {} if self.config.cache_module_results else None
         )
-        if self._module_cache is not None:
-            for oracle in self._oracles:
+        # Campaign-scoped pipeline-outcome cache (see PipelineCache in
+        # repro.compiler.driver): one cache serves the whole matrix because
+        # entries are keyed by each executor's own (version, level, bits).
+        self._pipeline_cache: PipelineCache | None = (
+            PipelineCache() if self.config.cache_pipeline_results else None
+        )
+        # Flat hit/miss counters shared by every oracle (module cache) and
+        # the reference-cache accounting below; snapshotted per shard.
+        self._cache_stats: dict[str, int] = {}
+        for oracle in self._oracles:
+            if self._module_cache is not None:
                 oracle.shared_module_cache = self._module_cache
+            oracle.cache_stats = self._cache_stats
+            if self._pipeline_cache is not None:
+                oracle.enable_pipeline_cache(self._pipeline_cache)
         # Reference-interpreter results keyed by (source sha, characteristic
         # vector) -- the sha scopes vectors to their file, so the cache can
         # live for the whole campaign (a unit re-visited for another version
@@ -791,7 +830,9 @@ class Campaign:
                 return self._run_one_shard(plan, shard_index, executor, store, incremental)
             started = time.perf_counter()
             if executor is None:
-                executor = owned_executor = default_executor(self.config.jobs)
+                executor = owned_executor = default_executor(
+                    self.config.jobs, shared_memory=self.config.shared_memory
+                )
             work, replayed = self._partition(plan.shards, store, incremental)
             results = self._execute(work, executor, store)
             merged = plan.base.merge(replayed)
@@ -978,7 +1019,9 @@ class Campaign:
         shard = plan.shards[shard_index]
         started = time.perf_counter()
         if executor is None:
-            executor = default_executor(self.config.jobs)
+            executor = default_executor(
+                self.config.jobs, shared_memory=self.config.shared_memory
+            )
         work, replayed = self._partition([shard], store, incremental)
         if isinstance(executor, SerialExecutor):
             results = self._execute(work, executor, store)
@@ -1017,6 +1060,27 @@ class Campaign:
 
     # -- internals ------------------------------------------------------------------
 
+    def _stats_snapshot(self) -> dict[str, int]:
+        """Current cumulative cache counters (module / reference / pipeline).
+
+        Shard runs take an entry snapshot and attach the exit *delta* to the
+        shard result, so merged totals are correct whether shards run in one
+        campaign object (serial) or one per worker (pooled).
+        """
+        stats = dict(self._cache_stats)
+        if self._pipeline_cache is not None:
+            stats["pipeline_hits"] = self._pipeline_cache.hits
+            stats["pipeline_misses"] = self._pipeline_cache.misses
+        return stats
+
+    def _stats_delta(self, entry: dict[str, int]) -> dict[str, int]:
+        exit_stats = self._stats_snapshot()
+        return {
+            key: value - entry.get(key, 0)
+            for key, value in exit_stats.items()
+            if value - entry.get(key, 0)
+        }
+
     def _exhausted(self, result: CampaignResult) -> bool:
         """Has ``stop_after_bugs`` been reached, counting distinct bugs?
 
@@ -1046,6 +1110,7 @@ class Campaign:
         """
         result = CampaignResult()
         started = time.perf_counter()
+        stats_entry = self._stats_snapshot()
         self._shard_bug_keys = set()
         units_done = 0
         for unit in shard.units:
@@ -1087,6 +1152,7 @@ class Campaign:
                 break
         self._shard_bug_keys = set()
         result.wall_seconds = time.perf_counter() - started
+        result.cache_stats = self._stats_delta(stats_entry)
         return result
 
     def _run_shard_supervised(
@@ -1105,6 +1171,7 @@ class Campaign:
         """
         result = CampaignResult()
         started = time.perf_counter()
+        stats_entry = self._stats_snapshot()
         self._shard_bug_keys = set()
         failed: list[tuple[int, UnitFailure]] = []
         exhausted = False
@@ -1173,6 +1240,7 @@ class Campaign:
                 break
         self._shard_bug_keys = set()
         result.wall_seconds = time.perf_counter() - started
+        result.cache_stats = self._stats_delta(stats_entry)
         return ShardOutcome(result=result, failed=tuple(failed), exhausted=exhausted)
 
     def _extract_cached(self, name: str, source: str) -> Skeleton:
@@ -1290,34 +1358,56 @@ class Campaign:
         the legacy text route for use-before-declaration vectors must not
         do); everything else falls through to the scalar path per variant.
         """
+        clean = sum(1 for variant in chunk if variant.order_clean)
         missing = [
             variant
             for variant in chunk
             if variant.order_clean and (token, variant.vector) not in self._reference_cache
         ]
+        # Account the whole chunk's order-clean lookups here (the per-variant
+        # loop below would otherwise count every prefetched entry as a hit).
+        self._count_cache("reference_misses", len(missing))
+        self._count_cache("reference_hits", clean - len(missing))
         if missing:
             references = self._frontend.run_reference_batch(missing)
             for variant, reference in zip(missing, references):
                 self._remember_reference((token, variant.vector), reference)
         for variant in chunk:
-            if self._test_one_variant(skeleton, variant, True, result):
+            if self._test_one_variant(
+                skeleton, variant, True, result, count_reference=not variant.order_clean
+            ):
                 return True
         return False
 
     def _test_one_variant(
-        self, skeleton: Skeleton, variant: BoundVariant, rebind: bool, result: CampaignResult
+        self,
+        skeleton: Skeleton,
+        variant: BoundVariant,
+        rebind: bool,
+        result: CampaignResult,
+        count_reference: bool = True,
     ) -> bool:
         """Test a single variant against the whole oracle matrix; True when
-        the campaign is exhausted (``stop_after_bugs``)."""
+        the campaign is exhausted (``stop_after_bugs``).
+
+        ``count_reference=False`` suppresses reference-cache hit/miss
+        accounting for lookups the batched chunk already counted.
+        """
         result.variants_tested += 1
         variant_name = f"{skeleton.name}#{variant.index}"
         if rebind and variant.order_clean:
-            self._test_variant_ast(variant, variant_name, result)
+            self._test_variant_ast(variant, variant_name, result, count_reference)
         else:
-            self._test_variant_text(variant, variant_name, result)
+            self._test_variant_text(variant, variant_name, result, count_reference)
         return self._exhausted(result)
 
-    def _test_variant_ast(self, variant: BoundVariant, name: str, result: CampaignResult) -> None:
+    def _test_variant_ast(
+        self,
+        variant: BoundVariant,
+        name: str,
+        result: CampaignResult,
+        count_reference: bool = True,
+    ) -> None:
         """Parse-once fast path: one frontend pass per variant, total.
 
         The skeleton AST is rebound to the variant's vector (O(holes)), the
@@ -1325,7 +1415,7 @@ class Campaign:
         configuration matrix compiles from one shared lowering.  Source text
         is rendered only if a bug is filed.
         """
-        reference_result = self._reference_result_ast(variant)
+        reference_result = self._reference_result_ast(variant, count_reference)
         for oracle in self._oracles:
             observation = oracle.observe_variant(
                 variant, name=name, reference_result=reference_result
@@ -1334,12 +1424,18 @@ class Campaign:
             if observation.is_bug:
                 self._file_bug(observation, oracle, result)
 
-    def _test_variant_text(self, variant: BoundVariant, name: str, result: CampaignResult) -> None:
+    def _test_variant_text(
+        self,
+        variant: BoundVariant,
+        name: str,
+        result: CampaignResult,
+        count_reference: bool = True,
+    ) -> None:
         """Legacy render+reparse path (also the route for vectors that
         realize use-before-declaration programs, which the textual frontend
         must be the one to reject)."""
         source = variant.source
-        reference_result = self._reference_result_text(variant, source)
+        reference_result = self._reference_result_text(variant, source, count_reference)
         for oracle in self._oracles:
             observation = oracle.observe(
                 source, name=name, reference_result=reference_result
@@ -1356,7 +1452,14 @@ class Campaign:
         while len(cache) > self.REFERENCE_CACHE_ENTRIES:
             del cache[next(iter(cache))]
 
-    def _reference_result_ast(self, variant: BoundVariant) -> ExecutionResult:
+    def _count_cache(self, key: str, amount: int = 1) -> None:
+        if amount:
+            stats = self._cache_stats
+            stats[key] = stats.get(key, 0) + amount
+
+    def _reference_result_ast(
+        self, variant: BoundVariant, count: bool = True
+    ) -> ExecutionResult:
         """Reference-interpret the bound AST once per variant.
 
         Keyed by (source sha, vector) in the campaign-lifetime cache -- the
@@ -1368,13 +1471,17 @@ class Campaign:
         """
         key = (self._skeleton_token(variant.skeleton), variant.vector)
         if key in self._reference_cache:
+            if count:
+                self._count_cache("reference_hits")
             return self._reference_cache[key]
+        if count:
+            self._count_cache("reference_misses")
         value = self._frontend.run_reference_variant(variant)
         self._remember_reference(key, value)
         return value
 
     def _reference_result_text(
-        self, variant: BoundVariant, source: str
+        self, variant: BoundVariant, source: str, count: bool = True
     ) -> ExecutionResult | None:
         """Run the reference interpreter once per variant, keyed by
         (source sha, vector).
@@ -1387,7 +1494,11 @@ class Campaign:
         """
         key = (self._skeleton_token(variant.skeleton), variant.vector)
         if key in self._reference_cache:
+            if count:
+                self._count_cache("reference_hits")
             return self._reference_cache[key]
+        if count:
+            self._count_cache("reference_misses")
         value = self._frontend.try_run_reference_source(source)
         self._remember_reference(key, value)
         return value

@@ -99,6 +99,10 @@ class DifferentialOracle:
     performance_ratio: float = 10.0
     frontend: "str | Frontend" = "minic"
     shared_module_cache: dict | None = None
+    #: Optional campaign-scoped hit/miss counters (flat ``str -> int``); the
+    #: harness shares one dict across its whole oracle matrix so the CLI and
+    #: benchmarks can report cache effectiveness.  Purely observational.
+    cache_stats: dict | None = None
 
     #: Bound on a shared module cache (entries, FIFO eviction).  Module
     #: texts are not stored -- only (budget, bits, sha) keys and
@@ -114,6 +118,17 @@ class DifferentialOracle:
         self._reference = self._frontend.executor(
             self._frontend.reference_version, self.opt_level, machine_bits=self.machine_bits
         )
+
+    def enable_pipeline_cache(self, cache) -> None:
+        """Wire a campaign-scoped pipeline-outcome cache into both executors.
+
+        ``cache`` is a :class:`repro.compiler.driver.PipelineCache`; both the
+        compiler under test and its reference sibling key their entries by
+        their own ``(version, opt_level, machine_bits)``, so one shared cache
+        serves the whole configuration matrix.
+        """
+        self._compiler.pipeline_cache = cache
+        self._reference.pipeline_cache = cache
 
     # -- main entry point -----------------------------------------------------------
 
@@ -208,17 +223,24 @@ class DifferentialOracle:
         shared = self.shared_module_cache
         if shared is None:
             return self._compiler.run(outcome)
-        key = (
-            self._compiler.vm_max_steps,
-            self.machine_bits,
-            hashlib.sha256(str(outcome.module).encode()).hexdigest(),
-        )
+        # The compiler stamps module_sha when a pipeline cache is wired; it
+        # is by construction sha256(str(module)), so the key is identical to
+        # the rendered-text fallback -- just without re-rendering the module.
+        sha = outcome.module_sha
+        if sha is None:
+            sha = hashlib.sha256(str(outcome.module).encode()).hexdigest()
+        key = (self._compiler.vm_max_steps, self.machine_bits, sha)
+        stats = self.cache_stats
         result = shared.get(key)
         if result is None:
+            if stats is not None:
+                stats["module_misses"] = stats.get("module_misses", 0) + 1
             result = self._compiler.run(outcome)
             shared[key] = result
             while len(shared) > self.SHARED_CACHE_ENTRIES:
                 del shared[next(iter(shared))]
+        elif stats is not None:
+            stats["module_hits"] = stats.get("module_hits", 0) + 1
         return result
 
     # -- shared classification ----------------------------------------------------------

@@ -136,6 +136,15 @@ class TestPipelines:
             for pass_instance in build_pass_pipeline(level):
                 assert hasattr(pass_instance, "run")
 
+    def test_pipeline_shared_across_drivers(self):
+        # build_pass_pipeline is memoized process-wide: two drivers at the
+        # same level share one pass tuple regardless of simulated version.
+        scc = Compiler("scc-trunk", 3)
+        lcc = Compiler("lcc-trunk", 3)
+        assert scc._pipeline is lcc._pipeline
+        assert scc._pipeline is build_pass_pipeline(OptimizationLevel.O3)
+        assert Compiler("reference", 0)._pipeline is not scc._pipeline
+
     def test_optimization_reduces_instruction_count(self):
         source = "int main() { int a = 2; int b = 3; int c = a + b; int d = c * 1 + 0; return d; }"
         from repro.compiler.ir import instruction_count

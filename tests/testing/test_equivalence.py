@@ -116,6 +116,26 @@ class TestBatchedEquivalence:
         uncached = Campaign(config(True, cache_module_results=False)).run_sources(corpus)
         assert result_fingerprint(cached) == result_fingerprint(uncached)
 
+    def test_pipeline_cache_changes_nothing(self, corpus):
+        # PR 8: replaying recorded pass-pipeline outcomes (module, triggered
+        # faults, crashes) must be observationally invisible.
+        cached = Campaign(config(True, cache_pipeline_results=True)).run_sources(corpus)
+        uncached = Campaign(
+            config(True, cache_pipeline_results=False)
+        ).run_sources(corpus)
+        assert result_fingerprint(cached) == result_fingerprint(uncached)
+
+    def test_pipeline_cache_changes_nothing_while(self):
+        from repro.frontends import get_frontend
+
+        corpus = get_frontend("while").build_corpus(files=6, seed=2017)
+        kwargs = dict(frontend="while", versions=None, opt_levels=None)
+        cached = Campaign(config(True, **kwargs)).run_sources(corpus)
+        uncached = Campaign(
+            config(True, cache_pipeline_results=False, **kwargs)
+        ).run_sources(corpus)
+        assert result_fingerprint(cached) == result_fingerprint(uncached)
+
     def test_persistent_pool_identical_to_serial(self, corpus):
         serial = Campaign(config(True)).run_sources(corpus)
         pooled = Campaign(config(True, jobs=2, persistent_workers=True)).run_sources(
@@ -152,8 +172,21 @@ class TestBatchedEquivalence:
             ("batched", dict(batch_size=32)),
             ("scalar", dict(batch_size=0)),
             ("legacy-pipeline", dict(use_ast_rebinding=False)),
-            ("pooled-slim", dict(batch_size=32, jobs=2, persistent_workers=True)),
+            # PR 8: pooled-slim rides the shared-memory corpus protocol by
+            # default; pooled-pickle pins the legacy initializer protocol and
+            # pipeline-cache-off pins the uncached compile path.
+            ("pooled-slim-shm", dict(batch_size=32, jobs=2, persistent_workers=True)),
+            (
+                "pooled-pickle",
+                dict(
+                    batch_size=32,
+                    jobs=2,
+                    persistent_workers=True,
+                    shared_memory=False,
+                ),
+            ),
             ("pooled-fat", dict(batch_size=32, jobs=2, persistent_workers=False)),
+            ("pipeline-cache-off", dict(batch_size=32, cache_pipeline_results=False)),
         ]
         journals = []
         for label, overrides in runs:
@@ -162,6 +195,97 @@ class TestBatchedEquivalence:
                 corpus, shard_count=2
             )
             journals.append((label, unit_lines(state_dir)))
+        baseline_label, baseline = journals[0]
+        assert baseline, "journal must contain unit records"
+        for label, lines in journals[1:]:
+            assert lines == baseline, f"{label} journal differs from {baseline_label}"
+
+    def test_while_journal_unit_records_are_pinned(self, tmp_path):
+        # The WHILE frontend must honour the same byte-identity contract:
+        # vectorized == scalar == legacy == shared-memory-pooled.
+        from repro.frontends import get_frontend
+
+        corpus = get_frontend("while").build_corpus(files=6, seed=2017)
+        kwargs = dict(frontend="while", versions=None, opt_levels=None)
+
+        def unit_lines(state_dir):
+            lines = (state_dir / "journal.jsonl").read_bytes().splitlines()
+            return sorted(
+                line
+                for line in lines
+                if b'"type": "unit"' in line or b'"type":"unit"' in line
+            )
+
+        runs = [
+            ("vectorized", dict(batch_size=32)),
+            ("scalar", dict(batch_size=0)),
+            ("legacy-pipeline", dict(use_ast_rebinding=False)),
+            ("pooled-shm", dict(batch_size=32, jobs=2, persistent_workers=True)),
+        ]
+        journals = []
+        for label, overrides in runs:
+            state_dir = tmp_path / label
+            Campaign(
+                config(True, state_dir=str(state_dir), **kwargs, **overrides)
+            ).run_sources(corpus, shard_count=2)
+            journals.append((label, unit_lines(state_dir)))
+        baseline_label, baseline = journals[0]
+        assert baseline, "journal must contain unit records"
+        for label, lines in journals[1:]:
+            assert lines == baseline, f"{label} journal differs from {baseline_label}"
+
+    def test_chunk_straddling_untranslatable_fallback(self, tmp_path):
+        # A corpus mixing codegen-eligible skeletons with one the vectorized
+        # tier cannot translate (user function call + parameters): batch
+        # chunks for the ineligible file fall back to per-variant reference
+        # interpretation, chunks for the eligible files run the generated
+        # trampoline, and a tiny batch size forces chunk boundaries to
+        # straddle order-clean/legacy-text mixes.  Everything must match the
+        # scalar and legacy pipelines, journal bytes included.
+        corpus = {
+            "plain.c": (
+                "int main(void) { int a; int b; int c; a = 1; b = 2; "
+                "c = a + b; if (c > 2) { c = c - a; } return c; }"
+            ),
+            "helper.c": (
+                "int helper(int v) { return v + 1; }\n"
+                "int main(void) { int a; int b; a = 3; b = helper(a); "
+                "return a + b; }"
+            ),
+            "loop.c": (
+                "int main(void) { int i; int s; s = 0; "
+                "for (i = 0; i < 4; i = i + 1) { s = s + i; } return s; }"
+            ),
+        }
+        from repro.minic.codegen import runner_for_skeleton
+
+        probe = Campaign(config(True))
+        assert runner_for_skeleton(probe._extract_cached("h", corpus["helper.c"])) is None
+        assert runner_for_skeleton(probe._extract_cached("p", corpus["plain.c"])) is not None
+
+        def unit_lines(state_dir):
+            lines = (state_dir / "journal.jsonl").read_bytes().splitlines()
+            return sorted(
+                line
+                for line in lines
+                if b'"type": "unit"' in line or b'"type":"unit"' in line
+            )
+
+        journals = []
+        fingerprints = []
+        runs = [
+            ("vectorized-tiny-chunks", dict(batch_size=3, max_variants_per_file=None)),
+            ("scalar", dict(batch_size=0, max_variants_per_file=None)),
+            ("legacy-pipeline", dict(use_ast_rebinding=False, max_variants_per_file=None)),
+        ]
+        for label, overrides in runs:
+            state_dir = tmp_path / label
+            result = Campaign(
+                config(True, state_dir=str(state_dir), **overrides)
+            ).run_sources(corpus)
+            journals.append((label, unit_lines(state_dir)))
+            fingerprints.append(result_fingerprint(result))
+        assert fingerprints[0] == fingerprints[1] == fingerprints[2]
         baseline_label, baseline = journals[0]
         assert baseline, "journal must contain unit records"
         for label, lines in journals[1:]:
