@@ -1,0 +1,162 @@
+"""Store benchmark: compaction ratio and indexed lookup vs. journal replay.
+
+Runs a real campaign into a state directory, compacts the journal into the
+SQLite derived view, and measures the two numbers the store exists for:
+
+* **compaction ratio** — ``campaign.db`` bytes over ``journal.jsonl`` bytes.
+  SQLite carries a fixed ~30 KB of btree overhead, so the ratio is measured
+  on a month-scale *amplified* journal (the real campaign's unit records
+  replicated under distinct unit keys — same record structure, same bug
+  payloads, same programs, which is exactly the redundancy the
+  content-addressed ``sources`` table and zlib payload compression target).
+  The view must come out **smaller than the journal** on that corpus.
+* **lookup vs. replay** — a single unit-key fetch through
+  ``idx_records_unit`` against a full ``load_unit_records`` scan of the
+  journal: the cost a DB-backed resume pays per re-examined unit versus the
+  cost an eager resume pays up front.
+
+Results land in ``BENCH_campaign.json`` under the ``store`` key, next to
+the campaign-throughput numbers.  Assertions pin only machine-independent
+facts: the ratio is below 1.0 at scale, the indexed lookup beats the full
+scan, source dedup collapses the amplified corpus back to the distinct
+program count, and the view's bug listing equals the replay's.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import tempfile
+import time
+from pathlib import Path
+
+from repro.cli import main as cli_main
+from repro.store import CampaignDatabase, CampaignStore
+from repro.store.journal import load_unit_records
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: The real campaign journaled as the seed corpus (a couple of seconds).
+WORKLOAD = dict(files=12, variants=40)
+
+#: Unit-record replicas in the amplified journal.  100x the seed campaign
+#: lands the journal in the low-megabyte range -- small enough for CI,
+#: large enough that SQLite's fixed overhead is noise.
+REPLICAS = 100
+
+
+def _run_campaign(state_dir: Path) -> None:
+    rc = cli_main(
+        ["campaign", "--files", str(WORKLOAD["files"]),
+         "--variants", str(WORKLOAD["variants"]), "--state-dir", str(state_dir)]
+    )
+    assert rc == 0
+
+
+def _amplify(state_dir: Path, out_dir: Path, replicas: int) -> None:
+    """Replicate every unit record under distinct keys; keep other lines."""
+    out_dir.mkdir(parents=True, exist_ok=True)
+    shutil.copy(state_dir / "manifest.json", out_dir / "manifest.json")
+    lines = (state_dir / "journal.jsonl").read_bytes().splitlines()
+    with open(out_dir / "journal.jsonl", "wb") as handle:
+        for raw in lines:
+            record = json.loads(raw)
+            if record.get("type") != "unit":
+                handle.write(raw + b"\n")
+                continue
+            for index in range(replicas):
+                replica = dict(record)
+                replica["key"] = f"{index:08x}" + record["key"][8:]
+                handle.write(
+                    json.dumps(replica, separators=(",", ":")).encode() + b"\n"
+                )
+
+
+def _experiment():
+    tmp = Path(tempfile.mkdtemp(prefix="bench-store-"))
+    try:
+        state_dir = tmp / "state"
+        _run_campaign(state_dir)
+
+        # Correctness gate on the real campaign: the view's bug listing is
+        # the replay's, id for id, in order.
+        store = CampaignStore(state_dir)
+        store.compact()
+        replay = store.merged_result(backing="journal")
+        with CampaignDatabase.open(store.db_path) as db:
+            view_bugs = [report.id for _, report in db.query_bugs()]
+        assert view_bugs == [report.id for report in replay.bugs.reports]
+
+        # The at-scale corpus.
+        amplified = tmp / "amplified"
+        _amplify(state_dir, amplified, REPLICAS)
+        big = CampaignStore(amplified)
+        start = time.perf_counter()
+        stats = big.compact()
+        compact_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        records = load_unit_records(big.journal_path)
+        replay_load_seconds = time.perf_counter() - start
+
+        probe_key = sorted(records)[len(records) // 2]
+        with CampaignDatabase.open(big.db_path) as db:
+            journal_id = db.journal_id(CampaignStore.DB_LABEL)
+            rounds = 50
+            start = time.perf_counter()
+            for _ in range(rounds):
+                fetched = db.unit_records_for(journal_id, probe_key)
+            lookup_seconds = (time.perf_counter() - start) / rounds
+            assert [r.result.summary() for r in fetched] == [
+                r.result.summary() for r in records[probe_key]
+            ]
+            start = time.perf_counter()
+            pairs = db.query_bugs(kind="wrong code")
+            query_seconds = time.perf_counter() - start
+            assert pairs, "the seeded corpus produces wrong-code bugs"
+
+        return stats, compact_seconds, replay_load_seconds, lookup_seconds, query_seconds, len(records)
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
+def test_store_compaction_and_lookup(benchmark, run_once):
+    stats, compact_seconds, replay_load_seconds, lookup_seconds, query_seconds, units = (
+        run_once(benchmark, _experiment)
+    )
+
+    # The acceptance criteria, as machine-independent shape assertions.
+    assert stats["compaction_ratio"] < 1.0, (
+        "compressed view must be smaller than the journal at scale: "
+        f"{stats['db_bytes']} vs {stats['journal_bytes']} bytes"
+    )
+    assert lookup_seconds < replay_load_seconds, (
+        "an indexed per-key lookup must beat a full journal scan"
+    )
+    # Content-addressed dedup: 100x the records, same distinct programs.
+    assert stats["sources"] * REPLICAS <= stats["records"]
+    assert stats["source_bytes_stored"] <= stats["source_bytes_raw"]
+
+    payload = {
+        "store": {
+            "workload": dict(WORKLOAD, replicas=REPLICAS),
+            "units": units,
+            "records": stats["records"],
+            "distinct_sources": stats["sources"],
+            "journal_bytes": stats["journal_bytes"],
+            "db_bytes": stats["db_bytes"],
+            "compaction_ratio": stats["compaction_ratio"],
+            "compact_seconds": round(compact_seconds, 3),
+            "journal_replay_load_seconds": round(replay_load_seconds, 4),
+            "indexed_unit_lookup_seconds": round(lookup_seconds, 6),
+            "lookup_vs_replay_speedup": round(replay_load_seconds / lookup_seconds, 1),
+            "indexed_bug_query_seconds": round(query_seconds, 6),
+        }
+    }
+    bench_path = REPO_ROOT / "BENCH_campaign.json"
+    try:
+        existing = json.loads(bench_path.read_text())
+    except (OSError, json.JSONDecodeError):
+        existing = {}
+    existing.update(payload)
+    bench_path.write_text(json.dumps(existing, indent=2) + "\n")

@@ -22,6 +22,13 @@ registered language frontend; the default is mini-C):
 * ``triage``           -- reduce and bisect the bugs journaled in an
   existing campaign ``--state-dir`` after the fact, appending the reduced
   programs and version attributions to the journal as ``triage`` records;
+* ``db``               -- the indexed bug database: ``db compact`` builds
+  the SQLite derived view from a campaign journal, ``db status`` reads
+  progress from it, ``db bugs`` runs ad-hoc filtered queries (``--kind
+  wrong-code --introduced-in scc-2.0``, ``--format json|table``),
+  ``db export`` writes the imported records back out as a byte-identical
+  journal, and ``db merge`` attaches several campaigns' journals into one
+  cross-campaign database;
 * ``experiment NAME``  -- regenerate a table/figure (table1, table2, table3,
   table4, fig8, fig9, fig10, or ``all``).
 """
@@ -295,6 +302,143 @@ def _cmd_triage(args: argparse.Namespace) -> int:
     return 0
 
 
+#: CLI spelling -> stored BugKind value (enum values contain a space).
+_DB_KIND_MAP = {"crash": "crash", "wrong-code": "wrong code", "performance": "performance"}
+
+
+def _open_query_db(args: argparse.Namespace):
+    """The database a ``repro db`` query runs against, or an error string.
+
+    ``--state-dir`` compacts first, so queries always reflect the journal
+    of record (a deleted or stale view is rebuilt transparently);
+    ``--db`` opens an existing database file directly (cross-campaign
+    merges have no single owning state dir).
+    """
+    from repro.store import CampaignDatabase, CampaignStore
+
+    if args.state_dir is not None:
+        store = CampaignStore(args.state_dir)
+        store.compact()
+        return CampaignDatabase.open(store.db_path)
+    return CampaignDatabase.open(args.db)
+
+
+def _cmd_db_compact(args: argparse.Namespace) -> int:
+    from repro.store import CampaignStore
+
+    store = CampaignStore(args.state_dir)
+    stats = store.compact()
+    print(f"# compacted {store.journal_path} -> {store.db_path}")
+    print(
+        f"records: {stats['records']} ({stats['records_imported']} imported)  "
+        f"sources: {stats['sources']}  bugs: {stats['bugs']}  "
+        f"triage: {stats['triage']}  quarantine: {stats['quarantine']}"
+    )
+    ratio = stats["compaction_ratio"]
+    print(
+        f"journal: {stats['journal_bytes']} bytes  db: {stats['db_bytes']} bytes"
+        + (f"  ratio: {ratio:.2f}" if ratio is not None else "")
+    )
+    return 0
+
+
+def _cmd_db_status(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from repro.store import CampaignStore
+
+    status = CampaignStore(args.state_dir).status()
+    if args.format == "json":
+        print(json_module.dumps(status, indent=2, sort_keys=True))
+        return 0
+    for key in ("units_journaled", "distinct_units", "quarantined_units"):
+        print(f"{key}: {status[key]}")
+    checkpoint = status["last_checkpoint"]
+    if checkpoint is not None:
+        print(f"last_checkpoint: units_seen={checkpoint.get('units_seen')}")
+    return 0
+
+
+def _cmd_db_bugs(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from repro.store import bug_report_to_json
+
+    with _open_query_db(args) as db:
+        pairs = db.query_bugs(
+            kind=_DB_KIND_MAP[args.kind] if args.kind else None,
+            lineage=args.lineage,
+            introduced_in=args.introduced_in,
+            frontend=args.frontend,
+            label=args.label,
+        )
+        multi = len(db.journals()) > 1
+    if args.format == "json":
+        payload = [
+            {"journal": label, **bug_report_to_json(report)} for label, report in pairs
+        ]
+        print(json_module.dumps(payload, indent=2))
+        return 0
+    for label, report in pairs:
+        line = report.summary_line()
+        print(f"[{label}] {line}" if multi else line)
+    return 0
+
+
+def _cmd_db_export(args: argparse.Namespace) -> int:
+    with _open_query_db(args) as db:
+        written = db.export_journal(args.output, label=args.label)
+    print(f"# exported {written} records to {args.output}")
+    return 0
+
+
+def _cmd_db_merge(args: argparse.Namespace) -> int:
+    from pathlib import Path as PathType
+
+    from repro.store import CampaignDatabase, CampaignStore, StoreMismatchError
+
+    labels = [PathType(state_dir).resolve().name for state_dir in args.state_dirs]
+    if len(set(labels)) != len(labels):
+        print(
+            "error: merged state directories must have distinct names "
+            f"(got {', '.join(labels)})",
+            file=sys.stderr,
+        )
+        return 2
+    db = CampaignDatabase.create(args.out)
+    try:
+        for label, state_dir in zip(labels, args.state_dirs):
+            store = CampaignStore(state_dir)
+            manifest = store.read_manifest()
+            if manifest is None:
+                print(f"error: no campaign manifest in {state_dir}", file=sys.stderr)
+                return 2
+            imported = db.attach_journal(
+                store.journal_path, manifest.get("fingerprint") or {}, label=label
+            )
+            print(f"# attached {label}: {imported.records_imported} records imported")
+        db.refresh_views()
+        db.vacuum()
+        stats = db.stats()
+    finally:
+        db.close()
+    print(
+        f"# merged {len(labels)} campaigns into {args.out}: "
+        f"{stats['records']} records, {stats['bugs']} bugs, {stats['sources']} sources"
+    )
+    return 0
+
+
+def _cmd_db(args: argparse.Namespace) -> int:
+    from repro.store import StoreError
+
+    try:
+        return args.db_func(args)
+    except StoreError as error:  # includes StoreMismatchError
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from repro.experiments import ALL_EXPERIMENTS
 
@@ -492,6 +636,79 @@ def build_parser() -> argparse.ArgumentParser:
         help="evaluate reduction candidate batches on N worker processes",
     )
     triage.set_defaults(func=_cmd_triage)
+
+    db = subparsers.add_parser(
+        "db", help="query the indexed bug database (SQLite view of campaign journals)"
+    )
+    db_subparsers = db.add_subparsers(dest="db_command", required=True)
+
+    def _add_query_source(parser: argparse.ArgumentParser) -> None:
+        source = parser.add_mutually_exclusive_group(required=True)
+        source.add_argument(
+            "--state-dir", default=None, metavar="DIR",
+            help="campaign state directory; its journal is compacted into the "
+                 "view first, so queries always reflect the journal of record",
+        )
+        source.add_argument(
+            "--db", default=None, metavar="FILE",
+            help="an existing database file (e.g. a cross-campaign merge)",
+        )
+
+    db_compact = db_subparsers.add_parser(
+        "compact", help="build/refresh the SQLite view from the campaign journal"
+    )
+    db_compact.add_argument("--state-dir", required=True, metavar="DIR")
+    db_compact.set_defaults(func=_cmd_db, db_func=_cmd_db_compact)
+
+    db_status = db_subparsers.add_parser(
+        "status", help="campaign progress without replaying the journal"
+    )
+    db_status.add_argument("--state-dir", required=True, metavar="DIR")
+    db_status.add_argument("--format", choices=["table", "json"], default="table")
+    db_status.set_defaults(func=_cmd_db, db_func=_cmd_db_status)
+
+    db_bugs = db_subparsers.add_parser(
+        "bugs", help="ad-hoc filtered bug queries over the indexed view"
+    )
+    _add_query_source(db_bugs)
+    db_bugs.add_argument(
+        "--kind", choices=sorted(_DB_KIND_MAP), default=None,
+        help="filter by bug kind",
+    )
+    db_bugs.add_argument("--lineage", default=None, help="filter by compiler lineage")
+    db_bugs.add_argument(
+        "--introduced-in", default=None, metavar="VERSION",
+        help="filter by the version that introduced the bug (campaign bisection "
+             "or journaled triage attribution, whichever is known)",
+    )
+    db_bugs.add_argument("--frontend", default=None, help="filter by language frontend")
+    db_bugs.add_argument(
+        "--label", default=None,
+        help="restrict to one attached journal of a merged database",
+    )
+    db_bugs.add_argument("--format", choices=["table", "json"], default="table")
+    db_bugs.set_defaults(func=_cmd_db, db_func=_cmd_db_bugs)
+
+    db_export = db_subparsers.add_parser(
+        "export", help="write the imported records back out as a JSONL journal"
+    )
+    _add_query_source(db_export)
+    db_export.add_argument("--output", required=True, metavar="FILE")
+    db_export.add_argument(
+        "--label", default=None,
+        help="export one attached journal of a merged database",
+    )
+    db_export.set_defaults(func=_cmd_db, db_func=_cmd_db_export)
+
+    db_merge = db_subparsers.add_parser(
+        "merge", help="attach several campaigns' journals into one database"
+    )
+    db_merge.add_argument("--out", required=True, metavar="FILE", help="database file to build")
+    db_merge.add_argument(
+        "state_dirs", nargs="+", metavar="STATE_DIR",
+        help="campaign state directories to attach (directory name becomes the label)",
+    )
+    db_merge.set_defaults(func=_cmd_db, db_func=_cmd_db_merge)
 
     experiment = subparsers.add_parser("experiment", help="regenerate a paper table/figure")
     experiment.add_argument("name", help="table1|table2|table3|table4|fig8|fig9|fig10|all")

@@ -11,20 +11,25 @@ provides:
 * the :class:`~repro.store.store.CampaignStore` coordinator -- manifest
   fingerprinting, unit-record replay, and the associative merge algebra
   that makes resumed, incremental and shuffled replays produce results
-  identical to an uninterrupted run (:mod:`repro.store.store`).
+  identical to an uninterrupted run (:mod:`repro.store.store`);
+* the indexed SQLite derived view (:mod:`repro.store.db`): compressed,
+  content-hash-deduplicated, queryable across campaigns, rebuilt from the
+  journal on demand by :meth:`~repro.store.store.CampaignStore.compact`.
 
 The harness wires it up through ``CampaignConfig.state_dir`` and
 ``Campaign.run_sources(resume=..., incremental=...)``; the CLI exposes
-``--state-dir`` / ``--resume`` / ``--incremental``.  See
-``docs/ARCHITECTURE.md`` section 6.
+``--state-dir`` / ``--resume`` / ``--incremental`` and the ``repro db``
+query subcommands.  See ``docs/ARCHITECTURE.md`` sections 6 and 11.
 """
 
+from repro.store.db import CampaignDatabase
 from repro.store.journal import (
     JOURNAL_FORMAT,
     JournalWriter,
     QuarantineRecord,
     TriageRecord,
     UnitRecord,
+    journal_stats,
     load_quarantine_records,
     load_triage_records,
     load_unit_records,
@@ -47,11 +52,13 @@ from repro.store.store import (
     StoreMismatchError,
     config_fingerprint,
     merge_unit_records,
+    merged_result_from_records,
     select_records,
 )
 
 __all__ = [
     "JOURNAL_FORMAT",
+    "CampaignDatabase",
     "CampaignStore",
     "JournalWriter",
     "StoreError",
@@ -67,10 +74,12 @@ __all__ = [
     "campaign_result_from_json",
     "campaign_result_to_json",
     "config_fingerprint",
+    "journal_stats",
     "load_quarantine_records",
     "load_triage_records",
     "load_unit_records",
     "merge_unit_records",
+    "merged_result_from_records",
     "read_journal",
     "select_records",
     "source_sha",

@@ -338,10 +338,16 @@ def read_journal(path: str | Path) -> Iterator[dict[str, Any]]:
                 yield payload
 
 
-def load_unit_records(path: str | Path) -> dict[str, list[UnitRecord]]:
-    """All well-formed unit records in the journal, grouped by unit key."""
+def fold_unit_records(payloads: Iterable[dict[str, Any]]) -> dict[str, list[UnitRecord]]:
+    """Group a stream of journal payloads into unit records by unit key.
+
+    The single definition of unit-record loading semantics: both the JSONL
+    journal reader and the SQLite derived view (:mod:`repro.store.db`) fold
+    their payload streams through here, so the two backings can never
+    disagree on what a journal *means*.
+    """
     records: dict[str, list[UnitRecord]] = {}
-    for payload in read_journal(path):
+    for payload in payloads:
         if payload.get("type") != "unit":
             continue
         try:
@@ -352,8 +358,8 @@ def load_unit_records(path: str | Path) -> dict[str, list[UnitRecord]]:
     return records
 
 
-def load_triage_records(path: str | Path) -> dict[str, TriageRecord]:
-    """The effective triage record per bug id.
+def fold_triage_records(payloads: Iterable[dict[str, Any]]) -> dict[str, TriageRecord]:
+    """The effective triage record per bug id from a payload stream.
 
     Records merge *field-wise*, latest knowledge winning per field: a later
     record's ``None`` (e.g. a ``--no-bisect`` or ``--reduce off`` pass that
@@ -363,7 +369,7 @@ def load_triage_records(path: str | Path) -> dict[str, TriageRecord]:
     always reflect the most recent pass.
     """
     records: dict[str, TriageRecord] = {}
-    for payload in read_journal(path):
+    for payload in payloads:
         if payload.get("type") != "triage":
             continue
         try:
@@ -391,10 +397,10 @@ def load_triage_records(path: str | Path) -> dict[str, TriageRecord]:
     return records
 
 
-def load_quarantine_records(path: str | Path) -> dict[str, QuarantineRecord]:
+def fold_quarantine_records(payloads: Iterable[dict[str, Any]]) -> dict[str, QuarantineRecord]:
     """The effective quarantine record per unit key (last record wins)."""
     records: dict[str, QuarantineRecord] = {}
-    for payload in read_journal(path):
+    for payload in payloads:
         if payload.get("type") != "quarantine":
             continue
         try:
@@ -403,6 +409,85 @@ def load_quarantine_records(path: str | Path) -> dict[str, QuarantineRecord]:
             continue
         records[record.key] = record
     return records
+
+
+def load_unit_records(path: str | Path) -> dict[str, list[UnitRecord]]:
+    """All well-formed unit records in the journal, grouped by unit key."""
+    return fold_unit_records(read_journal(path))
+
+
+def load_triage_records(path: str | Path) -> dict[str, TriageRecord]:
+    """The effective triage record per bug id (see :func:`fold_triage_records`)."""
+    return fold_triage_records(read_journal(path))
+
+
+def load_quarantine_records(path: str | Path) -> dict[str, QuarantineRecord]:
+    """The effective quarantine record per unit key (last record wins)."""
+    return fold_quarantine_records(read_journal(path))
+
+
+def complete_prefix_length(path: str | Path) -> int:
+    """Byte length of the journal's newline-terminated prefix.
+
+    The derived database only ever imports whole lines: a crash-torn tail
+    (bytes past the final newline) is left for a later append to complete
+    or corrupt -- exactly the bytes :func:`read_journal` would merge into
+    the next appended line -- so import offsets always sit on a record
+    boundary and an import never disagrees with a journal replay about
+    which lines exist.
+    """
+    path = Path(path)
+    if not path.exists():
+        return 0
+    block = 1 << 16
+    with open(path, "rb") as handle:
+        handle.seek(0, os.SEEK_END)
+        position = handle.tell()
+        while position > 0:
+            step = min(block, position)
+            handle.seek(position - step)
+            chunk = handle.read(step)
+            newline = chunk.rfind(b"\n")
+            if newline != -1:
+                return position - step + newline + 1
+            position -= step
+    return 0
+
+
+def journal_stats(path: str | Path) -> dict[str, Any]:
+    """Cheap status scan: record counts and the latest checkpoint.
+
+    Parses only each line's JSON envelope -- no :class:`UnitRecord` (and in
+    particular no ``CampaignResult``/``BugDatabase``) is materialized, so a
+    status check on a journal holding weeks of campaign records costs one
+    linear read instead of a full replay.  Counts are envelope-level (a
+    ``type == "unit"`` line with a malformed body still counts), matching
+    what the SQLite derived view stores; deep validation happens only on
+    actual replay.
+    """
+    units = 0
+    unit_keys: set[str] = set()
+    quarantine_keys: set[str] = set()
+    checkpoint: dict[str, Any] | None = None
+    for payload in read_journal(path):
+        kind = payload.get("type")
+        if kind == "unit":
+            units += 1
+            key = payload.get("key")
+            if isinstance(key, str):
+                unit_keys.add(key)
+        elif kind == "quarantine":
+            key = payload.get("key")
+            if isinstance(key, str):
+                quarantine_keys.add(key)
+        elif kind == "checkpoint":
+            checkpoint = payload
+    return {
+        "units_journaled": units,
+        "distinct_units": len(unit_keys),
+        "quarantined_units": len(quarantine_keys),
+        "last_checkpoint": checkpoint,
+    }
 
 
 def last_checkpoint(path: str | Path) -> dict[str, Any] | None:
@@ -420,6 +505,11 @@ __all__ = [
     "QuarantineRecord",
     "TriageRecord",
     "UnitRecord",
+    "complete_prefix_length",
+    "fold_quarantine_records",
+    "fold_triage_records",
+    "fold_unit_records",
+    "journal_stats",
     "last_checkpoint",
     "load_quarantine_records",
     "load_triage_records",

@@ -19,7 +19,9 @@ surfacing ``KeyError``/``TypeError`` from deep inside the loader.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any
+import hashlib
+import json
+from typing import TYPE_CHECKING, Any, Callable
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.testing.bugs import BugDatabase, BugReport
@@ -52,6 +54,65 @@ def decode_key(key: list | None) -> tuple | None:
     if key is None:
         return None
     return tuple(decode_key(item) if isinstance(item, list) else item for item in key)
+
+
+def fingerprint_sha(fingerprint: dict[str, Any]) -> str:
+    """Content identity of a campaign fingerprint (canonical-JSON sha)."""
+    canonical = json.dumps(fingerprint, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+
+
+# -- program-text externalization -----------------------------------------------
+
+#: Record keys whose string values are whole program texts.  The SQLite
+#: derived view (:mod:`repro.store.db`) swaps them for content-hash
+#: references into its deduplicated ``sources`` table; the JSONL journal
+#: always keeps them inline.
+PROGRAM_TEXT_KEYS = frozenset({"test_program", "reduced_program"})
+
+#: The reference marker: a program-text value becomes ``{"$src": <sha>}``.
+SOURCE_REF_KEY = "$src"
+
+
+def externalize_programs(value: Any, sink: Callable[[str], str]) -> Any:
+    """Copy ``value`` with program texts swapped for content-hash references.
+
+    ``sink(text)`` stores one program text and returns its content hash;
+    every string found under a :data:`PROGRAM_TEXT_KEYS` key becomes
+    ``{"$src": sha}``.  Exactly inverted by :func:`internalize_programs`
+    (the transform never fires on non-string values, so ``None`` reduced
+    programs survive untouched).
+    """
+    if isinstance(value, dict):
+        result = {}
+        for key, item in value.items():
+            if key in PROGRAM_TEXT_KEYS and isinstance(item, str):
+                result[key] = {SOURCE_REF_KEY: sink(item)}
+            else:
+                result[key] = externalize_programs(item, sink)
+        return result
+    if isinstance(value, list):
+        return [externalize_programs(item, sink) for item in value]
+    return value
+
+
+def internalize_programs(value: Any, resolve: Callable[[str], str]) -> Any:
+    """Invert :func:`externalize_programs`: references back to program text."""
+    if isinstance(value, dict):
+        result = {}
+        for key, item in value.items():
+            if (
+                key in PROGRAM_TEXT_KEYS
+                and isinstance(item, dict)
+                and set(item) == {SOURCE_REF_KEY}
+            ):
+                result[key] = resolve(item[SOURCE_REF_KEY])
+            else:
+                result[key] = internalize_programs(item, resolve)
+        return result
+    if isinstance(value, list):
+        return [internalize_programs(item, resolve) for item in value]
+    return value
 
 
 # -- bug reports ----------------------------------------------------------------
@@ -181,6 +242,8 @@ def campaign_result_from_json(payload: dict[str, Any]):
 
 __all__ = [
     "BUG_REPORT_SCHEMA",
+    "PROGRAM_TEXT_KEYS",
+    "SOURCE_REF_KEY",
     "StoreFormatError",
     "bug_database_from_json",
     "bug_database_to_json",
@@ -190,4 +253,7 @@ __all__ = [
     "campaign_result_to_json",
     "decode_key",
     "encode_key",
+    "externalize_programs",
+    "fingerprint_sha",
+    "internalize_programs",
 ]

@@ -40,11 +40,14 @@ from repro.store.journal import (
     QuarantineRecord,
     TriageRecord,
     UnitRecord,
-    last_checkpoint,
+    journal_stats,
     load_quarantine_records,
     load_triage_records,
     load_unit_records,
 )
+
+# repro.store.db imports this module (errors + merge helper), so the store
+# resolves its CampaignDatabase lazily inside the methods that need it.
 
 
 class StoreError(RuntimeError):
@@ -142,11 +145,45 @@ def merge_unit_records(records: Sequence[UnitRecord]):
     return merged
 
 
+def merged_result_from_records(
+    records: dict[str, list[UnitRecord]],
+    quarantines: dict[str, QuarantineRecord],
+):
+    """Fold loaded records into one campaign result (the replay semantics).
+
+    The single definition of "replay a journal": sorted unit keys merged
+    through :func:`merge_unit_records`, then sorted quarantine notes.  Both
+    the journal path (:meth:`CampaignStore.merged_result`) and the SQLite
+    view (:meth:`repro.store.db.CampaignDatabase.merged_result`) call this
+    one function, which is what makes their results equal by construction
+    rather than by parallel maintenance.
+    """
+    from repro.testing.harness import CampaignResult
+
+    merged = CampaignResult()
+    for key in sorted(records):
+        merged = merged.merge(merge_unit_records(records[key]))
+    for key in sorted(quarantines):
+        merged.note_quarantine(quarantines[key])
+    return merged
+
+
 class CampaignStore:
-    """One campaign's durable state directory (manifest + journal)."""
+    """One campaign's durable state directory (manifest + journal + DB).
+
+    The JSONL journal is the write-ahead log and the only source of truth;
+    ``campaign.db`` (when present) is the indexed derived view built by
+    :meth:`compact`.  Reads prefer the view when it is *fresh* -- its
+    imported prefix still hash-matches the journal on disk -- and silently
+    fall back to journal replay otherwise, so a stale or deleted view is
+    never wrong, only slower.
+    """
 
     MANIFEST_NAME = "manifest.json"
     JOURNAL_NAME = "journal.jsonl"
+    DB_NAME = "campaign.db"
+    #: The label a campaign's own journal is attached under in its DB.
+    DB_LABEL = "campaign"
 
     def __init__(self, state_dir: str | Path, *, fsync: bool = False) -> None:
         self.state_dir = Path(state_dir)
@@ -154,6 +191,8 @@ class CampaignStore:
         self._writer: JournalWriter | None = None
         self._records: dict[str, list[UnitRecord]] = {}
         self._quarantines: dict[str, QuarantineRecord] = {}
+        self._db = None  # CampaignDatabase when resuming through the view
+        self._db_journal_id: int | None = None
 
     # -- paths -------------------------------------------------------------
 
@@ -164,6 +203,10 @@ class CampaignStore:
     @property
     def journal_path(self) -> Path:
         return self.state_dir / self.JOURNAL_NAME
+
+    @property
+    def db_path(self) -> Path:
+        return self.state_dir / self.DB_NAME
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -203,8 +246,17 @@ class CampaignStore:
                     f"state directory {self.state_dir} belongs to a different campaign "
                     f"(fingerprint differs in: {', '.join(differing)})"
                 )
-            self._records = load_unit_records(self.journal_path)
-            self._quarantines = load_quarantine_records(self.journal_path)
+            db = self._open_fresh_db(fingerprint)
+            if db is not None:
+                # Lazy resume: unit records are fetched per key through the
+                # view's (journal, type, key) index as the harness partitions
+                # each unit, instead of materializing the whole journal here.
+                self._db, self._db_journal_id = db
+                self._records = {}
+                self._quarantines = self._db.quarantine_map(self._db_journal_id)
+            else:
+                self._records = load_unit_records(self.journal_path)
+                self._quarantines = load_quarantine_records(self.journal_path)
         else:
             if preserve:
                 # Distributed shard runs append into a shared directory and
@@ -237,6 +289,10 @@ class CampaignStore:
         if self._writer is not None:
             self._writer.close()
             self._writer = None
+        if self._db is not None:
+            self._db.close()
+            self._db = None
+            self._db_journal_id = None
 
     # -- manifest ----------------------------------------------------------
 
@@ -261,6 +317,8 @@ class CampaignStore:
     # -- records -----------------------------------------------------------
 
     def records_for(self, key: str) -> list[UnitRecord]:
+        if self._db is not None and key not in self._records:
+            self._records[key] = self._db.unit_records_for(self._db_journal_id, key)
         return self._records.get(key, [])
 
     def select(self, key: str, needed: Iterable[str]) -> tuple[list[UnitRecord], set[str]]:
@@ -299,7 +357,7 @@ class CampaignStore:
 
     # -- after-the-fact triage ---------------------------------------------
 
-    def merged_result(self):
+    def merged_result(self, *, backing: str = "auto"):
         """Merge every journaled unit record into one campaign result.
 
         The after-the-fact entry point the ``repro triage`` CLI uses: no
@@ -307,17 +365,33 @@ class CampaignStore:
         replayed into a live campaign -- the merge algebra alone
         reconstructs the deduplicated bug database (and the counters) from
         the journal, in any record order.
-        """
-        from repro.testing.harness import CampaignResult
 
-        records = load_unit_records(self.journal_path)
-        merged = CampaignResult()
-        for key in sorted(records):
-            merged = merged.merge(merge_unit_records(records[key]))
-        quarantines = load_quarantine_records(self.journal_path)
-        for key in sorted(quarantines):
-            merged.note_quarantine(quarantines[key])
-        return merged
+        ``backing`` picks the reconstruction source: ``"journal"`` replays
+        the JSONL log, ``"db"`` requires a fresh compacted view (raising
+        :class:`StoreError` otherwise), and ``"auto"`` (default) uses the
+        view when fresh and replays the journal when not.  Both paths fold
+        through :func:`merged_result_from_records`, so they agree
+        field-for-field by construction.
+        """
+        if backing not in ("auto", "journal", "db"):
+            raise ValueError(f"unknown merged_result backing: {backing!r}")
+        if backing != "journal":
+            opened = self._open_fresh_db()
+            if opened is not None:
+                db, journal_id = opened
+                try:
+                    return db.merged_result(journal_id)
+                finally:
+                    db.close()
+            if backing == "db":
+                raise StoreError(
+                    f"no fresh campaign database in {self.state_dir}; "
+                    "run `repro db compact` first"
+                )
+        return merged_result_from_records(
+            load_unit_records(self.journal_path),
+            load_quarantine_records(self.journal_path),
+        )
 
     def triage_records(self) -> dict[str, TriageRecord]:
         """The latest journaled triage outcome per bug id."""
@@ -345,17 +419,106 @@ class CampaignStore:
             written += 1
         return written
 
+    # -- the indexed view --------------------------------------------------
+
+    def compact(self) -> dict[str, Any]:
+        """(Re)build the SQLite view from the journal; returns its stats.
+
+        Opens ``campaign.db`` -- deleting and recreating it when missing,
+        truncated, or garbage; the view holds nothing the journal lacks --
+        imports the journal's new complete lines under :data:`DB_LABEL`
+        (idempotent: an unchanged journal imports zero records), and
+        refreshes the derived query tables.  A view compacted from a
+        *different* campaign raises :class:`StoreMismatchError` instead of
+        silently mixing fingerprints.
+        """
+        from repro.store.db import CampaignDatabase
+
+        manifest = self.read_manifest()
+        if manifest is None:
+            raise StoreMismatchError(
+                f"cannot compact: no manifest in {self.state_dir} "
+                "(run a campaign with --state-dir first)"
+            )
+        fingerprint = manifest.get("fingerprint") or {}
+        db, rebuilt = CampaignDatabase.open_or_rebuild(self.db_path)
+        try:
+            imported = db.attach_journal(
+                self.journal_path, fingerprint, label=self.DB_LABEL
+            )
+            db.refresh_views()
+            db.vacuum()
+            stats = db.stats()
+        finally:
+            db.close()
+        journal_bytes = (
+            self.journal_path.stat().st_size if self.journal_path.exists() else 0
+        )
+        stats.update(
+            {
+                "journal_bytes": journal_bytes,
+                "compaction_ratio": (
+                    round(stats["db_bytes"] / journal_bytes, 4) if journal_bytes else None
+                ),
+                "records_imported": imported.records_imported,
+                "db_rebuilt": rebuilt or imported.rebuilt,
+            }
+        )
+        return stats
+
+    def _open_fresh_db(self, fingerprint: dict[str, Any] | None = None):
+        """Open the view iff it exactly mirrors the journal on disk.
+
+        Returns ``(CampaignDatabase, journal_id)`` or ``None``.  Freshness
+        means the view's imported prefix is byte-identical to the journal's
+        complete lines; with ``fingerprint`` the view's stored campaign
+        identity must match too.  Any failure -- absent file, foreign
+        schema, stale prefix -- degrades to the journal path, never to an
+        error: the view is an accelerator, not a dependency.
+        """
+        from repro.store.db import CampaignDatabase
+
+        if not self.db_path.exists():
+            return None
+        try:
+            db = CampaignDatabase.open(self.db_path)
+        except StoreError:
+            return None
+        try:
+            journal_id = db.journal_id(self.DB_LABEL)
+            if journal_id is None or not db.is_fresh(self.journal_path, journal_id):
+                db.close()
+                return None
+            if (
+                fingerprint is not None
+                and db.journal_fingerprint(journal_id) != fingerprint
+            ):
+                db.close()
+                return None
+        except StoreError:
+            db.close()
+            return None
+        return db, journal_id
+
     # -- observability -----------------------------------------------------
 
     def status(self) -> dict[str, Any]:
-        """Cheap progress summary: unit count and the latest checkpoint."""
-        records = load_unit_records(self.journal_path)
-        return {
-            "units_journaled": sum(len(group) for group in records.values()),
-            "distinct_units": len(records),
-            "quarantined_units": len(load_quarantine_records(self.journal_path)),
-            "last_checkpoint": last_checkpoint(self.journal_path),
-        }
+        """Cheap progress summary: unit count and the latest checkpoint.
+
+        Status must stay cheap at journal scale, so neither path
+        materializes unit results: a fresh compacted view answers from SQL
+        counts; otherwise :func:`~repro.store.journal.journal_stats` scans
+        record envelopes without decoding any
+        :class:`~repro.testing.harness.CampaignResult`.
+        """
+        opened = self._open_fresh_db()
+        if opened is not None:
+            db, journal_id = opened
+            try:
+                return db.status(journal_id)
+            finally:
+                db.close()
+        return journal_stats(self.journal_path)
 
 
 __all__ = [
@@ -364,5 +527,6 @@ __all__ = [
     "StoreMismatchError",
     "config_fingerprint",
     "merge_unit_records",
+    "merged_result_from_records",
     "select_records",
 ]

@@ -854,7 +854,16 @@ class Campaign:
     def _open_store(
         self, *, resume: bool, incremental: bool, preserve: bool = False
     ) -> CampaignStore | None:
-        """Open (or create) the durable campaign store, when configured."""
+        """Open (or create) the durable campaign store, when configured.
+
+        On resume, ``CampaignStore.begin`` decides the replay backing: a
+        fresh compacted ``campaign.db`` serves :meth:`_partition`'s per-key
+        ``store.select`` lookups through the view's unit-key index (no
+        upfront journal materialization); otherwise the journal is replayed
+        into memory as before.  Either way the records are identical, so
+        the partition -- and the campaign result -- cannot depend on which
+        backing answered.
+        """
         if self.config.state_dir is None:
             if resume or incremental:
                 raise ValueError(

@@ -1,0 +1,10 @@
+"""Shared fixtures for the store suite (generators live in journal_gen.py)."""
+
+import random
+
+import pytest
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(2017)

@@ -1,0 +1,169 @@
+"""Seeded random journal generators for the store test suite.
+
+The property and corruption suites need *realistic* journals -- unit records
+with mergeable results and deduplicated bug databases, triage and
+quarantine records, schema-1 (pre-triage) and schema-2 bug payloads --
+without running real campaigns for every case.  These generators build them
+from a seeded ``random.Random``, so every test is reproducible from its
+seed and the generated corpus exercises the full record surface: repeated
+program texts (source dedup), duplicate unit records for one key (journal
+multiplicity), interleaved record types, and both bug-report schemas.
+"""
+
+import json
+import random
+
+WORDS = ["alpha", "beta", "gamma", "delta", "omega", "sigma", "kappa", "theta"]
+VERSIONS = ["scc-2.0", "scc-4.8", "scc-6.1", "scc-trunk", "lcc-3.6", "lcc-trunk"]
+KINDS = ["crash", "wrong code", "performance"]
+COMPONENTS = ["c", "middle-end", "tree-optimization", "rtl-optimization"]
+
+
+def gen_program(rng: random.Random) -> str:
+    """A small C-ish program; drawn from a deliberately small pool so
+    journals repeat texts (what the content-hash source table dedups)."""
+    body = "\n".join(
+        f"    int {WORDS[rng.randrange(4)]} = {rng.randrange(10)};"
+        for _ in range(rng.randrange(1, 4))
+    )
+    return "int main(void)\n{\n" + body + f"\n    return {rng.randrange(4)};\n}}\n"
+
+
+def gen_bug_payload(rng: random.Random, *, schema: int) -> dict:
+    """One serialized bug report, schema 1 (pre-triage fields absent) or 2."""
+    kind = KINDS[rng.randrange(len(KINDS))]
+    lineage = rng.choice(["scc", "lcc"])
+    signature = f"{kind} signature {rng.randrange(40)}"
+    payload = {
+        "id": f"b{rng.randrange(16**10):010x}",
+        "kind": kind,
+        "compiler": f"{lineage}-trunk",
+        "lineage": lineage,
+        "opt_level": rng.randrange(4),
+        "signature": signature,
+        "test_program": gen_program(rng),
+        "source_name": f"{rng.choice(WORDS)}.c#{rng.randrange(3)}",
+    }
+    if schema >= 2:
+        payload.update(
+            {
+                "schema": 2,
+                "component": rng.choice(COMPONENTS),
+                "priority": f"P{rng.randrange(1, 4)}",
+                "fault_ids": sorted(rng.sample(WORDS, rng.randrange(0, 3))),
+                "affected_versions": sorted(rng.sample(VERSIONS, rng.randrange(0, 3))),
+                "duplicate_count": rng.randrange(5),
+                "introduced_in": rng.choice([None] + VERSIONS),
+                "dedup_key": [lineage, kind, signature],
+            }
+        )
+    return payload
+
+
+def gen_unit_payload(rng: random.Random, *, key: str | None = None, schema: int = 2) -> dict:
+    name = f"{rng.choice(WORDS)}.c"
+    observations = {
+        obs: rng.randrange(1, 20)
+        for obs in rng.sample(["ok", "crash", "wrong code", "skipped"], rng.randrange(1, 4))
+    }
+    return {
+        "type": "unit",
+        "format": 1,
+        "key": key if key is not None else f"{rng.randrange(16**16):016x}",
+        "name": name,
+        "versions": sorted(rng.sample(VERSIONS, rng.randrange(1, 3))),
+        "result": {
+            "bugs": {
+                "reports": [
+                    gen_bug_payload(rng, schema=schema)
+                    for _ in range(rng.randrange(0, 3))
+                ]
+            },
+            "files_processed": 1,
+            "files_skipped_budget": 0,
+            "files_skipped_error": 0,
+            "variants_tested": rng.randrange(1, 30),
+            "observations": observations,
+            "wall_seconds": rng.randrange(1, 100) / 10.0,
+        },
+    }
+
+
+def gen_triage_payload(rng: random.Random, bug_id: str | None = None) -> dict:
+    return {
+        "type": "triage",
+        "format": 1,
+        "schema": 1,
+        "bug_id": bug_id if bug_id is not None else f"b{rng.randrange(16**10):010x}",
+        "kind": rng.choice(KINDS),
+        "reduced_program": rng.choice([None, gen_program(rng)]),
+        "introduced_in": rng.choice([None] + VERSIONS),
+        "stats": {
+            "predicate_evaluations": rng.randrange(100),
+            "cache_hits": rng.randrange(50),
+            "original_bytes": rng.randrange(100, 1000),
+            "reduced_bytes": rng.randrange(10, 100),
+        },
+    }
+
+
+def gen_quarantine_payload(rng: random.Random) -> dict:
+    return {
+        "type": "quarantine",
+        "format": 1,
+        "schema": 1,
+        "key": f"{rng.randrange(16**16):016x}",
+        "name": f"{rng.choice(WORDS)}.c",
+        "start": 0,
+        "stop": rng.randrange(1, 9),
+        "indices": rng.choice([None, sorted(rng.sample(range(16), 3))]),
+        "primary": rng.choice([True, False]),
+        "kind": rng.choice(["exception", "hang", "crash"]),
+        "attempts": rng.randrange(1, 4),
+        "detail": f"injected fault {rng.randrange(100)}",
+    }
+
+
+def gen_checkpoint_payload(rng: random.Random, units_seen: int) -> dict:
+    return {
+        "type": "checkpoint",
+        "format": 1,
+        "units_seen": units_seen,
+        "summary": {"variants_tested": rng.randrange(200)},
+    }
+
+
+def gen_journal_payloads(rng: random.Random, *, units: int = 12, schema: int = 2) -> list[dict]:
+    """A full mixed journal: units (some keys repeated -- the journal may
+    legally hold duplicate records for one key), triage, quarantine, and
+    checkpoint records, interleaved."""
+    payloads: list[dict] = []
+    keys: list[str] = []
+    for index in range(units):
+        # Re-record an existing key now and then: replay counts multiplicity.
+        key = rng.choice(keys) if keys and rng.random() < 0.25 else None
+        payload = gen_unit_payload(rng, key=key, schema=schema)
+        keys.append(payload["key"])
+        payloads.append(payload)
+        if rng.random() < 0.3:
+            reports = payload["result"]["bugs"]["reports"]
+            bug_id = reports[0]["id"] if reports else None
+            payloads.append(gen_triage_payload(rng, bug_id=bug_id))
+        if rng.random() < 0.2:
+            payloads.append(gen_quarantine_payload(rng))
+        if rng.random() < 0.2:
+            payloads.append(gen_checkpoint_payload(rng, units_seen=index + 1))
+    return payloads
+
+
+def write_journal(path, payloads) -> None:
+    """Write payloads exactly as :class:`JournalWriter` would (compact JSON,
+    one newline-terminated line per record)."""
+    with open(path, "wb") as handle:
+        for payload in payloads:
+            handle.write(json.dumps(payload, separators=(",", ":")).encode() + b"\n")
+
+
+FINGERPRINT = {"format": 1, "frontend": "minic", "opt_levels": [0, 2], "budget": 40}
+
+

@@ -1,0 +1,167 @@
+"""Corruption recovery: the journal survives crashes, the view survives anything.
+
+The WAL-vs-derived-view contract under fault injection: a crash-torn
+journal tail never corrupts an import (only complete lines are ever
+imported, exactly the lines replay sees); a deleted, zero-length, or
+garbage database file costs one rebuild from the journal, never an error or
+divergence; and a database belonging to a *different* campaign fails with a
+clean :class:`StoreMismatchError` instead of silently mixing fingerprints.
+"""
+
+import random
+
+import pytest
+
+from repro.store import (
+    CampaignDatabase,
+    CampaignStore,
+    StoreError,
+    StoreMismatchError,
+)
+from repro.store.journal import complete_prefix_length
+
+from journal_gen import FINGERPRINT, gen_journal_payloads, gen_unit_payload, write_journal
+
+
+def result_fields(result) -> tuple:
+    return (
+        result.summary(),
+        result.observations,
+        [(r.id, r.signature, r.introduced_in) for r in result.bugs.reports],
+        sorted(q.key for q in result.quarantined),
+    )
+
+
+@pytest.fixture
+def state(tmp_path, rng):
+    """A state dir with manifest + generated journal (no campaign needed)."""
+    store = CampaignStore(tmp_path / "state")
+    store.state_dir.mkdir(parents=True)
+    store.write_manifest(FINGERPRINT)
+    write_journal(store.journal_path, gen_journal_payloads(rng, units=8))
+    return store
+
+
+class TestTornJournal:
+    def test_torn_tail_is_deferred_not_imported(self, state, rng):
+        with open(state.journal_path, "ab") as handle:
+            handle.write(b'{"type":"unit","key":"deadbeef","versio')
+        size = state.journal_path.stat().st_size
+        assert complete_prefix_length(state.journal_path) < size
+        stats = state.compact()
+        assert state.merged_result(backing="db") is not None
+        assert result_fields(state.merged_result(backing="db")) == result_fields(
+            state.merged_result(backing="journal")
+        )
+        # The torn bytes stay unimported: re-compacting imports nothing new.
+        assert state.compact()["records_imported"] == 0
+
+    def test_append_after_torn_tail_converges(self, state, rng):
+        # The crash artifact: torn bytes, then a healthy process appends a
+        # complete record.  read_journal sees the torn bytes merge into (and
+        # corrupt) the first appended line; the incremental import must see
+        # exactly the same stream -- and does, because its offset stopped at
+        # the last complete newline.
+        state.compact()
+        with open(state.journal_path, "ab") as handle:
+            handle.write(b'{"type":"unit","key":"deadbeef","versio')
+        with open(state.journal_path, "ab") as handle:
+            import json
+
+            handle.write(
+                json.dumps(gen_unit_payload(rng), separators=(",", ":")).encode() + b"\n"
+            )
+        state.compact()
+        assert result_fields(state.merged_result(backing="db")) == result_fields(
+            state.merged_result(backing="journal")
+        )
+
+    def test_truncated_journal_triggers_full_reimport(self, state, rng):
+        state.compact()
+        # The journal shrinks (e.g. an operator restored a backup): the
+        # stored prefix hash no longer matches, so the import starts over.
+        data = state.journal_path.read_bytes()
+        lines = data.splitlines(keepends=True)
+        state.journal_path.write_bytes(b"".join(lines[: len(lines) // 2]))
+        stats = state.compact()
+        assert stats["db_rebuilt"]
+        assert result_fields(state.merged_result(backing="db")) == result_fields(
+            state.merged_result(backing="journal")
+        )
+
+    def test_rewritten_journal_triggers_full_reimport(self, state, rng):
+        state.compact()
+        write_journal(state.journal_path, gen_journal_payloads(random.Random(99), units=8))
+        stats = state.compact()
+        assert stats["db_rebuilt"]
+        assert result_fields(state.merged_result(backing="db")) == result_fields(
+            state.merged_result(backing="journal")
+        )
+
+
+class TestDamagedDatabase:
+    def expect_rebuild(self, state):
+        baseline = result_fields(state.merged_result(backing="journal"))
+        stats = state.compact()
+        assert stats["db_rebuilt"]
+        assert result_fields(state.merged_result(backing="db")) == baseline
+
+    def test_deleted_db_rebuilds(self, state):
+        state.compact()
+        state.db_path.unlink()
+        self.expect_rebuild(state)
+
+    def test_zero_length_db_rebuilds(self, state):
+        state.compact()
+        state.db_path.write_bytes(b"")
+        self.expect_rebuild(state)
+
+    def test_garbage_db_rebuilds(self, state, rng):
+        state.compact()
+        state.db_path.write_bytes(bytes(rng.randrange(256) for _ in range(4096)))
+        self.expect_rebuild(state)
+
+    def test_foreign_sqlite_db_rebuilds(self, state, tmp_path):
+        # A valid SQLite file that is not a campaign database (no meta/schema
+        # marker) is treated exactly like garbage: delete and rebuild.
+        import sqlite3
+
+        state.compact()
+        state.db_path.unlink()
+        conn = sqlite3.connect(state.db_path)
+        conn.execute("CREATE TABLE unrelated (x)")
+        conn.commit()
+        conn.close()
+        self.expect_rebuild(state)
+
+    def test_damaged_db_never_answers_reads(self, state):
+        # Freshness checks fail closed: with a broken view on disk, status
+        # and merged_result degrade to the journal instead of erroring.
+        state.compact()
+        baseline = state.status()
+        state.db_path.write_bytes(b"not a database")
+        assert state.status() == baseline
+        with pytest.raises(StoreError, match="compact"):
+            state.merged_result(backing="db")
+
+
+class TestFingerprintMismatch:
+    def test_mismatched_db_fails_cleanly(self, state):
+        state.compact()
+        # Same state dir, different campaign: the manifest changes out from
+        # under the compacted view (operator error).  Compaction must refuse
+        # with a clean mismatch error, not silently merge the campaigns.
+        state.write_manifest({**FINGERPRINT, "frontend": "while"})
+        with pytest.raises(StoreMismatchError, match="different campaign"):
+            state.compact()
+        # And the stale view never answers for the new campaign's journal.
+        assert state._open_fresh_db({**FINGERPRINT, "frontend": "while"}) is None
+
+    def test_direct_attach_mismatch(self, state, tmp_path):
+        db = CampaignDatabase.create(tmp_path / "m.db")
+        db.attach_journal(state.journal_path, FINGERPRINT, label="c")
+        with pytest.raises(StoreMismatchError, match="different campaign"):
+            db.attach_journal(
+                state.journal_path, {**FINGERPRINT, "budget": 99}, label="c"
+            )
+        db.close()

@@ -1,0 +1,373 @@
+"""The SQLite derived view: import, indexes, queries, export, merge.
+
+The acceptance contract of the indexed bug database: a view compacted from
+any journal answers exactly what an in-memory replay answers (bug ids,
+order, ``introduced_in``), key lookups go through indexes instead of table
+scans, the compressed source table actually deduplicates, and the
+import/export pair is a byte-identical inverse.
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.compiler.pipeline import OptimizationLevel
+from repro.store import (
+    CampaignDatabase,
+    CampaignStore,
+    StoreError,
+    StoreMismatchError,
+    config_fingerprint,
+    load_quarantine_records,
+    load_unit_records,
+    merged_result_from_records,
+)
+from repro.store.journal import JournalWriter, TriageRecord
+from repro.testing.harness import Campaign, CampaignConfig, CampaignResult, ShardUnit
+from repro.testing.oracle import Observation, ObservationKind
+
+from journal_gen import FINGERPRINT, gen_journal_payloads, write_journal
+
+CRASH_SEED = "int a, b = 1; int main() { if (a) a = a - a; return b; }"
+
+
+def small_config(**overrides) -> CampaignConfig:
+    defaults = dict(
+        versions=["scc-trunk"],
+        opt_levels=[OptimizationLevel.O2],
+        max_variants_per_file=8,
+    )
+    defaults.update(overrides)
+    return CampaignConfig(**defaults)
+
+
+def unit(name="t.c", source=CRASH_SEED, start=0, stop=4):
+    return ShardUnit(name=name, source=source, start=start, stop=stop, indices=None, primary=True)
+
+
+def crashy_result(signature="internal compiler error: in foo", program="int main() { return 0; }"):
+    from repro.testing.bugs import BugDatabase
+
+    result = CampaignResult(variants_tested=4, files_processed=1, observations={"crash": 1})
+    result.bugs.record(
+        Observation(
+            kind=ObservationKind.CRASH,
+            program=program,
+            source_name="t.c",
+            compiler="scc-trunk",
+            opt_level=OptimizationLevel.O2,
+            signature=signature,
+        )
+    )
+    return result
+
+
+def campaign_state(tmp_path, **config_overrides) -> CampaignStore:
+    """A real (tiny) campaign journaled into a state dir."""
+    state = tmp_path / "state"
+    Campaign(small_config(state_dir=str(state), **config_overrides)).run_sources(
+        {"crash.c": CRASH_SEED}
+    )
+    return CampaignStore(state)
+
+
+def replay_fingerprint(result) -> tuple:
+    """Everything DB-vs-journal equality compares, field for field."""
+    return (
+        result.summary(),
+        result.observations,
+        [
+            (r.id, r.kind.value, str(r.opt_level), r.signature, r.test_program,
+             r.introduced_in, r.duplicate_count, r.dedup_key)
+            for r in result.bugs.reports
+        ],
+        sorted(q.key for q in result.quarantined),
+    )
+
+
+class TestCompact:
+    def test_compact_builds_and_is_idempotent(self, tmp_path):
+        store = campaign_state(tmp_path)
+        stats = store.compact()
+        assert store.db_path.exists()
+        assert stats["records_imported"] == stats["records"] > 0
+        again = store.compact()
+        assert again["records_imported"] == 0
+        assert again["records"] == stats["records"]
+
+    def test_compact_is_incremental(self, tmp_path):
+        store = campaign_state(tmp_path)
+        store.compact()
+        with JournalWriter(store.journal_path) as writer:
+            writer.append_unit(unit(name="x.c"), ["scc-trunk"], crashy_result())
+        delta = store.compact()
+        assert delta["records_imported"] == 1
+
+    def test_compact_requires_manifest(self, tmp_path):
+        with pytest.raises(StoreMismatchError, match="no manifest"):
+            CampaignStore(tmp_path / "empty").compact()
+
+    def test_query_matches_replay_exactly(self, tmp_path):
+        store = campaign_state(tmp_path)
+        store.compact()
+        replay = store.merged_result(backing="journal")
+        with CampaignDatabase.open(store.db_path) as db:
+            pairs = db.query_bugs()
+        assert [report.id for _, report in pairs] == [r.id for r in replay.bugs.reports]
+        assert [report.introduced_in for _, report in pairs] == [
+            r.introduced_in for r in replay.bugs.reports
+        ]
+        assert [report for _, report in pairs] == list(replay.bugs.reports)
+
+    def test_merged_result_backings_agree(self, tmp_path):
+        store = campaign_state(tmp_path)
+        store.compact()
+        journal = store.merged_result(backing="journal")
+        db = store.merged_result(backing="db")
+        auto = store.merged_result()
+        assert replay_fingerprint(journal) == replay_fingerprint(db)
+        assert replay_fingerprint(journal) == replay_fingerprint(auto)
+
+    def test_db_backing_requires_fresh_view(self, tmp_path):
+        store = campaign_state(tmp_path)
+        with pytest.raises(StoreError, match="compact"):
+            store.merged_result(backing="db")
+        store.compact()
+        store.merged_result(backing="db")  # now fine
+        with JournalWriter(store.journal_path) as writer:
+            writer.append_unit(unit(name="y.c"), ["scc-trunk"], crashy_result())
+        # Stale view: "db" refuses, "auto" silently replays the journal.
+        with pytest.raises(StoreError, match="compact"):
+            store.merged_result(backing="db")
+        stale_auto = store.merged_result()
+        assert replay_fingerprint(stale_auto) == replay_fingerprint(
+            store.merged_result(backing="journal")
+        )
+
+
+class TestIndexes:
+    def test_unit_key_lookup_uses_index(self, tmp_path):
+        store = campaign_state(tmp_path)
+        store.compact()
+        with CampaignDatabase.open(store.db_path) as db:
+            plan = db.explain(
+                "SELECT payload FROM records WHERE journal_id = ? AND type = 'unit' AND ukey = ?",
+                (1, "abc"),
+            )
+        assert any("USING INDEX idx_records_unit" in line for line in plan)
+        assert not any("SCAN" in line for line in plan)
+
+    @pytest.mark.parametrize(
+        "column,index",
+        [
+            ("kind", "idx_bugs_kind"),
+            ("lineage", "idx_bugs_lineage"),
+            ("introduced_in", "idx_bugs_introduced"),
+            ("frontend", "idx_bugs_frontend"),
+            ("fingerprint_sha", "idx_bugs_fingerprint"),
+            ("bug_id", "idx_bugs_id"),
+        ],
+    )
+    def test_bug_filters_use_indexes(self, tmp_path, column, index):
+        store = campaign_state(tmp_path)
+        store.compact()
+        with CampaignDatabase.open(store.db_path) as db:
+            plan = db.explain(f"SELECT * FROM bugs WHERE {column} = ?", ("x",))
+        assert any(f"USING INDEX {index}" in line for line in plan), plan
+        assert not any(line.startswith("SCAN bugs") for line in plan)
+
+    def test_resume_lookups_answer_per_key(self, tmp_path):
+        store = campaign_state(tmp_path)
+        store.compact()
+        keys = sorted(load_unit_records(store.journal_path))
+        with CampaignDatabase.open(store.db_path) as db:
+            journal_id = db.journal_id(CampaignStore.DB_LABEL)
+            for key in keys:
+                records = db.unit_records_for(journal_id, key)
+                assert records and all(record.key == key for record in records)
+            assert db.unit_records_for(journal_id, "no-such-key") == []
+
+
+class TestSources:
+    def test_repeated_programs_stored_once(self, tmp_path):
+        state = tmp_path / "state"
+        store = CampaignStore(state)
+        store.begin(config_fingerprint(small_config()), resume=False)
+        # Three records, one distinct trigger program between them.
+        program = "int main(void)\n{\n" + "    x = x + 1;\n" * 40 + "    return x;\n}\n"
+        for name in ("a.c", "b.c", "c.c"):
+            store.writer().append_unit(
+                unit(name=name), ["scc-trunk"], crashy_result(program=program)
+            )
+        store.close()
+        stats = store.compact()
+        assert stats["sources"] == 1
+        assert stats["source_bytes_stored"] < stats["source_bytes_raw"]
+
+    def test_source_round_trip(self, tmp_path):
+        db = CampaignDatabase.create(tmp_path / "x.db")
+        text = "int main(void) { return 42; }\n" * 50
+        sha = db._put_source(text)
+        assert db._put_source(text) == sha  # dedup
+        assert db.source_text(sha) == text
+        with pytest.raises(StoreError, match="no source"):
+            db.source_text("0" * 64)
+        db.close()
+
+    def test_duplicate_unit_records_keep_multiplicity(self, tmp_path):
+        # A journal may legally contain two records for one key (e.g. chaos
+        # batch-mate re-runs); replay counts both, so the view must too.
+        state = tmp_path / "state"
+        store = CampaignStore(state)
+        store.begin(config_fingerprint(small_config()), resume=False)
+        store.writer().append_unit(unit(), ["scc-trunk"], crashy_result())
+        store.writer().append_unit(unit(), ["scc-trunk"], crashy_result())
+        store.close()
+        store.compact()
+        assert store.status()["units_journaled"] == 2
+        assert store.status()["distinct_units"] == 1
+        assert replay_fingerprint(store.merged_result(backing="db")) == replay_fingerprint(
+            store.merged_result(backing="journal")
+        )
+
+
+class TestExport:
+    def test_export_is_byte_identical(self, tmp_path):
+        store = campaign_state(tmp_path)
+        store.compact()
+        out = tmp_path / "export.jsonl"
+        with CampaignDatabase.open(store.db_path) as db:
+            written = db.export_journal(out, label=CampaignStore.DB_LABEL)
+        assert written > 0
+        assert out.read_bytes() == store.journal_path.read_bytes()
+
+    def test_export_unknown_label_fails_cleanly(self, tmp_path):
+        store = campaign_state(tmp_path)
+        store.compact()
+        with CampaignDatabase.open(store.db_path) as db:
+            with pytest.raises(StoreError, match="no journal"):
+                db.export_journal(tmp_path / "x.jsonl", label="nope")
+
+
+class TestMerge:
+    def test_cross_campaign_merge_keeps_journals_apart(self, tmp_path, rng):
+        paths = []
+        for index in range(2):
+            path = tmp_path / f"journal{index}.jsonl"
+            write_journal(path, gen_journal_payloads(rng, units=6))
+            paths.append(path)
+        db = CampaignDatabase.create(tmp_path / "merged.db")
+        for index, path in enumerate(paths):
+            db.attach_journal(path, {**FINGERPRINT, "seed": index}, label=f"c{index}")
+            # Distinct fingerprints coexist: the merge algebra never crosses
+            # journal boundaries, so per-journal queries replay each journal.
+        db.refresh_views()
+        for index, path in enumerate(paths):
+            expected = merged_result_from_records(
+                load_unit_records(path), load_quarantine_records(path)
+            )
+            journal_id = db.journal_id(f"c{index}")
+            assert replay_fingerprint(db.merged_result(journal_id)) == replay_fingerprint(expected)
+            pairs = db.query_bugs(label=f"c{index}")
+            assert [report.id for _, report in pairs] == [
+                r.id for r in expected.bugs.reports
+            ]
+        db.close()
+
+    def test_attach_order_does_not_change_query_order(self, tmp_path, rng):
+        journal_a = tmp_path / "a.jsonl"
+        journal_b = tmp_path / "b.jsonl"
+        write_journal(journal_a, gen_journal_payloads(rng, units=5))
+        write_journal(journal_b, gen_journal_payloads(rng, units=5))
+
+        def build(order):
+            db_path = tmp_path / f"m{order[0][0]}.db"
+            db = CampaignDatabase.create(db_path)
+            for label, path in order:
+                db.attach_journal(path, FINGERPRINT, label=label)
+            db.refresh_views()
+            pairs = [(label, report.id) for label, report in db.query_bugs()]
+            db.close()
+            return pairs
+
+        forward = build([("a", journal_a), ("b", journal_b)])
+        backward = build([("b", journal_b), ("a", journal_a)])
+        assert forward == backward
+
+    def test_attach_rejects_fingerprint_change(self, tmp_path, rng):
+        path = tmp_path / "j.jsonl"
+        write_journal(path, gen_journal_payloads(rng, units=3))
+        db = CampaignDatabase.create(tmp_path / "m.db")
+        db.attach_journal(path, FINGERPRINT, label="c")
+        with pytest.raises(StoreMismatchError, match="different campaign"):
+            db.attach_journal(path, {**FINGERPRINT, "frontend": "while"}, label="c")
+        db.close()
+
+
+class TestAttribution:
+    def _journal_with_bug(self, tmp_path, introduced_in):
+        state = tmp_path / "state"
+        store = CampaignStore(state)
+        store.begin(config_fingerprint(small_config()), resume=False)
+        result = crashy_result()
+        if introduced_in is not None:
+            result.bugs.reports[0].introduced_in = introduced_in
+        store.writer().append_unit(unit(), ["scc-trunk"], result)
+        return store
+
+    def test_triage_attribution_fills_missing_introduced_in(self, tmp_path):
+        store = self._journal_with_bug(tmp_path, introduced_in=None)
+        bug_id = store.merged_result(backing="journal").bugs.reports[0].id
+        store.writer().append_triage(
+            TriageRecord(
+                bug_id=bug_id, kind="crash", reduced_program=None,
+                introduced_in="scc-2.0", stats={},
+            )
+        )
+        store.close()
+        store.compact()
+        with CampaignDatabase.open(store.db_path) as db:
+            pairs = db.query_bugs(introduced_in="scc-2.0")
+            assert [report.id for _, report in pairs] == [bug_id]
+            assert pairs[0][1].introduced_in == "scc-2.0"
+
+    def test_triage_attribution_never_overrides_campaign_bisection(self, tmp_path):
+        store = self._journal_with_bug(tmp_path, introduced_in="scc-4.8")
+        bug_id = store.merged_result(backing="journal").bugs.reports[0].id
+        store.writer().append_triage(
+            TriageRecord(
+                bug_id=bug_id, kind="crash", reduced_program=None,
+                introduced_in="scc-6.1", stats={},
+            )
+        )
+        store.close()
+        store.compact()
+        with CampaignDatabase.open(store.db_path) as db:
+            # The unit record's own attribution wins: COALESCE fills NULLs
+            # only, exactly like the in-memory replay (which never consults
+            # triage records when merging unit records).
+            assert db.query_bugs(introduced_in="scc-6.1") == []
+            pairs = db.query_bugs(introduced_in="scc-4.8")
+            assert [report.id for _, report in pairs] == [bug_id]
+
+
+class TestFilters:
+    def test_kind_and_lineage_filters(self, tmp_path, rng):
+        path = tmp_path / "j.jsonl"
+        write_journal(path, gen_journal_payloads(rng, units=10))
+        db = CampaignDatabase.create(tmp_path / "q.db")
+        db.attach_journal(path, FINGERPRINT, label="c")
+        db.refresh_views()
+        every = db.query_bugs()
+        assert every, "generated journal must contain bugs"
+        crashes = db.query_bugs(kind="crash")
+        assert all(report.kind.value == "crash" for _, report in crashes)
+        assert [r.id for _, r in crashes] == [
+            r.id for _, r in every if r.kind.value == "crash"
+        ]
+        scc = db.query_bugs(lineage="scc")
+        assert all(report.lineage == "scc" for _, report in scc)
+        assert db.query_bugs(frontend="minic") == every
+        assert db.query_bugs(frontend="nope") == []
+        db.close()

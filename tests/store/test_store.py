@@ -376,6 +376,52 @@ class TestCampaignStore:
         assert status["last_checkpoint"]["units_seen"] == 1
 
 
+class TestLazyStatus:
+    def _bulk_journal(self, tmp_path, units=200):
+        store = CampaignStore(tmp_path / "state")
+        store.begin(config_fingerprint(small_config()), resume=False)
+        writer = store.writer()
+        for index in range(units):
+            writer.append_unit(
+                unit(name=f"f{index}.c", start=index, stop=index + 4),
+                ["scc-trunk"],
+                CampaignResult(variants_tested=4, observations={"ok": 4}),
+            )
+        store.checkpoint(units, CampaignResult(variants_tested=4 * units))
+        store.close()
+        return store
+
+    def test_status_does_not_materialize_unit_results(self, tmp_path, monkeypatch):
+        # The regression this pins: status() used to replay the entire
+        # journal (every CampaignResult + BugDatabase) just to count lines.
+        # The lazy path decodes record *envelopes* only, so deserializing
+        # even one unit result here is a failure.
+        store = self._bulk_journal(tmp_path)
+
+        def explode(payload):
+            raise AssertionError("status materialized a unit result")
+
+        monkeypatch.setattr(
+            "repro.store.journal.campaign_result_from_json", explode
+        )
+        status = store.status()
+        assert status["units_journaled"] == 200
+        assert status["distinct_units"] == 200
+        assert status["last_checkpoint"]["units_seen"] == 200
+
+    def test_status_from_compacted_view_matches_journal_scan(self, tmp_path, monkeypatch):
+        store = self._bulk_journal(tmp_path, units=50)
+        from_journal = store.status()
+        store.compact()
+        # The compacted view answers with SQL counts -- also without ever
+        # touching the unit-result codec.
+        monkeypatch.setattr(
+            "repro.store.journal.campaign_result_from_json",
+            lambda payload: (_ for _ in ()).throw(AssertionError("materialized")),
+        )
+        assert store.status() == from_journal
+
+
 class TestHarnessStoreValidation:
     def test_resume_without_state_dir_raises(self):
         campaign = Campaign(small_config())

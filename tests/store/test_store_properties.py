@@ -1,0 +1,146 @@
+"""Property-based round-trip suite for the journal <-> database pair.
+
+Seeded random journals (schema-1 and schema-2 records, duplicate unit keys,
+interleaved triage/quarantine/checkpoint lines -- see ``journal_gen``) pin
+the store's algebraic contracts across many generated cases:
+
+* journal -> DB -> journal is byte-identical (import/export are inverses);
+* DB -> export -> import -> export is byte-identical (a fixpoint after one
+  round trip);
+* replay through the DB equals replay of the journal, field for field;
+* merge is associative and order-independent: shuffled journals, shard
+  concatenation in any order, and shuffled import all reconstruct one
+  identical campaign result.
+"""
+
+import random
+
+import pytest
+
+from repro.store import (
+    CampaignDatabase,
+    load_quarantine_records,
+    load_triage_records,
+    load_unit_records,
+    merged_result_from_records,
+)
+from repro.store.journal import fold_triage_records, fold_unit_records
+
+from journal_gen import FINGERPRINT, gen_journal_payloads, write_journal
+
+SEEDS = [2017, 42, 7, 901, 31337]
+
+
+def result_fields(result) -> tuple:
+    return (
+        result.summary(),
+        result.observations,
+        [
+            (r.id, r.kind.value, str(r.opt_level), r.signature, r.test_program,
+             r.introduced_in, r.duplicate_count, r.dedup_key)
+            for r in result.bugs.reports
+        ],
+        sorted(q.key for q in result.quarantined),
+    )
+
+
+def replay(path):
+    return merged_result_from_records(
+        load_unit_records(path), load_quarantine_records(path)
+    )
+
+
+def attach(tmp_path, journal_path, tag):
+    db = CampaignDatabase.create(tmp_path / f"{tag}.db")
+    db.attach_journal(journal_path, FINGERPRINT, label="c")
+    db.refresh_views()
+    return db
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("schema", [1, 2])
+class TestRoundTrips:
+    def test_journal_db_journal_is_byte_identical(self, tmp_path, seed, schema):
+        journal = tmp_path / "journal.jsonl"
+        write_journal(journal, gen_journal_payloads(random.Random(seed), schema=schema))
+        with attach(tmp_path, journal, "a") as db:
+            out = tmp_path / "export.jsonl"
+            db.export_journal(out, label="c")
+        assert out.read_bytes() == journal.read_bytes()
+
+    def test_export_import_export_is_fixpoint(self, tmp_path, seed, schema):
+        journal = tmp_path / "journal.jsonl"
+        write_journal(journal, gen_journal_payloads(random.Random(seed), schema=schema))
+        first = tmp_path / "first.jsonl"
+        with attach(tmp_path, journal, "a") as db:
+            db.export_journal(first, label="c")
+        second = tmp_path / "second.jsonl"
+        with attach(tmp_path, first, "b") as db:
+            db.export_journal(second, label="c")
+        assert second.read_bytes() == first.read_bytes()
+
+    def test_db_replay_equals_journal_replay(self, tmp_path, seed, schema):
+        journal = tmp_path / "journal.jsonl"
+        write_journal(journal, gen_journal_payloads(random.Random(seed), schema=schema))
+        with attach(tmp_path, journal, "a") as db:
+            from_db = db.merged_result(db.journal_id("c"))
+        assert result_fields(from_db) == result_fields(replay(journal))
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+class TestOrderIndependence:
+    def test_shuffled_import_equals_in_order_import(self, tmp_path, seed):
+        rng = random.Random(seed)
+        payloads = gen_journal_payloads(rng, units=10)
+        in_order = tmp_path / "ordered.jsonl"
+        write_journal(in_order, payloads)
+        shuffled_payloads = list(payloads)
+        rng.shuffle(shuffled_payloads)
+        shuffled = tmp_path / "shuffled.jsonl"
+        write_journal(shuffled, shuffled_payloads)
+
+        with attach(tmp_path, in_order, "a") as db:
+            ordered_result = db.merged_result(db.journal_id("c"))
+            ordered_bugs = [(l, r.id) for l, r in db.query_bugs()]
+        with attach(tmp_path, shuffled, "b") as db:
+            shuffled_result = db.merged_result(db.journal_id("c"))
+            shuffled_bugs = [(l, r.id) for l, r in db.query_bugs()]
+        # Unit-record merge is commutative; only the *effective* triage and
+        # quarantine records are order-sensitive (last-wins), and neither
+        # participates in the unit replay -- so replays agree modulo the
+        # triage-coalesced attributions, which query_bugs may legitimately
+        # resolve differently after a shuffle.  Compare the unit replay.
+        assert result_fields(ordered_result) == result_fields(shuffled_result)
+        assert sorted(ordered_bugs) == sorted(shuffled_bugs)
+
+    def test_shard_merge_is_associative_and_commutative(self, tmp_path, seed):
+        rng = random.Random(seed)
+        shards = [gen_journal_payloads(rng, units=4) for _ in range(3)]
+
+        def merged(order):
+            path = tmp_path / f"m{''.join(map(str, order))}.jsonl"
+            payloads = [p for index in order for p in shards[index]]
+            write_journal(path, payloads)
+            return replay(path)
+
+        baseline = result_fields(merged([0, 1, 2]))
+        assert result_fields(merged([2, 0, 1])) == baseline
+        assert result_fields(merged([1, 2, 0])) == baseline
+
+    def test_folds_agree_between_file_and_db_payload_streams(self, tmp_path, seed):
+        # The fold functions are the single definition of loading semantics:
+        # feeding them the DB's restored payload stream must produce exactly
+        # the same unit/triage groupings as reading the file.
+        journal = tmp_path / "journal.jsonl"
+        write_journal(journal, gen_journal_payloads(random.Random(seed)))
+        with attach(tmp_path, journal, "a") as db:
+            journal_id = db.journal_id("c")
+            payloads = list(db._payloads(journal_id))
+        assert fold_unit_records(payloads).keys() == load_unit_records(journal).keys()
+        assert {
+            bug_id: (t.kind, t.reduced_program, t.introduced_in)
+            for bug_id, t in fold_triage_records(payloads).items()
+        } == {
+            bug_id: (t.kind, t.reduced_program, t.introduced_in)
+            for bug_id, t in load_triage_records(journal).items()
+        }

@@ -251,3 +251,123 @@ class TestArgumentValidation:
             main(argv)
         assert excinfo.value.code == 2
         assert "integer" in capsys.readouterr().err
+
+
+class TestDbCommands:
+    """The ``repro db`` subcommands: compact, status, bugs, export, merge."""
+
+    def run_campaign(self, tmp_path, name="state", lang="minic"):
+        state = str(tmp_path / name)
+        assert main(
+            ["campaign", "--lang", lang, "--files", "3", "--variants", "6",
+             "--state-dir", state]
+        ) == 0
+        return state
+
+    def test_compact_and_status(self, tmp_path, capsys):
+        state = self.run_campaign(tmp_path)
+        capsys.readouterr()
+        assert main(["db", "compact", "--state-dir", state]) == 0
+        out = capsys.readouterr().out
+        assert "compacted" in out and "ratio" in out
+        from pathlib import Path
+
+        assert (Path(state) / "campaign.db").exists()
+        assert main(["db", "status", "--state-dir", state]) == 0
+        out = capsys.readouterr().out
+        assert "units_journaled" in out and "distinct_units" in out
+        assert main(["db", "status", "--state-dir", state, "--format", "json"]) == 0
+        import json
+
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["units_journaled"] > 0
+
+    def test_bugs_listing_matches_campaign_report(self, tmp_path, capsys):
+        state = self.run_campaign(tmp_path)
+        campaign_out = capsys.readouterr().out
+        campaign_lines = [
+            line for line in campaign_out.splitlines() if line.startswith("[b")
+        ]
+        assert campaign_lines, "campaign must report bugs for this corpus"
+        assert main(["db", "bugs", "--state-dir", state]) == 0
+        db_lines = capsys.readouterr().out.splitlines()
+        assert db_lines == campaign_lines
+
+    def test_bugs_rebuild_after_delete_is_byte_identical(self, tmp_path, capsys):
+        # The CI db-smoke contract: delete the view, re-query, and the
+        # listing (rebuilt transparently from the journal) must not change
+        # by a byte.
+        state = self.run_campaign(tmp_path)
+        capsys.readouterr()
+        assert main(["db", "bugs", "--state-dir", state]) == 0
+        first = capsys.readouterr().out
+        from pathlib import Path
+
+        (Path(state) / "campaign.db").unlink()
+        assert main(["db", "bugs", "--state-dir", state]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_bugs_filters_and_json(self, tmp_path, capsys):
+        import json
+
+        state = self.run_campaign(tmp_path)
+        capsys.readouterr()
+        assert main(
+            ["db", "bugs", "--state-dir", state, "--kind", "wrong-code",
+             "--format", "json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert all(entry["kind"] == "wrong code" for entry in payload)
+        assert all(entry["journal"] == "campaign" for entry in payload)
+        assert main(
+            ["db", "bugs", "--state-dir", state, "--kind", "crash"]
+        ) == 0
+        crash_lines = capsys.readouterr().out.splitlines()
+        assert all("crash" in line for line in crash_lines)
+
+    def test_export_round_trips(self, tmp_path, capsys):
+        from pathlib import Path
+
+        state = self.run_campaign(tmp_path)
+        capsys.readouterr()
+        out_path = tmp_path / "export.jsonl"
+        assert main(
+            ["db", "export", "--state-dir", state, "--output", str(out_path)]
+        ) == 0
+        assert "exported" in capsys.readouterr().out
+        assert out_path.read_bytes() == (Path(state) / "journal.jsonl").read_bytes()
+
+    def test_merge_attaches_campaigns_under_labels(self, tmp_path, capsys):
+        state_a = self.run_campaign(tmp_path, name="alpha")
+        state_b = self.run_campaign(tmp_path, name="beta", lang="while")
+        capsys.readouterr()
+        merged = str(tmp_path / "merged.db")
+        assert main(["db", "merge", "--out", merged, state_a, state_b]) == 0
+        out = capsys.readouterr().out
+        assert "attached alpha" in out and "attached beta" in out
+        assert main(["db", "bugs", "--db", merged]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        assert any(line.startswith("[alpha]") for line in lines)
+        assert main(["db", "bugs", "--db", merged, "--label", "alpha"]) == 0
+        alpha_only = capsys.readouterr().out.splitlines()
+        assert alpha_only and all(line.startswith("[alpha]") for line in alpha_only)
+        # Frontend filter spans campaigns: the while campaign's bugs only.
+        assert main(["db", "bugs", "--db", merged, "--frontend", "while"]) == 0
+        while_lines = capsys.readouterr().out.splitlines()
+        assert all(line.startswith("[beta]") for line in while_lines)
+
+    def test_merge_rejects_duplicate_labels(self, tmp_path, capsys):
+        state = self.run_campaign(tmp_path)
+        capsys.readouterr()
+        assert main(
+            ["db", "merge", "--out", str(tmp_path / "m.db"), state, state]
+        ) == 2
+        assert "distinct names" in capsys.readouterr().err
+
+    def test_clean_errors(self, tmp_path, capsys):
+        # Querying a state dir that never ran a campaign, or a database file
+        # that does not exist, is a clean exit-2 error, not a traceback.
+        assert main(["db", "compact", "--state-dir", str(tmp_path / "none")]) == 2
+        assert "no manifest" in capsys.readouterr().err
+        assert main(["db", "bugs", "--db", str(tmp_path / "missing.db")]) == 2
+        assert "no campaign database" in capsys.readouterr().err

@@ -246,3 +246,90 @@ class TestShardedStore:
         )
         assert fingerprint(resumed) == fingerprint(first)
         assert sum(len(g) for g in load_unit_records(journal).values()) == records_before
+
+
+class TestDbBackedResume:
+    """Resume through the compacted SQLite view (PR: indexed bug database).
+
+    With a fresh ``campaign.db`` in the state dir, ``begin(resume=True)``
+    serves the harness's per-key record lookups from the view's unit-key
+    index instead of materializing the whole journal.  The records are the
+    same either way, so the campaign result must be too -- and the eager
+    journal loader must provably never run.
+    """
+
+    def test_resume_through_view_is_pure_replay(self, tmp_path, monkeypatch):
+        from repro.store import CampaignStore
+
+        corpus = corpus_for("minic")
+        state = str(tmp_path / "state")
+        baseline = Campaign(config_for("minic", state_dir=state)).run_sources(corpus)
+        CampaignStore(state).compact()
+
+        def explode(path):
+            raise AssertionError("DB-backed resume materialized the full journal")
+
+        monkeypatch.setattr("repro.store.store.load_unit_records", explode)
+        resumed = Campaign(config_for("minic", state_dir=state)).run_sources(
+            corpus, resume=True
+        )
+        assert fingerprint(resumed) == fingerprint(baseline)
+
+    def test_resume_with_stale_view_falls_back_to_journal(self, tmp_path):
+        from repro.store import CampaignStore
+
+        corpus = corpus_for("minic")
+        state = str(tmp_path / "state")
+        split = len(corpus) // 2
+        first_half = dict(list(corpus.items())[:split])
+        Campaign(config_for("minic", state_dir=state)).run_sources(first_half)
+        CampaignStore(state).compact()
+        # The campaign grows past the compacted prefix: the view is stale,
+        # resume must transparently use the journal, and the final result
+        # must equal an uninterrupted run.
+        resumed = Campaign(config_for("minic", state_dir=state)).run_sources(
+            corpus, resume=True
+        )
+        baseline = Campaign(config_for("minic")).run_sources(corpus)
+        assert fingerprint(resumed) == fingerprint(baseline)
+
+    def test_incremental_resume_through_view(self, tmp_path, monkeypatch):
+        from repro.store import CampaignStore
+
+        versions = list(get_frontend("minic").default_versions)
+        assert len(versions) >= 2
+        corpus = corpus_for("minic")
+        state = str(tmp_path / "state")
+        Campaign(config_for("minic", state_dir=state, versions=versions[:1])).run_sources(
+            corpus
+        )
+        CampaignStore(state).compact()
+        monkeypatch.setattr(
+            "repro.store.store.load_unit_records",
+            lambda path: (_ for _ in ()).throw(AssertionError("materialized")),
+        )
+        incremental = Campaign(
+            config_for("minic", state_dir=state, versions=versions)
+        ).run_sources(corpus, incremental=True)
+        monkeypatch.undo()
+        full = Campaign(config_for("minic", versions=versions)).run_sources(corpus)
+        assert fingerprint(incremental) == fingerprint(full)
+
+    def test_merged_result_backings_agree_field_for_field(self, tmp_path):
+        from repro.store import CampaignStore
+
+        corpus = corpus_for("minic")
+        state = str(tmp_path / "state")
+        Campaign(config_for("minic", state_dir=state)).run_sources(corpus)
+        store = CampaignStore(state)
+        store.compact()
+        journal = store.merged_result(backing="journal")
+        view = store.merged_result(backing="db")
+        assert fingerprint(view) == fingerprint(journal)
+        assert view.observations == journal.observations
+        assert [r.introduced_in for r in view.bugs.reports] == [
+            r.introduced_in for r in journal.bugs.reports
+        ]
+        assert sorted(q.key for q in view.quarantined) == sorted(
+            q.key for q in journal.quarantined
+        )
