@@ -1,0 +1,127 @@
+"""Overhead of the static-analysis layer on the campaign hot path.
+
+Runs the same default-corpus workload three times -- baseline, with the
+between-pass IR verifier at ``verify_ir="always"``, and with the sanitizer
+gate -- and records wall-clock overhead percentages plus the sanitizer's
+tainted filter rate in ``BENCH_campaign.json`` under the
+``"static_analysis"`` key.
+
+The headline assertion is that between-pass verification costs less than
+10% of campaign wall clock: the verifier only runs after passes that
+changed the module (plus simplify-cfg for the unreachable-block rule), and
+the pipeline cache replays verified outcomes without re-verifying.  The
+sanitizer classifies one AST walk per distinct (skeleton, vector) pair and
+is cached, so it stays in the same band.  Each configuration is timed as
+the minimum of a few repeats, which filters the one-sided scheduler noise
+that would otherwise dominate single-shot wall-clock ratios.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.experiments.table1 import build_corpus
+from repro.testing.harness import Campaign, CampaignConfig
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+WORKLOAD = dict(files=10, seed=2017, max_variants_per_file=20)
+
+
+#: Timed repeats per configuration; the *minimum* wall clock is the
+#: estimate (scheduler and GC noise only ever add time, never remove it).
+REPEATS = 3
+
+
+def _run(corpus, **overrides):
+    config = CampaignConfig(
+        max_variants_per_file=WORKLOAD["max_variants_per_file"], **overrides
+    )
+    result, best = None, None
+    for _ in range(REPEATS):
+        started = time.perf_counter()
+        result = Campaign(config).run_sources(corpus)
+        elapsed = time.perf_counter() - started
+        best = elapsed if best is None else min(best, elapsed)
+    return result, best
+
+
+def _overhead_pct(base_seconds, seconds):
+    return round(100.0 * (seconds - base_seconds) / base_seconds, 2)
+
+
+def test_static_analysis_overhead(run_once, benchmark):
+    corpus = build_corpus(files=WORKLOAD["files"], seed=WORKLOAD["seed"])
+
+    def experiment():
+        # Warm one throwaway run so interpreter/pipeline code paths are hot
+        # before the baseline is timed (first-run costs would otherwise be
+        # charged entirely to the baseline, deflating every overhead ratio).
+        _run(dict(list(corpus.items())[:2]))
+        baseline_result, baseline_seconds = _run(corpus)
+        verified_result, verified_seconds = _run(corpus, verify_ir="always")
+        sanitized_result, sanitized_seconds = _run(corpus, sanitize=True)
+        return (
+            (baseline_result, baseline_seconds),
+            (verified_result, verified_seconds),
+            (sanitized_result, sanitized_seconds),
+        )
+
+    (
+        (baseline_result, baseline_seconds),
+        (verified_result, verified_seconds),
+        (sanitized_result, sanitized_seconds),
+    ) = run_once(benchmark, experiment)
+
+    # Policy off/always must agree on everything except verification
+    # verdicts: same variants, same files.
+    assert verified_result.variants_tested == baseline_result.variants_tested
+    assert sanitized_result.variants_tested == baseline_result.variants_tested
+
+    stats = sanitized_result.cache_stats
+    tainted = stats.get("sanitizer_tainted", 0)
+    clean = stats.get("sanitizer_clean", 0)
+    gated = tainted + clean
+    assert gated > 0, "sanitizer gate never ran on the benchmark workload"
+
+    verify_overhead = _overhead_pct(baseline_seconds, verified_seconds)
+    sanitize_overhead = _overhead_pct(baseline_seconds, sanitized_seconds)
+
+    payload = {
+        "static_analysis": {
+            "workload": dict(WORKLOAD),
+            "baseline_seconds": round(baseline_seconds, 3),
+            "verify_ir": {
+                "policy": "always",
+                "seconds": round(verified_seconds, 3),
+                "overhead_pct": verify_overhead,
+                "ill_formed_observations": verified_result.observations.get(
+                    "ill-formed ir", 0
+                ),
+            },
+            "sanitizer": {
+                "seconds": round(sanitized_seconds, 3),
+                "overhead_pct": sanitize_overhead,
+                "variants_gated": gated,
+                "variants_tainted": tainted,
+                "tainted_rate": round(tainted / gated, 4),
+            },
+        }
+    }
+    bench_path = REPO_ROOT / "BENCH_campaign.json"
+    try:
+        existing = json.loads(bench_path.read_text())
+    except (OSError, json.JSONDecodeError):
+        existing = {}
+    existing.update(payload)
+    bench_path.write_text(json.dumps(existing, indent=2) + "\n")
+
+    # The design target: between-pass verification and the sanitizer gate
+    # each cost under 10% of campaign wall clock.  Min-of-repeats keeps the
+    # comparison out of scheduler-noise territory; a regression that
+    # re-verifies unchanged modules or re-walks cached verdicts measures in
+    # integer multiples of the baseline, far past this line.
+    assert verify_overhead < 10.0, f"IR verification overhead {verify_overhead}%"
+    assert sanitize_overhead < 10.0, f"sanitizer overhead {sanitize_overhead}%"

@@ -15,10 +15,18 @@ registered language frontend; the default is mini-C):
   store: ``--state-dir DIR`` journals per-unit outcomes durably,
   ``--resume`` replays them after a crash, ``--incremental`` re-tests only
   compiler versions not yet covered, ``--fresh`` discards an existing
-  journal (a non-resume run refuses to overwrite one); and in-flight
+  journal (a non-resume run refuses to overwrite one); static analysis:
+  ``--verify-ir {off,bugs,always}`` runs the between-pass IR verifier and
+  files violations as ``ill-formed-ir`` bugs, ``--sanitize`` gates the
+  oracle behind the static UB sanitizer; and in-flight
   triage: ``--reduce {off,crash,all}`` minimises bug triggers as they are
   filed and ``--bisect`` attributes each bug to the compiler version that
   introduced it;
+* ``lint``             -- run the static UB sanitizer standalone over seed
+  files (and/or the built-in corpus via ``--corpus N``), printing one
+  machine-readable ``file:function:kind:detail`` line per finding plus a
+  greppable ``# lint:`` summary; parse rejections are reported as
+  ``parse-error`` findings, and the exit status is 0 either way;
 * ``triage``           -- reduce and bisect the bugs journaled in an
   existing campaign ``--state-dir`` after the fact, appending the reduced
   programs and version attributions to the journal as ``triage`` records;
@@ -128,6 +136,14 @@ def _ordinal_list(text: str) -> tuple[int, ...]:
     return values
 
 
+def _version_list(text: str) -> list[str]:
+    """Argparse type for comma-separated compiler versions (``scc-5.4,scc-trunk``)."""
+    versions = [part.strip() for part in text.split(",") if part.strip()]
+    if not versions:
+        raise argparse.ArgumentTypeError(f"expected comma-separated versions, got {text!r}")
+    return versions
+
+
 def _parse_shard(spec: str) -> tuple[int, int]:
     """Parse ``I/N`` (0-based shard I of N), e.g. ``--shard 2/4``."""
     try:
@@ -140,6 +156,59 @@ def _parse_shard(spec: str) -> tuple[int, int]:
     if not 0 <= index < count:
         raise argparse.ArgumentTypeError(f"shard index {index} out of range for {count} shards")
     return index, count
+
+
+def _stats_ratio(label: str, hits: int, total: int) -> str | None:
+    """One ``label hits/total (pct%)`` telemetry cell, or ``None``.
+
+    The zero-total guard lives here so every stderr stats line shares it: a
+    campaign that never exercised a cache (or a gate) must print nothing for
+    it rather than divide by zero.
+    """
+    if total <= 0:
+        return None
+    return f"{label} {hits}/{total} ({100.0 * hits / total:.1f}%)"
+
+
+def cache_stats_line(cache_stats: dict[str, int]) -> str | None:
+    """The ``# cache:`` stderr line for a campaign result, or ``None``.
+
+    Byte-identical to the historical inline format: one cell per cache that
+    saw any traffic, ``None`` when none did.
+    """
+    parts = []
+    for label in ("module", "pipeline", "reference"):
+        hits = cache_stats.get(f"{label}_hits", 0)
+        misses = cache_stats.get(f"{label}_misses", 0)
+        part = _stats_ratio(label, hits, hits + misses)
+        if part is not None:
+            parts.append(part)
+    if not parts:
+        return None
+    return f"# cache: {'  '.join(parts)}"
+
+
+def sanitizer_stats_line(cache_stats: dict[str, int]) -> str | None:
+    """The ``# sanitizer:`` stderr line for a campaign result, or ``None``.
+
+    ``cache`` is the verdict-cache hit rate, ``tainted`` the gate's filter
+    rate over all gated variants.  ``None`` whenever the sanitizer never ran
+    (the gate off), keeping gate-off output byte-identical.
+    """
+    hits = cache_stats.get("sanitizer_hits", 0)
+    misses = cache_stats.get("sanitizer_misses", 0)
+    tainted = cache_stats.get("sanitizer_tainted", 0)
+    clean = cache_stats.get("sanitizer_clean", 0)
+    parts = []
+    for part in (
+        _stats_ratio("cache", hits, hits + misses),
+        _stats_ratio("tainted", tainted, tainted + clean),
+    ):
+        if part is not None:
+            parts.append(part)
+    if not parts:
+        return None
+    return f"# sanitizer: {'  '.join(parts)}"
 
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
@@ -187,6 +256,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         )
     config = CampaignConfig(
         frontend=args.lang,
+        versions=args.versions,
         max_variants_per_file=args.variants,
         sample_per_file=args.sample,
         sample_seed=args.seed,
@@ -204,6 +274,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         on_fault=args.on_fault,
         chaos=chaos,
         fsync_journal=args.fsync_journal,
+        verify_ir=args.verify_ir,
+        sanitize=args.sanitize,
     )
     campaign = Campaign(config)
     try:
@@ -227,19 +299,15 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         print("hint: re-run with --on-fault quarantine to degrade and continue", file=sys.stderr)
         return 3
     print(result.summary())
-    if result.cache_stats:
-        # Cache telemetry goes to stderr: CI smoke legs diff stdout
-        # byte-for-byte between serial and pooled runs, and hit counts are
-        # legitimately run-shape-dependent.
-        parts = []
-        for label in ("module", "pipeline", "reference"):
-            hits = result.cache_stats.get(f"{label}_hits", 0)
-            misses = result.cache_stats.get(f"{label}_misses", 0)
-            total = hits + misses
-            if total:
-                parts.append(f"{label} {hits}/{total} ({100.0 * hits / total:.1f}%)")
-        if parts:
-            print(f"# cache: {'  '.join(parts)}", file=sys.stderr)
+    # Cache + sanitizer telemetry goes to stderr: CI smoke legs diff stdout
+    # byte-for-byte between serial and pooled runs, and hit counts are
+    # legitimately run-shape-dependent.
+    for line in (
+        cache_stats_line(result.cache_stats),
+        sanitizer_stats_line(result.cache_stats),
+    ):
+        if line is not None:
+            print(line, file=sys.stderr)
     for record in sorted(result.quarantined, key=lambda r: (r.name, r.key)):
         # One greppable line per quarantined unit (the chaos-smoke CI job
         # matches on '# quarantined:'); printed only when any exist, so
@@ -251,6 +319,40 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     print()
     for report in result.bugs.reports:
         print(report.summary_line())
+    return 0
+
+
+def lint_source(frontend, source: str):
+    """Sanitizer findings for one source file, parse rejections included.
+
+    A program the frontend rejects is itself a (machine-readable) finding
+    rather than an error: ``repro lint`` over a seed corpus must keep going
+    and exit 0, so CI can grep a stable finding count.
+    """
+    from repro.compiler.sanitize import Finding
+
+    try:
+        return frontend.sanitize_source(source)
+    except frontend.parse_error_types as error:
+        return [Finding("parse-error", "<file>", "", str(error))]
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    frontend = get_frontend(args.lang)
+    sources: dict[str, str] = {}
+    if args.corpus is not None:
+        sources.update(frontend.build_corpus(files=args.corpus, seed=args.seed))
+    for path in args.files:
+        sources[path] = Path(path).read_text()
+    if not sources:
+        print("error: nothing to lint; pass FILES and/or --corpus N", file=sys.stderr)
+        return 2
+    total = 0
+    for name, source in sources.items():
+        for finding in lint_source(frontend, source):
+            print(f"{name}:{finding.render()}")
+            total += 1
+    print(f"# lint: {total} findings in {len(sources)} files")
     return 0
 
 
@@ -602,6 +704,27 @@ def build_parser() -> argparse.ArgumentParser:
              "--unit-timeout so the deadline machinery engages)",
     )
     campaign.add_argument(
+        "--versions", type=_version_list, default=None, metavar="V1,V2,...",
+        help="comma-separated compiler-under-test versions (default: the "
+             "frontend's version matrix, e.g. scc-trunk,lcc-trunk for mini-C)",
+    )
+    campaign.add_argument(
+        "--verify-ir", choices=["off", "bugs", "always"], default="off",
+        dest="verify_ir",
+        help="run the IR well-formedness verifier between pipeline passes: "
+             "'bugs' verifies the compiler under test and files violations "
+             "as ill-formed-ir bugs naming the offending pass, 'always' "
+             "additionally verifies the fault-free reference compiles "
+             "(default: off, byte-identical journals)",
+    )
+    campaign.add_argument(
+        "--sanitize", action="store_true",
+        help="classify variants with the static UB sanitizer before the "
+             "oracle matrix and skip tainted ones (use-before-init, constant "
+             "division by zero, out-of-range shift/index); skips are counted "
+             "as observations[sanitized] with a '# sanitizer:' stderr line",
+    )
+    campaign.add_argument(
         "--reduce", choices=["off", "crash", "all"], default="off",
         help="minimise bug triggers as they are filed: crash bugs only, or "
              "all bug kinds (wrong code and performance included); the "
@@ -613,6 +736,18 @@ def build_parser() -> argparse.ArgumentParser:
              "introduced it (reported as 'introduced in ...')",
     )
     campaign.set_defaults(func=_cmd_campaign)
+
+    lint = subparsers.add_parser(
+        "lint", help="static UB sanitizer findings for seed files (machine-readable)"
+    )
+    _add_lang_argument(lint)
+    lint.add_argument("files", nargs="*", metavar="FILE", help="source files to lint")
+    lint.add_argument(
+        "--corpus", type=_positive_int, default=None, metavar="N",
+        help="additionally lint the frontend's built-in N-file corpus",
+    )
+    lint.add_argument("--seed", type=int, default=2017, help="corpus generation seed")
+    lint.set_defaults(func=_cmd_lint)
 
     triage = subparsers.add_parser(
         "triage",

@@ -26,12 +26,13 @@ import hashlib
 from dataclasses import dataclass, field
 
 from repro.compiler.errors import CompilationError, InternalCompilerError
-from repro.compiler.faults import FaultSet
+from repro.compiler.faults import FaultKind, FaultSet
 from repro.compiler.ir import IRModule, clone_module, instruction_count
 from repro.compiler.lowering import lower_module
 from repro.core.holes import BoundVariant
 from repro.compiler.passes import CoverageRecorder, PassContext
 from repro.compiler.pipeline import OptimizationLevel, build_pass_pipeline
+from repro.compiler.verify import first_violation
 from repro.compiler.versions import CompilerVersion, get_version
 from repro.compiler.vm import VirtualMachine
 from repro.minic import ast
@@ -61,6 +62,12 @@ class CompileOutcome:
     #: it (the pipeline-cache paths): lets the oracle's VM-result cache key a
     #: run without re-rendering the module text.  ``None`` on legacy paths.
     module_sha: str | None = None
+    #: ``(pass name, violation)`` when the between-pass IR verifier caught a
+    #: broken invariant (only populated when :attr:`Compiler.verify_ir` is
+    #: on); the oracle reports it as an ``ill-formed-ir`` bug naming the
+    #: offending pass.  The pipeline stops at the first violation, so
+    #: ``crash`` and ``ill_formed`` are mutually exclusive.
+    ill_formed: tuple[str, str] | None = None
 
     @property
     def crashed(self) -> bool:
@@ -90,6 +97,10 @@ class PipelineRecord:
     triggered: tuple[str, ...]
     coverage: tuple[tuple[str, int], ...]
     compile_effort: int
+    #: Verifier verdict of the run that produced this record (see
+    #: :attr:`CompileOutcome.ill_formed`); a cache hit replays the miss's
+    #: verdict.  Trailing default keeps older positional constructions valid.
+    ill_formed: tuple[str, str] | None = None
 
 
 class PipelineCache:
@@ -158,6 +169,11 @@ class Compiler:
         #: harness does this for every executor of its oracle matrix),
         #: ``compile_variant`` memoises pass-pipeline outcomes by content.
         self.pipeline_cache: PipelineCache | None = None
+        #: Run the between-pass IR verifier (:mod:`repro.compiler.verify`)
+        #: during the pass pipeline.  Off by default -- the oracle switches
+        #: it on under the campaign's ``verify_ir`` policy; with it off the
+        #: driver's behaviour is bit-for-bit the pre-verifier behaviour.
+        self.verify_ir = False
 
     def _fresh_faults(self) -> FaultSet:
         return FaultSet(faults=self._fault_dict, opt_level=int(self.opt_level))
@@ -251,6 +267,7 @@ class Compiler:
                 raise record.crash
             outcome.module = record.module
             outcome.module_sha = record.module_sha
+            outcome.ill_formed = record.ill_formed
             outcome.success = True
         except InternalCompilerError as crash:
             outcome.crash = crash
@@ -288,7 +305,15 @@ class Compiler:
             module_sha = lowered_sha
         else:
             module_sha = hashlib.sha256(str(module).encode()).hexdigest()
-        return PipelineRecord(module, module_sha, None, triggered, coverage, outcome.compile_effort)
+        return PipelineRecord(
+            module,
+            module_sha,
+            None,
+            triggered,
+            coverage,
+            outcome.compile_effort,
+            outcome.ill_formed,
+        )
 
     def _compile(self, name: str, build_module) -> CompileOutcome:
         """Shared scaffolding: run ``build_module`` + the pass pipeline,
@@ -408,6 +433,7 @@ class Compiler:
             optimization_level=int(self.opt_level),
         )
         pipeline = self._pipeline
+        verify = self.verify_ir and bool(pipeline)
         for function in module.functions.values():
             outcome.coverage.record("frontend.function_lowered")
             for pass_instance in pipeline:
@@ -415,7 +441,43 @@ class Compiler:
                 changed = pass_instance.run(function, context)
                 if changed:
                     outcome.coverage.record(f"pipeline.{pass_instance.name}.changed")
+                # Verify after any pass that reports a change, plus after
+                # every simplify-cfg run: only simplify-cfg owes the
+                # no-unreachable-blocks invariant, and its seeded
+                # ill-formed fault can corrupt without reporting a change.
+                if verify and (changed or pass_instance.name == "simplify-cfg"):
+                    violation = first_violation(
+                        function,
+                        module,
+                        check_unreachable=pass_instance.name == "simplify-cfg",
+                    )
+                    if violation is not None:
+                        self._note_ill_formed(pass_instance.name, violation, faults, outcome)
+                        outcome.compile_effort = sum(
+                            context.statistics.values()
+                        ) + instruction_count(module)
+                        return
         outcome.compile_effort = sum(context.statistics.values()) + instruction_count(module)
+
+    def _note_ill_formed(
+        self, pass_name: str, violation, faults: FaultSet, outcome: CompileOutcome
+    ) -> None:
+        """Stamp a verifier violation on the outcome and attribute its fault.
+
+        Ill-formed-IR faults deliberately stay silent inside the passes (so
+        verification-off campaigns remain byte-identical); the verifier is
+        the observer, so it marks any matching seeded fault triggered --
+        which gives the filed bug its component/priority metadata and a
+        stable triggered-faults dedup key.
+        """
+        for fault in self._fault_dict.values():
+            if (
+                fault.kind is FaultKind.ILL_FORMED_IR
+                and fault.pass_name == pass_name
+                and fault.active_at(int(self.opt_level))
+            ):
+                faults.trigger(fault.id)
+        outcome.ill_formed = (pass_name, str(violation))
 
     # -- frontend seeded faults --------------------------------------------------------
 

@@ -27,6 +27,11 @@ class FaultKind(enum.Enum):
     CRASH = "crash"
     WRONG_CODE = "wrong code"
     PERFORMANCE = "performance"
+    #: A pass leaves structurally broken IR behind without crashing or (yet)
+    #: changing behaviour -- only the between-pass verifier
+    #: (:mod:`repro.compiler.verify`) can observe it, under the campaign's
+    #: ``verify_ir`` policy.
+    ILL_FORMED_IR = "ill-formed ir"
 
 
 @dataclass(frozen=True)
@@ -42,6 +47,12 @@ class Fault:
     introduced_in: str = ""
     fixed_in: str | None = None
     crash_signature: str = ""
+    #: For :attr:`FaultKind.ILL_FORMED_IR` faults: the pipeline pass whose
+    #: output the corruption appears in.  The driver's between-pass verifier
+    #: uses it to mark the fault triggered when a violation surfaces after
+    #: that pass (the fault itself stays silent so that campaigns with
+    #: verification off remain byte-identical to the pre-verifier behaviour).
+    pass_name: str = ""
 
     def active_at(self, opt_level: int) -> bool:
         return opt_level >= self.min_opt_level

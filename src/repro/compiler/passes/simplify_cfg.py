@@ -12,6 +12,15 @@ while threading forwarding blocks the pass fails to notice a block that jumps
 to itself (an empty infinite loop, typically produced by enumerations that
 turn a loop condition into a constant); following the chain never terminates
 and the internal "loop structure" verification gives up with an assertion.
+
+Seeded fault ``cfg-retain-garbage-block`` (ill-formed IR): the unreachable
+sweep loses track of one dead block and leaves it -- intact but orphaned --
+in the function.  The garbage never executes (the VM translates blocks
+lazily on first entry) and every downstream pass tolerates it, so campaigns
+that do not verify IR see byte-identical behaviour; only the between-pass
+verifier (:mod:`repro.compiler.verify`) observes the corruption, which is
+why the fault does not mark itself triggered here -- the driver's verifier
+wiring does that when (and only when) verification is on.
 """
 
 from __future__ import annotations
@@ -92,10 +101,38 @@ class SimplifyCFG(FunctionPass):
     def _remove_unreachable(self, function: IRFunction, context: PassContext) -> bool:
         reachable = CFG(function).reachable()
         unreachable = [label for label in function.blocks if label not in reachable]
+        retained: str | None = None
+        if unreachable and context.faults.active("cfg-retain-garbage-block"):
+            retained = self._garbage_block_to_retain(function, reachable, unreachable)
+        removed = False
         for label in unreachable:
+            if label == retained:
+                continue
             del function.blocks[label]
             self.note(context, "unreachable_block_removed")
-        return bool(unreachable)
+            removed = True
+        return removed
+
+    @staticmethod
+    def _garbage_block_to_retain(
+        function: IRFunction, reachable: set, unreachable: list
+    ) -> str | None:
+        """Which unreachable block the seeded fault forgets to delete.
+
+        Deterministic (first eligible in layout order) and deliberately
+        restricted to blocks that are harmless with verification off: never
+        a single-``jump`` forwarding block (those interact with the
+        self-loop threading fault) and only blocks whose every successor is
+        reachable (so no dangling edges are left behind).
+        """
+        for label in unreachable:
+            block = function.blocks[label]
+            if len(block.instructions) == 1 and isinstance(block.instructions[0], Jump):
+                continue
+            if any(succ not in reachable for succ in block.successors()):
+                continue
+            return label
+        return None
 
     def _merge_straight_line(self, function: IRFunction, context: PassContext) -> bool:
         changed = True

@@ -1,0 +1,362 @@
+"""Static undefined-behaviour sanitizer over frontend ASTs.
+
+The differential oracle already refuses a wrong-code verdict on programs the
+reference interpreter classifies as undefined -- but only after paying for a
+full interpretation and a compilation per configuration.  The sanitizer is
+the static pre-filter the ROADMAP calls for (diopter's ``sanitizer.py`` is
+the exemplar): it classifies a variant ``clean`` or ``tainted`` before the
+oracle runs, from the AST alone.
+
+Taint rules (see ``docs/ARCHITECTURE.md`` section 12 for the lattice):
+
+* **use-before-init** (mini-C) -- a local scalar is read on some path along
+  which it was never assigned, established by a definite-assignment walk
+  (branch join = set intersection; loop bodies may not execute; statements
+  after ``return``/``break``/``continue`` are vacuously assigned).  Globals
+  (zero-initialised), parameters, arrays and address-taken locals are
+  conservatively treated as initialised; functions containing ``goto`` are
+  skipped (a tree walk cannot follow the edges soundly).
+* **div-by-zero / mod-by-zero** (mini-C and WHILE) -- a division or
+  remainder whose right operand constant-folds to zero.
+* **shift-out-of-range** (mini-C) -- a shift whose count constant-folds to a
+  negative value or to at least the promoted width of the left operand.
+* **index-out-of-range** (mini-C) -- a subscript of a declared array whose
+  index constant-folds outside ``[0, size)``.
+
+The constant-expression rules only fire on *guaranteed* values, so a tainted
+verdict means the flagged expression misbehaves whenever it executes; the
+use-before-init rule is a may-analysis (the read might sit behind a branch),
+matching the interpreter's dynamic UB verdict on the paths that reach it.
+WHILE has no undefined behaviour for uninitialised reads (variables default
+to zero) and no shifts or arrays, so only the division rule applies there.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.lang import ast as wast
+from repro.minic import ast
+from repro.minic.ctypes import ArrayType, IntType, integer_promote
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One sanitizer finding, machine-renderable for ``repro lint``."""
+
+    kind: str
+    function: str
+    subject: str
+    detail: str
+
+    def render(self) -> str:
+        return f"{self.function}:{self.kind}:{self.detail}"
+
+
+# -- mini-C ---------------------------------------------------------------------------
+
+
+def sanitize_minic_unit(unit: ast.TranslationUnit) -> list[Finding]:
+    """All sanitizer findings of a resolved mini-C translation unit."""
+    findings: list[Finding] = []
+    for function in unit.functions():
+        findings.extend(_constant_findings(function))
+        if not any(isinstance(node, ast.Goto) for node in function.walk()):
+            findings.extend(_use_before_init(function))
+    return findings
+
+
+# -- constant-expression rules --
+
+
+def _const_value(expr: ast.Expr | None) -> int | None:
+    """The guaranteed integer value of an expression, or None."""
+    if isinstance(expr, (ast.IntLiteral, ast.CharLiteral)):
+        return expr.value
+    if isinstance(expr, ast.Unary) and not expr.postfix:
+        value = _const_value(expr.operand)
+        if value is None:
+            return None
+        if expr.op == "-":
+            return -value
+        if expr.op == "+":
+            return value
+        if expr.op == "~":
+            return ~value
+        if expr.op == "!":
+            return int(value == 0)
+        return None
+    if isinstance(expr, ast.Binary):
+        left = _const_value(expr.left)
+        right = _const_value(expr.right)
+        if left is None or right is None:
+            return None
+        try:
+            return {
+                "+": lambda: left + right,
+                "-": lambda: left - right,
+                "*": lambda: left * right,
+                "/": lambda: int(left / right),
+                "%": lambda: left - int(left / right) * right,
+            }[expr.op]()
+        except (KeyError, ZeroDivisionError):
+            return None
+    if isinstance(expr, ast.Cast):
+        value = _const_value(expr.operand)
+        if value is not None and isinstance(expr.target_type, IntType):
+            return expr.target_type.wrap(value)
+        return None
+    return None
+
+
+def _shift_width(left: ast.Expr) -> int:
+    """The promoted bit width of a shift's left operand (32 when unknown)."""
+    if isinstance(left, ast.Identifier) and left.decl is not None:
+        promoted = integer_promote(left.decl.var_type)
+        if isinstance(promoted, IntType):
+            return promoted.bits
+    if isinstance(left, ast.Cast) and isinstance(left.target_type, IntType):
+        promoted = integer_promote(left.target_type)
+        if isinstance(promoted, IntType):
+            return promoted.bits
+    return 32
+
+
+def _constant_findings(function: ast.FunctionDef) -> list[Finding]:
+    findings: list[Finding] = []
+
+    def flag(kind: str, subject: str, detail: str) -> None:
+        findings.append(Finding(kind, function.name, subject, detail))
+
+    for node in function.walk():
+        if isinstance(node, ast.Binary) and node.op in ("/", "%"):
+            if _const_value(node.right) == 0:
+                kind = "div-by-zero" if node.op == "/" else "mod-by-zero"
+                flag(kind, node.op, f"right operand of {node.op!r} is the constant 0")
+        elif isinstance(node, ast.Assignment) and node.op in ("/=", "%="):
+            if _const_value(node.value) == 0:
+                kind = "div-by-zero" if node.op == "/=" else "mod-by-zero"
+                flag(kind, node.op, f"right operand of {node.op!r} is the constant 0")
+        elif isinstance(node, ast.Binary) and node.op in ("<<", ">>"):
+            count = _const_value(node.right)
+            if count is not None and (count < 0 or count >= _shift_width(node.left)):
+                flag("shift-out-of-range", node.op, f"shift count {count} out of range")
+        elif isinstance(node, ast.Assignment) and node.op in ("<<=", ">>="):
+            count = _const_value(node.value)
+            if count is not None and (count < 0 or count >= _shift_width(node.target)):
+                flag("shift-out-of-range", node.op, f"shift count {count} out of range")
+        elif isinstance(node, ast.Index):
+            base = node.base
+            if isinstance(base, ast.Identifier) and base.decl is not None:
+                var_type = base.decl.var_type
+                index = _const_value(node.index)
+                if isinstance(var_type, ArrayType) and index is not None:
+                    if index < 0 or index >= var_type.size:
+                        flag(
+                            "index-out-of-range",
+                            base.name,
+                            f"index {index} outside {base.name}[{var_type.size}]",
+                        )
+    return findings
+
+
+# -- definite assignment --
+
+#: Sentinel state for "this point is unreachable" (after return/break/...):
+#: vacuously every variable is assigned, and joins ignore it.
+_UNREACHABLE = None
+
+
+def _use_before_init(function: ast.FunctionDef) -> list[Finding]:
+    findings: list[Finding] = []
+    flagged: set[int] = set()  # one finding per declaration
+    address_taken = {
+        id(node.operand.decl)
+        for node in function.walk()
+        if isinstance(node, ast.Unary)
+        and node.op == "&"
+        and not node.postfix
+        and isinstance(node.operand, ast.Identifier)
+        and node.operand.decl is not None
+    }
+
+    def tracked(decl: ast.VarDecl | None) -> bool:
+        return (
+            decl is not None
+            and not decl.is_global
+            and not decl.is_param
+            and not isinstance(decl.var_type, ArrayType)
+            and id(decl) not in address_taken
+        )
+
+    def read(identifier: ast.Identifier, state: set[int]) -> None:
+        decl = identifier.decl
+        if tracked(decl) and id(decl) not in state and id(decl) not in flagged:
+            flagged.add(id(decl))
+            findings.append(
+                Finding(
+                    "use-before-init",
+                    function.name,
+                    identifier.name,
+                    f"{identifier.name!r} may be read before initialization",
+                )
+            )
+
+    def expr(node: ast.Expr | None, state: set[int]) -> None:
+        """Walk an expression: check reads, apply assignment effects."""
+        if node is None:
+            return
+        if isinstance(node, ast.Identifier):
+            read(node, state)
+            return
+        if isinstance(node, ast.Assignment):
+            if node.op != "=":
+                expr(node.target, state)  # compound assignment reads first
+            elif not isinstance(node.target, ast.Identifier):
+                expr(node.target, state)  # e.g. a[i] = ...: i (and a) are read
+            expr(node.value, state)
+            if isinstance(node.target, ast.Identifier) and node.target.decl is not None:
+                state.add(id(node.target.decl))
+            return
+        if isinstance(node, ast.Unary):
+            if node.op == "&" and isinstance(node.operand, ast.Identifier):
+                return  # taking an address is not a read
+            expr(node.operand, state)
+            if node.op in ("++", "--") and isinstance(node.operand, ast.Identifier):
+                if node.operand.decl is not None:
+                    state.add(id(node.operand.decl))
+            return
+        if isinstance(node, ast.Binary) and node.op in ("&&", "||"):
+            expr(node.left, state)
+            branch = set(state)
+            expr(node.right, branch)  # right side may not execute
+            return
+        if isinstance(node, ast.Conditional):
+            expr(node.condition, state)
+            then_state, else_state = set(state), set(state)
+            expr(node.then_expr, then_state)
+            expr(node.else_expr, else_state)
+            state |= then_state & else_state
+            return
+        for child in node.children():
+            if isinstance(child, ast.Expr):
+                expr(child, state)
+
+    def join(left: set[int] | None, right: set[int] | None) -> set[int] | None:
+        if left is _UNREACHABLE:
+            return right
+        if right is _UNREACHABLE:
+            return left
+        return left & right
+
+    def stmt(node: ast.Stmt, state: set[int] | None) -> set[int] | None:
+        """Transfer one statement; None propagates "unreachable"."""
+        if state is _UNREACHABLE:
+            return _UNREACHABLE
+        if isinstance(node, ast.DeclStmt):
+            for decl in node.decls:
+                expr(decl.init, state)
+                for item in decl.init_list or []:
+                    expr(item, state)
+                if decl.init is not None or decl.init_list is not None:
+                    state.add(id(decl))
+            return state
+        if isinstance(node, ast.ExprStmt):
+            expr(node.expr, state)
+            return state
+        if isinstance(node, ast.Block):
+            for item in node.items:
+                state = stmt(item, state)
+            return state
+        if isinstance(node, ast.If):
+            expr(node.condition, state)
+            then_state = stmt(node.then_branch, set(state))
+            else_state = set(state)
+            if node.else_branch is not None:
+                else_state = stmt(node.else_branch, else_state)
+            return join(then_state, else_state)
+        if isinstance(node, ast.While):
+            expr(node.condition, state)
+            stmt(node.body, set(state))  # body may not execute
+            return state
+        if isinstance(node, ast.DoWhile):
+            state = stmt(node.body, state)  # body executes at least once
+            if state is not _UNREACHABLE:
+                expr(node.condition, state)
+            return state
+        if isinstance(node, ast.For):
+            if node.init is not None:
+                state = stmt(node.init, state)
+            if state is _UNREACHABLE:
+                return _UNREACHABLE
+            expr(node.condition, state)
+            body_state = stmt(node.body, set(state))
+            if body_state is not _UNREACHABLE:
+                expr(node.step, body_state)
+            return state
+        if isinstance(node, ast.Return):
+            expr(node.value, state)
+            return _UNREACHABLE
+        if isinstance(node, (ast.Break, ast.Continue)):
+            return _UNREACHABLE
+        if isinstance(node, ast.Label):
+            return stmt(node.statement, state)
+        return state
+
+    entry: set[int] = set()
+    stmt(function.body, entry)
+    return findings
+
+
+# -- WHILE ----------------------------------------------------------------------------
+
+
+def _while_const(node: wast.WhileNode) -> int | None:
+    if isinstance(node, wast.Num):
+        return node.value
+    if isinstance(node, wast.BinaryArith):
+        left = _while_const(node.left)
+        right = _while_const(node.right)
+        if left is None or right is None:
+            return None
+        try:
+            return {
+                "+": lambda: left + right,
+                "-": lambda: left - right,
+                "*": lambda: left * right,
+                "/": lambda: int(left / right),
+            }[node.op]()
+        except (KeyError, ZeroDivisionError):
+            return None
+    return None
+
+
+def _while_walk(node: wast.WhileNode):
+    yield node
+    for child in node.children():
+        yield from _while_walk(child)
+
+
+def sanitize_while_program(program: wast.WhileNode) -> list[Finding]:
+    """Sanitizer findings of a WHILE program.
+
+    WHILE's only runtime error is division by zero (uninitialised variables
+    read as zero by definition), so the one rule is a division whose right
+    operand constant-folds to zero.
+    """
+    findings: list[Finding] = []
+    for node in _while_walk(program):
+        if isinstance(node, wast.BinaryArith) and node.op == "/":
+            if _while_const(node.right) == 0:
+                findings.append(
+                    Finding(
+                        "div-by-zero",
+                        "<program>",
+                        "/",
+                        "right operand of '/' is the constant 0",
+                    )
+                )
+    return findings
+
+
+__all__ = ["Finding", "sanitize_minic_unit", "sanitize_while_program"]

@@ -110,6 +110,18 @@ BUG_CATALOGUE: list[Fault] = [
         crash_signature="in verify_loop_structure, at cfgloop.c:1644",
     ),
     Fault(
+        id="cfg-retain-garbage-block",
+        component="middle-end",
+        kind=FaultKind.ILL_FORMED_IR,
+        description="the unreachable-block sweep leaves one orphaned block in the function",
+        priority="P2",
+        min_opt_level=1,
+        introduced_in="scc-6.1",
+        fixed_in=None,
+        crash_signature="",
+        pass_name="simplify-cfg",
+    ),
+    Fault(
         id="loop-index-strength-reduce",
         component="tree-optimization",
         kind=FaultKind.WRONG_CODE,

@@ -163,6 +163,26 @@ class Frontend(abc.ABC):
         """
         return None
 
+    # -- static sanitization ------------------------------------------------
+
+    def sanitize_variant(self, variant: BoundVariant) -> list:
+        """Static UB findings for a bound variant's AST (empty = clean).
+
+        The campaign harness's ``sanitize`` gate calls this before the
+        oracle matrix runs and skips tainted variants (see
+        :mod:`repro.compiler.sanitize` for the taint rules).  The default
+        opts out: every variant is clean.
+        """
+        return []
+
+    def sanitize_source(self, source: str) -> list:
+        """Static UB findings for source text (the ``repro lint`` path).
+
+        Raises one of :attr:`parse_error_types` when the frontend rejects
+        the program.  The default opts out: every program is clean.
+        """
+        return []
+
     # -- corpus -------------------------------------------------------------
 
     @abc.abstractmethod

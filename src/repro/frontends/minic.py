@@ -101,6 +101,20 @@ class MiniCFrontend(Frontend):
 
         return delete_candidates(source, indices)
 
+    def sanitize_variant(self, variant: BoundVariant) -> list:
+        from repro.compiler.sanitize import sanitize_minic_unit
+
+        return sanitize_minic_unit(variant.program)
+
+    def sanitize_source(self, source: str) -> list:
+        from repro.compiler.sanitize import sanitize_minic_unit
+        from repro.minic.parser import parse
+        from repro.minic.symbols import resolve
+
+        unit = parse(source)
+        resolve(unit)
+        return sanitize_minic_unit(unit)
+
     def build_corpus(self, files: int = 25, seed: int = 2017) -> dict[str, str]:
         from repro.experiments.table1 import build_corpus
 

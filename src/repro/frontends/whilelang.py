@@ -95,6 +95,16 @@ class WhileFrontend(Frontend):
     def delete_candidates(self, source: str, indices) -> str | None:
         return while_delete_candidates(source, indices)
 
+    def sanitize_variant(self, variant: BoundVariant) -> list:
+        from repro.compiler.sanitize import sanitize_while_program
+
+        return sanitize_while_program(variant.program)
+
+    def sanitize_source(self, source: str) -> list:
+        from repro.compiler.sanitize import sanitize_while_program
+
+        return sanitize_while_program(parse_program(source))
+
     def build_corpus(self, files: int = 25, seed: int = 2017) -> dict[str, str]:
         from repro.corpus.while_seeds import build_while_corpus
 

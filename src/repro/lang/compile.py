@@ -207,6 +207,11 @@ class WhileCompiler:
         #: Optional campaign-scoped pipeline-outcome cache, mirroring
         #: :attr:`repro.compiler.driver.Compiler.pipeline_cache`.
         self.pipeline_cache: PipelineCache | None = None
+        #: Mirrors :attr:`repro.compiler.driver.Compiler.verify_ir` so the
+        #: oracle can set the policy uniformly; WHILE compiles by rewriting
+        #: its own AST (no three-address IR), so there is nothing to verify
+        #: and the flag is accepted but inert.
+        self.verify_ir = False
 
     def _fresh_faults(self) -> FaultSet:
         return FaultSet(faults=self._fault_dict, opt_level=int(self.opt_level))

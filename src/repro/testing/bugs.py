@@ -23,6 +23,10 @@ class BugKind(enum.Enum):
     CRASH = "crash"
     WRONG_CODE = "wrong code"
     PERFORMANCE = "performance"
+    #: A pass broke an IR structural invariant (caught by the between-pass
+    #: verifier under the ``verify_ir`` policy); the report's signature
+    #: names the offending pass -- finer-grained than version bisection.
+    ILL_FORMED_IR = "ill-formed ir"
 
     @staticmethod
     def from_observation(kind: ObservationKind) -> "BugKind":
@@ -30,6 +34,7 @@ class BugKind(enum.Enum):
             ObservationKind.CRASH: BugKind.CRASH,
             ObservationKind.WRONG_CODE: BugKind.WRONG_CODE,
             ObservationKind.PERFORMANCE: BugKind.PERFORMANCE,
+            ObservationKind.ILL_FORMED_IR: BugKind.ILL_FORMED_IR,
         }[kind]
 
 
@@ -330,6 +335,11 @@ class BugDatabase:
             return (lineage, kind.value, base)
         if observation.triggered_faults:
             return (lineage, kind.value, tuple(sorted(observation.triggered_faults)))
+        if kind is BugKind.ILL_FORMED_IR:
+            # No seeded fault to pin it on: dedup by the offending pass (the
+            # stable "ill-formed IR after <pass>" signature prefix) rather
+            # than per program.
+            return (lineage, kind.value, observation.signature.split(":", 1)[0])
         return (lineage, kind.value, observation.source_name)
 
     @staticmethod
@@ -339,6 +349,8 @@ class BugDatabase:
             return (report.lineage, report.kind.value, report.signature.split(" (")[0])
         if report.fault_ids:
             return (report.lineage, report.kind.value, tuple(sorted(report.fault_ids)))
+        if report.kind is BugKind.ILL_FORMED_IR:
+            return (report.lineage, report.kind.value, report.signature.split(":", 1)[0])
         return (report.lineage, report.kind.value, report.source_name)
 
     @staticmethod

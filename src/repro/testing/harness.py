@@ -430,6 +430,23 @@ class CampaignConfig:
     #: durability) instead of once on close.  Operator-selectable
     #: crash-safety vs. throughput; fingerprint-excluded.
     fsync_journal: bool = False
+    #: IR well-formedness verification between pipeline passes
+    #: (:mod:`repro.compiler.verify`): ``"off"`` runs no verifier (the
+    #: historical pipeline, byte-identical journals), ``"bugs"`` verifies the
+    #: compiler under test and files violations as ``ill-formed-ir`` bugs
+    #: naming the offending pass, ``"always"`` additionally verifies the
+    #: fault-free reference compiles.  Policy knob, not a config identity:
+    #: excluded from the durable store's fingerprint, and cached pipeline
+    #: outcomes replay the recorded verdict (see ``PipelineRecord``).
+    verify_ir: str = "off"
+    #: Gate the oracle matrix behind the static UB sanitizer
+    #: (:mod:`repro.compiler.sanitize`): variants whose AST carries a
+    #: guaranteed-UB construct (use-before-init, constant division by zero,
+    #: out-of-range shift/index) are classified *tainted* and skipped before
+    #: any compilation, counted under ``observations["sanitized"]`` with
+    #: ``sanitizer_*`` cache counters.  Off by default (byte-identical
+    #: journals); fingerprint-excluded.
+    sanitize: bool = False
 
     def __post_init__(self) -> None:
         frontend = get_frontend(self.frontend)
@@ -452,6 +469,11 @@ class CampaignConfig:
             raise ValueError(
                 f"on_fault must be 'abort' or 'quarantine', got {self.on_fault!r}"
             )
+        if self.verify_ir not in DifferentialOracle.VERIFY_POLICIES:
+            raise ValueError(
+                f"verify_ir must be one of {DifferentialOracle.VERIFY_POLICIES}, "
+                f"got {self.verify_ir!r}"
+            )
         from repro.triage.engine import normalize_reduce_policy
 
         self.reduce_bugs = normalize_reduce_policy(self.reduce_bugs)
@@ -473,6 +495,7 @@ class CampaignConfig:
                 opt_level=level,
                 machine_bits=bits,
                 frontend=self.frontend,
+                verify_ir=self.verify_ir,
             )
             for version in self.versions
             for level in self.opt_levels
@@ -670,6 +693,10 @@ class Campaign:
         self._reference_cache: dict[
             tuple[str, CharacteristicVector], ExecutionResult | None
         ] = {}
+        # Sanitizer verdicts (True = tainted) keyed like the reference cache;
+        # only populated when ``config.sanitize`` is on.  Bounded FIFO with
+        # the same lifetime argument as the reference cache.
+        self._sanitizer_cache: dict[tuple[str, CharacteristicVector], bool] = {}
         # Fallback identity tokens for skeletons that did not come from
         # source text (run_skeletons): unique per skeleton object.
         self._anon_skeletons = 0
@@ -1405,10 +1432,41 @@ class Campaign:
         result.variants_tested += 1
         variant_name = f"{skeleton.name}#{variant.index}"
         if rebind and variant.order_clean:
+            if self.config.sanitize and self._variant_tainted(variant):
+                # Tainted variants never reach the oracle matrix: the whole
+                # configuration row is skipped and the skip is journaled as
+                # an observation kind (absent entirely when the gate is off,
+                # which keeps gate-off journals byte-identical).
+                result.observations["sanitized"] = (
+                    result.observations.get("sanitized", 0) + 1
+                )
+                return self._exhausted(result)
             self._test_variant_ast(variant, variant_name, result, count_reference)
         else:
             self._test_variant_text(variant, variant_name, result, count_reference)
         return self._exhausted(result)
+
+    def _variant_tainted(self, variant: BoundVariant) -> bool:
+        """Sanitizer verdict for one bound variant, memoised per (file, vector).
+
+        Counters mirror the reference cache's: ``sanitizer_hits``/``misses``
+        count verdict-cache lookups, ``sanitizer_clean``/``tainted`` count
+        gate decisions (per variant gated, hits included), all under
+        ``cache_stats`` so they never perturb journal equality.
+        """
+        key = (self._skeleton_token(variant.skeleton), variant.vector)
+        cache = self._sanitizer_cache
+        if key in cache:
+            self._count_cache("sanitizer_hits")
+            tainted = cache[key]
+        else:
+            self._count_cache("sanitizer_misses")
+            tainted = bool(self._frontend.sanitize_variant(variant))
+            cache[key] = tainted
+            while len(cache) > self.REFERENCE_CACHE_ENTRIES:
+                del cache[next(iter(cache))]
+        self._count_cache("sanitizer_tainted" if tainted else "sanitizer_clean")
+        return tainted
 
     def _test_variant_ast(
         self,

@@ -41,6 +41,9 @@ class ObservationKind(enum.Enum):
     WRONG_CODE = "wrong code"
     PERFORMANCE = "performance"
     SKIPPED = "skipped"
+    #: The between-pass IR verifier caught a structural invariant violation
+    #: (only observable when the campaign's ``verify_ir`` policy is on).
+    ILL_FORMED_IR = "ill-formed ir"
 
 
 @dataclass
@@ -65,6 +68,7 @@ class Observation:
             ObservationKind.CRASH,
             ObservationKind.WRONG_CODE,
             ObservationKind.PERFORMANCE,
+            ObservationKind.ILL_FORMED_IR,
         )
 
 
@@ -103,6 +107,14 @@ class DifferentialOracle:
     #: harness shares one dict across its whole oracle matrix so the CLI and
     #: benchmarks can report cache effectiveness.  Purely observational.
     cache_stats: dict | None = None
+    #: Between-pass IR verification policy: ``"off"`` (never verify -- the
+    #: pre-verifier behaviour, byte for byte), ``"bugs"`` (verify the
+    #: compiler under test; the fault-free reference sibling cannot violate
+    #: and is skipped) or ``"always"`` (verify both executors).
+    verify_ir: str = "off"
+
+    #: Legal ``verify_ir`` values.
+    VERIFY_POLICIES = ("off", "bugs", "always")
 
     #: Bound on a shared module cache (entries, FIFO eviction).  Module
     #: texts are not stored -- only (budget, bits, sha) keys and
@@ -118,6 +130,13 @@ class DifferentialOracle:
         self._reference = self._frontend.executor(
             self._frontend.reference_version, self.opt_level, machine_bits=self.machine_bits
         )
+        if self.verify_ir not in self.VERIFY_POLICIES:
+            raise ValueError(
+                f"verify_ir must be one of {', '.join(self.VERIFY_POLICIES)}, "
+                f"got {self.verify_ir!r}"
+            )
+        self._compiler.verify_ir = self.verify_ir in ("bugs", "always")
+        self._reference.verify_ir = self.verify_ir == "always"
 
     def enable_pipeline_cache(self, cache) -> None:
         """Wire a campaign-scoped pipeline-outcome cache into both executors.
@@ -272,6 +291,20 @@ class DifferentialOracle:
                 compiler=self.version,
                 opt_level=self.opt_level,
                 signature=outcome.crash_signature() or "internal compiler error",
+                outcome=outcome,
+                triggered_faults=outcome.triggered_faults,
+            )
+
+        if outcome.ill_formed is not None:
+            pass_name, detail = outcome.ill_formed
+            return Observation(
+                kind=ObservationKind.ILL_FORMED_IR,
+                program=bug_program(),
+                source_name=name,
+                compiler=self.version,
+                opt_level=self.opt_level,
+                signature=f"ill-formed IR after {pass_name}: {detail}",
+                detail=pass_name,
                 outcome=outcome,
                 triggered_faults=outcome.triggered_faults,
             )

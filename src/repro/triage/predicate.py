@@ -36,8 +36,14 @@ from repro.testing.oracle import DifferentialOracle, Observation
 _ORACLES: dict[tuple[str, str, int, int], DifferentialOracle] = {}
 
 
-def _oracle(frontend: str, version: str, opt_level: int, machine_bits: int) -> DifferentialOracle:
-    key = (frontend, version, opt_level, machine_bits)
+def _oracle(
+    frontend: str,
+    version: str,
+    opt_level: int,
+    machine_bits: int,
+    verify_ir: str = "off",
+) -> DifferentialOracle:
+    key = (frontend, version, opt_level, machine_bits, verify_ir)
     oracle = _ORACLES.get(key)
     if oracle is None:
         oracle = DifferentialOracle(
@@ -45,9 +51,15 @@ def _oracle(frontend: str, version: str, opt_level: int, machine_bits: int) -> D
             opt_level=opt_level,
             machine_bits=machine_bits,
             frontend=frontend,
+            verify_ir=verify_ir,
         )
         _ORACLES[key] = oracle
     return oracle
+
+
+def _policy_for_kind(kind: BugKind) -> str:
+    """The ``verify_ir`` policy a predicate for this bug kind needs."""
+    return "bugs" if kind is BugKind.ILL_FORMED_IR else "off"
 
 
 def observation_dedup_key(observation: Observation) -> tuple | None:
@@ -73,6 +85,11 @@ class BugPredicate:
     machine_bits: int
     source_name: str
     expected_key: tuple = field(default=())
+    #: Between-pass verification policy for the predicate's oracle.  Only
+    #: ``ill-formed-ir`` bugs need it on -- their symptom is invisible to an
+    #: unverified compilation -- and keeping it ``"off"`` for every other
+    #: kind preserves the historical predicate behaviour exactly.
+    verify_ir: str = "off"
 
     @property
     def cache_tag(self) -> tuple:
@@ -83,11 +100,12 @@ class BugPredicate:
             self.opt_level,
             self.machine_bits,
             self.expected_key,
+            self.verify_ir,
         )
 
     def observe(self, source: str) -> Observation:
         return _oracle(
-            self.frontend, self.version, self.opt_level, self.machine_bits
+            self.frontend, self.version, self.opt_level, self.machine_bits, self.verify_ir
         ).observe(source, name=self.source_name)
 
     def __call__(self, source: str) -> bool:
@@ -109,6 +127,7 @@ class BugPredicate:
             machine_bits=machine_bits,
             source_name=observation.source_name,
             expected_key=key,
+            verify_ir=_policy_for_kind(BugKind.from_observation(observation.kind)),
         )
 
     @staticmethod
@@ -123,6 +142,7 @@ class BugPredicate:
             machine_bits=machine_bits,
             source_name=report.source_name,
             expected_key=key,
+            verify_ir=_policy_for_kind(report.kind),
         )
 
 

@@ -51,9 +51,17 @@ class TestVersionCatalogue:
         for fault in BUG_CATALOGUE:
             assert fault.component
             assert fault.priority.startswith("P")
-            assert fault.kind in (FaultKind.CRASH, FaultKind.WRONG_CODE, FaultKind.PERFORMANCE)
+            assert fault.kind in (
+                FaultKind.CRASH,
+                FaultKind.WRONG_CODE,
+                FaultKind.PERFORMANCE,
+                FaultKind.ILL_FORMED_IR,
+            )
             if fault.kind is FaultKind.CRASH:
                 assert fault.crash_signature
+            if fault.kind is FaultKind.ILL_FORMED_IR:
+                # The verifier attributes the corruption to this pass.
+                assert fault.pass_name
 
 
 class TestSeededBugBehaviours:

@@ -1,0 +1,260 @@
+"""Unit tests for the static UB sanitizer (mini-C and WHILE rules)."""
+
+import pytest
+
+from repro.compiler.sanitize import sanitize_minic_unit, sanitize_while_program
+from repro.lang.parser import parse_program
+from repro.minic.parser import parse
+from repro.minic.symbols import resolve
+
+
+def minic_findings(source):
+    unit = parse(source)
+    resolve(unit)
+    return sanitize_minic_unit(unit)
+
+
+def kinds(findings):
+    return [finding.kind for finding in findings]
+
+
+class TestUseBeforeInit:
+    def test_read_on_unassigned_path_flagged(self):
+        findings = minic_findings(
+            """
+            int main(void) {
+              int x;
+              int y = 3;
+              if (y > 10) { x = 1; }
+              printf("%d\\n", x + y);
+              return 0;
+            }
+            """
+        )
+        assert kinds(findings) == ["use-before-init"]
+        assert findings[0].subject == "x"
+        assert findings[0].function == "main"
+
+    def test_assigned_on_both_branches_clean(self):
+        assert minic_findings(
+            """
+            int main(void) {
+              int x;
+              int y = 3;
+              if (y > 10) { x = 1; } else { x = 2; }
+              printf("%d\\n", x);
+              return 0;
+            }
+            """
+        ) == []
+
+    def test_loop_body_may_not_execute(self):
+        findings = minic_findings(
+            """
+            int main(void) {
+              int x;
+              int i = 0;
+              while (i < 0) { x = 1; i = i + 1; }
+              printf("%d\\n", x);
+              return 0;
+            }
+            """
+        )
+        assert kinds(findings) == ["use-before-init"]
+
+    def test_do_while_body_always_executes(self):
+        assert minic_findings(
+            """
+            int main(void) {
+              int x;
+              int i = 0;
+              do { x = 1; i = i + 1; } while (i < 1);
+              printf("%d\\n", x);
+              return 0;
+            }
+            """
+        ) == []
+
+    def test_code_after_return_is_vacuous(self):
+        assert minic_findings(
+            """
+            int main(void) {
+              int x;
+              return 0;
+              printf("%d\\n", x);
+            }
+            """
+        ) == []
+
+    def test_globals_params_arrays_exempt(self):
+        assert minic_findings(
+            """
+            int g;
+            int use(int p) { return p + g; }
+            int main(void) {
+              int arr[3];
+              arr[0] = 1;
+              printf("%d\\n", use(arr[0]));
+              return 0;
+            }
+            """
+        ) == []
+
+    def test_address_taken_local_exempt(self):
+        assert minic_findings(
+            """
+            int main(void) {
+              int x;
+              int *p = &x;
+              *p = 4;
+              printf("%d\\n", x);
+              return 0;
+            }
+            """
+        ) == []
+
+    def test_goto_function_skipped(self):
+        # A tree walk cannot follow goto edges soundly, so the whole
+        # function conservatively opts out of the rule.
+        assert minic_findings(
+            """
+            int main(void) {
+              int x;
+              goto skip;
+              x = 1;
+            skip:
+              printf("%d\\n", x);
+              return 0;
+            }
+            """
+        ) == []
+
+    def test_one_finding_per_declaration(self):
+        findings = minic_findings(
+            """
+            int main(void) {
+              int x;
+              printf("%d\\n", x);
+              printf("%d\\n", x);
+              return 0;
+            }
+            """
+        )
+        assert kinds(findings) == ["use-before-init"]
+
+
+class TestConstantRules:
+    def test_division_by_constant_zero(self):
+        findings = minic_findings(
+            "int main(void) { int a = 5; printf(\"%d\\n\", a / 0); return 0; }"
+        )
+        assert kinds(findings) == ["div-by-zero"]
+
+    def test_modulo_by_folded_zero(self):
+        findings = minic_findings(
+            "int main(void) { int a = 5; printf(\"%d\\n\", a % (3 - 3)); return 0; }"
+        )
+        assert kinds(findings) == ["mod-by-zero"]
+
+    def test_compound_divide_assign(self):
+        findings = minic_findings(
+            "int main(void) { int a = 5; a /= 0; printf(\"%d\\n\", a); return 0; }"
+        )
+        assert kinds(findings) == ["div-by-zero"]
+
+    def test_shift_count_at_width(self):
+        findings = minic_findings(
+            "int main(void) { int a = 1; printf(\"%d\\n\", a << 32); return 0; }"
+        )
+        assert kinds(findings) == ["shift-out-of-range"]
+
+    def test_negative_shift_count(self):
+        findings = minic_findings(
+            "int main(void) { int a = 1; printf(\"%d\\n\", a >> -1); return 0; }"
+        )
+        assert kinds(findings) == ["shift-out-of-range"]
+
+    def test_shift_within_width_clean(self):
+        assert minic_findings(
+            "int main(void) { int a = 1; printf(\"%d\\n\", a << 31); return 0; }"
+        ) == []
+
+    def test_constant_index_out_of_range(self):
+        findings = minic_findings(
+            """
+            int main(void) {
+              int arr[4];
+              arr[0] = 1;
+              printf("%d\\n", arr[9]);
+              return 0;
+            }
+            """
+        )
+        assert kinds(findings) == ["index-out-of-range"]
+
+    def test_non_constant_divisor_clean(self):
+        # The rules only fire on guaranteed values: a variable divisor that
+        # merely could be zero at runtime is the interpreter's job.
+        assert minic_findings(
+            """
+            int main(void) {
+              int a = 5;
+              int b = 0;
+              printf("%d\\n", a / b);
+              return 0;
+            }
+            """
+        ) == []
+
+
+class TestWhileRules:
+    def test_division_by_zero_flagged(self):
+        findings = sanitize_while_program(parse_program("x := 1 / 0"))
+        assert kinds(findings) == ["div-by-zero"]
+
+    def test_folded_zero_divisor_flagged(self):
+        findings = sanitize_while_program(parse_program("x := 4 / (2 - 2)"))
+        assert kinds(findings) == ["div-by-zero"]
+
+    def test_uninitialized_read_is_legal(self):
+        # WHILE variables default to zero: reading one is not UB.
+        assert sanitize_while_program(parse_program("y := x + 1")) == []
+
+    def test_nonzero_divisor_clean(self):
+        assert sanitize_while_program(parse_program("x := 8 / 2")) == []
+
+
+class TestFindingRendering:
+    def test_render_is_machine_readable(self):
+        findings = minic_findings(
+            "int main(void) { int a = 5; printf(\"%d\\n\", a / 0); return 0; }"
+        )
+        rendered = findings[0].render()
+        assert rendered.startswith("main:div-by-zero:")
+        assert rendered.count(":") >= 2
+
+
+class TestInterpreterAgreement:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            # use-before-init the interpreter classifies as UNDEFINED
+            """
+            int main(void) {
+              int x;
+              int y = 3;
+              if (y > 10) { x = 1; }
+              printf("%d\\n", x + y);
+              return 0;
+            }
+            """,
+            # guaranteed division by zero
+            "int main(void) { int a = 5; printf(\"%d\\n\", a / 0); return 0; }",
+        ],
+    )
+    def test_tainted_programs_are_dynamic_ub(self, source):
+        from repro.core.execution import ExecutionStatus
+        from repro.minic.interp import run_source
+
+        assert minic_findings(source)  # statically tainted
+        assert run_source(source).status is ExecutionStatus.UNDEFINED

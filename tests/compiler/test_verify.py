@@ -1,0 +1,219 @@
+"""Unit tests for the between-pass IR well-formedness verifier."""
+
+from repro.compiler.ir import (
+    BasicBlock,
+    BinOp,
+    CJump,
+    Call,
+    Const,
+    Copy,
+    IRFunction,
+    IRModule,
+    Jump,
+    Return,
+    Temp,
+    VarRef,
+)
+from repro.compiler.lowering import lower_module
+from repro.compiler.verify import IRViolation, first_violation, verify_function, verify_module
+from repro.minic.parser import parse
+from repro.minic.symbols import resolve
+
+
+def _function(blocks, entry="entry", slots=(), params=()):
+    return IRFunction(
+        name="f",
+        params=list(params),
+        slots={slot.name: slot for slot in slots},
+        blocks={block.label: block for block in blocks},
+        entry=entry,
+        return_type=None,
+    )
+
+
+def _block(label, instructions):
+    return BasicBlock(label=label, instructions=list(instructions))
+
+
+def _lowered(source):
+    unit = parse(source)
+    resolve(unit)
+    return lower_module(unit)
+
+
+class TestWellFormed:
+    def test_straight_line_function_is_clean(self):
+        function = _function([_block("entry", [Return(Const(0))])])
+        assert verify_function(function) == []
+
+    def test_lowered_corpus_program_is_clean(self):
+        module = _lowered(
+            """
+            int add(int a, int b) { return a + b; }
+            int main(void) {
+              int x = 1;
+              int y = 2;
+              if (x < y) { x = add(x, y); } else { y = add(y, x); }
+              printf("%d\\n", x + y);
+              return 0;
+            }
+            """
+        )
+        assert verify_module(module) == []
+
+    def test_diamond_with_temps_is_clean(self):
+        t = Temp("t1")
+        function = _function(
+            [
+                _block("entry", [Copy(t, Const(1)), CJump(t, "a", "b")]),
+                _block("a", [Jump("join")]),
+                _block("b", [Jump("join")]),
+                _block("join", [Return(t)]),
+            ]
+        )
+        assert verify_function(function) == []
+
+
+class TestTerminatorRules:
+    def test_empty_block_flagged(self):
+        function = _function(
+            [_block("entry", [Jump("next")]), _block("next", [])]
+        )
+        rules = {v.rule for v in verify_function(function)}
+        assert "terminator" in rules
+
+    def test_missing_terminator_flagged(self):
+        function = _function([_block("entry", [Copy(Temp("t1"), Const(0))])])
+        rules = {v.rule for v in verify_function(function)}
+        assert "terminator" in rules
+
+    def test_mid_block_terminator_flagged(self):
+        function = _function(
+            [_block("entry", [Return(Const(0)), Return(Const(1))])]
+        )
+        rules = {v.rule for v in verify_function(function)}
+        assert "terminator" in rules
+
+    def test_missing_entry_flagged(self):
+        function = _function([_block("body", [Return(Const(0))])])
+        rules = {v.rule for v in verify_function(function)}
+        assert "entry" in rules
+
+
+class TestCFGRules:
+    def test_dangling_jump_target_flagged(self):
+        function = _function([_block("entry", [Jump("nowhere")])])
+        violations = verify_function(function)
+        assert any(v.rule == "target" for v in violations)
+
+    def test_dangling_cjump_target_flagged(self):
+        t = Temp("t1")
+        function = _function(
+            [
+                _block("entry", [Copy(t, Const(1)), CJump(t, "a", "gone")]),
+                _block("a", [Return(Const(0))]),
+            ]
+        )
+        violations = verify_function(function)
+        assert any(v.rule == "target" for v in violations)
+
+    def test_unreachable_block_only_with_flag(self):
+        function = _function(
+            [
+                _block("entry", [Return(Const(0))]),
+                _block("orphan", [Jump("entry")]),
+            ]
+        )
+        assert verify_function(function) == []
+        rules = {v.rule for v in verify_function(function, check_unreachable=True)}
+        assert "unreachable-block" in rules
+
+
+class TestTempDefinitions:
+    def test_use_before_def_flagged(self):
+        function = _function([_block("entry", [Return(Temp("t9"))])])
+        violations = verify_function(function)
+        assert any(v.rule == "use-before-def" for v in violations)
+
+    def test_use_defined_on_one_path_only_flagged(self):
+        t = Temp("t1")
+        cond = Temp("c")
+        function = _function(
+            [
+                _block("entry", [Copy(cond, Const(1)), CJump(cond, "a", "b")]),
+                _block("a", [Copy(t, Const(2)), Jump("join")]),
+                _block("b", [Jump("join")]),
+                _block("join", [Return(t)]),
+            ]
+        )
+        violations = verify_function(function)
+        assert any(v.rule == "use-before-def" and "t1" in v.detail for v in violations)
+
+    def test_binop_operands_checked(self):
+        dest = Temp("d")
+        function = _function(
+            [_block("entry", [BinOp(dest, "+", Temp("u"), Const(1)), Return(dest)])]
+        )
+        violations = verify_function(function)
+        assert any(v.rule == "use-before-def" for v in violations)
+
+
+class TestOperandAndCallRules:
+    def test_unknown_variable_flagged(self):
+        module = IRModule(globals={}, functions={})
+        function = _function(
+            [
+                _block(
+                    "entry",
+                    [Copy(Temp("t"), Const(1)), Return(Const(0))],
+                )
+            ]
+        )
+        # A Load of a VarRef that names no slot and no global.
+        from repro.compiler.ir import Load
+        from repro.minic.ctypes import INT
+
+        function.blocks["entry"].instructions.insert(
+            0, Load(Temp("x"), VarRef("ghost"), INT)
+        )
+        module.functions["f"] = function
+        violations = verify_function(function, module)
+        assert any(v.rule == "operand" for v in violations)
+
+    def test_call_arity_checked(self):
+        callee = _function([_block("entry", [Return(Const(0))])], params=["a", "b"])
+        callee.name = "callee"
+        caller = _function(
+            [
+                _block(
+                    "entry",
+                    [Call(Temp("t"), "callee", [Const(1)]), Return(Const(0))],
+                )
+            ]
+        )
+        caller.name = "caller"
+        module = IRModule(globals={}, functions={"callee": callee, "caller": caller})
+        violations = verify_function(caller, module)
+        assert any(v.rule == "call" for v in violations)
+
+    def test_unknown_callee_flagged(self):
+        caller = _function(
+            [_block("entry", [Call(None, "ghost", []), Return(Const(0))])]
+        )
+        module = IRModule(globals={}, functions={"f": caller})
+        violations = verify_function(caller, module)
+        assert any(v.rule == "call" for v in violations)
+
+
+class TestReporting:
+    def test_first_violation_matches_list_head(self):
+        function = _function([_block("entry", [Jump("nowhere")])])
+        first = first_violation(function)
+        assert isinstance(first, IRViolation)
+        assert first == verify_function(function)[0]
+        assert first_violation(_function([_block("entry", [Return(Const(0))])])) is None
+
+    def test_violation_renders_rule_and_location(self):
+        violation = IRViolation("main", "entry", "target", "jump to 'x'")
+        text = str(violation)
+        assert "target" in text and "main/entry" in text

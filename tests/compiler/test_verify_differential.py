@@ -1,0 +1,141 @@
+"""Differential coverage for the IR verifier (PR 10 satellite).
+
+Every seed-corpus program, compiled by every registered lineage version at
+every optimization level, must come out of the pass pipeline with
+well-formed IR -- except where a seeded ``ill-formed-ir`` fault
+intentionally corrupts it, in which case the verifier must name the exact
+offending pass.  Parametrized over the frontend registry, so a third
+language joining the pipeline inherits the invariant for free (frontends
+whose executors produce no three-address IR, like WHILE, pass vacuously).
+"""
+
+import pytest
+
+from repro.compiler.faults import FaultKind
+from repro.compiler.ir import IRModule
+from repro.compiler.pipeline import OptimizationLevel, pass_names
+from repro.compiler.verify import verify_module
+from repro.compiler.versions import get_version, lineage_versions
+from repro.frontends import available_frontends, get_frontend
+
+OPT_LEVELS = [OptimizationLevel(level) for level in range(4)]
+
+
+def lineage_matrix(frontend):
+    """All versions of every lineage the frontend's default matrix names."""
+    # Building one executor first forces the frontend's lineages to register
+    # (the WHILE lineage registers on repro.lang.compile import).
+    frontend.executor(frontend.reference_version, OptimizationLevel.O0)
+    lineages = []
+    for version in frontend.default_versions:
+        lineage = get_version(version).lineage
+        if lineage not in lineages:
+            lineages.append(lineage)
+    versions = []
+    for lineage in lineages:
+        versions.extend(lineage_versions(lineage))
+    return versions
+
+
+@pytest.mark.parametrize("frontend_name", available_frontends())
+def test_post_pipeline_ir_well_formed_across_matrix(frontend_name):
+    frontend = get_frontend(frontend_name)
+    corpus = frontend.build_corpus(files=6)
+    checked = 0
+    flagged = 0
+    for version in lineage_matrix(frontend):
+        ill_formed_faults = [
+            fault
+            for fault in get_version(version).faults
+            if fault.kind is FaultKind.ILL_FORMED_IR
+        ]
+        for level in OPT_LEVELS:
+            for source in corpus.values():
+                executor = frontend.executor(version, level)
+                executor.verify_ir = True
+                outcome = executor.compile_source(source)
+                verdict = getattr(outcome, "ill_formed", None)
+                if verdict is not None:
+                    # Only a seeded ill-formed fault of this version may
+                    # corrupt the IR, and the verifier must name its pass.
+                    pass_name, detail = verdict
+                    assert any(
+                        fault.pass_name == pass_name for fault in ill_formed_faults
+                    ), (
+                        f"{version} -O{int(level)}: verifier blamed {pass_name!r} "
+                        f"({detail}) but no seeded ill-formed fault lives there"
+                    )
+                    flagged += 1
+                    continue
+                module = getattr(outcome, "module", None)
+                if not isinstance(module, IRModule) or not getattr(outcome, "success", False):
+                    # Crash faults and frontend rejections produce no IR, and
+                    # executors without a three-address IR tier (WHILE's
+                    # AST-rewriting compiler) have nothing to verify.
+                    continue
+                check_unreachable = "simplify-cfg" in pass_names(level)
+                violations = verify_module(module, check_unreachable=check_unreachable)
+                assert violations == [], (
+                    f"{version} -O{int(level)}: post-pipeline IR ill-formed: "
+                    f"{violations[0]}"
+                )
+                checked += 1
+    if frontend_name == "minic":
+        # The IR-producing frontend must actually have exercised the
+        # verifier (and the trunk's seeded fault fires on this corpus).
+        assert checked > 0
+        assert flagged > 0
+
+
+def test_seeded_fault_flagged_with_offending_pass():
+    """The scc garbage-block fault is caught and attributed to simplify-cfg."""
+    frontend = get_frontend("minic")
+    trigger = (
+        "int main(void) {\n"
+        "  int n = 0;\n"
+        '  if (n) { printf("%d\\n", 1); }\n'
+        '  printf("%d\\n", n);\n'
+        "  return 0;\n"
+        "}\n"
+    )
+    fault = next(
+        f
+        for f in get_version("scc-trunk").faults
+        if f.kind is FaultKind.ILL_FORMED_IR
+    )
+    for version in lineage_versions("scc"):
+        has_fault = fault.id in get_version(version).fault_ids()
+        executor = frontend.executor(version, OptimizationLevel.O3)
+        executor.verify_ir = True
+        outcome = executor.compile_source(trigger)
+        if has_fault:
+            assert outcome.ill_formed is not None
+            assert outcome.ill_formed[0] == fault.pass_name == "simplify-cfg"
+            assert fault.id in outcome.triggered_faults
+        else:
+            assert outcome.ill_formed is None
+            assert fault.id not in outcome.triggered_faults
+
+
+def test_fault_invisible_without_verification():
+    """With verification off, the corrupted IR is behaviorally invisible:
+    the fault never reports triggered, and the program's observable
+    behaviour matches the fault-free reference."""
+    frontend = get_frontend("minic")
+    trigger = (
+        "int main(void) {\n"
+        "  int n = 0;\n"
+        '  if (n) { printf("%d\\n", 1); }\n'
+        '  printf("%d\\n", n);\n'
+        "  return 0;\n"
+        "}\n"
+    )
+    buggy = frontend.executor("scc-trunk", OptimizationLevel.O3)
+    reference = frontend.executor("reference", OptimizationLevel.O3)
+    buggy_outcome = buggy.compile_source(trigger)
+    assert buggy_outcome.success
+    assert buggy_outcome.ill_formed is None
+    assert "cfg-retain-garbage-block" not in buggy_outcome.triggered_faults
+    result = buggy.run(buggy_outcome)
+    expected = reference.run(reference.compile_source(trigger))
+    assert (result.exit_code, result.stdout) == (expected.exit_code, expected.stdout)

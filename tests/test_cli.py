@@ -371,3 +371,142 @@ class TestDbCommands:
         assert "no manifest" in capsys.readouterr().err
         assert main(["db", "bugs", "--db", str(tmp_path / "missing.db")]) == 2
         assert "no campaign database" in capsys.readouterr().err
+
+
+class TestStatsLines:
+    """Formatting contract for the ``# cache:`` / ``# sanitizer:`` lines."""
+
+    def test_ratio_guards_zero_total(self):
+        from repro.cli import _stats_ratio
+
+        assert _stats_ratio("module", 0, 0) is None
+        assert _stats_ratio("module", 5, -1) is None
+        assert _stats_ratio("module", 3, 4) == "module 3/4 (75.0%)"
+
+    def test_cache_line_pinned_format(self):
+        from repro.cli import cache_stats_line
+
+        stats = {
+            "module_hits": 3,
+            "module_misses": 1,
+            "pipeline_hits": 0,
+            "pipeline_misses": 8,
+            "reference_hits": 1,
+            "reference_misses": 0,
+        }
+        assert cache_stats_line(stats) == (
+            "# cache: module 3/4 (75.0%)  pipeline 0/8 (0.0%)  reference 1/1 (100.0%)"
+        )
+
+    def test_cache_line_omits_idle_caches(self):
+        from repro.cli import cache_stats_line
+
+        assert cache_stats_line({}) is None
+        assert cache_stats_line({"module_hits": 0, "module_misses": 0}) is None
+        only = cache_stats_line({"pipeline_hits": 2, "pipeline_misses": 2})
+        assert only == "# cache: pipeline 2/4 (50.0%)"
+
+    def test_sanitizer_line_pinned_format(self):
+        from repro.cli import sanitizer_stats_line
+
+        stats = {
+            "sanitizer_hits": 4,
+            "sanitizer_misses": 4,
+            "sanitizer_tainted": 2,
+            "sanitizer_clean": 6,
+        }
+        assert sanitizer_stats_line(stats) == (
+            "# sanitizer: cache 4/8 (50.0%)  tainted 2/8 (25.0%)"
+        )
+
+    def test_sanitizer_line_silent_when_gate_off(self):
+        from repro.cli import sanitizer_stats_line
+
+        assert sanitizer_stats_line({}) is None
+        assert sanitizer_stats_line({"sanitizer_hits": 0, "sanitizer_misses": 0}) is None
+
+
+class TestLintCommand:
+    UB = (
+        "int main(void) {\n"
+        "  int x;\n"
+        "  int y = 3;\n"
+        "  if (y > 10) { x = 1; }\n"
+        '  printf("%d\\n", x + y);\n'
+        "  return 0;\n"
+        "}\n"
+    )
+
+    def test_lint_flags_use_before_init(self, tmp_path, capsys):
+        path = tmp_path / "ub.c"
+        path.write_text(self.UB)
+        assert main(["lint", str(path)]) == 0
+        out = capsys.readouterr().out.splitlines()
+        assert f"{path}:main:use-before-init:" in out[0]
+        assert out[-1] == "# lint: 1 findings in 1 files"
+
+    def test_lint_clean_file(self, sample_file, capsys):
+        assert main(["lint", sample_file]) == 0
+        out = capsys.readouterr().out.splitlines()
+        assert out == ["# lint: 0 findings in 1 files"]
+
+    def test_lint_corpus_is_clean_and_stable(self, capsys):
+        assert main(["lint", "--corpus", "3"]) == 0
+        first = capsys.readouterr().out
+        assert main(["lint", "--corpus", "3"]) == 0
+        assert capsys.readouterr().out == first
+        assert first.splitlines()[-1].startswith("# lint: 0 findings in ")
+
+    def test_lint_while_language(self, tmp_path, capsys):
+        path = tmp_path / "div.while"
+        path.write_text("x := 1 / 0")
+        assert main(["lint", "--lang", "while", str(path)]) == 0
+        out = capsys.readouterr().out.splitlines()
+        assert "div-by-zero" in out[0]
+
+    def test_lint_parse_error_is_a_finding_not_a_crash(self, tmp_path, capsys):
+        path = tmp_path / "broken.c"
+        path.write_text("int main( {")
+        assert main(["lint", str(path)]) == 0
+        out = capsys.readouterr().out.splitlines()
+        assert "parse-error" in out[0]
+        assert out[-1] == "# lint: 1 findings in 1 files"
+
+    def test_lint_without_input_is_an_error(self, capsys):
+        assert main(["lint"]) == 2
+        assert "nothing to lint" in capsys.readouterr().err
+
+
+class TestVerifyIrFlags:
+    def test_campaign_rejects_bad_policy(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["campaign", "--files", "1", "--verify-ir", "maybe"])
+
+    def test_verify_ir_campaign_files_ill_formed_bug(self, capsys):
+        # The generated seed corpus contains dead branches that simplify-cfg
+        # removes, so scc-trunk's garbage-block fault fires organically.
+        assert main(
+            [
+                "campaign", "--files", "4", "--variants", "8",
+                "--versions", "scc-trunk", "--verify-ir", "bugs",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "ill-formed ir" in out
+        assert "simplify-cfg" in out
+
+    def test_verify_ir_off_stays_silent(self, capsys):
+        assert main(
+            ["campaign", "--files", "4", "--variants", "8", "--versions", "scc-trunk"]
+        ) == 0
+        assert "ill-formed ir" not in capsys.readouterr().out
+
+    def test_sanitize_campaign_prints_sanitizer_line(self, capsys):
+        assert main(
+            [
+                "campaign", "--files", "3", "--variants", "8",
+                "--versions", "scc-trunk", "--sanitize",
+            ]
+        ) == 0
+        err = capsys.readouterr().err
+        assert "# sanitizer: cache " in err
